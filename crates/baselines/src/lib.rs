@@ -1,0 +1,47 @@
+//! # hape-baselines — the commercial-system stand-ins
+//!
+//! The paper compares against two closed-source systems (§6.1):
+//!
+//! * **DBMS C** — "a CPU-based columnar DBMS … based on MonetDB/X100, uses
+//!   SIMD vector-at-a-time execution and supports multi-CPU execution".
+//!   [`DbmsC`] is a vector-at-a-time executor: operators exchange ~1K-row
+//!   vectors that are fully materialised between operators, so every extra
+//!   operator is an extra in-cache pass — the overhead the paper blames for
+//!   its Q1 gap (§6.4). Its join is a non-partitioned hash join.
+//!
+//! * **DBMS G** — "a GPU-based DBMS that supports multi-GPU execution and
+//!   uses just-in-time code generation for the in-GPU kernels", optimised
+//!   for star schemas and *in-GPU* processing. [`DbmsG`] is an
+//!   operator-at-a-time GPU executor that materialises every intermediate
+//!   in device memory and refuses queries whose working set exceeds the
+//!   aggregate GPU memory (why it runs only Q6 of the four, §6.4), and
+//!   falls off a cliff on out-of-GPU joins (UVA-style access over PCIe,
+//!   Fig. 7).
+//!
+//! Both produce *real* results (they share the operator semantics with the
+//! engine) while charging their own execution-model costs.
+
+pub mod dbms_c;
+pub mod dbms_g;
+
+pub use dbms_c::DbmsC;
+pub use dbms_g::{DbmsG, GpuUnsupported};
+
+use hape_ops::GroupKey;
+use hape_sim::SimTime;
+
+/// A baseline query result.
+#[derive(Debug, Clone)]
+pub struct BaselineReport {
+    /// Aggregated rows (same shape as the engine's).
+    pub rows: Vec<(GroupKey, Vec<f64>)>,
+    /// Simulated latency.
+    pub time: SimTime,
+}
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::dbms_c::DbmsC;
+    pub use crate::dbms_g::DbmsG;
+    pub use crate::BaselineReport;
+}

@@ -1,0 +1,107 @@
+//! Ablation studies for the design choices DESIGN.md §5 calls out.
+//!
+//! 1. **Router policy** (§4.2 lists load-aware / locality / hash): hybrid
+//!    execution with load-aware vs round-robin routing. Round-robin ignores
+//!    the CPU/GPU speed asymmetry, so the slower class of consumers strags.
+//! 2. **CPU radix fanout** (Boncz's TLB argument): one pass with fanout far
+//!    beyond the TLB bound vs the planned multi-pass schedule.
+//! 3. **Packet size** (§3: transfers are amortised "in the granularity of
+//!    packets"): tiny packets pay per-transfer latency, huge packets starve
+//!    the load balancer.
+//! 4. **Co-partition fanout** (§5): more co-partitions pipeline transfers
+//!    with GPU work, up to the CPU-side partitioning's comfort zone.
+
+use hape_core::{Catalog, Engine, ExecConfig, JoinAlgo, Pipeline, Placement, QueryPlan, RoutingPolicy, Stage};
+use hape_join::cpu_radix::{cpu_radix_with_plan, plan_radix_cpu, RadixPlan};
+use hape_join::{JoinInput, OutputMode};
+use hape_ops::{AggFunc, AggSpec, Expr};
+use hape_sim::topology::Server;
+use hape_sim::{CpuCostModel, CpuSpec};
+use hape_storage::datagen::{gen_key_fk_table, gen_unique_keys};
+
+fn hybrid_plan() -> QueryPlan {
+    QueryPlan::new(
+        "ablation",
+        vec![
+            Stage::Build { name: "d".into(), key_col: 0, pipeline: Pipeline::scan("dim") },
+            Stage::Stream {
+                pipeline: Pipeline::scan("fact")
+                    .join("d", 0, vec![1], JoinAlgo::Partitioned)
+                    .aggregate(AggSpec::ungrouped(vec![(AggFunc::Sum, Expr::col(2))])),
+            },
+        ],
+    )
+}
+
+fn main() {
+    let mut catalog = Catalog::new();
+    catalog.register_as("fact", gen_key_fk_table(1 << 21, 1 << 21, 1));
+    catalog.register_as("dim", gen_key_fk_table(1 << 15, 1 << 15, 2));
+    let engine = Engine::new(Server::paper_testbed());
+
+    println!("== ablation 1: router policy (hybrid, 2M-row probe)");
+    for (name, policy) in [
+        ("load-aware", RoutingPolicy::LoadAware),
+        ("round-robin", RoutingPolicy::RoundRobin),
+        ("hash", RoutingPolicy::HashPartition),
+    ] {
+        let cfg = ExecConfig { policy, ..ExecConfig::new(Placement::Hybrid) };
+        let rep = engine.run(&catalog, &hybrid_plan(), &cfg).unwrap();
+        println!(
+            "{:>12}: {:>12}  (cpu {} / gpu {} packets)",
+            name,
+            format!("{}", rep.time),
+            rep.packets_cpu,
+            rep.packets_gpu
+        );
+    }
+
+    println!("\n== ablation 2: CPU radix fanout vs the TLB bound (4M tuples)");
+    let n = 1 << 22;
+    let keys = gen_unique_keys(n, 3);
+    let vals = vec![0u32; n];
+    let r = JoinInput::new(&keys, &vals);
+    let spec = CpuSpec::xeon_e5_2650l_v3();
+    let model = CpuCostModel::new(spec.clone(), spec.cores);
+    let planned = plan_radix_cpu(n, 8, &spec);
+    println!(
+        "     planned: passes {:?} ({} partitions)",
+        planned.pass_bits,
+        planned.fanout()
+    );
+    for (name, plan) in [
+        ("planned", planned.clone()),
+        (
+            "single-pass, TLB-thrashing",
+            RadixPlan { pass_bits: vec![planned.total_bits], total_bits: planned.total_bits },
+        ),
+        (
+            "over-partitioned (3 extra bits)",
+            {
+                let total = planned.total_bits + 3;
+                let mut bits = planned.pass_bits.clone();
+                bits.push(3);
+                RadixPlan { pass_bits: bits, total_bits: total }
+            },
+        ),
+    ] {
+        let out = cpu_radix_with_plan(r, r, &plan, &model, 24, OutputMode::AggregateOnly);
+        println!("{:>32}: {:>12}", name, format!("{}", out.time));
+    }
+
+    println!("\n== ablation 3: packet size (hybrid)");
+    for rows in [1usize << 11, 1 << 13, 1 << 15, 1 << 18, 1 << 21] {
+        let cfg = ExecConfig {
+            packet_rows: Some(rows),
+            ..ExecConfig::new(Placement::Hybrid)
+        };
+        let rep = engine.run(&catalog, &hybrid_plan(), &cfg).unwrap();
+        println!(
+            "{:>10} rows/packet: {:>12}  (cpu {} / gpu {})",
+            rows,
+            format!("{}", rep.time),
+            rep.packets_cpu,
+            rep.packets_gpu
+        );
+    }
+}

@@ -1,0 +1,9 @@
+//! Bench target regenerating Figure 5 (scratchpad vs L1 probe phase).
+//!
+//! Runs once per `cargo bench` with reduced input size and prints the
+//! series; the `figures` binary offers paper-scale runs.
+
+fn main() {
+    let fig = hape_bench::figures::fig5(1 << 19, &[128, 256, 512, 1024, 2048, 4096]);
+    hape_bench::figures::print_figure(&fig);
+}

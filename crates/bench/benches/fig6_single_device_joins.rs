@@ -1,0 +1,6 @@
+//! Bench target regenerating Figure 6 (single-device join comparison).
+
+fn main() {
+    let fig = hape_bench::figures::fig6(&[1 << 20, 1 << 21, 1 << 22, 1 << 23]);
+    hape_bench::figures::print_figure(&fig);
+}

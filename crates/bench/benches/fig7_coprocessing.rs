@@ -1,0 +1,6 @@
+//! Bench target regenerating Figure 7 (co-processing join, 1 vs 2 GPUs).
+
+fn main() {
+    let fig = hape_bench::figures::fig7(&[1 << 21, 1 << 22, 1 << 23, 1 << 24]);
+    hape_bench::figures::print_figure(&fig);
+}

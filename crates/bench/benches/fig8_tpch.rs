@@ -1,0 +1,6 @@
+//! Bench target regenerating Figure 8 (TPC-H CPU/GPU/hybrid + baselines).
+
+fn main() {
+    let fig = hape_bench::figures::fig8(0.05);
+    hape_bench::figures::print_figure(&fig);
+}

@@ -1,0 +1,6 @@
+//! Bench target regenerating Figure 9 (Q5: partitioned vs non-partitioned).
+
+fn main() {
+    let fig = hape_bench::figures::fig9(0.05);
+    hape_bench::figures::print_figure(&fig);
+}

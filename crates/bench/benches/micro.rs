@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the hot building blocks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use hape_join::common::ChainedTable;
+use hape_join::partition::radix_partition_pass;
+use hape_join::hash32;
+use hape_sim::cache::SetAssocCache;
+use hape_sim::gpu::{atomic_cycles, conflict_cycles, distinct_chunks};
+use hape_sim::spec::CacheLevelSpec;
+use hape_storage::datagen::gen_unique_keys;
+
+fn bench_hash(c: &mut Criterion) {
+    let keys = gen_unique_keys(1 << 16, 1);
+    let mut g = c.benchmark_group("hash32");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("fibonacci", |b| {
+        b.iter(|| keys.iter().map(|&k| hash32(black_box(k), 16) as u64).sum::<u64>())
+    });
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let keys = gen_unique_keys(1 << 18, 2);
+    let vals: Vec<u32> = (0..keys.len() as u32).collect();
+    let mut g = c.benchmark_group("radix_partition_pass");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    for bits in [4u32, 8] {
+        g.bench_function(format!("fanout_{}", 1 << bits), |b| {
+            b.iter(|| radix_partition_pass(black_box(&keys), &vals, 0, bits))
+        });
+    }
+    g.finish();
+}
+
+fn bench_chained_table(c: &mut Criterion) {
+    let keys = gen_unique_keys(1 << 16, 3);
+    let table = ChainedTable::build(&keys);
+    let mut g = c.benchmark_group("chained_table");
+    g.throughput(Throughput::Elements(keys.len() as u64));
+    g.bench_function("build", |b| b.iter(|| ChainedTable::build(black_box(&keys))));
+    g.bench_function("probe", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for &k in &keys {
+                table.probe(&keys, black_box(k), |_| hits += 1);
+            }
+            hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_cache_sim(c: &mut Criterion) {
+    let spec = CacheLevelSpec { size: 48 << 10, line: 128, assoc: 4, hit_ns: 1.0 };
+    let addrs: Vec<u64> = (0..1u64 << 14).map(|i| (i * 7919) % (1 << 22)).collect();
+    let mut g = c.benchmark_group("cache_sim");
+    g.throughput(Throughput::Elements(addrs.len() as u64));
+    g.bench_function("set_assoc_access", |b| {
+        b.iter(|| {
+            let mut cache = SetAssocCache::new(spec);
+            for &a in &addrs {
+                cache.access(black_box(a));
+            }
+            cache.stats().hits
+        })
+    });
+    g.finish();
+}
+
+fn bench_gpu_models(c: &mut Criterion) {
+    let addrs: Vec<u64> = (0..32u64).map(|i| i * 4096).collect();
+    let words: Vec<u32> = (0..32u32).map(|i| i * 3 % 64).collect();
+    let mut g = c.benchmark_group("gpu_models");
+    g.bench_function("coalesce_random_warp", |b| {
+        b.iter(|| distinct_chunks(black_box(&addrs), 128).count())
+    });
+    g.bench_function("bank_conflicts", |b| {
+        b.iter(|| conflict_cycles(black_box(&words), 32))
+    });
+    g.bench_function("atomic_conflicts", |b| {
+        b.iter(|| atomic_cycles(black_box(&words), 32))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_partition,
+    bench_chained_table,
+    bench_cache_sim,
+    bench_gpu_models
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Regenerate the paper's figures.
+//!
+//! ```text
+//! figures [fig5|fig6|fig7|fig8|fig9|all] [--full] [--sf <f64>]
+//! ```
+//!
+//! Default sizes are scaled down (see EXPERIMENTS.md); `--full` uses
+//! paper-scale inputs where host memory permits (slow).
+
+use hape_bench::figures::{fig5, fig6, fig7, fig8, fig9, print_figure};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args.first().map(String::as_str).unwrap_or("all").to_string();
+    let full = args.iter().any(|a| a == "--full");
+    let sf = args
+        .iter()
+        .position(|a| a == "--sf")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(if full { 1.0 } else { 0.05 });
+
+    let run = |id: &str| which == "all" || which == id;
+
+    if run("fig5") {
+        let tuples = if full { 32 << 20 } else { 1 << 20 };
+        let sizes = [128usize, 256, 512, 1024, 2048, 4096];
+        print_figure(&fig5(tuples, &sizes));
+    }
+    if run("fig6") {
+        let sizes: Vec<usize> = if full {
+            vec![1 << 20, 1 << 23, 1 << 25, 1 << 27]
+        } else {
+            vec![1 << 20, 1 << 21, 1 << 22, 1 << 23]
+        };
+        print_figure(&fig6(&sizes));
+    }
+    if run("fig7") {
+        let sizes: Vec<usize> = if full {
+            vec![256 << 20, 512 << 20, 1024 << 20]
+        } else {
+            vec![1 << 21, 1 << 22, 1 << 23, 1 << 24]
+        };
+        print_figure(&fig7(&sizes));
+    }
+    if run("fig8") {
+        print_figure(&fig8(sf));
+    }
+    if run("fig9") {
+        print_figure(&fig9(sf));
+    }
+}

@@ -1,0 +1,19 @@
+//! # hape-bench — the paper-figure regeneration harness
+//!
+//! One function per evaluation figure (§6). Each returns a [`Figure`] whose
+//! series mirror the paper's legend, with simulated-time y-values. Default
+//! input sizes are scaled down from the paper's (the shapes, crossovers and
+//! ratios are the reproduction target — see `EXPERIMENTS.md`); `full`
+//! variants run at paper scale where memory permits.
+
+pub mod figures;
+
+pub use figures::{
+    fig5, fig6, fig7, fig8, fig9, print_figure, Figure, Series, FIG6_DEFAULT_SIZES,
+    FIG7_DEFAULT_SIZES,
+};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::figures::{fig5, fig6, fig7, fig8, fig9, print_figure};
+}

@@ -1,0 +1,76 @@
+//! The table catalog.
+
+use std::collections::HashMap;
+
+use hape_storage::Table;
+
+/// A named collection of tables the engine can scan.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a table under its own name.
+    pub fn register(&mut self, table: Table) {
+        self.tables.insert(table.name.clone(), table);
+    }
+
+    /// Register under an explicit name.
+    pub fn register_as(&mut self, name: impl Into<String>, mut table: Table) {
+        let name = name.into();
+        table.name = name.clone();
+        self.tables.insert(name, table);
+    }
+
+    /// Look up a table.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Look up or panic with a useful message.
+    pub fn expect(&self, name: &str) -> &Table {
+        self.get(name)
+            .unwrap_or_else(|| panic!("catalog has no table named {name:?}"))
+    }
+
+    /// Names of all registered tables (sorted).
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.tables.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total bytes across tables.
+    pub fn bytes(&self) -> u64 {
+        self.tables.values().map(Table::bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hape_storage::datagen::gen_key_fk_table;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register_as("r", gen_key_fk_table(64, 64, 1));
+        c.register_as("s", gen_key_fk_table(64, 64, 2));
+        assert_eq!(c.names(), vec!["r", "s"]);
+        assert_eq!(c.expect("r").rows(), 64);
+        assert!(c.get("t").is_none());
+        assert!(c.bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no table named")]
+    fn expect_panics_on_missing() {
+        Catalog::new().expect("nope");
+    }
+}

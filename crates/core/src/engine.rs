@@ -1,0 +1,586 @@
+//! The HAPE engine: discrete-event execution of query plans over the
+//! simulated server.
+//!
+//! Execution follows §4.2/§5: a plan's stages run in order (pipeline
+//! breakers); within a stage the source table is split into packets and a
+//! CPU-side [`Router`] distributes them over the configured worker set —
+//! CPU cores, GPUs, or both (hybrid). GPU-bound packets cross PCIe via
+//! `mem-move`s; built hash tables are broadcast to every participating GPU
+//! before the probe stage and must fit device memory (Q9's GPU-only failure
+//! mode). Every worker folds into a private aggregation state; states merge
+//! at the end — no cross-device shared mutable structures, which is the
+//! paper's answer to missing system-wide cache coherence.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hape_ops::agg::AggState;
+use hape_ops::GroupKey;
+use hape_sim::des::Resource;
+use hape_sim::interconnect::Link;
+use hape_sim::topology::Server;
+use hape_sim::{CpuCostModel, Fidelity, GpuSim, Region, SimTime};
+use hape_storage::Batch;
+
+use crate::catalog::Catalog;
+use crate::exchange::{CandidateLoad, Router, RoutingPolicy};
+use crate::plan::{JoinAlgo, JoinTable, PipeOp, Pipeline, QueryPlan, Stage};
+use crate::provider::{CpuProvider, GpuProvider, TableStore};
+
+/// Which devices execute the stream stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// All CPU cores, no GPUs (Proteus CPU in Figure 8).
+    CpuOnly,
+    /// GPUs only (Proteus GPU).
+    GpuOnly,
+    /// Everything (Proteus Hybrid).
+    Hybrid,
+}
+
+/// Execution configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Device placement.
+    pub placement: Placement,
+    /// Router policy for the stream stage.
+    pub policy: RoutingPolicy,
+    /// Rows per packet (`None` = auto: ~4 packets per worker).
+    pub packet_rows: Option<usize>,
+}
+
+impl ExecConfig {
+    /// Default config for a placement.
+    pub fn new(placement: Placement) -> Self {
+        ExecConfig { placement, policy: RoutingPolicy::LoadAware, packet_rows: None }
+    }
+}
+
+/// Engine errors.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The plan's hash tables exceed GPU memory (with working space) —
+    /// the paper's Q9 GPU-only failure (§6.4).
+    GpuMemoryExceeded {
+        /// Bytes the tables (plus working space) require.
+        required: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// A table referenced by the plan is missing from the catalog.
+    MissingTable(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::GpuMemoryExceeded { required, capacity } => write!(
+                f,
+                "hash tables require {required} bytes but GPU memory is {capacity}"
+            ),
+            EngineError::MissingTable(t) => write!(f, "missing table {t:?}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The result of running a query.
+#[derive(Debug, Clone)]
+pub struct QueryReport {
+    /// Aggregated result rows, sorted by group key.
+    pub rows: Vec<(GroupKey, Vec<f64>)>,
+    /// End-to-end simulated latency.
+    pub time: SimTime,
+    /// Aggregate CPU busy time.
+    pub cpu_busy: SimTime,
+    /// Aggregate GPU busy time.
+    pub gpu_busy: SimTime,
+    /// Host-to-device bytes moved.
+    pub h2d_bytes: u64,
+    /// Packets processed by CPU workers.
+    pub packets_cpu: usize,
+    /// Packets processed by GPUs.
+    pub packets_gpu: usize,
+}
+
+/// Working space multiplier for GPU-resident hash tables (buffer
+/// management, as the paper notes when sizing Q9, §6.4).
+const GPU_HT_WORKING_FACTOR: f64 = 2.0;
+
+/// The engine.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    /// The server topology.
+    pub server: Server,
+    /// GPU memory-model fidelity.
+    pub fidelity: Fidelity,
+}
+
+struct GpuWorker {
+    res: Resource,
+    provider: GpuProvider,
+    link: Link,
+    agg: Option<AggState>,
+    est_ns_per_byte: f64,
+}
+
+struct CpuWorker {
+    res: Resource,
+    provider: CpuProvider,
+    agg: Option<AggState>,
+    est_ns_per_byte: f64,
+}
+
+impl Engine {
+    /// Engine over a server, analytic GPU fidelity.
+    pub fn new(server: Server) -> Self {
+        Engine { server, fidelity: Fidelity::Analytic }
+    }
+
+    /// Run `plan` against `catalog` under `cfg`.
+    pub fn run(
+        &self,
+        catalog: &Catalog,
+        plan: &QueryPlan,
+        cfg: &ExecConfig,
+    ) -> Result<QueryReport, EngineError> {
+        let mut tables: TableStore = TableStore::new();
+        let mut clock = SimTime::ZERO;
+        let mut cpu_busy = SimTime::ZERO;
+        let mut gpu_busy = SimTime::ZERO;
+        let mut h2d_bytes = 0u64;
+        let mut packets_cpu = 0usize;
+        let mut packets_gpu = 0usize;
+        let mut rows = Vec::new();
+
+        for stage in &plan.stages {
+            match stage {
+                Stage::Build { name, key_col, pipeline } => {
+                    // Builds run on the CPU side (dimension pipelines are
+                    // scan-light); the probe stage moves the tables to the
+                    // devices that need them.
+                    let (outputs, end, busy) =
+                        self.run_cpu_stage(catalog, pipeline, &tables, clock, None)?;
+                    cpu_busy += busy;
+                    clock = end;
+                    let batch = concat_outputs(outputs);
+                    tables.insert(name.clone(), Arc::new(JoinTable::build(batch, *key_col)));
+                }
+                Stage::Stream { pipeline } => {
+                    let report = self.run_stream_stage(
+                        catalog, pipeline, &tables, clock, cfg,
+                    )?;
+                    clock = report.0;
+                    cpu_busy += report.1;
+                    gpu_busy += report.2;
+                    h2d_bytes += report.3;
+                    packets_cpu += report.4;
+                    packets_gpu += report.5;
+                    rows = report.6;
+                }
+            }
+        }
+
+        Ok(QueryReport {
+            rows,
+            time: clock,
+            cpu_busy,
+            gpu_busy,
+            h2d_bytes,
+            packets_cpu,
+            packets_gpu,
+        })
+    }
+
+    /// Materialise a (non-aggregating) pipeline on the CPU workers against
+    /// an explicit table store. Returns the output batch, the completion
+    /// time (relative to `start`) and the CPU busy time.
+    ///
+    /// This is the hook intra-operator co-processing builds on: the TPC-H
+    /// Q9 hybrid runner materialises the lineitem-side intermediate here
+    /// and hands it to the co-processing join (§5).
+    pub fn materialize_cpu(
+        &self,
+        catalog: &Catalog,
+        pipeline: &Pipeline,
+        tables: &TableStore,
+        start: SimTime,
+    ) -> Result<(Batch, SimTime, SimTime), EngineError> {
+        assert!(pipeline.agg.is_none(), "materialize_cpu needs a non-aggregating pipeline");
+        let (outputs, end, busy) = self.run_cpu_stage(catalog, pipeline, tables, start, None)?;
+        Ok((concat_outputs(outputs), end, busy))
+    }
+
+    /// Build a named hash table by materialising `pipeline` on the CPU.
+    pub fn build_join_table(
+        &self,
+        catalog: &Catalog,
+        pipeline: &Pipeline,
+        key_col: usize,
+        tables: &TableStore,
+        start: SimTime,
+    ) -> Result<(Arc<JoinTable>, SimTime, SimTime), EngineError> {
+        let (batch, end, busy) = self.materialize_cpu(catalog, pipeline, tables, start)?;
+        Ok((Arc::new(JoinTable::build(batch, key_col)), end, busy))
+    }
+
+    fn cpu_workers(&self, agg: Option<&hape_ops::AggSpec>) -> Vec<CpuWorker> {
+        let mut workers = Vec::new();
+        for (socket, spec) in self.server.cpus.iter().enumerate() {
+            let model = CpuCostModel::new(spec.clone(), spec.cores);
+            for core in 0..spec.cores {
+                workers.push(CpuWorker {
+                    res: Resource::new(format!("cpu{socket}.{core}")),
+                    provider: CpuProvider { model: model.clone() },
+                    agg: agg.map(|a| AggState::new(a.clone())),
+                    est_ns_per_byte: 0.25,
+                });
+            }
+        }
+        workers
+    }
+
+    fn gpu_workers(&self, agg: Option<&hape_ops::AggSpec>) -> Vec<GpuWorker> {
+        self.server
+            .gpus
+            .iter()
+            .enumerate()
+            .map(|(idx, spec)| {
+                let mut link = self.server.pcie[idx].clone();
+                link.reset();
+                GpuWorker {
+                    res: Resource::new(format!("gpu{idx}")),
+                    provider: GpuProvider { sim: GpuSim::new(spec.clone(), self.fidelity) },
+                    link,
+                    agg: agg.map(|a| AggState::new(a.clone())),
+                    est_ns_per_byte: 0.12,
+                }
+            })
+            .collect()
+    }
+
+    /// Run a pipeline entirely on CPU workers (build stages). Returns the
+    /// packet outputs, the stage end time, and CPU busy time.
+    fn run_cpu_stage(
+        &self,
+        catalog: &Catalog,
+        pipeline: &Pipeline,
+        tables: &TableStore,
+        start: SimTime,
+        agg: Option<&hape_ops::AggSpec>,
+    ) -> Result<(Vec<Batch>, SimTime, SimTime), EngineError> {
+        let table = catalog
+            .get(&pipeline.source)
+            .ok_or_else(|| EngineError::MissingTable(pipeline.source.clone()))?;
+        let mut workers = self.cpu_workers(agg);
+        let packet_rows = auto_packet_rows(table.rows(), workers.len(), None);
+        let packets = table.data.split(packet_rows);
+        let mut outputs = Vec::new();
+        let mut end = start;
+        let mut router = Router::new(RoutingPolicy::LoadAware);
+        for packet in packets {
+            let candidates: Vec<CandidateLoad> = workers
+                .iter()
+                .map(|w| CandidateLoad {
+                    ready_at: w.res.free_at().max(start),
+                    est_ns_per_byte: w.est_ns_per_byte,
+                })
+                .collect();
+            let wi = router.pick(&packet, &candidates);
+            let w = &mut workers[wi];
+            let bytes = packet.bytes().max(1);
+            let result = w.provider.run_packet(packet, pipeline, tables, w.agg.as_mut());
+            let (_, done) = w.res.acquire(start, result.time);
+            end = end.max(done);
+            w.est_ns_per_byte =
+                0.7 * w.est_ns_per_byte + 0.3 * (result.time.as_ns() / bytes as f64);
+            if let Some(out) = result.output {
+                if out.rows() > 0 {
+                    outputs.push(out);
+                }
+            }
+        }
+        let busy = workers.iter().map(|w| w.res.busy_time()).sum();
+        Ok((outputs, end, busy))
+    }
+
+    /// Run the stream stage per the configured placement.
+    #[allow(clippy::type_complexity)]
+    fn run_stream_stage(
+        &self,
+        catalog: &Catalog,
+        pipeline: &Pipeline,
+        tables: &TableStore,
+        start: SimTime,
+        cfg: &ExecConfig,
+    ) -> Result<
+        (SimTime, SimTime, SimTime, u64, usize, usize, Vec<(GroupKey, Vec<f64>)>),
+        EngineError,
+    > {
+        let table = catalog
+            .get(&pipeline.source)
+            .ok_or_else(|| EngineError::MissingTable(pipeline.source.clone()))?;
+        let agg_spec = pipeline.agg.as_ref().expect("stream stage must aggregate");
+
+        let mut cpu_workers = match cfg.placement {
+            Placement::GpuOnly => Vec::new(),
+            _ => self.cpu_workers(Some(agg_spec)),
+        };
+        let mut gpu_workers = match cfg.placement {
+            Placement::CpuOnly => Vec::new(),
+            _ => self.gpu_workers(Some(agg_spec)),
+        };
+        assert!(
+            !cpu_workers.is_empty() || !gpu_workers.is_empty(),
+            "no workers for placement {:?}",
+            cfg.placement
+        );
+
+        // ---- Broadcast hash tables to the GPUs (mem-move) and check the
+        // capacity constraint.
+        let probed: Vec<&str> = pipeline.tables_probed();
+        let mut ht_regions: HashMap<String, Region> = HashMap::new();
+        let mut h2d_bytes = 0u64;
+        if !gpu_workers.is_empty() && !probed.is_empty() {
+            let mut total: u64 = 0;
+            let mut region_base = 1u64 << 44;
+            let mut partitioned_prep = SimTime::ZERO;
+            for name in &probed {
+                let jt = tables.get(*name).expect("validated by plan");
+                total += jt.bytes();
+                ht_regions.insert((*name).to_string(), Region::at(region_base, jt.bytes().max(1)));
+                region_base += jt.bytes().max(128) * 2;
+            }
+            // Partitioned probes pre-partition the build side on the GPU.
+            for op in &pipeline.ops {
+                if let PipeOp::JoinProbe { ht, algo: JoinAlgo::Partitioned, .. } = op {
+                    let jt = tables.get(ht).expect("validated");
+                    let gpu_bw = self.server.gpus[0].dram_bw;
+                    partitioned_prep +=
+                        SimTime::from_secs(4.0 * jt.bytes() as f64 / gpu_bw);
+                }
+            }
+            let required = (total as f64 * GPU_HT_WORKING_FACTOR) as u64;
+            let capacity = self.server.gpus[0].dram_capacity as u64;
+            if required > capacity {
+                return Err(EngineError::GpuMemoryExceeded { required, capacity });
+            }
+            for w in &mut gpu_workers {
+                let (_, arrived) = w.link.transfer(start, total);
+                h2d_bytes += total;
+                let (_, ready) = w.res.acquire(arrived, partitioned_prep);
+                debug_assert!(ready >= arrived);
+            }
+        }
+
+        // ---- Route packets.
+        let packet_rows = auto_packet_rows(
+            table.rows(),
+            cpu_workers.len() + gpu_workers.len() * 4,
+            cfg.packet_rows,
+        );
+        let packets = table.data.split(packet_rows);
+        let mut router = Router::new(cfg.policy);
+        let mut end = start;
+        let mut packets_cpu = 0usize;
+        let mut packets_gpu = 0usize;
+        for packet in packets {
+            // Candidate list: CPU workers first, then GPUs.
+            let mut candidates: Vec<CandidateLoad> = Vec::with_capacity(
+                cpu_workers.len() + gpu_workers.len(),
+            );
+            for w in &cpu_workers {
+                candidates.push(CandidateLoad {
+                    ready_at: w.res.free_at().max(start),
+                    est_ns_per_byte: w.est_ns_per_byte,
+                });
+            }
+            let bytes = packet.bytes().max(1);
+            for w in &gpu_workers {
+                let arrive = w.link.free_at().max(start) + w.link.duration(bytes);
+                candidates.push(CandidateLoad {
+                    ready_at: w.res.free_at().max(arrive),
+                    est_ns_per_byte: w.est_ns_per_byte,
+                });
+            }
+            let pick = router.pick(&packet, &candidates);
+            if pick < cpu_workers.len() {
+                let w = &mut cpu_workers[pick];
+                let result = w.provider.run_packet(packet, pipeline, tables, w.agg.as_mut());
+                let (_, done) = w.res.acquire(start, result.time);
+                end = end.max(done);
+                w.est_ns_per_byte =
+                    0.7 * w.est_ns_per_byte + 0.3 * (result.time.as_ns() / bytes as f64);
+                packets_cpu += 1;
+            } else {
+                let w = &mut gpu_workers[pick - cpu_workers.len()];
+                let (_, arrived) = w.link.transfer(start, bytes);
+                h2d_bytes += bytes;
+                let result = w.provider.run_packet(
+                    packet,
+                    pipeline,
+                    tables,
+                    &ht_regions,
+                    w.agg.as_mut(),
+                );
+                let (_, done) = w.res.acquire(arrived, result.time);
+                end = end.max(done);
+                w.est_ns_per_byte =
+                    0.7 * w.est_ns_per_byte + 0.3 * (result.time.as_ns() / bytes as f64);
+                packets_gpu += 1;
+            }
+        }
+
+        // ---- Merge partial aggregates (cheap: group counts are small).
+        let mut merged = AggState::new(agg_spec.clone());
+        for w in &cpu_workers {
+            if let Some(a) = &w.agg {
+                merged.merge(a);
+            }
+        }
+        for w in &gpu_workers {
+            if let Some(a) = &w.agg {
+                merged.merge(a);
+            }
+        }
+        let cpu_busy = cpu_workers.iter().map(|w| w.res.busy_time()).sum();
+        let gpu_busy = gpu_workers.iter().map(|w| w.res.busy_time()).sum();
+        Ok((end, cpu_busy, gpu_busy, h2d_bytes, packets_cpu, packets_gpu, merged.finish()))
+    }
+}
+
+/// Packet sizing: about four packets per worker, clamped to [8K, 1M] rows.
+fn auto_packet_rows(rows: usize, workers: usize, explicit: Option<usize>) -> usize {
+    if let Some(r) = explicit {
+        return r.max(1);
+    }
+    (rows / (4 * workers.max(1))).clamp(2 << 10, 1 << 20)
+}
+
+/// Concatenate packet outputs into one batch (column-wise).
+fn concat_outputs(outputs: Vec<Batch>) -> Batch {
+    match outputs.len() {
+        0 => Batch::empty(),
+        1 => outputs.into_iter().next().unwrap(),
+        _ => {
+            let n_cols = outputs[0].columns.len();
+            let cols = (0..n_cols)
+                .map(|c| {
+                    let parts: Vec<_> =
+                        outputs.iter().map(|b| b.columns[c].clone()).collect();
+                    hape_storage::Column::concat(&parts)
+                })
+                .collect();
+            Batch::new(cols)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hape_ops::{AggFunc, AggSpec, Expr};
+    use hape_storage::datagen::gen_key_fk_table;
+
+    fn setup() -> (Catalog, QueryPlan) {
+        let mut catalog = Catalog::new();
+        catalog.register_as("fact", gen_key_fk_table(1 << 18, 1 << 18, 1));
+        catalog.register_as("dim", gen_key_fk_table(1 << 14, 1 << 14, 2));
+        let plan = QueryPlan::new(
+            "test",
+            vec![
+                Stage::Build {
+                    name: "dim_ht".into(),
+                    key_col: 0,
+                    pipeline: Pipeline::scan("dim"),
+                },
+                Stage::Stream {
+                    pipeline: Pipeline::scan("fact")
+                        .join("dim_ht", 0, vec![1], JoinAlgo::NonPartitioned)
+                        .aggregate(AggSpec::ungrouped(vec![
+                            (AggFunc::Count, Expr::col(0)),
+                            (AggFunc::Sum, Expr::col(2)),
+                        ])),
+                },
+            ],
+        );
+        (catalog, plan)
+    }
+
+    #[test]
+    fn all_placements_agree_on_results() {
+        let (catalog, plan) = setup();
+        let engine = Engine::new(Server::paper_testbed());
+        let mut results = Vec::new();
+        for placement in [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid] {
+            let rep = engine.run(&catalog, &plan, &ExecConfig::new(placement)).unwrap();
+            assert_eq!(rep.rows[0].1[0], (1 << 14) as f64, "{placement:?}");
+            results.push(rep.rows.clone());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+
+    #[test]
+    fn hybrid_uses_both_device_kinds() {
+        let (catalog, plan) = setup();
+        let engine = Engine::new(Server::paper_testbed());
+        let rep = engine
+            .run(&catalog, &plan, &ExecConfig::new(Placement::Hybrid))
+            .unwrap();
+        assert!(rep.packets_cpu > 0, "no CPU packets");
+        assert!(rep.packets_gpu > 0, "no GPU packets");
+        assert!(rep.h2d_bytes > 0);
+        assert!(rep.gpu_busy.as_ns() > 0.0);
+        assert!(rep.cpu_busy.as_ns() > 0.0);
+    }
+
+    #[test]
+    fn gpu_only_moves_everything_over_pcie() {
+        let (catalog, plan) = setup();
+        let engine = Engine::new(Server::paper_testbed());
+        let rep = engine
+            .run(&catalog, &plan, &ExecConfig::new(Placement::GpuOnly))
+            .unwrap();
+        assert_eq!(rep.packets_cpu, 0);
+        assert!(rep.packets_gpu > 0);
+        // Fact table + hash-table broadcast both crossed PCIe.
+        let fact_bytes = catalog.expect("fact").bytes();
+        assert!(rep.h2d_bytes > fact_bytes);
+    }
+
+    #[test]
+    fn oversized_hash_table_rejected_on_gpu() {
+        let (catalog, plan) = setup();
+        // GPU memory scaled to ~96 KiB: the 16K-entry table cannot fit.
+        let engine = Engine::new(Server::paper_testbed_gpu_mem_scaled(1.0 / 65536.0));
+        let err = engine
+            .run(&catalog, &plan, &ExecConfig::new(Placement::GpuOnly))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::GpuMemoryExceeded { .. }), "{err}");
+        // CPU-only still works.
+        assert!(engine.run(&catalog, &plan, &ExecConfig::new(Placement::CpuOnly)).is_ok());
+    }
+
+    #[test]
+    fn missing_table_reported() {
+        let (_, plan) = setup();
+        let engine = Engine::new(Server::paper_testbed());
+        let err = engine
+            .run(&Catalog::new(), &plan, &ExecConfig::new(Placement::CpuOnly))
+            .unwrap_err();
+        assert!(matches!(err, EngineError::MissingTable(_)));
+    }
+
+    #[test]
+    fn deterministic_execution() {
+        let (catalog, plan) = setup();
+        let engine = Engine::new(Server::paper_testbed());
+        let a = engine.run(&catalog, &plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
+        let b = engine.run(&catalog, &plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
+        assert_eq!(a.rows, b.rows);
+        assert_eq!(a.time, b.time);
+        assert_eq!(a.packets_gpu, b.packets_gpu);
+    }
+}

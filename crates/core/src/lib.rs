@@ -1,0 +1,43 @@
+//! # hape-core — the HAPE engine
+//!
+//! The paper's primary contribution (§3): a Heterogeneity-conscious
+//! Analytical query Processing Engine that decomposes heterogeneous
+//! execution into
+//!
+//! 1. **efficient single-device execution** — relational operators are
+//!    heterogeneity-*oblivious* but hardware-*conscious*; per-device
+//!    [`provider`]s ("device providers") compile a pipeline's operators into
+//!    fused per-packet code for their target (the code-generation interface
+//!    of §4.2), and
+//! 2. **efficient multi-device execution** — the four HetExchange-style
+//!    meta-operators in [`exchange`]: the *router* (parallelism trait), the
+//!    *device crossing* (target-device trait), the *mem-move* (locality
+//!    trait) and *pack/unpack* (packing trait), plus the zip/split plumbing
+//!    that the intra-operator co-processing join builds on.
+//!
+//! The [`engine::Engine`] executes [`plan::QueryPlan`]s over the simulated
+//! server as a deterministic discrete-event simulation: packets of real data
+//! flow through compiled pipelines; CPU workers, GPUs and PCIe links are
+//! clocked resources; the reported latency is the makespan.
+
+pub mod catalog;
+pub mod engine;
+pub mod exchange;
+pub mod plan;
+pub mod provider;
+pub mod traits;
+
+pub use catalog::Catalog;
+pub use engine::{Engine, ExecConfig, Placement, QueryReport};
+pub use exchange::{RoutingPolicy, WorkerId};
+pub use plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};
+pub use traits::{DeviceType, HetTraits, Packing};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::catalog::Catalog;
+    pub use crate::engine::{Engine, ExecConfig, Placement, QueryReport};
+    pub use crate::exchange::RoutingPolicy;
+    pub use crate::plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};
+    pub use crate::traits::DeviceType;
+}

@@ -1,0 +1,280 @@
+//! Physical query plans: pipelines of fused operators.
+//!
+//! A [`QueryPlan`] is a sequence of [`Stage`]s separated by pipeline
+//! breakers, exactly as a JIT engine splits a physical plan (§3): `Build`
+//! stages materialise join hash tables; the final `Stream` stage folds
+//! packets into aggregation states. Within a stage, the [`PipeOp`]s are
+//! *fused* — a packet makes one trip through the device provider's compiled
+//! code with no intermediate materialisation points.
+
+use hape_join::common::{ChainedTable, NIL};
+use hape_ops::{AggSpec, Expr};
+use hape_storage::Batch;
+
+/// Join algorithm choice for a GPU-side probe (the Figure 9 toggle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinAlgo {
+    /// Hardware-oblivious: random probes into a device-memory hash table.
+    NonPartitioned,
+    /// Hardware-conscious: radix co-partitioning, scratchpad-resident
+    /// per-partition tables (§4.1).
+    Partitioned,
+}
+
+/// One fused operator inside a pipeline.
+#[derive(Debug, Clone)]
+pub enum PipeOp {
+    /// Keep rows satisfying the predicate.
+    Filter(Expr),
+    /// Replace the row with the given expressions (all `f64` outputs).
+    Project(Vec<Expr>),
+    /// Probe a built hash table; append the named build payload columns to
+    /// each matching row.
+    JoinProbe {
+        /// Name of the build stage that produced the table.
+        ht: String,
+        /// Probe key column (must be `i32`-typed).
+        key_col: usize,
+        /// Columns of the build batch appended to matches.
+        build_payload_cols: Vec<usize>,
+        /// Algorithm (affects GPU cost; CPU probes use the cache-conscious
+        /// layout either way).
+        algo: JoinAlgo,
+    },
+}
+
+/// A pipeline: a source table streamed through fused operators, optionally
+/// ending in an aggregation.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    /// Source table name in the catalog.
+    pub source: String,
+    /// Fused operators, in order.
+    pub ops: Vec<PipeOp>,
+    /// Terminal aggregation (required for `Stream` stages).
+    pub agg: Option<AggSpec>,
+}
+
+impl Pipeline {
+    /// A pipeline scanning `source`.
+    pub fn scan(source: impl Into<String>) -> Self {
+        Pipeline { source: source.into(), ops: Vec::new(), agg: None }
+    }
+
+    /// Append a filter.
+    pub fn filter(mut self, pred: Expr) -> Self {
+        self.ops.push(PipeOp::Filter(pred));
+        self
+    }
+
+    /// Append a projection.
+    pub fn project(mut self, exprs: Vec<Expr>) -> Self {
+        self.ops.push(PipeOp::Project(exprs));
+        self
+    }
+
+    /// Append a join probe.
+    pub fn join(
+        mut self,
+        ht: impl Into<String>,
+        key_col: usize,
+        build_payload_cols: Vec<usize>,
+        algo: JoinAlgo,
+    ) -> Self {
+        self.ops.push(PipeOp::JoinProbe {
+            ht: ht.into(),
+            key_col,
+            build_payload_cols,
+            algo,
+        });
+        self
+    }
+
+    /// Terminate with an aggregation.
+    pub fn aggregate(mut self, spec: AggSpec) -> Self {
+        self.agg = Some(spec);
+        self
+    }
+
+    /// Names of the hash tables this pipeline probes.
+    pub fn tables_probed(&self) -> Vec<&str> {
+        self.ops
+            .iter()
+            .filter_map(|op| match op {
+                PipeOp::JoinProbe { ht, .. } => Some(ht.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// One stage of a query plan.
+#[derive(Debug, Clone)]
+pub enum Stage {
+    /// Run the pipeline and build a hash table over its output.
+    Build {
+        /// Name under which probes reference the table.
+        name: String,
+        /// Key column *of the pipeline's output*.
+        key_col: usize,
+        /// The producing pipeline (must not aggregate).
+        pipeline: Pipeline,
+    },
+    /// Run the pipeline into its terminal aggregation.
+    Stream {
+        /// The pipeline (must aggregate).
+        pipeline: Pipeline,
+    },
+}
+
+/// A full physical plan.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// Display name (e.g. `"Q5"`).
+    pub name: String,
+    /// The stages, executed in order.
+    pub stages: Vec<Stage>,
+}
+
+impl QueryPlan {
+    /// Create a named plan.
+    pub fn new(name: impl Into<String>, stages: Vec<Stage>) -> Self {
+        let plan = QueryPlan { name: name.into(), stages };
+        plan.validate();
+        plan
+    }
+
+    fn validate(&self) {
+        let mut built = Vec::new();
+        let mut streams = 0;
+        for s in &self.stages {
+            match s {
+                Stage::Build { name, pipeline, .. } => {
+                    assert!(pipeline.agg.is_none(), "build pipeline must not aggregate");
+                    for t in pipeline.tables_probed() {
+                        assert!(built.contains(&t.to_string()), "{t} probed before built");
+                    }
+                    built.push(name.clone());
+                }
+                Stage::Stream { pipeline } => {
+                    assert!(pipeline.agg.is_some(), "stream pipeline must aggregate");
+                    for t in pipeline.tables_probed() {
+                        assert!(built.contains(&t.to_string()), "{t} probed before built");
+                    }
+                    streams += 1;
+                }
+            }
+        }
+        assert_eq!(streams, 1, "a plan needs exactly one stream stage (got {streams})");
+    }
+}
+
+/// A materialised build-side hash table (runtime object).
+#[derive(Debug)]
+pub struct JoinTable {
+    /// The build rows.
+    pub batch: Batch,
+    /// The chained hash table over the key column.
+    pub table: ChainedTable,
+    /// Which column of `batch` is the key.
+    pub key_col: usize,
+    /// Cached keys (decoded once).
+    pub keys: Vec<i32>,
+}
+
+impl JoinTable {
+    /// Build from a batch and key column.
+    pub fn build(batch: Batch, key_col: usize) -> Self {
+        let keys: Vec<i32> = batch.col(key_col).as_i32().to_vec();
+        let table = ChainedTable::build(&keys);
+        JoinTable { batch, table, key_col, keys }
+    }
+
+    /// Number of build rows.
+    pub fn rows(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Working-set bytes of a probe (table + build rows touched).
+    pub fn bytes(&self) -> u64 {
+        self.table.bytes() + self.batch.bytes()
+    }
+
+    /// Probe one key; `on_match(build_row)` per hit; returns chain steps.
+    #[inline]
+    pub fn probe(&self, key: i32, mut on_match: impl FnMut(u32)) -> u32 {
+        let mut steps = 0;
+        let mut e = self.table.heads
+            [hape_join::hash32(key, self.table.bits) as usize];
+        while e != NIL {
+            steps += 1;
+            if self.keys[e as usize] == key {
+                on_match(e);
+            }
+            e = self.table.next[e as usize];
+        }
+        steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hape_ops::AggFunc;
+    use hape_storage::Column;
+
+    fn agg() -> AggSpec {
+        AggSpec::ungrouped(vec![(AggFunc::Count, Expr::col(0))])
+    }
+
+    #[test]
+    fn builder_api_constructs_plan() {
+        let plan = QueryPlan::new(
+            "q",
+            vec![
+                Stage::Build { name: "d".into(), key_col: 0, pipeline: Pipeline::scan("dim") },
+                Stage::Stream {
+                    pipeline: Pipeline::scan("fact")
+                        .filter(Expr::lt(Expr::col(0), Expr::LitI32(5)))
+                        .join("d", 1, vec![1], JoinAlgo::Partitioned)
+                        .aggregate(agg()),
+                },
+            ],
+        );
+        assert_eq!(plan.stages.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "probed before built")]
+    fn probing_unbuilt_table_rejected() {
+        QueryPlan::new(
+            "bad",
+            vec![Stage::Stream {
+                pipeline: Pipeline::scan("fact")
+                    .join("ghost", 0, vec![], JoinAlgo::NonPartitioned)
+                    .aggregate(agg()),
+            }],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must aggregate")]
+    fn stream_without_agg_rejected() {
+        QueryPlan::new("bad", vec![Stage::Stream { pipeline: Pipeline::scan("t") }]);
+    }
+
+    #[test]
+    fn join_table_probe() {
+        let batch = Batch::new(vec![
+            Column::from_i32(vec![10, 20, 10]),
+            Column::from_f64(vec![1.0, 2.0, 3.0]),
+        ]);
+        let jt = JoinTable::build(batch, 0);
+        let mut hits = Vec::new();
+        jt.probe(10, |e| hits.push(e));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 2]);
+        assert_eq!(jt.rows(), 3);
+        assert!(jt.bytes() > 0);
+    }
+}

@@ -1,0 +1,382 @@
+//! Device providers — the per-device code-generation back-ends (§4.2).
+//!
+//! A provider "compiles" a pipeline for its device: it runs a packet through
+//! all fused operators in one pass, charging device-appropriate costs. The
+//! CPU provider charges the analytic Xeon model; the GPU provider executes
+//! the operators as kernels on the simulator (fused: one launch per packet
+//! per pipeline, not per operator — the HorseQC/MapD argument of §2.2).
+//!
+//! Providers are what make relational operators device-*portable*: the same
+//! [`Pipeline`] runs on either device type, and the device-crossing operator
+//! merely swaps the provider.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hape_ops::agg::AggState;
+use hape_ops::{cpu as cpu_ops, gpu as gpu_ops};
+use hape_sim::{CpuCostModel, GpuSim, Region, SimTime};
+use hape_storage::{Batch, Column};
+
+use crate::plan::{JoinAlgo, JoinTable, PipeOp, Pipeline};
+
+/// The built hash tables visible to probes.
+pub type TableStore = HashMap<String, Arc<JoinTable>>;
+
+/// Result of pushing one packet through a compiled pipeline.
+pub struct PacketResult {
+    /// Output rows (for build pipelines); `None` when aggregated away.
+    pub output: Option<Batch>,
+    /// Simulated device time consumed.
+    pub time: SimTime,
+}
+
+/// Probe `packet` against `jt`, producing the joined batch (probe columns
+/// followed by the selected build payload columns) and the measured average
+/// chain length. Shared by both providers — the *functional* operator is
+/// heterogeneity-oblivious; only the costing differs. (Also used by the
+/// `hape-baselines` stand-ins, which share operator semantics but charge
+/// their own execution models.)
+pub fn probe_join(
+    packet: &Batch,
+    jt: &JoinTable,
+    key_col: usize,
+    build_payload_cols: &[usize],
+) -> (Batch, f64) {
+    let keys = packet.col(key_col).as_i32();
+    let mut probe_sel: Vec<u32> = Vec::new();
+    let mut build_sel: Vec<u32> = Vec::new();
+    let mut steps_total: u64 = 0;
+    for (i, &k) in keys.iter().enumerate() {
+        steps_total += jt.probe(k, |e| {
+            probe_sel.push(i as u32);
+            build_sel.push(e);
+        }) as u64;
+    }
+    let mut cols: Vec<Column> =
+        packet.columns.iter().map(|c| c.take(&probe_sel)).collect();
+    for &b in build_payload_cols {
+        cols.push(jt.batch.col(b).take(&build_sel));
+    }
+    let out = Batch { columns: cols, partition: packet.partition };
+    let avg_chain = if keys.is_empty() { 0.0 } else { steps_total as f64 / keys.len() as f64 };
+    (out, avg_chain)
+}
+
+/// The CPU device provider.
+#[derive(Debug, Clone)]
+pub struct CpuProvider {
+    /// Per-worker cost model (bandwidth share folded in).
+    pub model: CpuCostModel,
+}
+
+impl CpuProvider {
+    /// Push one packet through the fused pipeline.
+    ///
+    /// `agg` is this worker's partial aggregation state (for stream
+    /// pipelines).
+    pub fn run_packet(
+        &self,
+        packet: Batch,
+        pipeline: &Pipeline,
+        tables: &TableStore,
+        mut agg: Option<&mut AggState>,
+    ) -> PacketResult {
+        let mut time = cpu_ops::scan_cost(packet.bytes(), &self.model);
+        let mut cur = packet;
+        for op in &pipeline.ops {
+            if cur.rows() == 0 {
+                break;
+            }
+            match op {
+                PipeOp::Filter(pred) => {
+                    let (out, t) = cpu_ops::filter(&cur, pred, &self.model);
+                    cur = out;
+                    time += t;
+                }
+                PipeOp::Project(exprs) => {
+                    let (out, t) = cpu_ops::project(&cur, exprs, &self.model);
+                    cur = out;
+                    time += t;
+                }
+                PipeOp::JoinProbe { ht, key_col, build_payload_cols, .. } => {
+                    let jt = tables
+                        .get(ht)
+                        .unwrap_or_else(|| panic!("hash table {ht} not built"));
+                    let n = cur.rows() as u64;
+                    let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
+                    // Fused probe: random table accesses only — the gathered
+                    // payloads ride in registers to the next operator.
+                    time += self.model.ht_probe(n, chain, jt.bytes());
+                    cur = out;
+                }
+            }
+        }
+        if let Some(state) = agg.as_deref_mut() {
+            if cur.rows() > 0 {
+                time += cpu_ops::agg_update(state, &cur, &self.model);
+            }
+            return PacketResult { output: None, time };
+        }
+        PacketResult { output: Some(cur), time }
+    }
+}
+
+/// The GPU device provider.
+#[derive(Debug, Clone)]
+pub struct GpuProvider {
+    /// The kernel simulator for the target GPU.
+    pub sim: GpuSim,
+}
+
+impl GpuProvider {
+    /// Push one packet through the fused pipeline as GPU kernels.
+    ///
+    /// `ht_regions` maps hash-table names to their device-memory regions
+    /// (placed there by the pre-stage broadcast `mem-move`).
+    pub fn run_packet(
+        &self,
+        packet: Batch,
+        pipeline: &Pipeline,
+        tables: &TableStore,
+        ht_regions: &HashMap<String, Region>,
+        mut agg: Option<&mut AggState>,
+    ) -> PacketResult {
+        let mut time = SimTime::ZERO;
+        let mut cur = packet;
+        let in_region = Region::at(1 << 24, cur.bytes().max(1));
+        for op in &pipeline.ops {
+            if cur.rows() == 0 {
+                break;
+            }
+            match op {
+                PipeOp::Filter(pred) => {
+                    let (out, report) = gpu_ops::filter(&self.sim, in_region, &cur, pred);
+                    cur = out;
+                    time += report.time;
+                }
+                PipeOp::Project(exprs) => {
+                    // Fused projection: stream + compute, outputs stay in
+                    // registers for the next fused operator.
+                    let bytes = cur.bytes();
+                    let ops: f64 = exprs.iter().map(|e| e.ops_per_row()).sum();
+                    time += gpu_ops::stream_pass(&self.sim, in_region, bytes, ops);
+                    let mut cols = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        cols.push(Column::from_f64(
+                            hape_ops::eval(e, &cur).as_f64().to_vec(),
+                        ));
+                    }
+                    cur = Batch { columns: cols, partition: cur.partition };
+                }
+                PipeOp::JoinProbe { ht, key_col, build_payload_cols, algo } => {
+                    let jt = tables
+                        .get(ht)
+                        .unwrap_or_else(|| panic!("hash table {ht} not built"));
+                    let region = ht_regions.get(ht).copied().unwrap_or_else(|| {
+                        Region::at(1 << 44, jt.bytes().max(1))
+                    });
+                    let n = cur.rows();
+                    let keys: Vec<i32> = cur.col(*key_col).as_i32().to_vec();
+                    let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
+                    time += self.charge_probe(&keys, jt, region, chain, *algo);
+                    time += SimTime::from_ns(
+                        (out.rows() * build_payload_cols.len()) as f64 * 0.05,
+                    );
+                    let _ = n;
+                    cur = out;
+                }
+            }
+        }
+        if let Some(state) = agg.as_deref_mut() {
+            if cur.rows() > 0 {
+                let region = Region::at(1 << 24, cur.bytes().max(1));
+                let report = gpu_ops::agg_update(&self.sim, region, &cur, state);
+                time += report.time;
+            }
+            return PacketResult { output: None, time };
+        }
+        PacketResult { output: Some(cur), time }
+    }
+
+    /// Charge a GPU join probe of `keys` against a device-resident table.
+    fn charge_probe(
+        &self,
+        keys: &[i32],
+        jt: &JoinTable,
+        region: Region,
+        avg_chain: f64,
+        algo: JoinAlgo,
+    ) -> SimTime {
+        let n = keys.len();
+        if n == 0 {
+            return SimTime::ZERO;
+        }
+        let cfg = gpu_ops::grid_for(n);
+        let bits = jt.table.bits;
+        let report = match algo {
+            JoinAlgo::NonPartitioned => self.sim.launch(&cfg, |blk| {
+                let start = blk.block_idx * gpu_ops::ITEMS_PER_BLOCK;
+                let end = (start + gpu_ops::ITEMS_PER_BLOCK).min(n);
+                if start >= end {
+                    return;
+                }
+                let cn = (end - start) as u64;
+                blk.global_read_stream(&region, 0, cn * 8);
+                blk.compute(cn, 6.0);
+                // Random head + chain loads through L1/L2 — each drags a
+                // whole line for 8 bytes of use.
+                let offs: Vec<u64> = keys[start..end]
+                    .iter()
+                    .map(|&k| hape_join::hash32(k, bits) as u64 * 4)
+                    .collect();
+                blk.global_read(&region, &offs, 4);
+                let chain_loads = (cn as f64 * avg_chain).ceil() as usize;
+                let chain_offs: Vec<u64> = (0..chain_loads)
+                    .map(|i| {
+                        let k = keys[start + i % (end - start)];
+                        (hape_join::hash32(k, bits.max(4)) as u64)
+                            .wrapping_mul(2654435761)
+                            % region.bytes.max(128)
+                    })
+                    .collect();
+                blk.global_read(&region, &chain_offs, 12);
+            }),
+            JoinAlgo::Partitioned => self.sim.launch(&cfg, |blk| {
+                let start = blk.block_idx * gpu_ops::ITEMS_PER_BLOCK;
+                let end = (start + gpu_ops::ITEMS_PER_BLOCK).min(n);
+                if start >= end {
+                    return;
+                }
+                let cn = (end - start) as u64;
+                // Partition the probe packet (read + consolidated write +
+                // read back), then probe scratchpad-resident tables.
+                blk.global_read_stream(&region, 0, cn * 8);
+                blk.global_write_stream(cn * 8);
+                blk.global_read_stream(&region, 0, cn * 8);
+                blk.compute(cn, 9.0);
+                let words: Vec<u32> = keys[start..end]
+                    .iter()
+                    .map(|&k| hape_join::hash32(k, 12))
+                    .collect();
+                blk.smem_access(&words);
+                let extra = ((cn as f64) * (avg_chain - 1.0).max(0.0)) as usize;
+                let extra_words: Vec<u32> =
+                    words.iter().take(extra).map(|&w| w + 1).collect();
+                blk.smem_access(&extra_words);
+            }),
+        };
+        report.time
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hape_ops::{AggFunc, AggSpec, Expr};
+    use hape_sim::{CpuSpec, Fidelity, GpuSpec};
+    use hape_storage::Column;
+
+    fn packet(n: usize) -> Batch {
+        Batch::new(vec![
+            Column::from_i32((0..n as i32).collect()),
+            Column::from_f64((0..n).map(|i| i as f64).collect()),
+        ])
+    }
+
+    fn dim_table() -> Arc<JoinTable> {
+        // keys 0..100 step 2, payload = key*10
+        let keys: Vec<i32> = (0..50).map(|i| i * 2).collect();
+        let pay: Vec<f64> = keys.iter().map(|&k| (k * 10) as f64).collect();
+        let batch = Batch::new(vec![Column::from_i32(keys), Column::from_f64(pay)]);
+        Arc::new(JoinTable::build(batch, 0))
+    }
+
+    fn pipeline() -> Pipeline {
+        Pipeline::scan("t")
+            .filter(Expr::lt(Expr::col(0), Expr::LitI32(100)))
+            .join("d", 0, vec![1], JoinAlgo::NonPartitioned)
+            .aggregate(AggSpec::ungrouped(vec![
+                (AggFunc::Count, Expr::col(0)),
+                (AggFunc::Sum, Expr::col(2)), // build payload
+            ]))
+    }
+
+    #[test]
+    fn cpu_and_gpu_providers_agree_on_results() {
+        let mut tables = TableStore::new();
+        tables.insert("d".into(), dim_table());
+        let p = pipeline();
+
+        let cpu = CpuProvider { model: CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 12) };
+        let mut cpu_state = AggState::new(p.agg.clone().unwrap());
+        let r1 = cpu.run_packet(packet(1000), &p, &tables, Some(&mut cpu_state));
+        assert!(r1.output.is_none());
+
+        let gpu = GpuProvider { sim: GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Analytic) };
+        let mut gpu_state = AggState::new(p.agg.clone().unwrap());
+        let r2 = gpu.run_packet(
+            packet(1000),
+            &p,
+            &tables,
+            &HashMap::new(),
+            Some(&mut gpu_state),
+        );
+        assert!(r2.output.is_none());
+
+        let a = cpu_state.finish();
+        let b = gpu_state.finish();
+        assert_eq!(a, b);
+        // 50 keys of 0..100 are even and survive the filter.
+        assert_eq!(a[0].1[0], 50.0);
+        assert_eq!(a[0].1[1], (0..50).map(|i| (i * 2 * 10) as f64).sum::<f64>());
+        assert!(r1.time.as_ns() > 0.0);
+        assert!(r2.time.as_ns() > 0.0);
+    }
+
+    #[test]
+    fn build_pipeline_returns_output() {
+        let cpu = CpuProvider { model: CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 12) };
+        let p = Pipeline::scan("t").filter(Expr::lt(Expr::col(0), Expr::LitI32(10)));
+        let r = cpu.run_packet(packet(100), &p, &TableStore::new(), None);
+        let out = r.output.unwrap();
+        assert_eq!(out.rows(), 10);
+    }
+
+    #[test]
+    fn partitioned_probe_cheaper_for_large_tables() {
+        // A large device-resident table: random NPJ probes over-fetch;
+        // the partitioned probe stays in the scratchpad.
+        let n = 1 << 20;
+        let keys: Vec<i32> = (0..n as i32).collect();
+        let pay: Vec<f64> = vec![0.0; n];
+        let jt = Arc::new(JoinTable::build(
+            Batch::new(vec![Column::from_i32(keys), Column::from_f64(pay)]),
+            0,
+        ));
+        let mut tables = TableStore::new();
+        tables.insert("big".into(), jt.clone());
+        let gpu = GpuProvider { sim: GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Analytic) };
+        let mut regions = HashMap::new();
+        regions.insert("big".to_string(), Region::at(1 << 44, jt.bytes()));
+
+        let probe = packet(1 << 18);
+        let npj = Pipeline::scan("t")
+            .join("big", 0, vec![1], JoinAlgo::NonPartitioned)
+            .aggregate(AggSpec::ungrouped(vec![(AggFunc::Count, Expr::col(0))]));
+        let part = Pipeline::scan("t")
+            .join("big", 0, vec![1], JoinAlgo::Partitioned)
+            .aggregate(AggSpec::ungrouped(vec![(AggFunc::Count, Expr::col(0))]));
+        let mut s1 = AggState::new(npj.agg.clone().unwrap());
+        let mut s2 = AggState::new(part.agg.clone().unwrap());
+        let t_npj = gpu.run_packet(probe.clone(), &npj, &tables, &regions, Some(&mut s1)).time;
+        let t_part = gpu.run_packet(probe, &part, &tables, &regions, Some(&mut s2)).time;
+        assert_eq!(s1.finish(), s2.finish());
+        assert!(
+            t_part.as_secs() < t_npj.as_secs(),
+            "partitioned {} !< npj {}",
+            t_part,
+            t_npj
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Heterogeneity traits (§3).
+//!
+//! Four traits characterise execution in a heterogeneous server: the target
+//! **device** and the **parallelism** (control flow), and the data
+//! **locality** and **packing** (data flow). HetExchange operators are the
+//! only trait *converters*; every relational operator keeps all four fixed,
+//! which is what lets it stay heterogeneity-oblivious.
+
+use hape_sim::topology::MemNode;
+
+/// The device-type trait: which kind of device executes an operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceType {
+    /// CPU cores.
+    Cpu,
+    /// GPU streaming multiprocessors.
+    Gpu,
+}
+
+/// The data-packing trait: whether operators exchange tuples or packets,
+/// and what property all tuples of a packet share (routing can then decide
+/// per packet without touching its contents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packing {
+    /// Tuple-at-a-time (inside generated pipelines only).
+    Tuples,
+    /// Packets with no shared property.
+    Packets,
+    /// Packets whose tuples all belong to one partition (hash/radix): the
+    /// router can route on the tag alone.
+    PartitionTagged,
+}
+
+/// The full trait tuple carried by a plan edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HetTraits {
+    /// Executing device type.
+    pub device: DeviceType,
+    /// Degree of parallelism (concurrently executing instances).
+    pub dop: usize,
+    /// Where the data lives.
+    pub locality: MemNode,
+    /// Packing discipline.
+    pub packing: Packing,
+}
+
+impl HetTraits {
+    /// Single-threaded CPU execution over socket-0-resident packets — the
+    /// conventional starting point of a plan.
+    pub fn cpu_seq() -> Self {
+        HetTraits {
+            device: DeviceType::Cpu,
+            dop: 1,
+            locality: MemNode::CpuDram(0),
+            packing: Packing::Packets,
+        }
+    }
+
+    /// True when moving to `other` requires a *router* (parallelism change).
+    pub fn needs_router(&self, other: &HetTraits) -> bool {
+        self.dop != other.dop
+    }
+
+    /// True when moving to `other` requires a *device crossing*.
+    pub fn needs_device_crossing(&self, other: &HetTraits) -> bool {
+        self.device != other.device
+    }
+
+    /// True when moving to `other` requires a *mem-move*.
+    pub fn needs_mem_move(&self, other: &HetTraits) -> bool {
+        self.locality != other.locality
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_conversion_detection() {
+        let a = HetTraits::cpu_seq();
+        let mut b = a;
+        assert!(!a.needs_router(&b));
+        assert!(!a.needs_device_crossing(&b));
+        assert!(!a.needs_mem_move(&b));
+        b.dop = 24;
+        assert!(a.needs_router(&b));
+        b.device = DeviceType::Gpu;
+        assert!(a.needs_device_crossing(&b));
+        b.locality = MemNode::GpuDram(0);
+        assert!(a.needs_mem_move(&b));
+    }
+}

@@ -1,0 +1,322 @@
+//! The co-processing radix join (§5, Sioulas et al. [30]).
+//!
+//! When the inputs exceed GPU memory, the CPU performs a *low-fanout*
+//! co-partitioning local to the data — fanout chosen just large enough that
+//! each co-partition (plus the GPU join's working space) fits GPU memory.
+//! Low fanout keeps the CPU side near DRAM bandwidth. Each co-partition pair
+//! then makes a **single pass over PCIe** and is joined on a GPU with the
+//! hardware-conscious radix join, whose radix continues where the CPU's
+//! stopped. With several GPUs on dedicated links, co-partitions are
+//! load-balanced across them (Fig. 7's 1.7× scaling from a second GPU).
+
+use hape_sim::des::Resource;
+use hape_sim::spec::GpuSpec;
+use hape_sim::{Fidelity, GpuSim, SimTime};
+use hape_sim::topology::Server;
+
+use crate::common::{JoinInput, JoinOutcome, JoinStats, OutputMode};
+use crate::cpu_radix::RadixPlan;
+use crate::gpu_radix::{gpu_radix_with_shift, BuildProbeVariant};
+use crate::partition::radix_partition;
+use hape_sim::CpuCostModel;
+
+/// Configuration of a co-processing run.
+#[derive(Debug, Clone, Copy)]
+pub struct CoprocessConfig {
+    /// GPUs to use (must not exceed the server's).
+    pub n_gpus: usize,
+    /// CPU cores performing the co-partitioning.
+    pub cpu_workers: usize,
+    /// GPU-side build & probe variant.
+    pub variant: BuildProbeVariant,
+    /// Output mode.
+    pub mode: OutputMode,
+    /// GPU memory-model fidelity.
+    pub fidelity: Fidelity,
+}
+
+impl Default for CoprocessConfig {
+    fn default() -> Self {
+        CoprocessConfig {
+            n_gpus: 1,
+            cpu_workers: 24,
+            variant: BuildProbeVariant::Sm,
+            mode: OutputMode::AggregateOnly,
+            fidelity: Fidelity::Analytic,
+        }
+    }
+}
+
+/// Errors of the co-processing join.
+#[derive(Debug)]
+pub enum CoprocessError {
+    /// A single co-partition exceeds GPU memory even at maximum fanout —
+    /// the skew case the paper's single-pass guarantee excludes (§5).
+    OversizedCoPartition {
+        /// The offending partition index.
+        partition: usize,
+        /// Its size in bytes (both sides + working space).
+        bytes: u64,
+        /// The GPU budget it had to fit in.
+        budget: u64,
+    },
+    /// No GPUs configured.
+    NoGpus,
+}
+
+impl std::fmt::Display for CoprocessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoprocessError::OversizedCoPartition { partition, bytes, budget } => write!(
+                f,
+                "co-partition {partition} needs {bytes} bytes > GPU budget {budget} \
+                 (skewed key?)"
+            ),
+            CoprocessError::NoGpus => write!(f, "co-processing requires at least one GPU"),
+        }
+    }
+}
+
+impl std::error::Error for CoprocessError {}
+
+/// Detailed result of a co-processing run.
+#[derive(Debug, Clone)]
+pub struct CoprocessReport {
+    /// Join results and end-to-end simulated time.
+    pub outcome: JoinOutcome,
+    /// CPU-side partitioning time (before overlap).
+    pub cpu_partition_time: SimTime,
+    /// Aggregate PCIe busy time across links.
+    pub transfer_busy: SimTime,
+    /// Aggregate GPU busy time.
+    pub gpu_busy: SimTime,
+    /// Number of co-partitions.
+    pub co_partitions: usize,
+    /// CPU-side radix bits.
+    pub cpu_bits: u32,
+    /// Per-GPU co-partition assignment counts.
+    pub per_gpu_assignments: Vec<usize>,
+}
+
+/// Pick the CPU-side fanout: the smallest power of two such that one
+/// co-partition pair plus the GPU join's double-buffered working space fits
+/// in GPU memory (§5: partitions "just small enough to fit in GPU-memory").
+pub fn plan_cpu_bits(r_bytes: u64, s_bytes: u64, gpu: &GpuSpec) -> u32 {
+    // gpu_radix allocates in+out buffers for both sides: 2×(r+s) per
+    // co-partition, plus slack for tails/bookkeeping.
+    let budget = (gpu.dram_capacity as f64 * 0.9) as u64;
+    let mut bits = 0u32;
+    while 2 * (r_bytes + s_bytes) >> bits > budget {
+        bits += 1;
+        if bits >= 16 {
+            break;
+        }
+    }
+    // At least 8 co-partitions: enough packets to pipeline transfers with
+    // GPU execution and to load-balance across GPUs, while the fanout stays
+    // far below the TLB bound (so the CPU side keeps its near-DRAM
+    // throughput, §5).
+    bits.max(3)
+}
+
+/// Run the co-processing join on `server` (CPU-resident inputs).
+pub fn coprocess_join(
+    server: &Server,
+    r: JoinInput<'_>,
+    s: JoinInput<'_>,
+    cfg: &CoprocessConfig,
+) -> Result<CoprocessReport, CoprocessError> {
+    if cfg.n_gpus == 0 || server.gpus.is_empty() {
+        return Err(CoprocessError::NoGpus);
+    }
+    let n_gpus = cfg.n_gpus.min(server.gpus.len());
+    let gpu_spec = &server.gpus[0];
+    let cpu_spec = &server.cpus[0];
+
+    // ---- Plan and execute the CPU-side co-partitioning.
+    let cpu_bits = plan_cpu_bits(r.bytes(), s.bytes(), gpu_spec);
+    let max_pass_bits = cpu_spec.max_partition_fanout().trailing_zeros().max(1);
+    let plan = {
+        let mut pass_bits = Vec::new();
+        let mut rem = cpu_bits;
+        while rem > 0 {
+            let b = rem.min(max_pass_bits);
+            pass_bits.push(b);
+            rem -= b;
+        }
+        RadixPlan { pass_bits, total_bits: cpu_bits }
+    };
+    let (rp, _) = radix_partition(r, cpu_bits, max_pass_bits);
+    let (sp, _) = radix_partition(s, cpu_bits, max_pass_bits);
+    let fanout = rp.fanout();
+
+    // CPU partitioning cost: the low fanout keeps every pass near DRAM
+    // bandwidth. Both sockets' workers share the work.
+    let per_socket = (cfg.cpu_workers / server.cpus.len()).max(1);
+    let model = CpuCostModel::new(cpu_spec.clone(), per_socket.min(cpu_spec.cores));
+    let mut t_cpu = SimTime::ZERO;
+    for &bits in &plan.pass_bits {
+        t_cpu += model.partition_pass(r.len() as u64, 8, 1 << bits);
+        t_cpu += model.partition_pass(s.len() as u64, 8, 1 << bits);
+    }
+    let t_cpu = t_cpu / (cfg.cpu_workers as f64 * 0.92);
+
+    // ---- Schedule co-partitions over GPUs (load-aware routing).
+    let budget = (gpu_spec.dram_capacity as f64 * 0.9) as u64;
+    let sim = GpuSim::new(gpu_spec.clone(), cfg.fidelity);
+    let mut links: Vec<_> = server.pcie.iter().take(n_gpus).map(|l| {
+        let mut l = l.clone();
+        l.reset();
+        l
+    }).collect();
+    let mut gpus: Vec<Resource> =
+        (0..n_gpus).map(|g| Resource::new(format!("gpu{g}"))).collect();
+    let mut assignments = vec![0usize; n_gpus];
+
+    let mut stats = JoinStats::default();
+    let mut pairs = match cfg.mode {
+        OutputMode::MatchIndices => Some((Vec::new(), Vec::new())),
+        OutputMode::AggregateOnly => None,
+    };
+    let mut makespan = SimTime::ZERO;
+    let mut transfer_busy = SimTime::ZERO;
+
+    for p in 0..fanout {
+        let rpart = rp.part(p);
+        let spart = sp.part(p);
+        if rpart.is_empty() && spart.is_empty() {
+            continue;
+        }
+        let pair_bytes = rpart.bytes() + spart.bytes();
+        if 2 * pair_bytes > budget {
+            return Err(CoprocessError::OversizedCoPartition {
+                partition: p,
+                bytes: 2 * pair_bytes,
+                budget,
+            });
+        }
+        // The co-partition becomes available as the CPU pass streams through
+        // the data (pipelined production).
+        let ready = t_cpu * ((p + 1) as f64 / fanout as f64);
+
+        // The in-GPU join (real work + simulated kernel time).
+        let join = gpu_radix_with_shift(&sim, rpart, spart, cpu_bits, cfg.variant, cfg.mode)
+            .map_err(|e| CoprocessError::OversizedCoPartition {
+                partition: p,
+                bytes: e.requested,
+                budget: e.available,
+            })?;
+        stats.merge(&join.stats);
+        if let (Some((pr, ps)), Some((jr, js))) = (pairs.as_mut(), join.pairs.as_ref()) {
+            pr.extend_from_slice(jr);
+            ps.extend_from_slice(js);
+        }
+
+        // Load-aware GPU choice: earliest completion wins.
+        let mut best = 0usize;
+        let mut best_end: Option<SimTime> = None;
+        for g in 0..n_gpus {
+            let t_start = links[g].free_at().max(ready);
+            let t_arrive = t_start + links[g].duration(pair_bytes);
+            let end = gpus[g].free_at().max(t_arrive) + join.time;
+            if best_end.is_none_or(|b| end < b) {
+                best_end = Some(end);
+                best = g;
+            }
+        }
+        let (_, arrived) = links[best].transfer(ready, pair_bytes);
+        let (_, done) = gpus[best].acquire(arrived, join.time);
+        assignments[best] += 1;
+        makespan = makespan.max(done);
+    }
+    transfer_busy += links.iter().map(|l| l.busy_time()).sum::<SimTime>();
+    let gpu_busy = gpus.iter().map(|g| g.busy_time()).sum::<SimTime>();
+
+    Ok(CoprocessReport {
+        outcome: JoinOutcome { stats, pairs, time: makespan },
+        cpu_partition_time: t_cpu,
+        transfer_busy,
+        gpu_busy,
+        co_partitions: fanout,
+        cpu_bits,
+        per_gpu_assignments: assignments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::reference_join;
+    use hape_storage::datagen::{gen_unique_keys, gen_zipf_i32};
+
+    fn small_gpu_server(capacity_factor: f64) -> Server {
+        Server::paper_testbed_gpu_mem_scaled(capacity_factor)
+    }
+
+    #[test]
+    fn matches_reference() {
+        let n = 1 << 14;
+        let rk = gen_unique_keys(n, 71);
+        let sk = gen_unique_keys(n, 72);
+        let rv: Vec<u32> = (0..n as u32).collect();
+        let sv: Vec<u32> = (0..n as u32).map(|i| i + 3).collect();
+        let r = JoinInput::new(&rk, &rv);
+        let s = JoinInput::new(&sk, &sv);
+        // GPU memory scaled way down so the join is genuinely out-of-GPU.
+        let server = small_gpu_server(1.0 / 65536.0); // 128 KiB
+        let cfg = CoprocessConfig { mode: OutputMode::MatchIndices, ..Default::default() };
+        let rep = coprocess_join(&server, r, s, &cfg).unwrap();
+        let reference = reference_join(r, s);
+        assert_eq!(rep.outcome.stats, reference.stats);
+        assert_eq!(rep.outcome.sorted_pairs(), reference.sorted_pairs());
+        assert!(rep.co_partitions > 1, "expected real co-partitioning");
+    }
+
+    #[test]
+    fn second_gpu_speeds_up() {
+        let n = 1 << 16;
+        let rk = gen_unique_keys(n, 73);
+        let rv = vec![1u32; n];
+        let r = JoinInput::new(&rk, &rv);
+        let server = small_gpu_server(1.0 / 65536.0);
+        let one = coprocess_join(&server, r, r, &CoprocessConfig { n_gpus: 1, ..Default::default() }).unwrap();
+        let two = coprocess_join(&server, r, r, &CoprocessConfig { n_gpus: 2, ..Default::default() }).unwrap();
+        assert_eq!(one.outcome.stats, two.outcome.stats);
+        let speedup = one.outcome.time / two.outcome.time;
+        assert!(speedup > 1.3, "2-GPU speedup only {speedup:.2}x");
+        assert!(speedup < 2.2, "2-GPU speedup implausible: {speedup:.2}x");
+        assert!(two.per_gpu_assignments.iter().all(|&a| a > 0), "{:?}", two.per_gpu_assignments);
+    }
+
+    #[test]
+    fn skewed_key_detected() {
+        // All tuples share one key: the co-partition cannot be split.
+        let n = 1 << 14;
+        let keys = vec![42i32; n];
+        let vals = vec![0u32; n];
+        let r = JoinInput::new(&keys, &vals);
+        let server = small_gpu_server(1.0 / 1_000_000.0);
+        let err = coprocess_join(&server, r, r, &CoprocessConfig::default()).unwrap_err();
+        assert!(matches!(err, CoprocessError::OversizedCoPartition { .. }), "{err}");
+    }
+
+    #[test]
+    fn moderate_zipf_still_works() {
+        let n = 1 << 14;
+        let keys = gen_zipf_i32(n, 1 << 13, 0.5, 5);
+        let vals = vec![1u32; n];
+        let r = JoinInput::new(&keys, &vals);
+        let server = small_gpu_server(1.0 / 16384.0);
+        let rep = coprocess_join(&server, r, r, &CoprocessConfig::default()).unwrap();
+        assert!(rep.outcome.stats.matches >= n as u64);
+    }
+
+    #[test]
+    fn fanout_planning_fits_budget() {
+        let gpu = GpuSpec::gtx_1080();
+        let bits = plan_cpu_bits(16 << 30, 16 << 30, &gpu);
+        // 2*(32GB) >> bits <= 0.9*8GB  →  bits >= 4.
+        assert!(bits >= 4);
+        assert!((2u64 * 32 << 30) >> bits <= (gpu.dram_capacity as f64 * 0.9) as u64);
+    }
+}

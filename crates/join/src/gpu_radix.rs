@@ -1,0 +1,445 @@
+//! The paper's hardware-conscious GPU radix join (§4.1, Figures 3 & 4).
+//!
+//! **Partitioning pass (Fig. 4):** each block reads a chunk into the
+//! scratchpad, histograms partition ids with scratchpad atomics, reorders the
+//! chunk so same-partition tuples are contiguous, and scans the scratchpad
+//! writing each run to its output partition — consolidating stores so DRAM
+//! writes coalesce. Output partitions are linked lists of buffers whose
+//! tails are bumped with global atomics (no extra offset-computation scan,
+//! unlike [27]).
+//!
+//! **Build & probe (Fig. 3):** one block per co-partition. The Figure 5
+//! variants differ in where the join's intermediate structures live:
+//!
+//! * [`BuildProbeVariant::Sm`] — hash table entirely in the scratchpad
+//!   (banked, no over-fetch; random access costs bank conflicts at worst);
+//! * [`BuildProbeVariant::SmL1`] — bucket heads in the scratchpad, chain
+//!   entries in global memory through L1;
+//! * [`BuildProbeVariant::L1`] — everything in global memory through L1,
+//!   the "CPU conversion" the paper shows loses: random probes drag whole
+//!   lines, and the co-partition scans pollute the cache shared by
+//!   co-resident blocks.
+
+use hape_sim::gpu::OutOfGpuMemory;
+use hape_sim::spec::GpuSpec;
+use hape_sim::{GpuMemPool, GpuSim, KernelReport, LaunchConfig, Region, SimTime};
+
+use crate::common::{ChainedTable, JoinInput, JoinOutcome, JoinStats, OutputMode};
+use crate::cpu_radix::RadixPlan;
+use crate::partition::{radix_of, radix_partition, RadixPartitions};
+
+/// Where the build & probe phase keeps the per-partition hash table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildProbeVariant {
+    /// All intermediate structures in the scratchpad (the paper's choice).
+    Sm,
+    /// Bucket heads in scratchpad, chain entries through L1.
+    SmL1,
+    /// Everything through L1 (hardware-oblivious placement).
+    L1,
+}
+
+impl BuildProbeVariant {
+    /// Display label matching the paper's Figure 5 legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BuildProbeVariant::Sm => "SM",
+            BuildProbeVariant::SmL1 => "SM+L1",
+            BuildProbeVariant::L1 => "L1",
+        }
+    }
+}
+
+/// Tuples per partitioning-kernel block (one scratchpad staging chunk).
+const CHUNK: usize = 4096;
+const BLOCK_THREADS: usize = 256;
+
+/// Plan the GPU radix join: total bits so the per-partition table fits the
+/// scratchpad budget; per-pass bits bounded by the store-consolidation
+/// staging capacity (§4.1 — "fanout based on TLB versus scratchpad
+/// capacity").
+pub fn plan_radix_gpu(n_rows: usize, spec: &GpuSpec) -> RadixPlan {
+    // Open-addressed table of 8-byte (key,val) slots, next-pow2 sized:
+    // budget in tuples per partition.
+    let budget_tuples = (spec.scratchpad_resident_bytes() / 8).next_power_of_two() / 2;
+    let mut total_bits = 0u32;
+    while (n_rows >> total_bits) > budget_tuples {
+        total_bits += 1;
+        if total_bits >= 20 {
+            break;
+        }
+    }
+    let total_bits = total_bits.max(1);
+    let max_pass_bits = spec.max_partition_fanout().trailing_zeros().max(1);
+    let mut pass_bits = Vec::new();
+    let mut rem = total_bits;
+    while rem > 0 {
+        let b = rem.min(max_pass_bits);
+        pass_bits.push(b);
+        rem -= b;
+    }
+    RadixPlan { pass_bits, total_bits }
+}
+
+/// Charge one GPU partitioning pass (Fig. 4) over `keys`, `bits` wide at
+/// `shift`, reading from `input` and scattering into `output`.
+fn charge_partition_pass(
+    sim: &GpuSim,
+    keys: &[i32],
+    shift: u32,
+    bits: u32,
+    input: Region,
+    output: Region,
+    tails: Region,
+) -> KernelReport {
+    let n = keys.len();
+    let fanout = 1usize << bits;
+    let grid = n.div_ceil(CHUNK).max(1);
+    // Scratchpad: staging chunk (8B/tuple) + histogram.
+    let smem = (CHUNK * 8 + fanout * 4).min(sim.spec().smem_per_block);
+    let cfg = LaunchConfig::new(grid, BLOCK_THREADS, smem);
+    // Running output cursor per partition (blocks execute in order in the
+    // simulator, so a deterministic cursor reproduces the buffer layout).
+    let mut cursors = vec![0u64; fanout];
+    sim.launch(&cfg, |blk| {
+        let start = blk.block_idx * CHUNK;
+        let end = (start + CHUNK).min(n);
+        if start >= end {
+            return;
+        }
+        let cn = (end - start) as u64;
+        // Read the chunk (coalesced), compute partition ids.
+        blk.global_read_stream(&input, start as u64 * 8, cn * 8);
+        blk.compute(cn, 5.0);
+        // Histogram in scratchpad: one atomic per tuple on its partition
+        // counter — conflicts reflect the actual radix distribution.
+        let part_words: Vec<u32> =
+            keys[start..end].iter().map(|&k| radix_of(k, shift, bits) as u32).collect();
+        blk.smem_atomic(&part_words);
+        // Reorder within the scratchpad: write + read per tuple.
+        let lane_words: Vec<u32> = (0..(end - start) as u32).map(|i| i % 2048).collect();
+        blk.smem_access(&lane_words);
+        blk.smem_access(&lane_words);
+        // Scatter runs to the output partitions: address lists derived from
+        // the real per-chunk histogram, so run lengths (and hence store
+        // coalescing) are the actual ones.
+        let mut counts = vec![0u32; fanout];
+        for &k in &keys[start..end] {
+            counts[radix_of(k, shift, bits)] += 1;
+        }
+        let mut addrs = Vec::with_capacity(end - start);
+        let mut touched = Vec::new();
+        for (p, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let base = (output.bytes / fanout as u64) * p as u64 + cursors[p] * 8;
+            for i in 0..c as u64 {
+                addrs.push(base + i * 8);
+            }
+            cursors[p] += c as u64;
+            touched.push(p as u64 * 64);
+        }
+        blk.global_write(&output, &addrs, 8);
+        // Linked-list tail bumps: one global atomic per touched partition.
+        blk.global_atomic(&tails, &touched);
+    })
+}
+
+/// Run the build & probe phase (Fig. 3) over already co-partitioned inputs.
+///
+/// Exposed separately because Figure 5 measures exactly this phase over
+/// balanced partitions. Returns the outcome (real matches) plus the kernel
+/// report.
+pub fn build_probe_phase(
+    sim: &GpuSim,
+    rp: &RadixPartitions,
+    sp: &RadixPartitions,
+    variant: BuildProbeVariant,
+    mode: OutputMode,
+) -> (JoinOutcome, KernelReport) {
+    assert_eq!(rp.fanout(), sp.fanout(), "inputs not co-partitioned");
+    let fanout = rp.fanout();
+    let max_part = rp.max_part_len().max(1);
+    let slots = max_part.next_power_of_two() * 2;
+    let spec = sim.spec();
+
+    // Scratchpad request decides occupancy — and thereby how many blocks
+    // share an L1 (the Fig. 5 pollution mechanism).
+    let smem = match variant {
+        BuildProbeVariant::Sm => (slots * 8).min(spec.smem_per_block),
+        BuildProbeVariant::SmL1 => (slots * 4).min(spec.smem_per_block),
+        BuildProbeVariant::L1 => 0,
+    };
+    let cfg = LaunchConfig::new(fanout, BLOCK_THREADS, smem);
+
+    // Device-memory layout: inputs + (for SmL1/L1) the spilled tables.
+    let r_region = Region::at(1 << 24, rp.keys.len() as u64 * 8);
+    let s_region = Region::at(1 << 34, sp.keys.len() as u64 * 8);
+    let ht_region = Region::at(1 << 44, (rp.keys.len() as u64 * 12).max(1));
+    let heads_region = Region::at(1 << 54, (fanout * slots) as u64 * 4);
+
+    let mut stats = JoinStats::default();
+    let mut pairs = match mode {
+        OutputMode::MatchIndices => Some((Vec::new(), Vec::new())),
+        OutputMode::AggregateOnly => None,
+    };
+
+    let report = sim.launch(&cfg, |blk| {
+        let p = blk.block_idx;
+        let rpart = rp.part(p);
+        let spart = sp.part(p);
+        let r_off = rp.offsets[p] as u64 * 8;
+        let s_off = sp.offsets[p] as u64 * 8;
+        if rpart.is_empty() && spart.is_empty() {
+            return;
+        }
+        // Real join work for this co-partition.
+        let table = ChainedTable::build(rpart.keys);
+        let mut probe_steps: Vec<u32> = Vec::with_capacity(spart.len());
+        let mut chain_offs: Vec<u64> = Vec::new();
+        let mut block_matches = 0u64;
+        for (&k, &sv) in spart.keys.iter().zip(spart.vals) {
+            let mut steps = 0u32;
+            let mut e = table.heads[crate::common::hash32(k, table.bits) as usize];
+            while e != crate::common::NIL {
+                steps += 1;
+                if variant != BuildProbeVariant::Sm {
+                    chain_offs.push(rp.offsets[p] as u64 * 12 + e as u64 * 12);
+                }
+                if rpart.keys[e as usize] == k {
+                    let rv = rpart.vals[e as usize];
+                    stats.record(rv, sv);
+                    block_matches += 1;
+                    if let Some((pr, ps)) = pairs.as_mut() {
+                        pr.push(rv);
+                        ps.push(sv);
+                    }
+                }
+                e = table.next[e as usize];
+            }
+            probe_steps.push(steps);
+        }
+
+        // ---- Cost mirroring.
+        let nr = rpart.len() as u64;
+        let ns = spart.len() as u64;
+        // Scan the co-partition from device memory (streams pollute L1).
+        blk.global_read_stream(&r_region, r_off, nr * 8);
+        blk.global_read_stream(&s_region, s_off, ns * 8);
+        blk.compute(nr, 5.0);
+        blk.compute(ns, 7.0);
+        let bucket_words: Vec<u32> = rpart
+            .keys
+            .iter()
+            .map(|&k| crate::common::hash32(k, table.bits))
+            .collect();
+        let probe_words: Vec<u32> = spart
+            .keys
+            .iter()
+            .map(|&k| crate::common::hash32(k, table.bits))
+            .collect();
+        match variant {
+            BuildProbeVariant::Sm => {
+                // Build: copy tuples into the scratchpad + atomic inserts.
+                blk.smem_access(&bucket_words);
+                blk.smem_atomic(&bucket_words);
+                // Probe: head lookup + chain walk, all in scratchpad.
+                blk.smem_access(&probe_words);
+                let extra: Vec<u32> = probe_words
+                    .iter()
+                    .zip(&probe_steps)
+                    .filter(|(_, &st)| st > 1)
+                    .map(|(&w, _)| w + 1)
+                    .collect();
+                blk.smem_access(&extra);
+            }
+            BuildProbeVariant::SmL1 => {
+                // Heads in scratchpad; entries written to / read from global.
+                blk.smem_atomic(&bucket_words);
+                blk.global_write_stream(nr * 12);
+                blk.smem_access(&probe_words);
+                blk.global_read(&ht_region, &chain_offs, 12);
+            }
+            BuildProbeVariant::L1 => {
+                // Heads and entries in global memory.
+                let head_offs: Vec<u64> = bucket_words
+                    .iter()
+                    .map(|&w| (p * slots) as u64 * 4 + w as u64 * 4)
+                    .collect();
+                blk.global_atomic(&heads_region, &head_offs);
+                blk.global_write_stream(nr * 12);
+                let probe_head_offs: Vec<u64> = probe_words
+                    .iter()
+                    .map(|&w| (p * slots) as u64 * 4 + w as u64 * 4)
+                    .collect();
+                blk.global_read(&heads_region, &probe_head_offs, 4);
+                blk.global_read(&ht_region, &chain_offs, 12);
+            }
+        }
+        if mode == OutputMode::MatchIndices {
+            blk.global_write_stream(block_matches * 8);
+        } else {
+            // Buffered aggregate: warp reduction + one atomic per block.
+            blk.compute(ns, 1.0);
+        }
+    });
+
+    let outcome = JoinOutcome { stats, pairs, time: report.time };
+    (outcome, report)
+}
+
+/// Full GPU radix join over GPU-resident inputs: plan, partition both sides
+/// (charging each pass), then build & probe with the chosen variant.
+pub fn gpu_radix(
+    sim: &GpuSim,
+    r: JoinInput<'_>,
+    s: JoinInput<'_>,
+    variant: BuildProbeVariant,
+    mode: OutputMode,
+) -> Result<JoinOutcome, OutOfGpuMemory> {
+    gpu_radix_with_shift(sim, r, s, 0, variant, mode)
+}
+
+/// GPU radix join whose radix starts at `shift` — the co-processing join
+/// uses this to continue partitioning where the CPU side left off (§5).
+pub fn gpu_radix_with_shift(
+    sim: &GpuSim,
+    r: JoinInput<'_>,
+    s: JoinInput<'_>,
+    shift: u32,
+    variant: BuildProbeVariant,
+    mode: OutputMode,
+) -> Result<JoinOutcome, OutOfGpuMemory> {
+    let mut pool = GpuMemPool::for_spec(sim.spec());
+    // Inputs + double buffers for the out-of-place partition passes.
+    let r_in = pool.alloc(r.bytes().max(8))?;
+    let s_in = pool.alloc(s.bytes().max(8))?;
+    let r_out = pool.alloc(r.bytes().max(8))?;
+    let s_out = pool.alloc(s.bytes().max(8))?;
+    let tails = pool.alloc(1 << 16)?;
+
+    let plan = plan_radix_gpu(r.len().max(2), sim.spec());
+    let max_pass_bits = *plan.pass_bits.iter().max().unwrap_or(&1);
+
+    // Shifted keys so the radix applies above the CPU-consumed bits.
+    let shifted_r: Vec<i32>;
+    let shifted_s: Vec<i32>;
+    let (rk, sk): (&[i32], &[i32]) = if shift == 0 {
+        (r.keys, s.keys)
+    } else {
+        shifted_r = r.keys.iter().map(|&k| ((k as u32) >> shift) as i32).collect();
+        shifted_s = s.keys.iter().map(|&k| ((k as u32) >> shift) as i32).collect();
+        (&shifted_r, &shifted_s)
+    };
+
+    let mut time = SimTime::ZERO;
+    // Charge the partition passes for both inputs.
+    let mut pass_shift = plan.total_bits;
+    for &bits in &plan.pass_bits {
+        pass_shift -= bits;
+        let rep_r = charge_partition_pass(
+            sim, rk, pass_shift, bits, r_in.region, r_out.region, tails.region,
+        );
+        let rep_s = charge_partition_pass(
+            sim, sk, pass_shift, bits, s_in.region, s_out.region, tails.region,
+        );
+        time += rep_r.time + rep_s.time;
+    }
+    // Functional partitioning (once, multi-pass-equivalent result).
+    let (rp, _) = radix_partition(JoinInput::new(rk, r.vals), plan.total_bits, max_pass_bits);
+    let (sp, _) = radix_partition(JoinInput::new(sk, s.vals), plan.total_bits, max_pass_bits);
+
+    let (mut outcome, _report) = build_probe_phase(sim, &rp, &sp, variant, mode);
+    outcome.time = outcome.time + time;
+
+    pool.free(r_in);
+    pool.free(s_in);
+    pool.free(r_out);
+    pool.free(s_out);
+    pool.free(tails);
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::reference_join;
+    use hape_sim::{Fidelity, GpuSim};
+    use hape_storage::datagen::{gen_balanced_partition_keys, gen_unique_keys};
+
+    fn sim() -> GpuSim {
+        GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Analytic)
+    }
+
+    #[test]
+    fn plan_targets_scratchpad_residency() {
+        let spec = GpuSpec::gtx_1080();
+        let plan = plan_radix_gpu(32 << 20, &spec);
+        assert!(plan.passes() >= 2, "32M tuples need multiple passes: {plan:?}");
+        let per_part = (32usize << 20) >> plan.total_bits;
+        assert!(per_part.next_power_of_two() * 2 * 8 <= spec.smem_per_block * 2);
+    }
+
+    #[test]
+    fn all_variants_match_reference() {
+        let n = 1 << 13;
+        let rk = gen_unique_keys(n, 51);
+        let sk = gen_unique_keys(n, 52);
+        let rv: Vec<u32> = (0..n as u32).collect();
+        let sv: Vec<u32> = (0..n as u32).map(|i| i + 7).collect();
+        let r = JoinInput::new(&rk, &rv);
+        let s = JoinInput::new(&sk, &sv);
+        let reference = reference_join(r, s);
+        for variant in [BuildProbeVariant::Sm, BuildProbeVariant::SmL1, BuildProbeVariant::L1] {
+            let out = gpu_radix(&sim(), r, s, variant, OutputMode::MatchIndices).unwrap();
+            assert_eq!(out.stats, reference.stats, "{variant:?}");
+            assert_eq!(out.sorted_pairs(), reference.sorted_pairs(), "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn scratchpad_beats_l1_in_exact_mode() {
+        // The Figure 5 headline: with balanced co-partitions, the SM variant
+        // outruns the L1 variant.
+        let n = 1 << 16;
+        let bits = 5; // 2048-element partitions
+        let keys = gen_balanced_partition_keys(n, bits, 3);
+        let vals: Vec<u32> = (0..n as u32).collect();
+        let input = JoinInput::new(&keys, &vals);
+        let (rp, _) = radix_partition(input, bits, bits);
+        let (sp, _) = radix_partition(input, bits, bits);
+        let exact = GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Exact);
+        let (sm, _) = build_probe_phase(&exact, &rp, &sp, BuildProbeVariant::Sm, OutputMode::AggregateOnly);
+        let (l1, _) = build_probe_phase(&exact, &rp, &sp, BuildProbeVariant::L1, OutputMode::AggregateOnly);
+        assert_eq!(sm.stats, l1.stats);
+        assert!(
+            l1.time.as_secs() > 1.2 * sm.time.as_secs(),
+            "L1 {} !> SM {}",
+            l1.time,
+            sm.time
+        );
+    }
+
+    #[test]
+    fn shifted_radix_for_coprocessing() {
+        // After a CPU pass on the low 2 bits, the GPU joins a co-partition
+        // whose keys share those bits; the shifted join must still be exact.
+        let n = 1 << 12;
+        let keys: Vec<i32> = gen_unique_keys(n, 9).iter().map(|k| k * 4).collect(); // low 2 bits zero
+        let vals: Vec<u32> = (0..n as u32).collect();
+        let r = JoinInput::new(&keys, &vals);
+        let out = gpu_radix_with_shift(&sim(), r, r, 2, BuildProbeVariant::Sm, OutputMode::AggregateOnly).unwrap();
+        assert_eq!(out.stats.matches, n as u64);
+    }
+
+    #[test]
+    fn oom_on_tiny_gpu() {
+        let tiny = GpuSim::new(GpuSpec::gtx_1080_scaled(1.0 / 8192.0), Fidelity::Analytic);
+        let n = 1 << 16;
+        let rk = gen_unique_keys(n, 1);
+        let rv = vec![0u32; n];
+        let r = JoinInput::new(&rk, &rv);
+        assert!(gpu_radix(&tiny, r, r, BuildProbeVariant::Sm, OutputMode::AggregateOnly).is_err());
+    }
+}

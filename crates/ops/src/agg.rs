@@ -1,0 +1,308 @@
+//! Aggregation: ungrouped and hash group-by, with mergeable partial states.
+//!
+//! Parallel aggregation follows the paper's horizontal co-processing example
+//! (§5): every worker (CPU core or GPU) folds its packets into a *partial*
+//! [`AggState`]; the states are then merged — the routers never have to
+//! synchronise on a shared hash table, which is exactly what makes the
+//! operator heterogeneity-oblivious.
+
+use std::collections::HashMap;
+
+use hape_storage::table::DataType;
+use hape_storage::{Batch, Column};
+
+use crate::expr::{eval, Expr};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of the expression.
+    Sum,
+    /// Row count (expression ignored).
+    Count,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Average (sum/count, finished at the end).
+    Avg,
+}
+
+/// A group-by + aggregate specification.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    /// Indices of the group-by columns (empty = ungrouped).
+    pub group_by: Vec<usize>,
+    /// `(function, argument)` pairs.
+    pub aggs: Vec<(AggFunc, Expr)>,
+}
+
+impl AggSpec {
+    /// Ungrouped aggregation.
+    pub fn ungrouped(aggs: Vec<(AggFunc, Expr)>) -> Self {
+        AggSpec { group_by: Vec::new(), aggs }
+    }
+
+    /// Grouped aggregation.
+    pub fn grouped(group_by: Vec<usize>, aggs: Vec<(AggFunc, Expr)>) -> Self {
+        assert!(group_by.len() <= 4, "at most 4 group-by columns supported");
+        AggSpec { group_by, aggs }
+    }
+
+    /// Approximate compute operations per input row (for cost charging).
+    pub fn ops_per_row(&self) -> f64 {
+        let expr_ops: f64 = self.aggs.iter().map(|(_, e)| e.ops_per_row()).sum();
+        // hash + bucket update per aggregate.
+        2.0 + expr_ops + 2.0 * self.aggs.len() as f64
+    }
+}
+
+/// A composite group key (up to 4 integer-valued columns).
+pub type GroupKey = [i64; 4];
+
+/// One accumulator.
+#[derive(Debug, Clone, Copy)]
+struct Acc {
+    sum: f64,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Acc {
+    fn new() -> Self {
+        Acc { sum: 0.0, count: 0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn update(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    fn merge(&mut self, o: &Acc) {
+        self.sum += o.sum;
+        self.count += o.count;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+    }
+
+    fn finish(&self, f: AggFunc) -> f64 {
+        match f {
+            AggFunc::Sum => self.sum,
+            AggFunc::Count => self.count as f64,
+            AggFunc::Min => self.min,
+            AggFunc::Max => self.max,
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    f64::NAN
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+        }
+    }
+}
+
+fn group_value(col: &Column, row: usize) -> i64 {
+    match col.data_type() {
+        DataType::I32 | DataType::Date => col.as_i32()[row] as i64,
+        DataType::I64 => col.as_i64()[row],
+        DataType::Str => col.as_codes()[row] as i64,
+        DataType::F64 => panic!("cannot group by a float column"),
+    }
+}
+
+/// A mergeable (partial) aggregation state.
+#[derive(Debug, Clone)]
+pub struct AggState {
+    spec: AggSpec,
+    groups: HashMap<GroupKey, Vec<Acc>>,
+    /// Input rows folded in (for observability / cost accounting).
+    pub rows_seen: u64,
+}
+
+impl AggState {
+    /// Fresh state for a spec.
+    pub fn new(spec: AggSpec) -> Self {
+        AggState { spec, groups: HashMap::new(), rows_seen: 0 }
+    }
+
+    /// The spec.
+    pub fn spec(&self) -> &AggSpec {
+        &self.spec
+    }
+
+    /// Number of groups so far.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Fold one batch into the state.
+    pub fn update(&mut self, batch: &Batch) {
+        let n = batch.rows();
+        if n == 0 {
+            return;
+        }
+        self.rows_seen += n as u64;
+        // Evaluate aggregate arguments once, vectorised.
+        let args: Vec<Vec<f64>> = self
+            .spec
+            .aggs
+            .iter()
+            .map(|(f, e)| {
+                if *f == AggFunc::Count {
+                    Vec::new() // count ignores its argument
+                } else {
+                    eval(e, batch).as_f64().to_vec()
+                }
+            })
+            .collect();
+        let group_cols: Vec<&Column> =
+            self.spec.group_by.iter().map(|&i| batch.col(i)).collect();
+        let n_aggs = self.spec.aggs.len();
+        for row in 0..n {
+            let mut key: GroupKey = [0; 4];
+            for (slot, col) in key.iter_mut().zip(&group_cols) {
+                *slot = group_value(col, row);
+            }
+            let accs = self
+                .groups
+                .entry(key)
+                .or_insert_with(|| vec![Acc::new(); n_aggs]);
+            for (ai, (func, _)) in self.spec.aggs.iter().enumerate() {
+                match func {
+                    AggFunc::Count => accs[ai].update(1.0),
+                    _ => accs[ai].update(args[ai][row]),
+                }
+            }
+        }
+    }
+
+    /// Merge another partial state (same spec) into this one.
+    pub fn merge(&mut self, other: &AggState) {
+        assert_eq!(self.spec.group_by, other.spec.group_by, "merging different specs");
+        assert_eq!(self.spec.aggs.len(), other.spec.aggs.len());
+        self.rows_seen += other.rows_seen;
+        for (key, accs) in &other.groups {
+            match self.groups.get_mut(key) {
+                Some(mine) => {
+                    for (m, o) in mine.iter_mut().zip(accs) {
+                        m.merge(o);
+                    }
+                }
+                None => {
+                    self.groups.insert(*key, accs.clone());
+                }
+            }
+        }
+    }
+
+    /// Finish into `(key, values)` rows, sorted by key for determinism.
+    pub fn finish(&self) -> Vec<(GroupKey, Vec<f64>)> {
+        let mut out: Vec<(GroupKey, Vec<f64>)> = self
+            .groups
+            .iter()
+            .map(|(k, accs)| {
+                let vals = accs
+                    .iter()
+                    .zip(&self.spec.aggs)
+                    .map(|(a, (f, _))| a.finish(*f))
+                    .collect();
+                (*k, vals)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hape_storage::Column;
+
+    fn batch() -> Batch {
+        Batch::new(vec![
+            Column::from_i32(vec![1, 2, 1, 2, 1]),
+            Column::from_f64(vec![10.0, 20.0, 30.0, 40.0, 50.0]),
+        ])
+    }
+
+    #[test]
+    fn ungrouped_sum_count() {
+        let spec = AggSpec::ungrouped(vec![
+            (AggFunc::Sum, Expr::col(1)),
+            (AggFunc::Count, Expr::col(1)),
+            (AggFunc::Avg, Expr::col(1)),
+        ]);
+        let mut st = AggState::new(spec);
+        st.update(&batch());
+        let rows = st.finish();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1, vec![150.0, 5.0, 30.0]);
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let spec = AggSpec::grouped(
+            vec![0],
+            vec![
+                (AggFunc::Sum, Expr::col(1)),
+                (AggFunc::Min, Expr::col(1)),
+                (AggFunc::Max, Expr::col(1)),
+            ],
+        );
+        let mut st = AggState::new(spec);
+        st.update(&batch());
+        let rows = st.finish();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0[0], 1);
+        assert_eq!(rows[0].1, vec![90.0, 10.0, 50.0]);
+        assert_eq!(rows[1].0[0], 2);
+        assert_eq!(rows[1].1, vec![60.0, 20.0, 40.0]);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        let spec = AggSpec::grouped(vec![0], vec![(AggFunc::Sum, Expr::col(1))]);
+        let b = batch();
+        // Single pass.
+        let mut whole = AggState::new(spec.clone());
+        whole.update(&b);
+        // Two partials over split packets, then merge.
+        let mut p1 = AggState::new(spec.clone());
+        let mut p2 = AggState::new(spec);
+        p1.update(&b.slice(0, 2));
+        p2.update(&b.slice(2, 3));
+        p1.merge(&p2);
+        assert_eq!(whole.finish(), p1.finish());
+        assert_eq!(p1.rows_seen, 5);
+    }
+
+    #[test]
+    fn expression_arguments() {
+        // sum(col1 * 2)
+        let spec = AggSpec::ungrouped(vec![(
+            AggFunc::Sum,
+            Expr::mul(Expr::col(1), Expr::LitF64(2.0)),
+        )]);
+        let mut st = AggState::new(spec);
+        st.update(&batch());
+        assert_eq!(st.finish()[0].1, vec![300.0]);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let spec = AggSpec::ungrouped(vec![(AggFunc::Sum, Expr::col(0))]);
+        let mut st = AggState::new(spec);
+        st.update(&batch().slice(0, 0));
+        assert_eq!(st.n_groups(), 0);
+        assert_eq!(st.rows_seen, 0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Vectorised expression evaluation over batches.
+//!
+//! Expressions are evaluated one batch at a time into transient vectors —
+//! within a compiled pipeline these play the role of the "registers" JIT
+//! code generation keeps intermediate results in (§2.2): they are never
+//! materialised across operators.
+
+use hape_storage::table::DataType;
+use hape_storage::Batch;
+
+/// A scalar expression over the columns of a batch.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// Column reference by index.
+    Col(usize),
+    /// `i32` literal.
+    LitI32(i32),
+    /// `i64` literal.
+    LitI64(i64),
+    /// `f64` literal.
+    LitF64(f64),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Equality.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Less-than.
+    Lt(Box<Expr>, Box<Expr>),
+    /// Less-or-equal.
+    Le(Box<Expr>, Box<Expr>),
+    /// Greater-than.
+    Gt(Box<Expr>, Box<Expr>),
+    /// Greater-or-equal.
+    Ge(Box<Expr>, Box<Expr>),
+    /// Logical and.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical or.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// `a + b`.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Add(Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Sub(Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Mul(Box::new(a), Box::new(b))
+    }
+
+    /// `a == b`.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::Eq(Box::new(a), Box::new(b))
+    }
+
+    /// `a < b`.
+    pub fn lt(a: Expr, b: Expr) -> Expr {
+        Expr::Lt(Box::new(a), Box::new(b))
+    }
+
+    /// `a <= b`.
+    pub fn le(a: Expr, b: Expr) -> Expr {
+        Expr::Le(Box::new(a), Box::new(b))
+    }
+
+    /// `a > b`.
+    pub fn gt(a: Expr, b: Expr) -> Expr {
+        Expr::Gt(Box::new(a), Box::new(b))
+    }
+
+    /// `a >= b`.
+    pub fn ge(a: Expr, b: Expr) -> Expr {
+        Expr::Ge(Box::new(a), Box::new(b))
+    }
+
+    /// `a && b`.
+    pub fn and(a: Expr, b: Expr) -> Expr {
+        Expr::And(Box::new(a), Box::new(b))
+    }
+
+    /// `a || b`.
+    pub fn or(a: Expr, b: Expr) -> Expr {
+        Expr::Or(Box::new(a), Box::new(b))
+    }
+
+    /// Approximate arithmetic operations per row (for cost charging).
+    pub fn ops_per_row(&self) -> f64 {
+        match self {
+            Expr::Col(_) | Expr::LitI32(_) | Expr::LitI64(_) | Expr::LitF64(_) => 0.25,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Ge(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => 1.0 + a.ops_per_row() + b.ops_per_row(),
+        }
+    }
+
+    /// Column indices referenced by this expression.
+    pub fn columns_used(&self) -> Vec<usize> {
+        let mut cols = Vec::new();
+        self.collect_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => out.push(*i),
+            Expr::LitI32(_) | Expr::LitI64(_) | Expr::LitF64(_) => {}
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Ge(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+        }
+    }
+}
+
+/// Result of evaluating an expression over a batch.
+#[derive(Debug, Clone)]
+pub enum ExprValue {
+    /// Numeric vector (all arithmetic is carried out in `f64`; exact-integer
+    /// paths matter only for key columns, which operators read directly).
+    F64(Vec<f64>),
+    /// Boolean vector (predicates).
+    Bool(Vec<bool>),
+}
+
+impl ExprValue {
+    /// The numeric vector; panics on booleans.
+    pub fn as_f64(&self) -> &[f64] {
+        match self {
+            ExprValue::F64(v) => v,
+            ExprValue::Bool(_) => panic!("expected numeric expression, got boolean"),
+        }
+    }
+
+    /// The boolean vector; panics on numerics.
+    pub fn as_bool(&self) -> &[bool] {
+        match self {
+            ExprValue::Bool(v) => v,
+            ExprValue::F64(_) => panic!("expected boolean expression, got numeric"),
+        }
+    }
+}
+
+fn column_as_f64(batch: &Batch, i: usize) -> Vec<f64> {
+    let c = batch.col(i);
+    match c.data_type() {
+        DataType::I32 | DataType::Date => c.as_i32().iter().map(|&v| v as f64).collect(),
+        DataType::I64 => c.as_i64().iter().map(|&v| v as f64).collect(),
+        DataType::F64 => c.as_f64().to_vec(),
+        DataType::Str => c.as_codes().iter().map(|&v| v as f64).collect(),
+    }
+}
+
+/// Evaluate `expr` over `batch`.
+pub fn eval(expr: &Expr, batch: &Batch) -> ExprValue {
+    let n = batch.rows();
+    match expr {
+        Expr::Col(i) => ExprValue::F64(column_as_f64(batch, *i)),
+        Expr::LitI32(v) => ExprValue::F64(vec![*v as f64; n]),
+        Expr::LitI64(v) => ExprValue::F64(vec![*v as f64; n]),
+        Expr::LitF64(v) => ExprValue::F64(vec![*v; n]),
+        Expr::Add(a, b) => binary_num(a, b, batch, |x, y| x + y),
+        Expr::Sub(a, b) => binary_num(a, b, batch, |x, y| x - y),
+        Expr::Mul(a, b) => binary_num(a, b, batch, |x, y| x * y),
+        Expr::Eq(a, b) => binary_cmp(a, b, batch, |x, y| x == y),
+        Expr::Lt(a, b) => binary_cmp(a, b, batch, |x, y| x < y),
+        Expr::Le(a, b) => binary_cmp(a, b, batch, |x, y| x <= y),
+        Expr::Gt(a, b) => binary_cmp(a, b, batch, |x, y| x > y),
+        Expr::Ge(a, b) => binary_cmp(a, b, batch, |x, y| x >= y),
+        Expr::And(a, b) => binary_bool(a, b, batch, |x, y| x && y),
+        Expr::Or(a, b) => binary_bool(a, b, batch, |x, y| x || y),
+    }
+}
+
+fn binary_num(a: &Expr, b: &Expr, batch: &Batch, f: impl Fn(f64, f64) -> f64) -> ExprValue {
+    let va = eval(a, batch);
+    let vb = eval(b, batch);
+    let (va, vb) = (va.as_f64(), vb.as_f64());
+    ExprValue::F64(va.iter().zip(vb).map(|(&x, &y)| f(x, y)).collect())
+}
+
+fn binary_cmp(a: &Expr, b: &Expr, batch: &Batch, f: impl Fn(f64, f64) -> bool) -> ExprValue {
+    let va = eval(a, batch);
+    let vb = eval(b, batch);
+    let (va, vb) = (va.as_f64(), vb.as_f64());
+    ExprValue::Bool(va.iter().zip(vb).map(|(&x, &y)| f(x, y)).collect())
+}
+
+fn binary_bool(a: &Expr, b: &Expr, batch: &Batch, f: impl Fn(bool, bool) -> bool) -> ExprValue {
+    let va = eval(a, batch);
+    let vb = eval(b, batch);
+    let (va, vb) = (va.as_bool(), vb.as_bool());
+    ExprValue::Bool(va.iter().zip(vb).map(|(&x, &y)| f(x, y)).collect())
+}
+
+/// Evaluate a predicate into a boolean vector.
+pub fn eval_bool(expr: &Expr, batch: &Batch) -> Vec<bool> {
+    match eval(expr, batch) {
+        ExprValue::Bool(v) => v,
+        ExprValue::F64(_) => panic!("predicate does not evaluate to boolean"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hape_storage::Column;
+
+    fn batch() -> Batch {
+        Batch::new(vec![
+            Column::from_i32(vec![1, 2, 3, 4]),
+            Column::from_f64(vec![10.0, 20.0, 30.0, 40.0]),
+        ])
+    }
+
+    #[test]
+    fn arithmetic() {
+        // col1 * (1 - col0) — the Q1 `extendedprice * (1 - discount)` shape.
+        let e = Expr::mul(Expr::col(1), Expr::sub(Expr::LitF64(1.0), Expr::col(0)));
+        let v = eval(&e, &batch());
+        assert_eq!(v.as_f64(), &[0.0, -20.0, -60.0, -120.0]);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let e = Expr::and(
+            Expr::ge(Expr::col(0), Expr::LitI32(2)),
+            Expr::lt(Expr::col(1), Expr::LitF64(40.0)),
+        );
+        assert_eq!(eval_bool(&e, &batch()), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn ops_per_row_counts_nodes() {
+        let e = Expr::mul(Expr::col(1), Expr::sub(Expr::LitF64(1.0), Expr::col(0)));
+        assert!(e.ops_per_row() > 2.0);
+        assert!(Expr::col(0).ops_per_row() < 1.0);
+    }
+
+    #[test]
+    fn columns_used_deduplicates() {
+        let e = Expr::add(Expr::col(1), Expr::mul(Expr::col(0), Expr::col(1)));
+        assert_eq!(e.columns_used(), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "boolean")]
+    fn type_confusion_panics() {
+        let e = Expr::add(Expr::col(0), Expr::col(1));
+        eval_bool(&e, &batch());
+    }
+}

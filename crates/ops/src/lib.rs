@@ -1,0 +1,22 @@
+//! # hape-ops — relational operators
+//!
+//! Vectorised expression evaluation plus the scan/filter/project/aggregate
+//! operators, each with a CPU implementation (charged against the analytic
+//! [`hape_sim::CpuCostModel`]) and a GPU implementation (executed as kernels
+//! on the [`hape_sim::GpuSim`]). Operators do *real* work over real data and
+//! return the simulated time the work costs — the contract the HAPE pipeline
+//! compiler builds on.
+
+pub mod agg;
+pub mod cpu;
+pub mod expr;
+pub mod gpu;
+
+pub use agg::{AggFunc, AggSpec, AggState, GroupKey};
+pub use expr::{eval, eval_bool, Expr, ExprValue};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::agg::{AggFunc, AggSpec, AggState};
+    pub use crate::expr::Expr;
+}

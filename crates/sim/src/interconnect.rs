@@ -1,0 +1,109 @@
+//! Interconnect (PCIe / inter-socket) modelling.
+//!
+//! The paper's central co-processing argument is bandwidth accounting over
+//! "the scarcest resource, the interconnect" (§2.1): a PCIe 3 x16 link moves
+//! ~12 GB/s while GPU memory moves 280 GB/s. Links are discrete-event
+//! resources, so concurrent transfers queue and two GPUs on dedicated links
+//! genuinely double aggregate transfer bandwidth (Fig. 7's 1.7×).
+
+use crate::des::Resource;
+use crate::time::SimTime;
+
+/// A point-to-point interconnect link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    /// Effective bandwidth, bytes/s.
+    pub bw: f64,
+    /// Per-transfer latency (DMA setup + propagation), seconds.
+    pub latency: f64,
+    res: Resource,
+}
+
+impl Link {
+    /// PCIe 3.0 x16: ~12 GB/s effective, ~10 µs per DMA.
+    pub fn pcie3_x16(name: impl Into<String>) -> Self {
+        Link { bw: 12.0e9, latency: 10e-6, res: Resource::new(name) }
+    }
+
+    /// Inter-socket link (QPI 9.6 GT/s ≈ 38.4 GB/s aggregate).
+    pub fn qpi(name: impl Into<String>) -> Self {
+        Link { bw: 38.4e9, latency: 1e-6, res: Resource::new(name) }
+    }
+
+    /// Custom link.
+    pub fn new(name: impl Into<String>, bw: f64, latency: f64) -> Self {
+        Link { bw, latency, res: Resource::new(name) }
+    }
+
+    /// The link's name.
+    pub fn name(&self) -> &str {
+        self.res.name()
+    }
+
+    /// Pure transfer duration for `bytes` (no queueing).
+    pub fn duration(&self, bytes: u64) -> SimTime {
+        SimTime::from_secs(self.latency + bytes as f64 / self.bw)
+    }
+
+    /// Schedule a transfer of `bytes`, ready at `ready`. Returns
+    /// `(start, end)` after queueing behind earlier transfers.
+    pub fn transfer(&mut self, ready: SimTime, bytes: u64) -> (SimTime, SimTime) {
+        self.res.acquire(ready, self.duration(bytes))
+    }
+
+    /// When the link next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.res.free_at()
+    }
+
+    /// Total busy time (for utilisation reports).
+    pub fn busy_time(&self) -> SimTime {
+        self.res.busy_time()
+    }
+
+    /// Reset for a new query.
+    pub fn reset(&mut self) {
+        self.res.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let link = Link::pcie3_x16("pcie0");
+        let t = link.duration(12_000_000_000);
+        assert!((t.as_secs() - 1.0).abs() < 0.01, "expected ~1s, got {t}");
+    }
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let link = Link::pcie3_x16("pcie0");
+        let t = link.duration(128);
+        assert!(t.as_us() >= 10.0);
+        assert!(t.as_us() < 11.0);
+    }
+
+    #[test]
+    fn concurrent_transfers_queue() {
+        let mut link = Link::pcie3_x16("pcie0");
+        let gb = 12_000_000_000u64; // 1 second each
+        let (_, e1) = link.transfer(SimTime::ZERO, gb);
+        let (s2, e2) = link.transfer(SimTime::ZERO, gb);
+        assert_eq!(s2, e1);
+        assert!(e2.as_secs() > 1.9);
+    }
+
+    #[test]
+    fn two_links_run_in_parallel() {
+        let mut a = Link::pcie3_x16("pcie0");
+        let mut b = Link::pcie3_x16("pcie1");
+        let gb = 12_000_000_000u64;
+        let (_, ea) = a.transfer(SimTime::ZERO, gb);
+        let (_, eb) = b.transfer(SimTime::ZERO, gb);
+        // Independent links: both finish around 1s, not 2s.
+        assert!(ea.as_secs() < 1.1 && eb.as_secs() < 1.1);
+    }
+}

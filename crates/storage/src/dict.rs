@@ -1,0 +1,98 @@
+//! String dictionaries.
+//!
+//! Analytical engines (and both the paper's systems) dictionary-encode
+//! strings so that operators work on fixed-width codes; only final result
+//! rendering touches the dictionary.
+
+use std::collections::HashMap;
+
+/// An append-only string dictionary mapping codes to strings.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    strings: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator of values (duplicates collapse).
+    pub fn from_values<'a>(values: impl IntoIterator<Item = &'a str>) -> (Self, Vec<u32>) {
+        let mut d = Self::new();
+        let codes = values.into_iter().map(|v| d.intern(v)).collect();
+        (d, codes)
+    }
+
+    /// Intern a string, returning its code.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&c) = self.index.get(s) {
+            return c;
+        }
+        let c = self.strings.len() as u32;
+        self.strings.push(s.to_owned());
+        self.index.insert(s.to_owned(), c);
+        c
+    }
+
+    /// Look up a code.
+    pub fn get(&self, code: u32) -> Option<&str> {
+        self.strings.get(code as usize).map(String::as_str)
+    }
+
+    /// Look up a string's code without interning.
+    pub fn code_of(&self, s: &str) -> Option<u32> {
+        self.index.get(s).copied()
+    }
+
+    /// Number of distinct strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterate `(code, string)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.strings.iter().enumerate().map(|(i, s)| (i as u32, s.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_deduplicates() {
+        let mut d = Dictionary::new();
+        let a = d.intern("ASIA");
+        let b = d.intern("EUROPE");
+        let a2 = d.intern("ASIA");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn lookup_both_ways() {
+        let (d, codes) = Dictionary::from_values(["x", "y", "x"]);
+        assert_eq!(codes, vec![0, 1, 0]);
+        assert_eq!(d.get(0), Some("x"));
+        assert_eq!(d.get(1), Some("y"));
+        assert_eq!(d.get(2), None);
+        assert_eq!(d.code_of("y"), Some(1));
+        assert_eq!(d.code_of("z"), None);
+    }
+
+    #[test]
+    fn iter_in_code_order() {
+        let (d, _) = Dictionary::from_values(["b", "a"]);
+        let v: Vec<_> = d.iter().collect();
+        assert_eq!(v, vec![(0, "b"), (1, "a")]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Binary columnar file format.
+//!
+//! The paper evaluates over "a binary columnar format for the inputs"
+//! (§6.4). This module implements a compact format:
+//!
+//! ```text
+//! magic "HAPE" | version u32 | name | n_cols u32 | n_rows u64
+//!   per column: name | dtype u8 | payload
+//!   Str columns: codes payload + dictionary (n u32, then length-prefixed strings)
+//! ```
+//!
+//! All integers little-endian; strings length-prefixed (u32).
+
+use std::io::{self, Read, Write};
+use std::sync::Arc;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::column::{Column, ColumnData};
+use crate::dict::Dictionary;
+use crate::table::{Batch, DataType, Field, Schema, Table};
+
+const MAGIC: &[u8; 4] = b"HAPE";
+const VERSION: u32 = 1;
+
+/// Errors arising when decoding the binary format.
+#[derive(Debug)]
+pub enum FormatError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Structural problem in the input bytes.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::Io(e) => write!(f, "io error: {e}"),
+            FormatError::Corrupt(m) => write!(f, "corrupt table file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+impl From<io::Error> for FormatError {
+    fn from(e: io::Error) -> Self {
+        FormatError::Io(e)
+    }
+}
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String, FormatError> {
+    if buf.remaining() < 4 {
+        return Err(FormatError::Corrupt("truncated string length".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n {
+        return Err(FormatError::Corrupt("truncated string payload".into()));
+    }
+    let bytes = buf.copy_to_bytes(n);
+    String::from_utf8(bytes.to_vec())
+        .map_err(|_| FormatError::Corrupt("invalid utf-8".into()))
+}
+
+fn dtype_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::I32 => 0,
+        DataType::I64 => 1,
+        DataType::F64 => 2,
+        DataType::Date => 3,
+        DataType::Str => 4,
+    }
+}
+
+fn tag_dtype(tag: u8) -> Result<DataType, FormatError> {
+    Ok(match tag {
+        0 => DataType::I32,
+        1 => DataType::I64,
+        2 => DataType::F64,
+        3 => DataType::Date,
+        4 => DataType::Str,
+        t => return Err(FormatError::Corrupt(format!("unknown dtype tag {t}"))),
+    })
+}
+
+/// Serialise a table to a writer.
+pub fn write_table(table: &Table, w: &mut impl Write) -> Result<(), FormatError> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    put_str(&mut buf, &table.name);
+    buf.put_u32_le(table.schema.len() as u32);
+    buf.put_u64_le(table.rows() as u64);
+    for (field, col) in table.schema.fields.iter().zip(&table.data.columns) {
+        put_str(&mut buf, &field.name);
+        buf.put_u8(dtype_tag(field.dtype));
+        match field.dtype {
+            DataType::I32 | DataType::Date => {
+                for v in col.as_i32() {
+                    buf.put_i32_le(*v);
+                }
+            }
+            DataType::I64 => {
+                for v in col.as_i64() {
+                    buf.put_i64_le(*v);
+                }
+            }
+            DataType::F64 => {
+                for v in col.as_f64() {
+                    buf.put_f64_le(*v);
+                }
+            }
+            DataType::Str => {
+                for c in col.as_codes() {
+                    buf.put_u32_le(*c);
+                }
+                let dict = col.dict().expect("str column without dict");
+                buf.put_u32_le(dict.len() as u32);
+                for (_, s) in dict.iter() {
+                    put_str(&mut buf, s);
+                }
+            }
+        }
+    }
+    w.write_all(&buf)?;
+    Ok(())
+}
+
+/// Deserialise a table from a reader.
+pub fn read_table(r: &mut impl Read) -> Result<Table, FormatError> {
+    let mut raw = Vec::new();
+    r.read_to_end(&mut raw)?;
+    let mut buf = Bytes::from(raw);
+    if buf.remaining() < 8 {
+        return Err(FormatError::Corrupt("short header".into()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(FormatError::Corrupt("bad magic".into()));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(FormatError::Corrupt(format!("unsupported version {version}")));
+    }
+    let name = get_str(&mut buf)?;
+    if buf.remaining() < 12 {
+        return Err(FormatError::Corrupt("short table header".into()));
+    }
+    let n_cols = buf.get_u32_le() as usize;
+    let n_rows = buf.get_u64_le() as usize;
+    let mut fields = Vec::with_capacity(n_cols);
+    let mut columns = Vec::with_capacity(n_cols);
+    for _ in 0..n_cols {
+        let col_name = get_str(&mut buf)?;
+        if buf.remaining() < 1 {
+            return Err(FormatError::Corrupt("missing dtype".into()));
+        }
+        let dtype = tag_dtype(buf.get_u8())?;
+        let need = n_rows * dtype.width();
+        if buf.remaining() < need {
+            return Err(FormatError::Corrupt(format!(
+                "column {col_name}: need {need} bytes, have {}",
+                buf.remaining()
+            )));
+        }
+        let col = match dtype {
+            DataType::I32 | DataType::Date => {
+                let v: Vec<i32> = (0..n_rows).map(|_| buf.get_i32_le()).collect();
+                Column::new(ColumnData::I32(v))
+            }
+            DataType::I64 => {
+                let v: Vec<i64> = (0..n_rows).map(|_| buf.get_i64_le()).collect();
+                Column::new(ColumnData::I64(v))
+            }
+            DataType::F64 => {
+                let v: Vec<f64> = (0..n_rows).map(|_| buf.get_f64_le()).collect();
+                Column::new(ColumnData::F64(v))
+            }
+            DataType::Str => {
+                let codes: Vec<u32> = (0..n_rows).map(|_| buf.get_u32_le()).collect();
+                if buf.remaining() < 4 {
+                    return Err(FormatError::Corrupt("missing dictionary".into()));
+                }
+                let n_dict = buf.get_u32_le() as usize;
+                let mut dict = Dictionary::new();
+                for _ in 0..n_dict {
+                    let s = get_str(&mut buf)?;
+                    dict.intern(&s);
+                }
+                if codes.iter().any(|&c| c as usize >= dict.len()) {
+                    return Err(FormatError::Corrupt("code out of dictionary range".into()));
+                }
+                Column::from_codes(codes, Arc::new(dict))
+            }
+        };
+        fields.push(Field::new(col_name, dtype));
+        columns.push(col);
+    }
+    Ok(Table::new(name, Schema { fields }, Batch::new(columns)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> Table {
+        let schema = Schema::new([
+            ("k", DataType::I32),
+            ("amount", DataType::F64),
+            ("when", DataType::Date),
+            ("region", DataType::Str),
+            ("big", DataType::I64),
+        ]);
+        Table::new(
+            "sample",
+            schema,
+            Batch::new(vec![
+                Column::from_i32(vec![1, 2, 3]),
+                Column::from_f64(vec![1.5, -2.25, 0.0]),
+                Column::from_i32(vec![10_000, 10_001, 10_002]),
+                Column::from_strs(["ASIA", "EUROPE", "ASIA"]),
+                Column::from_i64(vec![i64::MIN, 0, i64::MAX]),
+            ]),
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let t = sample_table();
+        let mut bytes = Vec::new();
+        write_table(&t, &mut bytes).unwrap();
+        let rt = read_table(&mut bytes.as_slice()).unwrap();
+        assert_eq!(rt.name, "sample");
+        assert_eq!(rt.schema, t.schema);
+        assert_eq!(rt.rows(), 3);
+        assert_eq!(rt.column("k").as_i32(), t.column("k").as_i32());
+        assert_eq!(rt.column("amount").as_f64(), t.column("amount").as_f64());
+        assert_eq!(rt.column("when").as_i32(), t.column("when").as_i32());
+        assert_eq!(rt.column("big").as_i64(), t.column("big").as_i64());
+        assert_eq!(rt.column("region").as_codes(), t.column("region").as_codes());
+        assert_eq!(rt.column("region").dict().unwrap().get(1), Some("EUROPE"));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Vec::new();
+        write_table(&sample_table(), &mut bytes).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_table(&mut bytes.as_slice()),
+            Err(FormatError::Corrupt(m)) if m.contains("magic")
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let mut bytes = Vec::new();
+        write_table(&sample_table(), &mut bytes).unwrap();
+        let cut = &bytes[..bytes.len() / 2];
+        assert!(read_table(&mut &cut[..]).is_err());
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let schema = Schema::new([("k", DataType::I32)]);
+        let t = Table::new("empty", schema, Batch::new(vec![Column::from_i32(vec![])]));
+        let mut bytes = Vec::new();
+        write_table(&t, &mut bytes).unwrap();
+        let rt = read_table(&mut bytes.as_slice()).unwrap();
+        assert_eq!(rt.rows(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # hape-storage — columnar storage substrate
+//!
+//! In-memory columnar tables with cheap zero-copy slicing (the unit of
+//! engine-level data flow is a [`Batch`] — the paper's "packet"), dictionary
+//! encoding for strings, placement tags over the server's memory nodes, a
+//! binary columnar file format (the paper's input format, §6.4), and the
+//! data generators used by the evaluation (uniform/shuffled join keys,
+//! partition-balanced keys for the Figure 5 study, Zipf for skew tests).
+
+pub mod column;
+pub mod datagen;
+pub mod dict;
+pub mod format;
+pub mod table;
+
+pub use column::{Column, ColumnData};
+pub use datagen::{
+    gen_balanced_partition_keys, gen_key_fk_table, gen_unique_keys, gen_uniform_i32,
+    gen_zipf_i32, JoinTablePair,
+};
+pub use dict::Dictionary;
+pub use format::{read_table, write_table, FormatError};
+pub use table::{Batch, DataType, Field, Schema, Table};
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::column::{Column, ColumnData};
+    pub use crate::datagen::gen_key_fk_table;
+    pub use crate::table::{Batch, DataType, Field, Schema, Table};
+}

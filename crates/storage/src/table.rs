@@ -1,0 +1,292 @@
+//! Schemas, batches (packets) and tables.
+
+use hape_sim::topology::MemNode;
+
+use crate::column::Column;
+
+/// Logical column types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 64-bit float.
+    F64,
+    /// Date as days since epoch (physically `i32`).
+    Date,
+    /// Dictionary-encoded string (physically `u32` codes).
+    Str,
+}
+
+impl DataType {
+    /// Physical width in bytes of one value.
+    pub fn width(&self) -> usize {
+        match self {
+            DataType::I32 | DataType::Date | DataType::Str => 4,
+            DataType::I64 | DataType::F64 => 8,
+        }
+    }
+}
+
+/// A named, typed field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered set of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    /// The fields, in column order.
+    pub fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build from `(name, type)` pairs.
+    pub fn new(fields: impl IntoIterator<Item = (impl Into<String>, DataType)>) -> Self {
+        Schema { fields: fields.into_iter().map(|(n, t)| Field::new(n, t)).collect() }
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Bytes per row.
+    pub fn row_width(&self) -> usize {
+        self.fields.iter().map(|f| f.dtype.width()).sum()
+    }
+}
+
+/// A batch of rows — the engine's unit of data flow (the paper's *packet*).
+///
+/// Packets may carry metadata (partition/hash tags) set by producers so that
+/// HetExchange routers can take routing decisions *without touching the
+/// contents* — the data-packing trait of §3.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// The columns; all the same length.
+    pub columns: Vec<Column>,
+    /// Partition tag: every row of this packet belongs to this partition
+    /// (set by partitioning producers; consumed by hash-based routing).
+    pub partition: Option<u32>,
+}
+
+impl Batch {
+    /// Build from columns (must agree on length).
+    pub fn new(columns: Vec<Column>) -> Self {
+        if let Some(first) = columns.first() {
+            let n = first.len();
+            assert!(columns.iter().all(|c| c.len() == n), "ragged batch");
+        }
+        Batch { columns, partition: None }
+    }
+
+    /// An empty batch with no columns.
+    pub fn empty() -> Self {
+        Batch { columns: Vec::new(), partition: None }
+    }
+
+    /// Attach a partition tag (data-packing trait).
+    pub fn with_partition(mut self, p: u32) -> Self {
+        self.partition = Some(p);
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Total payload bytes (what a `mem-move` would transfer).
+    pub fn bytes(&self) -> u64 {
+        self.columns.iter().map(Column::byte_len).sum()
+    }
+
+    /// O(1) row-range view.
+    pub fn slice(&self, off: usize, len: usize) -> Batch {
+        Batch {
+            columns: self.columns.iter().map(|c| c.slice(off, len)).collect(),
+            partition: self.partition,
+        }
+    }
+
+    /// Split into packets of at most `rows_per_packet` rows (views).
+    pub fn split(&self, rows_per_packet: usize) -> Vec<Batch> {
+        assert!(rows_per_packet > 0);
+        let n = self.rows();
+        let mut out = Vec::with_capacity(n.div_ceil(rows_per_packet));
+        let mut off = 0;
+        while off < n {
+            let len = rows_per_packet.min(n - off);
+            out.push(self.slice(off, len));
+            off += len;
+        }
+        out
+    }
+
+    /// Column by index.
+    pub fn col(&self, i: usize) -> &Column {
+        &self.columns[i]
+    }
+}
+
+/// A named table: a schema, one batch of data, and a placement.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name.
+    pub name: String,
+    /// The schema.
+    pub schema: Schema,
+    /// The data.
+    pub data: Batch,
+    /// Which memory node the table resides on.
+    pub mem_node: MemNode,
+}
+
+impl Table {
+    /// Build a CPU-resident table on socket 0.
+    pub fn new(name: impl Into<String>, schema: Schema, data: Batch) -> Self {
+        assert_eq!(schema.len(), data.columns.len(), "schema/data arity mismatch");
+        for (f, c) in schema.fields.iter().zip(&data.columns) {
+            let physical_match = match f.dtype {
+                DataType::Date => c.data_type() == DataType::I32 || c.data_type() == DataType::Date,
+                other => c.data_type() == other || (other == DataType::I32 && c.data_type() == DataType::Date),
+            };
+            assert!(physical_match, "column {} type mismatch: {:?} vs {:?}", f.name, f.dtype, c.data_type());
+        }
+        Table { name: name.into(), schema, data, mem_node: MemNode::CpuDram(0) }
+    }
+
+    /// Set the placement.
+    pub fn on(mut self, node: MemNode) -> Self {
+        self.mem_node = node;
+        self
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.data.rows()
+    }
+
+    /// Total payload bytes.
+    pub fn bytes(&self) -> u64 {
+        self.data.bytes()
+    }
+
+    /// A new table containing only the named columns (zero-copy views) —
+    /// what a columnar scan reads when a query references a column subset.
+    pub fn project(&self, cols: &[&str]) -> Table {
+        let mut fields = Vec::with_capacity(cols.len());
+        let mut data = Vec::with_capacity(cols.len());
+        for &c in cols {
+            let i = self
+                .schema
+                .index_of(c)
+                .unwrap_or_else(|| panic!("no column {c} in table {}", self.name));
+            fields.push(self.schema.fields[i].clone());
+            data.push(self.data.col(i).clone());
+        }
+        Table {
+            name: self.name.clone(),
+            schema: Schema { fields },
+            data: Batch::new(data),
+            mem_node: self.mem_node,
+        }
+    }
+
+    /// Column view by name. Panics if absent.
+    pub fn column(&self, name: &str) -> &Column {
+        let i = self
+            .schema
+            .index_of(name)
+            .unwrap_or_else(|| panic!("no column {name} in table {}", self.name));
+        self.data.col(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_col_batch(n: usize) -> Batch {
+        Batch::new(vec![
+            Column::from_i32((0..n as i32).collect()),
+            Column::from_i64((0..n as i64).collect()),
+        ])
+    }
+
+    #[test]
+    fn batch_geometry() {
+        let b = two_col_batch(10);
+        assert_eq!(b.rows(), 10);
+        assert_eq!(b.bytes(), 10 * (4 + 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_batch_panics() {
+        Batch::new(vec![Column::from_i32(vec![1]), Column::from_i32(vec![1, 2])]);
+    }
+
+    #[test]
+    fn split_into_packets() {
+        let b = two_col_batch(10);
+        let packets = b.split(4);
+        assert_eq!(packets.len(), 3);
+        assert_eq!(packets[0].rows(), 4);
+        assert_eq!(packets[2].rows(), 2);
+        // Views, not copies: values line up.
+        assert_eq!(packets[1].col(0).as_i32(), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn partition_tag_propagates_through_slice() {
+        let b = two_col_batch(8).with_partition(3);
+        assert_eq!(b.slice(0, 4).partition, Some(3));
+    }
+
+    #[test]
+    fn table_lookup_by_name() {
+        let schema = Schema::new([("k", DataType::I32), ("v", DataType::I64)]);
+        let t = Table::new("r", schema, two_col_batch(5));
+        assert_eq!(t.column("v").as_i64().len(), 5);
+        assert_eq!(t.rows(), 5);
+        assert_eq!(t.schema.row_width(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn schema_arity_checked() {
+        let schema = Schema::new([("k", DataType::I32)]);
+        Table::new("r", schema, two_col_batch(5));
+    }
+
+    #[test]
+    fn placement_tag() {
+        let schema = Schema::new([("k", DataType::I32), ("v", DataType::I64)]);
+        let t = Table::new("r", schema, two_col_batch(5)).on(MemNode::GpuDram(1));
+        assert_eq!(t.mem_node, MemNode::GpuDram(1));
+    }
+}

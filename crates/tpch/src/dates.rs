@@ -1,0 +1,85 @@
+//! TPC-H date handling: civil dates as days since 1992-01-01.
+
+/// Days since 1992-01-01 (the start of the TPC-H date range).
+pub type Date = i32;
+
+const DAYS_IN_MONTH: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: i32) -> bool {
+    (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+}
+
+/// `date(y, m, d)` → days since 1992-01-01. Supports 1992..=1999.
+pub fn date(year: i32, month: i32, day: i32) -> Date {
+    assert!((1992..=1999).contains(&year), "year {year} outside TPC-H range");
+    assert!((1..=12).contains(&month));
+    assert!((1..=31).contains(&day));
+    let mut days = 0;
+    for y in 1992..year {
+        days += if is_leap(y) { 366 } else { 365 };
+    }
+    for m in 1..month {
+        days += DAYS_IN_MONTH[(m - 1) as usize];
+        if m == 2 && is_leap(year) {
+            days += 1;
+        }
+    }
+    days + day - 1
+}
+
+/// The year a date falls in.
+pub fn year_of(d: Date) -> i32 {
+    let mut year = 1992;
+    let mut rem = d;
+    loop {
+        let len = if is_leap(year) { 366 } else { 365 };
+        if rem < len {
+            return year;
+        }
+        rem -= len;
+        year += 1;
+    }
+}
+
+/// Last representable date (1998-12-31).
+pub fn max_date() -> Date {
+    date(1998, 12, 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(date(1992, 1, 1), 0);
+    }
+
+    #[test]
+    fn leap_years_counted() {
+        // 1992 is a leap year: 366 days to 1993-01-01.
+        assert_eq!(date(1993, 1, 1), 366);
+        assert_eq!(date(1992, 3, 1), 31 + 29);
+    }
+
+    #[test]
+    fn known_interval() {
+        // Q1's threshold: 1998-12-01 minus 90 days.
+        let t = date(1998, 12, 1) - 90;
+        assert!(t > date(1998, 1, 1));
+        assert!(t < date(1998, 12, 1));
+    }
+
+    #[test]
+    fn year_of_round_trips() {
+        for (y, m, d) in [(1992, 1, 1), (1994, 6, 15), (1996, 2, 29), (1998, 12, 31)] {
+            assert_eq!(year_of(date(y, m, d)), y, "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn ordering_matches_calendar() {
+        assert!(date(1994, 1, 1) < date(1995, 1, 1));
+        assert!(date(1995, 12, 31) < date(1996, 1, 1));
+    }
+}

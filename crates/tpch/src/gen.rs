@@ -1,0 +1,306 @@
+//! TPC-H data generation (dbgen-equivalent, scaled).
+//!
+//! Cardinalities follow the spec: `lineitem ≈ 6M·SF`, `orders = 1.5M·SF`,
+//! `customer = 150k·SF`, `supplier = 10k·SF`, `part = 200k·SF`,
+//! `partsupp = 4·part`, 25 nations in 5 regions. Value distributions are
+//! simplified but preserve everything the four queries select on:
+//! date ranges, discounts/quantities, return flags, and the
+//! part↔supplier↔lineitem relationships (each part has 4 suppliers; a
+//! composite `pskey = partkey·4 + slot` key joins lineitem to partsupp).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hape_storage::{Batch, Column, DataType, Schema, Table};
+
+use crate::dates::{date, year_of, Date};
+
+/// The 25 TPC-H nations with their region assignment.
+pub const NATIONS: [(&str, usize); 25] = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+/// The 5 regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// The generated database.
+#[derive(Debug)]
+pub struct TpchData {
+    /// Scale factor used.
+    pub sf: f64,
+    /// lineitem.
+    pub lineitem: Table,
+    /// orders.
+    pub orders: Table,
+    /// customer.
+    pub customer: Table,
+    /// supplier.
+    pub supplier: Table,
+    /// partsupp.
+    pub partsupp: Table,
+    /// nation.
+    pub nation: Table,
+    /// region.
+    pub region: Table,
+}
+
+impl TpchData {
+    /// Total bytes across all tables.
+    pub fn bytes(&self) -> u64 {
+        self.lineitem.bytes()
+            + self.orders.bytes()
+            + self.customer.bytes()
+            + self.supplier.bytes()
+            + self.partsupp.bytes()
+            + self.nation.bytes()
+            + self.region.bytes()
+    }
+}
+
+fn scaled(base: usize, sf: f64) -> usize {
+    ((base as f64 * sf) as usize).max(1)
+}
+
+/// Generate a TPC-H database at scale factor `sf` (SF 1 ≈ 6M lineitems).
+pub fn generate(sf: f64, seed: u64) -> TpchData {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_orders = scaled(1_500_000, sf);
+    let n_customer = scaled(150_000, sf);
+    let n_supplier = scaled(10_000, sf);
+    let n_part = scaled(200_000, sf);
+
+    // ---- region / nation.
+    let region = Table::new(
+        "region",
+        Schema::new([("r_regionkey", DataType::I32), ("r_name", DataType::Str)]),
+        Batch::new(vec![
+            Column::from_i32((0..5).collect()),
+            Column::from_strs(REGIONS),
+        ]),
+    );
+    let nation = Table::new(
+        "nation",
+        Schema::new([
+            ("n_nationkey", DataType::I32),
+            ("n_regionkey", DataType::I32),
+            ("n_name", DataType::Str),
+        ]),
+        Batch::new(vec![
+            Column::from_i32((0..25).collect()),
+            Column::from_i32(NATIONS.iter().map(|(_, r)| *r as i32).collect()),
+            Column::from_strs(NATIONS.iter().map(|(n, _)| *n)),
+        ]),
+    );
+
+    // ---- customer / supplier.
+    let customer = Table::new(
+        "customer",
+        Schema::new([("c_custkey", DataType::I32), ("c_nationkey", DataType::I32)]),
+        Batch::new(vec![
+            Column::from_i32((0..n_customer as i32).collect()),
+            Column::from_i32((0..n_customer).map(|_| rng.gen_range(0..25)).collect()),
+        ]),
+    );
+    let supplier = Table::new(
+        "supplier",
+        Schema::new([("s_suppkey", DataType::I32), ("s_nationkey", DataType::I32)]),
+        Batch::new(vec![
+            Column::from_i32((0..n_supplier as i32).collect()),
+            Column::from_i32((0..n_supplier).map(|_| rng.gen_range(0..25)).collect()),
+        ]),
+    );
+
+    // ---- partsupp: 4 suppliers per part; pskey = partkey*4 + slot.
+    let n_partsupp = n_part * 4;
+    let mut ps_pskey = Vec::with_capacity(n_partsupp);
+    let mut ps_suppkey = Vec::with_capacity(n_partsupp);
+    let mut ps_supplycost = Vec::with_capacity(n_partsupp);
+    for p in 0..n_part {
+        for slot in 0..4usize {
+            ps_pskey.push((p * 4 + slot) as i32);
+            ps_suppkey.push(((p + slot * (n_supplier / 4 + 1)) % n_supplier) as i32);
+            ps_supplycost.push(rng.gen_range(1.0..1000.0f64));
+        }
+    }
+    let partsupp = Table::new(
+        "partsupp",
+        Schema::new([
+            ("ps_pskey", DataType::I32),
+            ("ps_suppkey", DataType::I32),
+            ("ps_supplycost", DataType::F64),
+        ]),
+        Batch::new(vec![
+            Column::from_i32(ps_pskey),
+            Column::from_i32(ps_suppkey.clone()),
+            Column::from_f64(ps_supplycost),
+        ]),
+    );
+
+    // ---- orders.
+    let last_order_day = date(1998, 8, 2); // spec: orderdate ≤ 1998-12-31 - 151d
+    let mut o_orderdate: Vec<Date> = Vec::with_capacity(n_orders);
+    let mut o_custkey = Vec::with_capacity(n_orders);
+    let mut o_year = Vec::with_capacity(n_orders);
+    for _ in 0..n_orders {
+        let d = rng.gen_range(0..=last_order_day);
+        o_orderdate.push(d);
+        o_year.push(year_of(d));
+        o_custkey.push(rng.gen_range(0..n_customer as i32));
+    }
+    let orders = Table::new(
+        "orders",
+        Schema::new([
+            ("o_orderkey", DataType::I32),
+            ("o_custkey", DataType::I32),
+            ("o_orderdate", DataType::Date),
+            ("o_year", DataType::I32),
+        ]),
+        Batch::new(vec![
+            Column::from_i32((0..n_orders as i32).collect()),
+            Column::from_i32(o_custkey),
+            Column::from_i32(o_orderdate.clone()),
+            Column::from_i32(o_year),
+        ]),
+    );
+
+    // ---- lineitem: 1..7 lines per order (avg 4 → ≈6M·SF).
+    let est = n_orders * 4 + 1024;
+    let mut l_orderkey = Vec::with_capacity(est);
+    let mut l_pskey = Vec::with_capacity(est);
+    let mut l_suppkey = Vec::with_capacity(est);
+    let mut l_quantity: Vec<i32> = Vec::with_capacity(est);
+    let mut l_extendedprice = Vec::with_capacity(est);
+    let mut l_discount = Vec::with_capacity(est);
+    let mut l_tax = Vec::with_capacity(est);
+    let mut l_returnflag = Vec::with_capacity(est);
+    let mut l_linestatus = Vec::with_capacity(est);
+    let mut l_shipdate = Vec::with_capacity(est);
+    let cutoff = date(1995, 6, 17);
+    for (ok, &od) in o_orderdate.iter().enumerate() {
+        let lines = rng.gen_range(1..=7);
+        for _ in 0..lines {
+            let part = rng.gen_range(0..n_part);
+            let slot = rng.gen_range(0..4usize);
+            let ship = (od + rng.gen_range(1..=121)).min(crate::dates::max_date());
+            let qty: i32 = rng.gen_range(1..=50);
+            let price = qty as f64 * rng.gen_range(900.0..100_000.0f64) / 50.0;
+            l_orderkey.push(ok as i32);
+            l_pskey.push((part * 4 + slot) as i32);
+            l_suppkey.push(ps_suppkey[part * 4 + slot]);
+            l_quantity.push(qty);
+            l_extendedprice.push(price);
+            l_discount.push(rng.gen_range(0..=10) as f64 / 100.0);
+            l_tax.push(rng.gen_range(0..=8) as f64 / 100.0);
+            // Return flag follows the *receipt* date (spec 4.2.3): lines
+            // received by 1995-06-17 are A/R, later ones N — so a thin
+            // N/F band exists where shipdate ≤ cutoff < receiptdate.
+            let receipt = ship + rng.gen_range(1..=30);
+            l_returnflag.push(if receipt <= cutoff {
+                if rng.gen_bool(0.5) { "A" } else { "R" }
+            } else {
+                "N"
+            });
+            l_linestatus.push(if ship > cutoff { "O" } else { "F" });
+            l_shipdate.push(ship);
+        }
+    }
+    let lineitem = Table::new(
+        "lineitem",
+        Schema::new([
+            ("l_orderkey", DataType::I32),
+            ("l_pskey", DataType::I32),
+            ("l_suppkey", DataType::I32),
+            ("l_quantity", DataType::I32),
+            ("l_extendedprice", DataType::F64),
+            ("l_discount", DataType::F64),
+            ("l_tax", DataType::F64),
+            ("l_returnflag", DataType::Str),
+            ("l_linestatus", DataType::Str),
+            ("l_shipdate", DataType::Date),
+        ]),
+        Batch::new(vec![
+            Column::from_i32(l_orderkey),
+            Column::from_i32(l_pskey),
+            Column::from_i32(l_suppkey),
+            Column::from_i32(l_quantity),
+            Column::from_f64(l_extendedprice),
+            Column::from_f64(l_discount),
+            Column::from_f64(l_tax),
+            Column::from_strs(l_returnflag.iter().copied()),
+            Column::from_strs(l_linestatus.iter().copied()),
+            Column::from_i32(l_shipdate),
+        ]),
+    );
+
+    TpchData { sf, lineitem, orders, customer, supplier, partsupp, nation, region }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinalities_scale() {
+        let d = generate(0.01, 42);
+        assert_eq!(d.orders.rows(), 15_000);
+        assert_eq!(d.customer.rows(), 1_500);
+        assert_eq!(d.supplier.rows(), 100);
+        assert_eq!(d.partsupp.rows(), 2_000 * 4);
+        assert_eq!(d.nation.rows(), 25);
+        assert_eq!(d.region.rows(), 5);
+        let li = d.lineitem.rows();
+        assert!((45_000..75_000).contains(&li), "lineitem rows {li}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(0.001, 7);
+        let b = generate(0.001, 7);
+        assert_eq!(
+            a.lineitem.column("l_orderkey").as_i32(),
+            b.lineitem.column("l_orderkey").as_i32()
+        );
+        let c = generate(0.001, 8);
+        assert_ne!(
+            a.lineitem.column("l_shipdate").as_i32(),
+            c.lineitem.column("l_shipdate").as_i32()
+        );
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let d = generate(0.005, 3);
+        let n_cust = d.customer.rows() as i32;
+        assert!(d.orders.column("o_custkey").as_i32().iter().all(|&c| c < n_cust));
+        let n_orders = d.orders.rows() as i32;
+        assert!(d.lineitem.column("l_orderkey").as_i32().iter().all(|&o| o < n_orders));
+        let n_ps = d.partsupp.rows() as i32;
+        assert!(d.lineitem.column("l_pskey").as_i32().iter().all(|&p| p < n_ps));
+        // lineitem's suppkey matches its partsupp row's suppkey.
+        let ps_supp = d.partsupp.column("ps_suppkey").as_i32();
+        for (i, &pk) in d.lineitem.column("l_pskey").as_i32().iter().enumerate().take(500) {
+            assert_eq!(d.lineitem.column("l_suppkey").as_i32()[i], ps_supp[pk as usize]);
+        }
+    }
+
+    #[test]
+    fn flags_follow_shipdate() {
+        let d = generate(0.002, 9);
+        let cutoff = date(1995, 6, 17);
+        let flags = d.lineitem.column("l_linestatus");
+        let dict = flags.dict().unwrap().clone();
+        for (i, &ship) in d.lineitem.column("l_shipdate").as_i32().iter().enumerate().take(500) {
+            let status = dict.get(flags.as_codes()[i]).unwrap();
+            if ship > cutoff {
+                assert_eq!(status, "O");
+            } else {
+                assert_eq!(status, "F");
+            }
+        }
+    }
+}

@@ -1,0 +1,227 @@
+//! Naive reference evaluators for the four queries.
+//!
+//! Straight-line row-at-a-time implementations over the generated tables,
+//! used to validate the engine (and the baselines) bit-for-bit — modulo
+//! floating-point summation order, hence [`rows_approx_eq`].
+
+use std::collections::HashMap;
+
+use hape_ops::GroupKey;
+
+use crate::dates::date;
+use crate::gen::TpchData;
+
+/// Compare aggregated row sets with a relative tolerance on the values
+/// (parallel execution sums floats in a different order).
+pub fn rows_approx_eq(a: &[(GroupKey, Vec<f64>)], b: &[(GroupKey, Vec<f64>)]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    for ((ka, va), (kb, vb)) in a.iter().zip(b) {
+        if ka != kb || va.len() != vb.len() {
+            return false;
+        }
+        for (&x, &y) in va.iter().zip(vb) {
+            let tol = 1e-9 * x.abs().max(y.abs()).max(1.0);
+            if (x - y).abs() > tol {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn sorted(groups: HashMap<GroupKey, Vec<f64>>) -> Vec<(GroupKey, Vec<f64>)> {
+    let mut rows: Vec<_> = groups.into_iter().collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows
+}
+
+/// Q1 reference.
+pub fn q1_reference(data: &TpchData) -> Vec<(GroupKey, Vec<f64>)> {
+    let threshold = date(1998, 12, 1) - 90;
+    let li = &data.lineitem;
+    let ship = li.column("l_shipdate").as_i32();
+    let rf = li.column("l_returnflag").as_codes();
+    let ls = li.column("l_linestatus").as_codes();
+    let qty = li.column("l_quantity").as_i32();
+    let price = li.column("l_extendedprice").as_f64();
+    let disc = li.column("l_discount").as_f64();
+    let tax = li.column("l_tax").as_f64();
+    // accumulators: sums for qty, price, disc_price, charge, disc; count.
+    let mut acc: HashMap<GroupKey, (f64, f64, f64, f64, f64, u64)> = HashMap::new();
+    for i in 0..li.rows() {
+        if ship[i] > threshold {
+            continue;
+        }
+        let key: GroupKey = [rf[i] as i64, ls[i] as i64, 0, 0];
+        let e = acc.entry(key).or_default();
+        let dp = price[i] * (1.0 - disc[i]);
+        e.0 += qty[i] as f64;
+        e.1 += price[i];
+        e.2 += dp;
+        e.3 += dp * (1.0 + tax[i]);
+        e.4 += disc[i];
+        e.5 += 1;
+    }
+    let groups = acc
+        .into_iter()
+        .map(|(k, (sq, sp, sdp, sc, sd, n))| {
+            let nf = n as f64;
+            (k, vec![sq, sp, sdp, sc, sq / nf, sp / nf, sd / nf, nf])
+        })
+        .collect();
+    sorted(groups)
+}
+
+/// Q6 reference.
+pub fn q6_reference(data: &TpchData) -> Vec<(GroupKey, Vec<f64>)> {
+    let lo = date(1994, 1, 1);
+    let hi = date(1995, 1, 1);
+    let li = &data.lineitem;
+    let ship = li.column("l_shipdate").as_i32();
+    let qty = li.column("l_quantity").as_i32();
+    let price = li.column("l_extendedprice").as_f64();
+    let disc = li.column("l_discount").as_f64();
+    let mut revenue = 0.0;
+    for i in 0..li.rows() {
+        if ship[i] >= lo
+            && ship[i] < hi
+            && disc[i] >= 0.0499
+            && disc[i] <= 0.0701
+            && (qty[i] as f64) < 24.0
+        {
+            revenue += price[i] * disc[i];
+        }
+    }
+    vec![([0, 0, 0, 0], vec![revenue])]
+}
+
+/// Q5 reference.
+pub fn q5_reference(data: &TpchData) -> Vec<(GroupKey, Vec<f64>)> {
+    let asia = data.region.column("r_name").dict().unwrap().code_of("ASIA").unwrap();
+    let lo = date(1994, 1, 1);
+    let hi = date(1995, 1, 1);
+    let n_region = data.nation.column("n_regionkey").as_i32();
+    let asia_nation: Vec<bool> =
+        n_region.iter().map(|&r| r == asia as i32).collect();
+    let c_nation = data.customer.column("c_nationkey").as_i32();
+    let s_nation = data.supplier.column("s_nationkey").as_i32();
+    let n_name = data.nation.column("n_name").as_codes();
+    // orders in range by ASIA customers: orderkey -> c_nationkey.
+    let o_key = data.orders.column("o_orderkey").as_i32();
+    let o_cust = data.orders.column("o_custkey").as_i32();
+    let o_date = data.orders.column("o_orderdate").as_i32();
+    let mut order_nation: HashMap<i32, i32> = HashMap::new();
+    for i in 0..data.orders.rows() {
+        if o_date[i] >= lo && o_date[i] < hi {
+            let cn = c_nation[o_cust[i] as usize];
+            if asia_nation[cn as usize] {
+                order_nation.insert(o_key[i], cn);
+            }
+        }
+    }
+    let li = &data.lineitem;
+    let l_order = li.column("l_orderkey").as_i32();
+    let l_supp = li.column("l_suppkey").as_i32();
+    let price = li.column("l_extendedprice").as_f64();
+    let disc = li.column("l_discount").as_f64();
+    let mut acc: HashMap<GroupKey, f64> = HashMap::new();
+    for i in 0..li.rows() {
+        let Some(&cn) = order_nation.get(&l_order[i]) else { continue };
+        let sn = s_nation[l_supp[i] as usize];
+        if sn != cn || !asia_nation[sn as usize] {
+            continue;
+        }
+        let key: GroupKey = [n_name[sn as usize] as i64, 0, 0, 0];
+        *acc.entry(key).or_default() += price[i] * (1.0 - disc[i]);
+    }
+    sorted(acc.into_iter().map(|(k, v)| (k, vec![v])).collect())
+}
+
+/// Q9* reference.
+pub fn q9_reference(data: &TpchData) -> Vec<(GroupKey, Vec<f64>)> {
+    let s_nation = data.supplier.column("s_nationkey").as_i32();
+    let n_name = data.nation.column("n_name").as_codes();
+    let ps_cost = data.partsupp.column("ps_supplycost").as_f64();
+    let o_year = data.orders.column("o_year").as_i32();
+    let li = &data.lineitem;
+    let l_order = li.column("l_orderkey").as_i32();
+    let l_ps = li.column("l_pskey").as_i32();
+    let l_supp = li.column("l_suppkey").as_i32();
+    let qty = li.column("l_quantity").as_i32();
+    let price = li.column("l_extendedprice").as_f64();
+    let disc = li.column("l_discount").as_f64();
+    let mut acc: HashMap<GroupKey, f64> = HashMap::new();
+    for i in 0..li.rows() {
+        let nation = n_name[s_nation[l_supp[i] as usize] as usize] as i64;
+        let year = o_year[l_order[i] as usize] as i64;
+        let amount = price[i] * (1.0 - disc[i]) - ps_cost[l_ps[i] as usize] * qty[i] as f64;
+        *acc.entry([nation, year, 0, 0]).or_default() += amount;
+    }
+    sorted(acc.into_iter().map(|(k, v)| (k, vec![v])).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn q1_has_four_groups_and_sane_averages() {
+        let data = generate(0.002, 21);
+        let rows = q1_reference(&data);
+        assert_eq!(rows.len(), 4);
+        for (_, vals) in &rows {
+            assert_eq!(vals.len(), 8);
+            let (sum_qty, avg_qty, count) = (vals[0], vals[4], vals[7]);
+            assert!((sum_qty / count - avg_qty).abs() < 1e-9);
+            assert!(avg_qty >= 1.0 && avg_qty <= 50.0);
+        }
+    }
+
+    #[test]
+    fn q6_selects_a_fraction() {
+        let data = generate(0.002, 22);
+        let rows = q6_reference(&data);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].1[0] > 0.0, "no Q6 revenue — distribution bug?");
+    }
+
+    #[test]
+    fn q5_nonempty_with_asia_nations_only() {
+        let data = generate(0.005, 23);
+        let rows = q5_reference(&data);
+        assert!(!rows.is_empty());
+        // All group keys must be ASIA nation names.
+        let asia = data.region.column("r_name").dict().unwrap().code_of("ASIA").unwrap();
+        let n_region = data.nation.column("n_regionkey").as_i32();
+        let n_name = data.nation.column("n_name").as_codes();
+        let asia_names: Vec<i64> = (0..25)
+            .filter(|&n| n_region[n] == asia as i32)
+            .map(|n| n_name[n] as i64)
+            .collect();
+        for (k, _) in &rows {
+            assert!(asia_names.contains(&k[0]), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn q9_groups_by_nation_and_year() {
+        let data = generate(0.002, 24);
+        let rows = q9_reference(&data);
+        assert!(rows.len() > 25, "expected nation x year groups, got {}", rows.len());
+        for (k, _) in &rows {
+            assert!((1992..=1998).contains(&(k[1] as i32)), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn rows_approx_eq_tolerates_ulps_only() {
+        let a = vec![([1, 0, 0, 0], vec![100.0])];
+        let mut b = a.clone();
+        assert!(rows_approx_eq(&a, &b));
+        b[0].1[0] += 1e-7 * 100.0;
+        assert!(!rows_approx_eq(&a, &b));
+    }
+}

@@ -1,0 +1,85 @@
+//! Explore the simulated server: device specs, hardware-conscious planning
+//! bounds (TLB-limited CPU fanout, scratchpad-limited GPU fanout), routes
+//! and bottleneck bandwidths — everything the paper's algorithms derive
+//! their tuning knobs from (§4.1).
+//!
+//! ```text
+//! cargo run --release --example topology_explorer
+//! ```
+
+use hape::join::{plan_radix_cpu, plan_radix_gpu};
+use hape::sim::topology::{MemNode, Server};
+
+fn main() {
+    let server = Server::paper_testbed();
+    println!("== server: {} CPU sockets, {} GPUs", server.cpus.len(), server.gpus.len());
+    for (i, cpu) in server.cpus.iter().enumerate() {
+        println!(
+            "cpu{i}: {} — {} cores @ {:.1} GHz, L1d {} KiB, L2 {} KiB, L3 {} MiB, \
+             dTLB {} entries, DRAM {:.0} GB/s",
+            cpu.name,
+            cpu.cores,
+            cpu.clock_hz / 1e9,
+            cpu.l1d.size >> 10,
+            cpu.l2.size >> 10,
+            cpu.l3.size >> 20,
+            cpu.dtlb.entries,
+            cpu.dram_bw / 1e9,
+        );
+        println!(
+            "      max partition fanout/pass = {} (TLB-bounded), cache-resident target = {} KiB",
+            cpu.max_partition_fanout(),
+            cpu.cache_resident_bytes() >> 10
+        );
+    }
+    for (i, gpu) in server.gpus.iter().enumerate() {
+        println!(
+            "gpu{i}: {} — {} SMs, {} KiB scratchpad/SM, L1 {} KiB, L2 {} MiB, \
+             {:.0} GB/s, {} GiB",
+            gpu.name,
+            gpu.sms,
+            gpu.smem_per_sm >> 10,
+            gpu.l1.size >> 10,
+            gpu.l2.size >> 20,
+            gpu.dram_bw / 1e9,
+            gpu.dram_capacity >> 30,
+        );
+        println!(
+            "      max partition fanout/pass = {} (scratchpad-staging-bounded), \
+             scratchpad-resident target = {} KiB",
+            gpu.max_partition_fanout(),
+            gpu.scratchpad_resident_bytes() >> 10
+        );
+    }
+
+    println!("\n== hardware-conscious radix plans (same skeleton, different bounds):");
+    for tuples in [1 << 20, 32 << 20, 128 << 20] {
+        let cpu_plan = plan_radix_cpu(tuples, 8, &server.cpus[0]);
+        let gpu_plan = plan_radix_gpu(tuples, &server.gpus[0]);
+        println!(
+            "{:>5}M tuples: CPU passes {:?} ({} partitions) | GPU passes {:?} ({} partitions)",
+            tuples >> 20,
+            cpu_plan.pass_bits,
+            cpu_plan.fanout(),
+            gpu_plan.pass_bits,
+            gpu_plan.fanout(),
+        );
+    }
+
+    println!("\n== routes and bottlenecks:");
+    let nodes = [
+        MemNode::CpuDram(0),
+        MemNode::CpuDram(1),
+        MemNode::GpuDram(0),
+        MemNode::GpuDram(1),
+    ];
+    for from in nodes {
+        for to in nodes {
+            if from == to {
+                continue;
+            }
+            let bw = server.route_bandwidth(from, to);
+            println!("{from} -> {to}: {:?} @ {:.1} GB/s", server.route(from, to), bw / 1e9);
+        }
+    }
+}

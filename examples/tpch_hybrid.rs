@@ -1,0 +1,49 @@
+//! TPC-H on HAPE: run Q1/Q5/Q6/Q9* in CPU-only, GPU-only and hybrid modes
+//! (the paper's Figure 8 setting) and print the outcome, including the Q9
+//! GPU-only out-of-memory failure and its co-processing rescue.
+//!
+//! ```text
+//! cargo run --release --example tpch_hybrid [sf]
+//! ```
+
+use hape::core::{Engine, ExecConfig, JoinAlgo, Placement};
+use hape::sim::topology::Server;
+use hape::tpch::queries::{prepare_catalog, q1_plan, q5_plan, q6_plan, q9_plan, run_q9_hybrid};
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.05);
+    println!("generating TPC-H at SF {sf} …");
+    let data = hape::tpch::generate(sf, 42);
+    let catalog = prepare_catalog(&data);
+    // GPU memory scales with SF so the paper's SF-100 capacity effects hold.
+    let engine = Engine::new(Server::tpch_scaled(sf));
+
+    let queries = vec![
+        ("Q1", q1_plan()),
+        ("Q5", q5_plan(&data, JoinAlgo::Partitioned)),
+        ("Q6", q6_plan()),
+        ("Q9*", q9_plan(JoinAlgo::Partitioned)),
+    ];
+    println!("{:<5} {:>14} {:>14} {:>14}", "query", "CPU-only", "GPU-only", "Hybrid");
+    for (name, plan) in &queries {
+        let cpu = engine.run(&catalog, plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+        let gpu = engine.run(&catalog, plan, &ExecConfig::new(Placement::GpuOnly));
+        let hybrid = engine.run(&catalog, plan, &ExecConfig::new(Placement::Hybrid));
+        let gpu_s = match &gpu {
+            Ok(r) => format!("{}", r.time),
+            Err(e) => {
+                let _ = e; // Q9: hash tables exceed GPU memory
+                "OOM".to_string()
+            }
+        };
+        let hybrid_s = match hybrid {
+            Ok(r) => format!("{}", r.time),
+            Err(_) => {
+                // Q9: hybrid falls back to intra-operator co-processing.
+                let rep = run_q9_hybrid(&engine, &catalog, &data).unwrap();
+                format!("{} (coproc)", rep.time)
+            }
+        };
+        println!("{:<5} {:>14} {:>14} {:>14}", name, format!("{}", cpu.time), gpu_s, hybrid_s);
+    }
+}

@@ -1,0 +1,65 @@
+//! # HAPE — Heterogeneity-conscious Analytical query Processing Engine
+//!
+//! A Rust reproduction of *"Hardware-conscious Query Processing in
+//! GPU-accelerated Analytical Engines"* (Chrysogelos, Sioulas, Ailamaki —
+//! CIDR 2019).
+//!
+//! This meta-crate re-exports the workspace crates under one roof:
+//!
+//! * [`sim`] — the hardware simulation substrate (CPU/GPU device models,
+//!   memory hierarchies, PCIe interconnects, discrete-event timeline).
+//! * [`storage`] — columnar storage, chunked tables, data generators.
+//! * [`ops`] — relational operators (scan/filter/project/aggregate).
+//! * [`join`] — hardware-conscious join algorithms (CPU/GPU radix joins,
+//!   non-partitioned joins, and the co-processing join).
+//! * [`core`] — the HAPE engine itself: heterogeneity traits, HetExchange
+//!   operators, device providers (code generation), and the executor.
+//! * [`tpch`] — TPC-H data generation and the paper's Q1/Q5/Q6/Q9* plans.
+//! * [`baselines`] — the commercial-system stand-ins DBMS-C and DBMS-G.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hape::core::{Catalog, Engine, ExecConfig, JoinAlgo, Pipeline, Placement,
+//!                  QueryPlan, Stage};
+//! use hape::ops::{AggFunc, AggSpec, Expr};
+//! use hape::sim::topology::Server;
+//! use hape::storage::datagen::gen_key_fk_table;
+//!
+//! // A server with 2 CPU sockets and 2 GPUs, like the paper's testbed.
+//! let engine = Engine::new(Server::paper_testbed());
+//!
+//! // Two 4-byte-key/4-byte-payload tables, joined and counted, hybrid.
+//! let mut catalog = Catalog::new();
+//! catalog.register_as("fact", gen_key_fk_table(1 << 14, 1 << 14, 42));
+//! catalog.register_as("dim", gen_key_fk_table(1 << 14, 1 << 14, 43));
+//! let plan = QueryPlan::new(
+//!     "quickstart",
+//!     vec![
+//!         Stage::Build { name: "d".into(), key_col: 0, pipeline: Pipeline::scan("dim") },
+//!         Stage::Stream {
+//!             pipeline: Pipeline::scan("fact")
+//!                 .join("d", 0, vec![1], JoinAlgo::Partitioned)
+//!                 .aggregate(AggSpec::ungrouped(vec![(AggFunc::Count, Expr::col(0))])),
+//!         },
+//!     ],
+//! );
+//! let report = engine.run(&catalog, &plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
+//! assert_eq!(report.rows[0].1[0], (1 << 14) as f64);
+//! ```
+pub use hape_baselines as baselines;
+pub use hape_core as core;
+pub use hape_join as join;
+pub use hape_ops as ops;
+pub use hape_sim as sim;
+pub use hape_storage as storage;
+pub use hape_tpch as tpch;
+
+/// Commonly used items, re-exported for examples and downstream users.
+pub mod prelude {
+    pub use hape_core::prelude::*;
+    pub use hape_join::prelude::*;
+    pub use hape_ops::prelude::*;
+    pub use hape_sim::prelude::*;
+    pub use hape_storage::prelude::*;
+}

@@ -1,0 +1,154 @@
+//! Property-based tests over the join suite and its substrates.
+
+use hape::join::{
+    coprocess_join, cpu_npj, cpu_radix, gpu_npj, gpu_radix, radix_partition, reference_join,
+    BuildProbeVariant, CoprocessConfig, JoinInput, OutputMode,
+};
+use hape::sim::prelude::*;
+use hape::sim::topology::Server;
+use proptest::prelude::*;
+
+fn model() -> CpuCostModel {
+    CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 12)
+}
+
+fn keys_strategy(max_len: usize) -> impl Strategy<Value = Vec<i32>> {
+    prop::collection::vec(0i32..4096, 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_joins_match_reference(rk in keys_strategy(800), sk in keys_strategy(800)) {
+        let rv: Vec<u32> = (0..rk.len() as u32).collect();
+        let sv: Vec<u32> = (0..sk.len() as u32).map(|i| i + 10_000).collect();
+        let r = JoinInput::new(&rk, &rv);
+        let s = JoinInput::new(&sk, &sv);
+        let expect = reference_join(r, s);
+        let m = model();
+        let sim = GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Analytic);
+
+        let a = cpu_npj(r, s, &m, 24, OutputMode::MatchIndices);
+        prop_assert_eq!(a.stats, expect.stats);
+        prop_assert_eq!(a.sorted_pairs(), expect.sorted_pairs());
+
+        let b = cpu_radix(r, s, &m, 24, OutputMode::MatchIndices);
+        prop_assert_eq!(b.stats, expect.stats);
+        prop_assert_eq!(b.sorted_pairs(), expect.sorted_pairs());
+
+        let c = gpu_npj(&sim, r, s, OutputMode::MatchIndices).unwrap();
+        prop_assert_eq!(c.stats, expect.stats);
+        prop_assert_eq!(c.sorted_pairs(), expect.sorted_pairs());
+
+        let d = gpu_radix(&sim, r, s, BuildProbeVariant::Sm, OutputMode::MatchIndices).unwrap();
+        prop_assert_eq!(d.stats, expect.stats);
+        prop_assert_eq!(d.sorted_pairs(), expect.sorted_pairs());
+    }
+
+    #[test]
+    fn partitioning_is_a_radix_respecting_permutation(
+        keys in keys_strategy(2000),
+        bits in 1u32..6,
+        per_pass in 1u32..4,
+    ) {
+        let vals: Vec<u32> = (0..keys.len() as u32).collect();
+        let (parts, _) = radix_partition(JoinInput::new(&keys, &vals), bits, per_pass);
+        // Permutation of the input multiset.
+        let mut before: Vec<(i32, u32)> = keys.iter().copied().zip(vals).collect();
+        let mut after: Vec<(i32, u32)> =
+            parts.keys.iter().copied().zip(parts.vals.iter().copied()).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+        // Every tuple landed in the partition of its key radix.
+        let mask = (1u32 << bits) - 1;
+        for p in 0..parts.fanout() {
+            let slice = parts.part(p);
+            for &k in slice.keys {
+                prop_assert_eq!((k as u32) & mask, p as u32);
+            }
+        }
+    }
+
+    #[test]
+    fn coprocess_matches_reference_under_memory_pressure(
+        rk in keys_strategy(600),
+        sk in keys_strategy(600),
+        shrink in 12u32..18,
+    ) {
+        let rv: Vec<u32> = (0..rk.len() as u32).collect();
+        let sv: Vec<u32> = (0..sk.len() as u32).collect();
+        let r = JoinInput::new(&rk, &rv);
+        let s = JoinInput::new(&sk, &sv);
+        let server = Server::paper_testbed_gpu_mem_scaled(1.0 / f64::from(1u32 << shrink));
+        let cfg = CoprocessConfig { n_gpus: 2, mode: OutputMode::MatchIndices, ..Default::default() };
+        match coprocess_join(&server, r, s, &cfg) {
+            Ok(rep) => {
+                let expect = reference_join(r, s);
+                prop_assert_eq!(rep.outcome.stats, expect.stats);
+                prop_assert_eq!(rep.outcome.sorted_pairs(), expect.sorted_pairs());
+            }
+            // Legitimate refusal: an oversized co-partition (skew guard).
+            Err(e) => prop_assert!(e.to_string().contains("co-partition")),
+        }
+    }
+
+    #[test]
+    fn cache_hit_rate_monotone_in_capacity(
+        addr_seed in 0u64..1000,
+        small_kb in 1usize..8,
+    ) {
+        use hape::sim::cache::SetAssocCache;
+        use hape::sim::spec::CacheLevelSpec;
+        let addrs: Vec<u64> = (0..4096u64)
+            .map(|i| (i.wrapping_mul(addr_seed * 2 + 1) * 7919) % (1 << 18))
+            .collect();
+        let mut small = SetAssocCache::new(CacheLevelSpec {
+            size: small_kb << 10, line: 64, assoc: 4, hit_ns: 1.0,
+        });
+        let mut large = SetAssocCache::new(CacheLevelSpec {
+            size: (small_kb << 10) * 8, line: 64, assoc: 4, hit_ns: 1.0,
+        });
+        for &a in &addrs {
+            small.access(a);
+            large.access(a);
+        }
+        // Second pass measures steady-state hit rates.
+        small.reset_stats();
+        large.reset_stats();
+        for &a in &addrs {
+            small.access(a);
+            large.access(a);
+        }
+        prop_assert!(large.stats().hit_rate() + 1e-9 >= small.stats().hit_rate());
+    }
+
+    #[test]
+    fn simulated_join_time_monotone_in_size(scale in 1usize..5) {
+        let n1 = 1usize << (12 + scale);
+        let n2 = n1 * 2;
+        let m = model();
+        let mk = |n: usize| -> (Vec<i32>, Vec<u32>) {
+            (hape::storage::datagen::gen_unique_keys(n, 3), vec![0u32; n])
+        };
+        let (k1, v1) = mk(n1);
+        let (k2, v2) = mk(n2);
+        let t1 = cpu_radix(JoinInput::new(&k1, &v1), JoinInput::new(&k1, &v1), &m, 24, OutputMode::AggregateOnly).time;
+        let t2 = cpu_radix(JoinInput::new(&k2, &v2), JoinInput::new(&k2, &v2), &m, 24, OutputMode::AggregateOnly).time;
+        prop_assert!(t2 > t1);
+    }
+}
+
+#[test]
+fn deterministic_simulation_across_runs() {
+    let keys = hape::storage::datagen::gen_unique_keys(1 << 14, 9);
+    let vals: Vec<u32> = (0..keys.len() as u32).collect();
+    let r = JoinInput::new(&keys, &vals);
+    let server = Server::paper_testbed_gpu_mem_scaled(1.0 / 4096.0);
+    let cfg = CoprocessConfig { n_gpus: 2, ..Default::default() };
+    let a = coprocess_join(&server, r, r, &cfg).unwrap();
+    let b = coprocess_join(&server, r, r, &cfg).unwrap();
+    assert_eq!(a.outcome.time, b.outcome.time);
+    assert_eq!(a.per_gpu_assignments, b.per_gpu_assignments);
+}

@@ -1,0 +1,67 @@
+//! Property tests for the storage substrate: format round-trips, slicing
+//! and packet algebra.
+
+use hape::storage::{read_table, write_table, Batch, Column, DataType, Schema, Table};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn binary_format_round_trips(
+        ints in prop::collection::vec(any::<i32>(), 0..200),
+        floats_seed in any::<u32>(),
+    ) {
+        let n = ints.len();
+        let floats: Vec<f64> =
+            (0..n).map(|i| (i as f64) * 0.5 + f64::from(floats_seed % 97)).collect();
+        let longs: Vec<i64> = ints.iter().map(|&v| i64::from(v) * 3).collect();
+        let t = Table::new(
+            "prop",
+            Schema::new([
+                ("a", DataType::I32),
+                ("b", DataType::F64),
+                ("c", DataType::I64),
+            ]),
+            Batch::new(vec![
+                Column::from_i32(ints.clone()),
+                Column::from_f64(floats.clone()),
+                Column::from_i64(longs.clone()),
+            ]),
+        );
+        let mut bytes = Vec::new();
+        write_table(&t, &mut bytes).unwrap();
+        let rt = read_table(&mut bytes.as_slice()).unwrap();
+        prop_assert_eq!(rt.column("a").as_i32(), &ints[..]);
+        prop_assert_eq!(rt.column("b").as_f64(), &floats[..]);
+        prop_assert_eq!(rt.column("c").as_i64(), &longs[..]);
+    }
+
+    #[test]
+    fn split_concat_identity(
+        vals in prop::collection::vec(any::<i32>(), 1..500),
+        packet in 1usize..64,
+    ) {
+        let b = Batch::new(vec![Column::from_i32(vals.clone())]);
+        let packets = b.split(packet);
+        prop_assert_eq!(packets.iter().map(Batch::rows).sum::<usize>(), vals.len());
+        let cols: Vec<Column> = packets.iter().map(|p| p.col(0).clone()).collect();
+        let back = Column::concat(&cols);
+        prop_assert_eq!(back.as_i32(), &vals[..]);
+    }
+
+    #[test]
+    fn take_selects_expected(
+        vals in prop::collection::vec(any::<i32>(), 1..200),
+        idx_seed in any::<u64>(),
+    ) {
+        let n = vals.len();
+        let sel: Vec<u32> =
+            (0..n).map(|i| ((i as u64).wrapping_mul(idx_seed | 1) % n as u64) as u32).collect();
+        let c = Column::from_i32(vals.clone());
+        let taken = c.take(&sel);
+        for (out, &i) in taken.as_i32().iter().zip(&sel) {
+            prop_assert_eq!(*out, vals[i as usize]);
+        }
+    }
+}
