@@ -1,5 +1,7 @@
 //! DBMS C: the MonetDB/X100-style vector-at-a-time CPU columnar engine.
 
+use hape_core::engine::EngineError;
+use hape_core::error::PlanError;
 use hape_core::plan::{JoinTable, PipeOp, Pipeline, QueryPlan, Stage};
 use hape_core::provider::{probe_join, TableStore};
 use hape_core::Catalog;
@@ -11,7 +13,7 @@ use hape_sim::topology::Server;
 use hape_sim::{CpuCostModel, SimTime};
 use hape_storage::Batch;
 
-use crate::BaselineReport;
+use crate::{BaselineError, BaselineReport};
 
 /// X100-style vector length.
 const VECTOR_ROWS: usize = 1024;
@@ -48,15 +50,19 @@ impl DbmsC {
     /// The vector materialisation + interpretation surcharge for one
     /// operator boundary over one vector of `bytes`.
     fn vector_overhead(&self, bytes: u64) -> SimTime {
-        SimTime::from_secs(2.0 * bytes as f64 / VECTOR_CACHE_BW)
-            + SimTime::from_ns(INTERP_NS)
+        SimTime::from_secs(2.0 * bytes as f64 / VECTOR_CACHE_BW) + SimTime::from_ns(INTERP_NS)
     }
 
     /// Run a query plan vector-at-a-time. Results match the engine's; the
     /// cost model charges one full materialisation (+ re-read) per operator
     /// per vector, which is the execution-model difference the paper
     /// highlights on Q1.
-    pub fn run_plan(&self, catalog: &Catalog, plan: &QueryPlan) -> BaselineReport {
+    pub fn run_plan(
+        &self,
+        catalog: &Catalog,
+        plan: &QueryPlan,
+    ) -> Result<BaselineReport, BaselineError> {
+        plan.validate().map_err(EngineError::InvalidPlan)?;
         let model = self.model();
         let mut tables = TableStore::new();
         let mut total = SimTime::ZERO;
@@ -64,7 +70,8 @@ impl DbmsC {
         for stage in &plan.stages {
             match stage {
                 Stage::Build { name, key_col, pipeline } => {
-                    let (batch, t) = self.run_pipeline(catalog, pipeline, &tables, &model, None);
+                    let (batch, t) =
+                        self.run_pipeline(catalog, pipeline, &tables, &model, None)?;
                     total += t;
                     tables.insert(
                         name.clone(),
@@ -72,16 +79,20 @@ impl DbmsC {
                     );
                 }
                 Stage::Stream { pipeline } => {
-                    let spec = pipeline.agg.clone().expect("stream must aggregate");
+                    let spec = pipeline.agg.clone().ok_or_else(|| {
+                        EngineError::InvalidPlan(PlanError::StreamWithoutAggregate {
+                            name: plan.name.clone(),
+                        })
+                    })?;
                     let mut agg = AggState::new(spec);
                     let (_, t) =
-                        self.run_pipeline(catalog, pipeline, &tables, &model, Some(&mut agg));
+                        self.run_pipeline(catalog, pipeline, &tables, &model, Some(&mut agg))?;
                     total += t;
                     rows = agg.finish();
                 }
             }
         }
-        BaselineReport { rows, time: total }
+        Ok(BaselineReport { rows, time: total })
     }
 
     fn run_pipeline(
@@ -91,8 +102,8 @@ impl DbmsC {
         tables: &TableStore,
         model: &CpuCostModel,
         mut agg: Option<&mut AggState>,
-    ) -> (Batch, SimTime) {
-        let table = catalog.expect(&pipeline.source);
+    ) -> Result<(Batch, SimTime), EngineError> {
+        let table = catalog.lookup(&pipeline.source)?;
         let mut outputs: Vec<Batch> = Vec::new();
         let mut t = SimTime::ZERO;
         for vector in table.data.split(VECTOR_ROWS) {
@@ -119,8 +130,7 @@ impl DbmsC {
                     PipeOp::JoinProbe { ht, key_col, build_payload_cols, .. } => {
                         let jt = tables.get(ht).expect("table built");
                         let n = cur.rows() as u64;
-                        let (out, chain) =
-                            probe_join(&cur, jt, *key_col, build_payload_cols);
+                        let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
                         t += model.ht_probe(n, chain, jt.bytes());
                         t += model.seq_write(out.bytes());
                         cur = out;
@@ -138,8 +148,7 @@ impl DbmsC {
                     // (x100-style: `1-disc`, `price*tmp`, … are separate
                     // map primitives over temporary vectors).
                     let spec = state.spec();
-                    let expr_passes: f64 =
-                        spec.aggs.iter().map(|(_, e)| e.ops_per_row()).sum();
+                    let expr_passes: f64 = spec.aggs.iter().map(|(_, e)| e.ops_per_row()).sum();
                     let passes = spec.aggs.len() + expr_passes.ceil() as usize;
                     let prim_bytes = (cur.rows() * 16) as u64;
                     for _ in 0..passes {
@@ -165,7 +174,7 @@ impl DbmsC {
                 Batch::new(cols)
             }
         };
-        (batch, t / self.workers())
+        Ok((batch, t / self.workers()))
     }
 
     /// DBMS C's equi-join for the Figure 6 microbenchmark: a
@@ -204,24 +213,24 @@ mod tests {
     use super::*;
     use hape_core::{Engine, ExecConfig, JoinAlgo, Placement};
     use hape_storage::datagen::gen_unique_keys;
-    use hape_tpch::queries::{prepare_catalog, q1_plan, q5_plan};
+    use hape_tpch::queries::{base_catalog, q1_query, q5_query};
     use hape_tpch::reference::{q1_reference, q5_reference, rows_approx_eq};
 
     #[test]
     fn q1_results_match_reference() {
         let data = hape_tpch::generate(0.002, 31);
-        let catalog = prepare_catalog(&data);
+        let q1 = q1_query().lower(&base_catalog(&data)).unwrap();
         let dbms = DbmsC::new(Server::paper_testbed());
-        let rep = dbms.run_plan(&catalog, &q1_plan());
+        let rep = dbms.run_plan(&q1.catalog, &q1.plan).unwrap();
         assert!(rows_approx_eq(&rep.rows, &q1_reference(&data)));
     }
 
     #[test]
     fn q5_results_match_reference() {
         let data = hape_tpch::generate(0.002, 32);
-        let catalog = prepare_catalog(&data);
+        let q5 = q5_query(JoinAlgo::NonPartitioned).lower(&base_catalog(&data)).unwrap();
         let dbms = DbmsC::new(Server::paper_testbed());
-        let rep = dbms.run_plan(&catalog, &q5_plan(&data, JoinAlgo::NonPartitioned));
+        let rep = dbms.run_plan(&q5.catalog, &q5.plan).unwrap();
         assert!(rows_approx_eq(&rep.rows, &q5_reference(&data)));
     }
 
@@ -230,13 +239,13 @@ mod tests {
         // The paper's Figure 8: multiple aggregates make DBMS C pay for its
         // vector-at-a-time passes where JIT fusion does not.
         let data = hape_tpch::generate(0.1, 33);
-        let catalog = prepare_catalog(&data);
+        let q1 = q1_query().lower(&base_catalog(&data)).unwrap();
         let server = Server::paper_testbed();
         let dbms = DbmsC::new(server.clone());
-        let t_c = dbms.run_plan(&catalog, &q1_plan()).time;
+        let t_c = dbms.run_plan(&q1.catalog, &q1.plan).unwrap().time;
         let engine = Engine::new(server);
         let t_proteus = engine
-            .run(&catalog, &q1_plan(), &ExecConfig::new(Placement::CpuOnly))
+            .run(&q1.catalog, &q1.plan, &ExecConfig::new(Placement::CpuOnly))
             .unwrap()
             .time;
         assert!(

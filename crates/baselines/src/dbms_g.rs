@@ -1,5 +1,6 @@
 //! DBMS G: the GPU operator-at-a-time engine.
 
+use hape_core::engine::EngineError;
 use hape_core::plan::{JoinTable, PipeOp, QueryPlan, Stage};
 use hape_core::provider::{probe_join, TableStore};
 use hape_core::Catalog;
@@ -10,7 +11,7 @@ use hape_sim::topology::Server;
 use hape_sim::{Fidelity, GpuSim, SimTime};
 use hape_storage::Batch;
 
-use crate::BaselineReport;
+use crate::{BaselineError, BaselineReport};
 
 /// Why DBMS G refused a query.
 #[derive(Debug, Clone)]
@@ -61,7 +62,8 @@ impl DbmsG {
         &self,
         catalog: &Catalog,
         plan: &QueryPlan,
-    ) -> Result<BaselineReport, GpuUnsupported> {
+    ) -> Result<BaselineReport, BaselineError> {
+        plan.validate().map_err(EngineError::InvalidPlan)?;
         let n_gpus = self.server.gpus.len() as f64;
         let gpu = &self.server.gpus[0];
         let pcie_bw: f64 = self.server.pcie.iter().map(|l| l.bw).sum();
@@ -74,7 +76,7 @@ impl DbmsG {
             let pipeline = match stage {
                 Stage::Build { pipeline, .. } | Stage::Stream { pipeline } => pipeline,
             };
-            let table = catalog.expect(&pipeline.source);
+            let table = catalog.lookup(&pipeline.source)?;
             // Transfer the inputs (split across the PCIe links).
             let in_bytes = table.bytes();
             resident += in_bytes;
@@ -116,8 +118,7 @@ impl DbmsG {
                     PipeOp::JoinProbe { ht, key_col, build_payload_cols, .. } => {
                         let jt = tables.get(ht).expect("table built");
                         let probes = cur.rows() as f64;
-                        let (out, chain) =
-                            probe_join(&cur, jt, *key_col, build_payload_cols);
+                        let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
                         // Random device-memory probes over-fetch a line each.
                         t_stage += SimTime::from_secs(
                             probes * (1.0 + chain) * gpu.l1.line as f64
@@ -139,7 +140,8 @@ impl DbmsG {
                         "working set {resident} bytes exceeds aggregate GPU memory {}",
                         self.aggregate_capacity()
                     ),
-                });
+                }
+                .into());
             }
             total += t_stage;
             match stage {
@@ -149,13 +151,14 @@ impl DbmsG {
                     tables.insert(name.clone(), std::sync::Arc::new(jt));
                 }
                 Stage::Stream { pipeline } => {
-                    let spec = pipeline.agg.clone().expect("stream must aggregate");
+                    // Guaranteed by the validate() at entry.
+                    let spec = pipeline.agg.clone().expect("validated stream aggregates");
                     let mut agg = AggState::new(spec);
                     if cur.rows() > 0 {
                         // Final aggregation kernel.
-                        total += SimTime::from_secs(
-                            cur.bytes() as f64 / (gpu.dram_bw * n_gpus),
-                        ) + SimTime::from_ns(gpu.launch_overhead_ns);
+                        total +=
+                            SimTime::from_secs(cur.bytes() as f64 / (gpu.dram_bw * n_gpus))
+                                + SimTime::from_ns(gpu.launch_overhead_ns);
                         agg.update(&cur);
                     }
                     rows = agg.finish();
@@ -176,9 +179,7 @@ impl DbmsG {
         // Materialised join output must also fit (before aggregation).
         let pool_extra = (r.len() as u64) * 16;
         let mut probe_pool = hape_sim::GpuMemPool::for_spec(sim.spec());
-        probe_pool
-            .alloc(r.bytes() + s.bytes() + r.bytes() * 3 + pool_extra)
-            .map(|_| ())?;
+        probe_pool.alloc(r.bytes() + s.bytes() + r.bytes() * 3 + pool_extra).map(|_| ())?;
         let mut out = gpu_npj(&sim, r, s, OutputMode::AggregateOnly)?;
         out.time = out.time * MATERIALISE_FACTOR
             + SimTime::from_secs(pool_extra as f64 / sim.spec().dram_bw);
@@ -205,10 +206,10 @@ impl DbmsG {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hape_storage::datagen::gen_unique_keys;
-    use hape_tpch::queries::{prepare_catalog, q1_plan, q5_plan, q6_plan, q9_plan};
-    use hape_tpch::reference::{q6_reference, rows_approx_eq};
     use hape_core::JoinAlgo;
+    use hape_storage::datagen::gen_unique_keys;
+    use hape_tpch::queries::{base_catalog, q1_query, q5_query, q6_query, q9_query};
+    use hape_tpch::reference::{q6_reference, rows_approx_eq};
 
     fn scaled_server(sf: f64) -> Server {
         Server::tpch_scaled(sf)
@@ -218,9 +219,9 @@ mod tests {
     fn q6_runs_and_matches_reference() {
         let sf = 0.01;
         let data = hape_tpch::generate(sf, 41);
-        let catalog = prepare_catalog(&data);
+        let q6 = q6_query().lower(&base_catalog(&data)).unwrap();
         let dbms = DbmsG::new(scaled_server(sf));
-        let rep = dbms.run_plan(&catalog, &q6_plan()).unwrap();
+        let rep = dbms.run_plan(&q6.catalog, &q6.plan).unwrap();
         assert!(rows_approx_eq(&rep.rows, &q6_reference(&data)));
     }
 
@@ -230,18 +231,17 @@ mod tests {
         // DBMS G can run only Q6 of the four (§6.4).
         let sf = 0.01;
         let data = hape_tpch::generate(sf, 42);
-        let catalog = prepare_catalog(&data);
+        let catalog = base_catalog(&data);
         let dbms = DbmsG::new(scaled_server(sf));
-        assert!(dbms.run_plan(&catalog, &q1_plan()).is_err(), "Q1 should not fit");
-        assert!(
-            dbms.run_plan(&catalog, &q5_plan(&data, JoinAlgo::NonPartitioned)).is_err(),
-            "Q5 should not fit"
-        );
-        assert!(
-            dbms.run_plan(&catalog, &q9_plan(JoinAlgo::NonPartitioned)).is_err(),
-            "Q9 should not fit"
-        );
-        assert!(dbms.run_plan(&catalog, &q6_plan()).is_ok(), "Q6 must fit");
+        let lower = |q: hape_core::Query| q.lower(&catalog).unwrap();
+        let q1 = lower(q1_query());
+        assert!(dbms.run_plan(&q1.catalog, &q1.plan).is_err(), "Q1 should not fit");
+        let q5 = lower(q5_query(JoinAlgo::NonPartitioned));
+        assert!(dbms.run_plan(&q5.catalog, &q5.plan).is_err(), "Q5 should not fit");
+        let q9 = lower(q9_query(JoinAlgo::NonPartitioned));
+        assert!(dbms.run_plan(&q9.catalog, &q9.plan).is_err(), "Q9 should not fit");
+        let q6 = lower(q6_query());
+        assert!(dbms.run_plan(&q6.catalog, &q6.plan).is_ok(), "Q6 must fit");
     }
 
     #[test]

@@ -27,8 +27,49 @@ pub mod dbms_g;
 pub use dbms_c::DbmsC;
 pub use dbms_g::{DbmsG, GpuUnsupported};
 
+use hape_core::engine::EngineError;
 use hape_ops::GroupKey;
 use hape_sim::SimTime;
+
+/// Why a baseline refused or failed a query.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// Shared execution failure (missing table, invalid plan, …).
+    Engine(EngineError),
+    /// The query exceeds the system's capabilities (DBMS G's in-GPU
+    /// working-set constraint).
+    Unsupported(GpuUnsupported),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::Engine(e) => write!(f, "{e}"),
+            BaselineError::Unsupported(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BaselineError::Engine(e) => Some(e),
+            BaselineError::Unsupported(e) => Some(e),
+        }
+    }
+}
+
+impl From<EngineError> for BaselineError {
+    fn from(e: EngineError) -> Self {
+        BaselineError::Engine(e)
+    }
+}
+
+impl From<GpuUnsupported> for BaselineError {
+    fn from(e: GpuUnsupported) -> Self {
+        BaselineError::Unsupported(e)
+    }
+}
 
 /// A baseline query result.
 #[derive(Debug, Clone)]
@@ -43,5 +84,5 @@ pub struct BaselineReport {
 pub mod prelude {
     pub use crate::dbms_c::DbmsC;
     pub use crate::dbms_g::DbmsG;
-    pub use crate::BaselineReport;
+    pub use crate::{BaselineError, BaselineReport};
 }

@@ -2,18 +2,18 @@
 
 use hape_baselines::{DbmsC, DbmsG};
 use hape_core::{Engine, ExecConfig, JoinAlgo, Placement};
+use hape_join::gpu_radix::build_probe_phase;
 use hape_join::{
     coprocess_join, cpu_npj, cpu_radix, gpu_npj, gpu_radix, radix_partition, BuildProbeVariant,
     CoprocessConfig, JoinInput, OutputMode,
 };
-use hape_join::gpu_radix::build_probe_phase;
 use hape_sim::topology::Server;
 use hape_sim::{CpuCostModel, Fidelity, GpuSim, GpuSpec};
 use hape_storage::datagen::{gen_balanced_partition_keys, gen_unique_keys};
-use hape_tpch::queries::{prepare_catalog, q1_plan, q5_plan, q6_plan, q9_plan, run_q9_hybrid};
+use hape_tpch::queries::{base_catalog, q1_query, q5_query, q6_query, q9_query, run_q9_hybrid};
 
 /// One line/bar series of a figure.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     /// Legend label (matches the paper's).
     pub label: String,
@@ -24,7 +24,7 @@ pub struct Series {
 }
 
 /// A regenerated figure.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Figure {
     /// Figure id, e.g. `"fig6"`.
     pub id: String,
@@ -67,10 +67,11 @@ fn vals_for(n: usize) -> Vec<u32> {
 /// a `tuples`-row table (paper: 32M; default 1M), exact cache simulation.
 pub fn fig5(tuples: usize, partition_sizes: &[usize]) -> Figure {
     let sim = GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Exact);
-    let mut series: Vec<Series> = [BuildProbeVariant::Sm, BuildProbeVariant::SmL1, BuildProbeVariant::L1]
-        .iter()
-        .map(|v| Series { label: v.label().to_string(), points: Vec::new() })
-        .collect();
+    let mut series: Vec<Series> =
+        [BuildProbeVariant::Sm, BuildProbeVariant::SmL1, BuildProbeVariant::L1]
+            .iter()
+            .map(|v| Series { label: v.label().to_string(), points: Vec::new() })
+            .collect();
     for &psize in partition_sizes {
         let fanout = (tuples / psize).next_power_of_two();
         let bits = fanout.trailing_zeros();
@@ -78,16 +79,17 @@ pub fn fig5(tuples: usize, partition_sizes: &[usize]) -> Figure {
         let keys = gen_balanced_partition_keys(n, bits, 42);
         let vals = vals_for(n);
         let input = JoinInput::new(&keys, &vals);
-        let (rp, _) = radix_partition(input, bits, bits.min(8).max(1));
+        let (rp, _) = radix_partition(input, bits, bits.clamp(1, 8));
         let skeys = gen_balanced_partition_keys(n, bits, 43);
         let sinput = JoinInput::new(&skeys, &vals);
-        let (sp, _) = radix_partition(sinput, bits, bits.min(8).max(1));
+        let (sp, _) = radix_partition(sinput, bits, bits.clamp(1, 8));
         for (si, variant) in
             [BuildProbeVariant::Sm, BuildProbeVariant::SmL1, BuildProbeVariant::L1]
                 .iter()
                 .enumerate()
         {
-            let (out, _) = build_probe_phase(&sim, &rp, &sp, *variant, OutputMode::AggregateOnly);
+            let (out, _) =
+                build_probe_phase(&sim, &rp, &sp, *variant, OutputMode::AggregateOnly);
             assert_eq!(out.stats.matches, n as u64, "balanced key sets must fully match");
             series[si].points.push((psize as f64, Some(out.time.as_secs())));
         }
@@ -212,29 +214,33 @@ pub fn fig7(sizes: &[usize]) -> Figure {
 /// DBMS G runs only Q6).
 pub fn fig8(sf: f64) -> Figure {
     let data = hape_tpch::generate(sf, 420);
-    let catalog = prepare_catalog(&data);
+    let catalog = base_catalog(&data);
     let server = Server::tpch_scaled(sf);
     let engine = Engine::new(server.clone());
     let dbms_c = DbmsC::new(server.clone());
     let dbms_g = DbmsG::new(server.clone());
-    let queries: Vec<(&str, hape_core::QueryPlan)> = vec![
-        ("Q1", q1_plan()),
-        ("Q5", q5_plan(&data, JoinAlgo::Partitioned)),
-        ("Q6", q6_plan()),
-        ("Q9*", q9_plan(JoinAlgo::Partitioned)),
+    let queries: Vec<(&str, hape_core::LoweredQuery)> = vec![
+        ("Q1", q1_query().lower(&catalog).unwrap()),
+        ("Q5", q5_query(JoinAlgo::Partitioned).lower(&catalog).unwrap()),
+        ("Q6", q6_query().lower(&catalog).unwrap()),
+        ("Q9*", q9_query(JoinAlgo::Partitioned).lower(&catalog).unwrap()),
     ];
     let mut series: Vec<Series> =
         ["DBMS C", "Proteus CPUs", "Proteus Hybrid", "Proteus GPUs", "DBMS G"]
             .iter()
             .map(|l| Series { label: l.to_string(), points: Vec::new() })
             .collect();
-    for (qi, (name, plan)) in queries.iter().enumerate() {
+    for (qi, (name, q)) in queries.iter().enumerate() {
         let x = qi as f64 + 1.0;
-        series[0].points.push((x, Some(dbms_c.run_plan(&catalog, plan).time.as_secs())));
-        let cpu = engine.run(&catalog, plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+        series[0]
+            .points
+            .push((x, Some(dbms_c.run_plan(&q.catalog, &q.plan).unwrap().time.as_secs())));
+        let cpu =
+            engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
         series[1].points.push((x, Some(cpu.time.as_secs())));
         // Hybrid: Q9 falls back to the intra-operator co-processing path.
-        let hybrid = match engine.run(&catalog, plan, &ExecConfig::new(Placement::Hybrid)) {
+        let hybrid = match engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::Hybrid))
+        {
             Ok(rep) => Some(rep.time.as_secs()),
             Err(_) if *name == "Q9*" => {
                 Some(run_q9_hybrid(&engine, &catalog, &data).unwrap().time.as_secs())
@@ -243,14 +249,13 @@ pub fn fig8(sf: f64) -> Figure {
         };
         series[2].points.push((x, hybrid));
         let gpu = engine
-            .run(&catalog, plan, &ExecConfig::new(Placement::GpuOnly))
+            .run(&q.catalog, &q.plan, &ExecConfig::new(Placement::GpuOnly))
             .ok()
             .map(|r| r.time.as_secs());
         series[3].points.push((x, gpu));
-        series[4].points.push((
-            x,
-            dbms_g.run_plan(&catalog, plan).ok().map(|r| r.time.as_secs()),
-        ));
+        series[4]
+            .points
+            .push((x, dbms_g.run_plan(&q.catalog, &q.plan).ok().map(|r| r.time.as_secs())));
     }
     Figure {
         id: "fig8".into(),
@@ -264,7 +269,7 @@ pub fn fig8(sf: f64) -> Figure {
 /// TPC-H Q5, for GPU-only and Hybrid execution.
 pub fn fig9(sf: f64) -> Figure {
     let data = hape_tpch::generate(sf, 421);
-    let catalog = prepare_catalog(&data);
+    let catalog = base_catalog(&data);
     let server = Server::tpch_scaled(sf);
     let engine = Engine::new(server);
     let mut series: Vec<Series> = ["Non partitioned join", "Partitioned join"]
@@ -272,12 +277,10 @@ pub fn fig9(sf: f64) -> Figure {
         .map(|l| Series { label: l.to_string(), points: Vec::new() })
         .collect();
     for (xi, placement) in [(1.0, Placement::GpuOnly), (2.0, Placement::Hybrid)] {
-        for (si, algo) in
-            [(0usize, JoinAlgo::NonPartitioned), (1, JoinAlgo::Partitioned)]
-        {
-            let plan = q5_plan(&data, algo);
+        for (si, algo) in [(0usize, JoinAlgo::NonPartitioned), (1, JoinAlgo::Partitioned)] {
+            let q5 = q5_query(algo).lower(&catalog).expect("Q5 lowers");
             let t = engine
-                .run(&catalog, &plan, &ExecConfig::new(placement))
+                .run(&q5.catalog, &q5.plan, &ExecConfig::new(placement))
                 .expect("Q5 fits GPU memory")
                 .time
                 .as_secs();

@@ -1,0 +1,217 @@
+//! Minimal offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no registry access, so this workspace crate
+//! provides the cursor/buffer surface `hape-storage`'s binary format uses:
+//! [`Bytes`] (a consuming read cursor), [`BytesMut`] (an append buffer) and
+//! the [`Buf`]/[`BufMut`] trait names they are imported through. Semantics
+//! match upstream for this subset, including panics on reads past the end
+//! (the format code checks `remaining()` first).
+
+use std::ops::Deref;
+
+/// Read-side cursor operations.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consume `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Copy `dst.len()` bytes out, consuming them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Consume one `u8`.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `i32`.
+    fn get_i32_le(&mut self) -> i32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        i32::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Consume a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+
+    /// Consume `n` bytes into an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(self.remaining() >= n, "buffer underflow");
+        let out = Bytes::from(self.chunk()[..n].to_vec());
+        self.advance(n);
+        out
+    }
+}
+
+/// Write-side buffer operations.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one `u8`.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// An owned byte buffer consumed front-to-back through [`Buf`].
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// The unconsumed bytes as an owned vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end");
+        self.pos += n;
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+/// A growable byte buffer filled through [`BufMut`].
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_i32_le(-5);
+        w.put_i64_le(i64::MIN);
+        w.put_u64_le(u64::MAX);
+        w.put_f64_le(1.5);
+        w.put_slice(b"abc");
+        let mut r = Bytes::from(w.to_vec());
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_i32_le(), -5);
+        assert_eq!(r.get_i64_le(), i64::MIN);
+        assert_eq!(r.get_u64_le(), u64::MAX);
+        assert_eq!(r.get_f64_le(), 1.5);
+        let tail = r.copy_to_bytes(2);
+        assert_eq!(tail.to_vec(), b"ab");
+        assert_eq!(r.remaining(), 1);
+    }
+
+    #[test]
+    fn copy_to_slice_consumes() {
+        let mut r = Bytes::from(vec![1, 2, 3, 4]);
+        let mut out = [0u8; 2];
+        r.copy_to_slice(&mut out);
+        assert_eq!(out, [1, 2]);
+        assert_eq!(r.remaining(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        Bytes::from(vec![1]).get_u32_le();
+    }
+}

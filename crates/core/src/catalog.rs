@@ -4,8 +4,14 @@ use std::collections::HashMap;
 
 use hape_storage::Table;
 
+use crate::engine::EngineError;
+
 /// A named collection of tables the engine can scan.
-#[derive(Debug, Default)]
+///
+/// Cloning is cheap: table columns are `Arc`-backed views, so a clone
+/// shares all data. Query lowering uses this to derive per-query catalogs
+/// that add projected scan views without copying any column payload.
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
 }
@@ -33,10 +39,18 @@ impl Catalog {
         self.tables.get(name)
     }
 
+    /// Look up a table, surfacing the engine's typed missing-table error.
+    ///
+    /// This is what every execution path uses; [`Catalog::expect`] remains
+    /// only as a convenience for tests and examples that hold tables they
+    /// registered themselves.
+    pub fn lookup(&self, name: &str) -> Result<&Table, EngineError> {
+        self.get(name).ok_or_else(|| EngineError::MissingTable(name.to_string()))
+    }
+
     /// Look up or panic with a useful message.
     pub fn expect(&self, name: &str) -> &Table {
-        self.get(name)
-            .unwrap_or_else(|| panic!("catalog has no table named {name:?}"))
+        self.get(name).unwrap_or_else(|| panic!("catalog has no table named {name:?}"))
     }
 
     /// Names of all registered tables (sorted).

@@ -23,6 +23,7 @@ use hape_sim::{CpuCostModel, Fidelity, GpuSim, Region, SimTime};
 use hape_storage::Batch;
 
 use crate::catalog::Catalog;
+use crate::error::PlanError;
 use crate::exchange::{CandidateLoad, Router, RoutingPolicy};
 use crate::plan::{JoinAlgo, JoinTable, PipeOp, Pipeline, QueryPlan, Stage};
 use crate::provider::{CpuProvider, GpuProvider, TableStore};
@@ -69,21 +70,38 @@ pub enum EngineError {
     },
     /// A table referenced by the plan is missing from the catalog.
     MissingTable(String),
+    /// The plan failed structural validation before execution started.
+    InvalidPlan(PlanError),
+    /// The placement selects a device class the server does not have.
+    NoWorkers {
+        /// The placement description.
+        placement: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::GpuMemoryExceeded { required, capacity } => write!(
-                f,
-                "hash tables require {required} bytes but GPU memory is {capacity}"
-            ),
+            EngineError::GpuMemoryExceeded { required, capacity } => {
+                write!(f, "hash tables require {required} bytes but GPU memory is {capacity}")
+            }
             EngineError::MissingTable(t) => write!(f, "missing table {t:?}"),
+            EngineError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
+            EngineError::NoWorkers { placement } => {
+                write!(f, "placement {placement} selects no available workers")
+            }
         }
     }
 }
 
-impl std::error::Error for EngineError {}
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::InvalidPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// The result of running a query.
 #[derive(Debug, Clone)]
@@ -105,8 +123,11 @@ pub struct QueryReport {
 }
 
 /// Working space multiplier for GPU-resident hash tables (buffer
-/// management, as the paper notes when sizing Q9, §6.4).
-const GPU_HT_WORKING_FACTOR: f64 = 2.0;
+/// management, as the paper notes when sizing Q9, §6.4). Calibrated so
+/// Q9's broadcast tables exceed the SF-scaled GPU memory even with the
+/// front-end's minimal pushed-down projections, reproducing the paper's
+/// GPU-only failure mode.
+const GPU_HT_WORKING_FACTOR: f64 = 2.5;
 
 /// The engine.
 #[derive(Debug, Clone)]
@@ -139,12 +160,17 @@ impl Engine {
     }
 
     /// Run `plan` against `catalog` under `cfg`.
+    ///
+    /// The plan is structurally re-validated first, so hand-assembled
+    /// physical plans that bypass [`QueryPlan::try_new`] surface
+    /// [`EngineError::InvalidPlan`] instead of panicking mid-execution.
     pub fn run(
         &self,
         catalog: &Catalog,
         plan: &QueryPlan,
         cfg: &ExecConfig,
     ) -> Result<QueryReport, EngineError> {
+        plan.validate().map_err(EngineError::InvalidPlan)?;
         let mut tables: TableStore = TableStore::new();
         let mut clock = SimTime::ZERO;
         let mut cpu_busy = SimTime::ZERO;
@@ -168,9 +194,8 @@ impl Engine {
                     tables.insert(name.clone(), Arc::new(JoinTable::build(batch, *key_col)));
                 }
                 Stage::Stream { pipeline } => {
-                    let report = self.run_stream_stage(
-                        catalog, pipeline, &tables, clock, cfg,
-                    )?;
+                    let report =
+                        self.run_stream_stage(catalog, pipeline, &tables, clock, cfg)?;
                     clock = report.0;
                     cpu_busy += report.1;
                     gpu_busy += report.2;
@@ -207,8 +232,13 @@ impl Engine {
         tables: &TableStore,
         start: SimTime,
     ) -> Result<(Batch, SimTime, SimTime), EngineError> {
-        assert!(pipeline.agg.is_none(), "materialize_cpu needs a non-aggregating pipeline");
-        let (outputs, end, busy) = self.run_cpu_stage(catalog, pipeline, tables, start, None)?;
+        if pipeline.agg.is_some() {
+            return Err(EngineError::InvalidPlan(PlanError::BuildWithAggregate {
+                stage: pipeline.source.clone(),
+            }));
+        }
+        let (outputs, end, busy) =
+            self.run_cpu_stage(catalog, pipeline, tables, start, None)?;
         Ok((concat_outputs(outputs), end, busy))
     }
 
@@ -270,9 +300,7 @@ impl Engine {
         start: SimTime,
         agg: Option<&hape_ops::AggSpec>,
     ) -> Result<(Vec<Batch>, SimTime, SimTime), EngineError> {
-        let table = catalog
-            .get(&pipeline.source)
-            .ok_or_else(|| EngineError::MissingTable(pipeline.source.clone()))?;
+        let table = catalog.lookup(&pipeline.source)?;
         let mut workers = self.cpu_workers(agg);
         let packet_rows = auto_packet_rows(table.rows(), workers.len(), None);
         let packets = table.data.split(packet_rows);
@@ -318,10 +346,12 @@ impl Engine {
         (SimTime, SimTime, SimTime, u64, usize, usize, Vec<(GroupKey, Vec<f64>)>),
         EngineError,
     > {
-        let table = catalog
-            .get(&pipeline.source)
-            .ok_or_else(|| EngineError::MissingTable(pipeline.source.clone()))?;
-        let agg_spec = pipeline.agg.as_ref().expect("stream stage must aggregate");
+        let table = catalog.lookup(&pipeline.source)?;
+        let agg_spec = pipeline.agg.as_ref().ok_or_else(|| {
+            EngineError::InvalidPlan(PlanError::StreamWithoutAggregate {
+                name: pipeline.source.clone(),
+            })
+        })?;
 
         let mut cpu_workers = match cfg.placement {
             Placement::GpuOnly => Vec::new(),
@@ -331,11 +361,9 @@ impl Engine {
             Placement::CpuOnly => Vec::new(),
             _ => self.gpu_workers(Some(agg_spec)),
         };
-        assert!(
-            !cpu_workers.is_empty() || !gpu_workers.is_empty(),
-            "no workers for placement {:?}",
-            cfg.placement
-        );
+        if cpu_workers.is_empty() && gpu_workers.is_empty() {
+            return Err(EngineError::NoWorkers { placement: format!("{:?}", cfg.placement) });
+        }
 
         // ---- Broadcast hash tables to the GPUs (mem-move) and check the
         // capacity constraint.
@@ -349,7 +377,8 @@ impl Engine {
             for name in &probed {
                 let jt = tables.get(*name).expect("validated by plan");
                 total += jt.bytes();
-                ht_regions.insert((*name).to_string(), Region::at(region_base, jt.bytes().max(1)));
+                ht_regions
+                    .insert((*name).to_string(), Region::at(region_base, jt.bytes().max(1)));
                 region_base += jt.bytes().max(128) * 2;
             }
             // Partitioned probes pre-partition the build side on the GPU.
@@ -357,8 +386,7 @@ impl Engine {
                 if let PipeOp::JoinProbe { ht, algo: JoinAlgo::Partitioned, .. } = op {
                     let jt = tables.get(ht).expect("validated");
                     let gpu_bw = self.server.gpus[0].dram_bw;
-                    partitioned_prep +=
-                        SimTime::from_secs(4.0 * jt.bytes() as f64 / gpu_bw);
+                    partitioned_prep += SimTime::from_secs(4.0 * jt.bytes() as f64 / gpu_bw);
                 }
             }
             let required = (total as f64 * GPU_HT_WORKING_FACTOR) as u64;
@@ -387,9 +415,8 @@ impl Engine {
         let mut packets_gpu = 0usize;
         for packet in packets {
             // Candidate list: CPU workers first, then GPUs.
-            let mut candidates: Vec<CandidateLoad> = Vec::with_capacity(
-                cpu_workers.len() + gpu_workers.len(),
-            );
+            let mut candidates: Vec<CandidateLoad> =
+                Vec::with_capacity(cpu_workers.len() + gpu_workers.len());
             for w in &cpu_workers {
                 candidates.push(CandidateLoad {
                     ready_at: w.res.free_at().max(start),
@@ -467,8 +494,7 @@ fn concat_outputs(outputs: Vec<Batch>) -> Batch {
             let n_cols = outputs[0].columns.len();
             let cols = (0..n_cols)
                 .map(|c| {
-                    let parts: Vec<_> =
-                        outputs.iter().map(|b| b.columns[c].clone()).collect();
+                    let parts: Vec<_> = outputs.iter().map(|b| b.columns[c].clone()).collect();
                     hape_storage::Column::concat(&parts)
                 })
                 .collect();
@@ -487,7 +513,7 @@ mod tests {
         let mut catalog = Catalog::new();
         catalog.register_as("fact", gen_key_fk_table(1 << 18, 1 << 18, 1));
         catalog.register_as("dim", gen_key_fk_table(1 << 14, 1 << 14, 2));
-        let plan = QueryPlan::new(
+        let plan = QueryPlan::try_new(
             "test",
             vec![
                 Stage::Build {
@@ -504,7 +530,8 @@ mod tests {
                         ])),
                 },
             ],
-        );
+        )
+        .unwrap();
         (catalog, plan)
     }
 
@@ -526,9 +553,7 @@ mod tests {
     fn hybrid_uses_both_device_kinds() {
         let (catalog, plan) = setup();
         let engine = Engine::new(Server::paper_testbed());
-        let rep = engine
-            .run(&catalog, &plan, &ExecConfig::new(Placement::Hybrid))
-            .unwrap();
+        let rep = engine.run(&catalog, &plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
         assert!(rep.packets_cpu > 0, "no CPU packets");
         assert!(rep.packets_gpu > 0, "no GPU packets");
         assert!(rep.h2d_bytes > 0);
@@ -540,9 +565,7 @@ mod tests {
     fn gpu_only_moves_everything_over_pcie() {
         let (catalog, plan) = setup();
         let engine = Engine::new(Server::paper_testbed());
-        let rep = engine
-            .run(&catalog, &plan, &ExecConfig::new(Placement::GpuOnly))
-            .unwrap();
+        let rep = engine.run(&catalog, &plan, &ExecConfig::new(Placement::GpuOnly)).unwrap();
         assert_eq!(rep.packets_cpu, 0);
         assert!(rep.packets_gpu > 0);
         // Fact table + hash-table broadcast both crossed PCIe.
@@ -555,9 +578,8 @@ mod tests {
         let (catalog, plan) = setup();
         // GPU memory scaled to ~96 KiB: the 16K-entry table cannot fit.
         let engine = Engine::new(Server::paper_testbed_gpu_mem_scaled(1.0 / 65536.0));
-        let err = engine
-            .run(&catalog, &plan, &ExecConfig::new(Placement::GpuOnly))
-            .unwrap_err();
+        let err =
+            engine.run(&catalog, &plan, &ExecConfig::new(Placement::GpuOnly)).unwrap_err();
         assert!(matches!(err, EngineError::GpuMemoryExceeded { .. }), "{err}");
         // CPU-only still works.
         assert!(engine.run(&catalog, &plan, &ExecConfig::new(Placement::CpuOnly)).is_ok());

@@ -1,0 +1,180 @@
+//! Typed errors for plan construction, lowering and execution.
+//!
+//! Everything that can go wrong while *describing* a query surfaces as a
+//! [`PlanError`] from the logical front-end ([`crate::query`]) or from
+//! [`crate::plan::QueryPlan::try_new`]; everything that goes wrong while
+//! *running* one surfaces as an [`crate::engine::EngineError`]. The
+//! crate-level [`HapeError`] unifies the two for callers (the
+//! [`crate::session::Session`] front door returns it), so `?` works across
+//! the whole build→lower→execute path without `unwrap`s or panics.
+
+use crate::engine::EngineError;
+
+/// Why a logical query could not be built or lowered, or why a physical
+/// plan failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A scanned or joined table is not in the catalog.
+    UnknownTable {
+        /// The missing table name.
+        table: String,
+    },
+    /// A logical query was lowered before `.scan(..)` gave it a source.
+    MissingScan {
+        /// The query name.
+        query: String,
+    },
+    /// A column reference did not resolve against the visible schema.
+    UnknownColumn {
+        /// The unresolved column name.
+        column: String,
+        /// Where resolution was attempted (table or pipeline position).
+        context: String,
+    },
+    /// An expression or column has the wrong type for its position.
+    TypeMismatch {
+        /// Where the mismatch was found.
+        context: String,
+        /// What the position requires.
+        expected: &'static str,
+        /// What the expression/column actually is.
+        found: String,
+    },
+    /// A string literal was compared against a non-dictionary column.
+    StringComparedToNonString {
+        /// The literal.
+        literal: String,
+        /// Where the comparison appears.
+        context: String,
+    },
+    /// A pipeline probes a hash table no earlier stage built.
+    ProbeBeforeBuild {
+        /// The unbuilt table name.
+        table: String,
+    },
+    /// A build stage's pipeline ends in an aggregation.
+    BuildWithAggregate {
+        /// The offending build stage.
+        stage: String,
+    },
+    /// A stream stage's pipeline (or a logical query being lowered for
+    /// execution) has no terminal aggregation.
+    StreamWithoutAggregate {
+        /// The plan or query name.
+        name: String,
+    },
+    /// A plan must have exactly one stream stage.
+    NotExactlyOneStream {
+        /// The plan name.
+        plan: String,
+        /// How many stream stages it has.
+        streams: usize,
+    },
+    /// More group-by columns than the execution layer supports.
+    TooManyGroupColumns {
+        /// Requested group-by arity.
+        got: usize,
+        /// Supported maximum.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::UnknownTable { table } => {
+                write!(f, "unknown table {table:?}")
+            }
+            PlanError::MissingScan { query } => {
+                write!(f, "query {query:?} has no scan source")
+            }
+            PlanError::UnknownColumn { column, context } => {
+                write!(f, "unknown column {column:?} in {context}")
+            }
+            PlanError::TypeMismatch { context, expected, found } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+            PlanError::StringComparedToNonString { literal, context } => {
+                write!(
+                    f,
+                    "string literal {literal:?} compared to a non-string column in {context}"
+                )
+            }
+            PlanError::ProbeBeforeBuild { table } => {
+                write!(f, "hash table {table:?} probed before built")
+            }
+            PlanError::BuildWithAggregate { stage } => {
+                write!(f, "build stage {stage:?} must not aggregate")
+            }
+            PlanError::StreamWithoutAggregate { name } => {
+                write!(f, "stream pipeline of {name:?} must end in an aggregation")
+            }
+            PlanError::NotExactlyOneStream { plan, streams } => {
+                write!(f, "plan {plan:?} needs exactly one stream stage (got {streams})")
+            }
+            PlanError::TooManyGroupColumns { got, max } => {
+                write!(f, "{got} group-by columns requested, at most {max} supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The crate-level error: a plan-time or an execution-time failure.
+#[derive(Debug)]
+pub enum HapeError {
+    /// The query could not be built or lowered.
+    Plan(PlanError),
+    /// The engine could not execute the (valid) plan.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for HapeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HapeError::Plan(e) => write!(f, "plan error: {e}"),
+            HapeError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HapeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HapeError::Plan(e) => Some(e),
+            HapeError::Engine(e) => Some(e),
+        }
+    }
+}
+
+impl From<PlanError> for HapeError {
+    fn from(e: PlanError) -> Self {
+        HapeError::Plan(e)
+    }
+}
+
+impl From<EngineError> for HapeError {
+    fn from(e: EngineError) -> Self {
+        HapeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = PlanError::UnknownColumn { column: "l_foo".into(), context: "lineitem".into() };
+        assert!(e.to_string().contains("l_foo"));
+        assert!(e.to_string().contains("lineitem"));
+        let e = PlanError::ProbeBeforeBuild { table: "ghost".into() };
+        assert!(e.to_string().contains("probed before built"));
+        let h: HapeError = e.into();
+        assert!(h.to_string().contains("plan error"));
+        let h: HapeError = EngineError::MissingTable("fact".into()).into();
+        assert!(h.to_string().contains("engine error"));
+        assert!(std::error::Error::source(&h).is_some());
+    }
+}

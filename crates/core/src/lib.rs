@@ -22,22 +22,31 @@
 
 pub mod catalog;
 pub mod engine;
+pub mod error;
 pub mod exchange;
 pub mod plan;
 pub mod provider;
+pub mod query;
+pub mod session;
 pub mod traits;
 
 pub use catalog::Catalog;
-pub use engine::{Engine, ExecConfig, Placement, QueryReport};
+pub use engine::{Engine, EngineError, ExecConfig, Placement, QueryReport};
+pub use error::{HapeError, PlanError};
 pub use exchange::{RoutingPolicy, WorkerId};
 pub use plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};
+pub use query::{LoweredMaterialize, LoweredQuery, Query};
+pub use session::Session;
 pub use traits::{DeviceType, HetTraits, Packing};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::catalog::Catalog;
-    pub use crate::engine::{Engine, ExecConfig, Placement, QueryReport};
+    pub use crate::engine::{Engine, EngineError, ExecConfig, Placement, QueryReport};
+    pub use crate::error::{HapeError, PlanError};
     pub use crate::exchange::RoutingPolicy;
     pub use crate::plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};
+    pub use crate::query::{LoweredQuery, Query};
+    pub use crate::session::Session;
     pub use crate::traits::DeviceType;
 }

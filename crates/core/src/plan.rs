@@ -11,6 +11,8 @@ use hape_join::common::{ChainedTable, NIL};
 use hape_ops::{AggSpec, Expr};
 use hape_storage::Batch;
 
+use crate::error::PlanError;
+
 /// Join algorithm choice for a GPU-side probe (the Figure 9 toggle).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinAlgo {
@@ -81,12 +83,7 @@ impl Pipeline {
         build_payload_cols: Vec<usize>,
         algo: JoinAlgo,
     ) -> Self {
-        self.ops.push(PipeOp::JoinProbe {
-            ht: ht.into(),
-            key_col,
-            build_payload_cols,
-            algo,
-        });
+        self.ops.push(PipeOp::JoinProbe { ht: ht.into(), key_col, build_payload_cols, algo });
         self
     }
 
@@ -137,35 +134,51 @@ pub struct QueryPlan {
 }
 
 impl QueryPlan {
-    /// Create a named plan.
-    pub fn new(name: impl Into<String>, stages: Vec<Stage>) -> Self {
+    /// Create a named plan, validating its stage structure: builds must not
+    /// aggregate, the (single) stream stage must, and every probe must
+    /// reference an earlier build.
+    pub fn try_new(name: impl Into<String>, stages: Vec<Stage>) -> Result<Self, PlanError> {
         let plan = QueryPlan { name: name.into(), stages };
-        plan.validate();
-        plan
+        plan.validate()?;
+        Ok(plan)
     }
 
-    fn validate(&self) {
-        let mut built = Vec::new();
+    /// Check the stage structure of an already-assembled plan.
+    pub fn validate(&self) -> Result<(), PlanError> {
+        let mut built: Vec<&str> = Vec::new();
         let mut streams = 0;
         for s in &self.stages {
             match s {
                 Stage::Build { name, pipeline, .. } => {
-                    assert!(pipeline.agg.is_none(), "build pipeline must not aggregate");
-                    for t in pipeline.tables_probed() {
-                        assert!(built.contains(&t.to_string()), "{t} probed before built");
+                    if pipeline.agg.is_some() {
+                        return Err(PlanError::BuildWithAggregate { stage: name.clone() });
                     }
-                    built.push(name.clone());
+                    for t in pipeline.tables_probed() {
+                        if !built.contains(&t) {
+                            return Err(PlanError::ProbeBeforeBuild { table: t.to_string() });
+                        }
+                    }
+                    built.push(name);
                 }
                 Stage::Stream { pipeline } => {
-                    assert!(pipeline.agg.is_some(), "stream pipeline must aggregate");
+                    if pipeline.agg.is_none() {
+                        return Err(PlanError::StreamWithoutAggregate {
+                            name: self.name.clone(),
+                        });
+                    }
                     for t in pipeline.tables_probed() {
-                        assert!(built.contains(&t.to_string()), "{t} probed before built");
+                        if !built.contains(&t) {
+                            return Err(PlanError::ProbeBeforeBuild { table: t.to_string() });
+                        }
                     }
                     streams += 1;
                 }
             }
         }
-        assert_eq!(streams, 1, "a plan needs exactly one stream stage (got {streams})");
+        if streams != 1 {
+            return Err(PlanError::NotExactlyOneStream { plan: self.name.clone(), streams });
+        }
+        Ok(())
     }
 }
 
@@ -204,8 +217,7 @@ impl JoinTable {
     #[inline]
     pub fn probe(&self, key: i32, mut on_match: impl FnMut(u32)) -> u32 {
         let mut steps = 0;
-        let mut e = self.table.heads
-            [hape_join::hash32(key, self.table.bits) as usize];
+        let mut e = self.table.heads[hape_join::hash32(key, self.table.bits) as usize];
         while e != NIL {
             steps += 1;
             if self.keys[e as usize] == key {
@@ -220,6 +232,7 @@ impl JoinTable {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::PlanError;
     use hape_ops::AggFunc;
     use hape_storage::Column;
 
@@ -229,7 +242,7 @@ mod tests {
 
     #[test]
     fn builder_api_constructs_plan() {
-        let plan = QueryPlan::new(
+        let plan = QueryPlan::try_new(
             "q",
             vec![
                 Stage::Build { name: "d".into(), key_col: 0, pipeline: Pipeline::scan("dim") },
@@ -240,27 +253,61 @@ mod tests {
                         .aggregate(agg()),
                 },
             ],
-        );
+        )
+        .unwrap();
         assert_eq!(plan.stages.len(), 2);
     }
 
     #[test]
-    #[should_panic(expected = "probed before built")]
     fn probing_unbuilt_table_rejected() {
-        QueryPlan::new(
+        let err = QueryPlan::try_new(
             "bad",
             vec![Stage::Stream {
                 pipeline: Pipeline::scan("fact")
                     .join("ghost", 0, vec![], JoinAlgo::NonPartitioned)
                     .aggregate(agg()),
             }],
-        );
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::ProbeBeforeBuild { table: "ghost".into() });
     }
 
     #[test]
-    #[should_panic(expected = "must aggregate")]
     fn stream_without_agg_rejected() {
-        QueryPlan::new("bad", vec![Stage::Stream { pipeline: Pipeline::scan("t") }]);
+        let err =
+            QueryPlan::try_new("bad", vec![Stage::Stream { pipeline: Pipeline::scan("t") }])
+                .unwrap_err();
+        assert_eq!(err, PlanError::StreamWithoutAggregate { name: "bad".into() });
+    }
+
+    #[test]
+    fn build_with_agg_rejected() {
+        let err = QueryPlan::try_new(
+            "bad",
+            vec![
+                Stage::Build {
+                    name: "d".into(),
+                    key_col: 0,
+                    pipeline: Pipeline::scan("dim").aggregate(agg()),
+                },
+                Stage::Stream { pipeline: Pipeline::scan("fact").aggregate(agg()) },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::BuildWithAggregate { stage: "d".into() });
+    }
+
+    #[test]
+    fn multiple_streams_rejected() {
+        let err = QueryPlan::try_new(
+            "bad",
+            vec![
+                Stage::Stream { pipeline: Pipeline::scan("a").aggregate(agg()) },
+                Stage::Stream { pipeline: Pipeline::scan("b").aggregate(agg()) },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::NotExactlyOneStream { plan: "bad".into(), streams: 2 });
     }
 
     #[test]

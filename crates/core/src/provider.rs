@@ -53,8 +53,7 @@ pub fn probe_join(
             build_sel.push(e);
         }) as u64;
     }
-    let mut cols: Vec<Column> =
-        packet.columns.iter().map(|c| c.take(&probe_sel)).collect();
+    let mut cols: Vec<Column> = packet.columns.iter().map(|c| c.take(&probe_sel)).collect();
     for &b in build_payload_cols {
         cols.push(jt.batch.col(b).take(&build_sel));
     }
@@ -80,7 +79,7 @@ impl CpuProvider {
         packet: Batch,
         pipeline: &Pipeline,
         tables: &TableStore,
-        mut agg: Option<&mut AggState>,
+        agg: Option<&mut AggState>,
     ) -> PacketResult {
         let mut time = cpu_ops::scan_cost(packet.bytes(), &self.model);
         let mut cur = packet;
@@ -100,9 +99,8 @@ impl CpuProvider {
                     time += t;
                 }
                 PipeOp::JoinProbe { ht, key_col, build_payload_cols, .. } => {
-                    let jt = tables
-                        .get(ht)
-                        .unwrap_or_else(|| panic!("hash table {ht} not built"));
+                    let jt =
+                        tables.get(ht).unwrap_or_else(|| panic!("hash table {ht} not built"));
                     let n = cur.rows() as u64;
                     let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
                     // Fused probe: random table accesses only — the gathered
@@ -112,7 +110,7 @@ impl CpuProvider {
                 }
             }
         }
-        if let Some(state) = agg.as_deref_mut() {
+        if let Some(state) = agg {
             if cur.rows() > 0 {
                 time += cpu_ops::agg_update(state, &cur, &self.model);
             }
@@ -140,7 +138,7 @@ impl GpuProvider {
         pipeline: &Pipeline,
         tables: &TableStore,
         ht_regions: &HashMap<String, Region>,
-        mut agg: Option<&mut AggState>,
+        agg: Option<&mut AggState>,
     ) -> PacketResult {
         let mut time = SimTime::ZERO;
         let mut cur = packet;
@@ -163,32 +161,29 @@ impl GpuProvider {
                     time += gpu_ops::stream_pass(&self.sim, in_region, bytes, ops);
                     let mut cols = Vec::with_capacity(exprs.len());
                     for e in exprs {
-                        cols.push(Column::from_f64(
-                            hape_ops::eval(e, &cur).as_f64().to_vec(),
-                        ));
+                        cols.push(Column::from_f64(hape_ops::eval(e, &cur).as_f64().to_vec()));
                     }
                     cur = Batch { columns: cols, partition: cur.partition };
                 }
                 PipeOp::JoinProbe { ht, key_col, build_payload_cols, algo } => {
-                    let jt = tables
+                    let jt =
+                        tables.get(ht).unwrap_or_else(|| panic!("hash table {ht} not built"));
+                    let region = ht_regions
                         .get(ht)
-                        .unwrap_or_else(|| panic!("hash table {ht} not built"));
-                    let region = ht_regions.get(ht).copied().unwrap_or_else(|| {
-                        Region::at(1 << 44, jt.bytes().max(1))
-                    });
+                        .copied()
+                        .unwrap_or_else(|| Region::at(1 << 44, jt.bytes().max(1)));
                     let n = cur.rows();
                     let keys: Vec<i32> = cur.col(*key_col).as_i32().to_vec();
                     let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
                     time += self.charge_probe(&keys, jt, region, chain, *algo);
-                    time += SimTime::from_ns(
-                        (out.rows() * build_payload_cols.len()) as f64 * 0.05,
-                    );
+                    time +=
+                        SimTime::from_ns((out.rows() * build_payload_cols.len()) as f64 * 0.05);
                     let _ = n;
                     cur = out;
                 }
             }
         }
-        if let Some(state) = agg.as_deref_mut() {
+        if let Some(state) = agg {
             if cur.rows() > 0 {
                 let region = Region::at(1 << 24, cur.bytes().max(1));
                 let report = gpu_ops::agg_update(&self.sim, region, &cur, state);
@@ -235,8 +230,7 @@ impl GpuProvider {
                 let chain_offs: Vec<u64> = (0..chain_loads)
                     .map(|i| {
                         let k = keys[start + i % (end - start)];
-                        (hape_join::hash32(k, bits.max(4)) as u64)
-                            .wrapping_mul(2654435761)
+                        (hape_join::hash32(k, bits.max(4)) as u64).wrapping_mul(2654435761)
                             % region.bytes.max(128)
                     })
                     .collect();
@@ -255,14 +249,11 @@ impl GpuProvider {
                 blk.global_write_stream(cn * 8);
                 blk.global_read_stream(&region, 0, cn * 8);
                 blk.compute(cn, 9.0);
-                let words: Vec<u32> = keys[start..end]
-                    .iter()
-                    .map(|&k| hape_join::hash32(k, 12))
-                    .collect();
+                let words: Vec<u32> =
+                    keys[start..end].iter().map(|&k| hape_join::hash32(k, 12)).collect();
                 blk.smem_access(&words);
                 let extra = ((cn as f64) * (avg_chain - 1.0).max(0.0)) as usize;
-                let extra_words: Vec<u32> =
-                    words.iter().take(extra).map(|&w| w + 1).collect();
+                let extra_words: Vec<u32> = words.iter().take(extra).map(|&w| w + 1).collect();
                 blk.smem_access(&extra_words);
             }),
         };
@@ -315,13 +306,8 @@ mod tests {
 
         let gpu = GpuProvider { sim: GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Analytic) };
         let mut gpu_state = AggState::new(p.agg.clone().unwrap());
-        let r2 = gpu.run_packet(
-            packet(1000),
-            &p,
-            &tables,
-            &HashMap::new(),
-            Some(&mut gpu_state),
-        );
+        let r2 =
+            gpu.run_packet(packet(1000), &p, &tables, &HashMap::new(), Some(&mut gpu_state));
         assert!(r2.output.is_none());
 
         let a = cpu_state.finish();
@@ -372,11 +358,6 @@ mod tests {
         let t_npj = gpu.run_packet(probe.clone(), &npj, &tables, &regions, Some(&mut s1)).time;
         let t_part = gpu.run_packet(probe, &part, &tables, &regions, Some(&mut s2)).time;
         assert_eq!(s1.finish(), s2.finish());
-        assert!(
-            t_part.as_secs() < t_npj.as_secs(),
-            "partitioned {} !< npj {}",
-            t_part,
-            t_npj
-        );
+        assert!(t_part.as_secs() < t_npj.as_secs(), "partitioned {} !< npj {}", t_part, t_npj);
     }
 }

@@ -1,0 +1,854 @@
+//! The logical query builder: named columns, fallible lowering.
+//!
+//! A [`Query`] is a DataFrame-style description of a query — scans,
+//! filters, joins (whose build sides are themselves `Query`s) and a
+//! terminal group-by/aggregate — written entirely against *column names*:
+//!
+//! ```
+//! use hape_core::query::Query;
+//! use hape_ops::{col, lit, AggFunc};
+//! use hape_core::JoinAlgo;
+//!
+//! let dims = Query::scan("dim");
+//! let q = Query::scan("fact")
+//!     .join(dims, "d_id", "id", JoinAlgo::Partitioned)
+//!     .filter(col("amount").gt(lit(10.0)))
+//!     .agg(vec![(AggFunc::Sum, col("amount"))]);
+//! # let _ = q;
+//! ```
+//!
+//! [`Query::lower`] resolves every name against the catalog's table
+//! schemas and produces the engine's physical [`QueryPlan`] — the lowered
+//! IR of build [`Stage`]s and a fused stream [`Pipeline`] with positional
+//! column indices. Lowering performs **automatic projection pushdown**:
+//! each scan reads exactly the columns the query references (registered as
+//! zero-copy projected views in the returned derived catalog), and each
+//! join carries exactly the build-side columns referenced downstream, so
+//! scan and transfer costs are charged on exactly the touched bytes — what
+//! the per-query hand-maintained projections used to do manually.
+//!
+//! Everything is fallible: unknown tables/columns, type mismatches,
+//! aggregating build sides and aggregate-less streams all surface as
+//! [`PlanError`]s instead of panicking.
+
+use std::collections::HashSet;
+
+use hape_ops::{AggFunc, AggSpec, ColumnResolver, NamedExpr, ResolveError};
+use hape_storage::{DataType, Table};
+
+use crate::catalog::Catalog;
+use crate::error::PlanError;
+use crate::plan::{JoinAlgo, Pipeline, QueryPlan, Stage};
+
+/// A logical relational query over named columns.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Display name; also prefixes the lowered plan's scan/hash-table
+    /// aliases.
+    pub name: String,
+    source: Option<String>,
+    ops: Vec<LogicalOp>,
+    group_by: Vec<String>,
+    aggs: Vec<(AggFunc, NamedExpr)>,
+}
+
+#[derive(Debug, Clone)]
+enum LogicalOp {
+    Filter(NamedExpr),
+    Join(JoinSpec),
+}
+
+#[derive(Debug, Clone)]
+struct JoinSpec {
+    build: Query,
+    probe_key: String,
+    build_key: String,
+    algo: JoinAlgo,
+}
+
+impl Query {
+    /// An empty named query; call [`Query::scan`] to give it a source.
+    pub fn new(name: impl Into<String>) -> Self {
+        Query {
+            name: name.into(),
+            source: None,
+            ops: Vec::new(),
+            group_by: Vec::new(),
+            aggs: Vec::new(),
+        }
+    }
+
+    /// A query scanning `table`, named after it — the usual way to start a
+    /// join build side.
+    pub fn scan(table: impl Into<String>) -> Self {
+        let table = table.into();
+        let mut q = Query::new(table.clone());
+        q.source = Some(table);
+        q
+    }
+
+    /// Set (or replace) the scanned source table.
+    pub fn from_table(mut self, table: impl Into<String>) -> Self {
+        self.source = Some(table.into());
+        self
+    }
+
+    /// Keep rows satisfying `predicate` (a boolean [`NamedExpr`]).
+    pub fn filter(mut self, predicate: NamedExpr) -> Self {
+        self.ops.push(LogicalOp::Filter(predicate));
+        self
+    }
+
+    /// Join against `build` (a non-aggregating sub-query): rows where this
+    /// query's `probe_key` column equals the build side's `build_key`
+    /// column. Build-side columns referenced downstream are carried along
+    /// automatically.
+    ///
+    /// Name resolution is first-provider-wins: a name visible on the probe
+    /// side (or provided by an earlier join) binds there, and only names
+    /// not yet visible are pulled from this join's build side. Joins whose
+    /// sides share column names therefore resolve to the probe side's
+    /// column rather than erroring.
+    pub fn join(
+        mut self,
+        build: Query,
+        probe_key: impl Into<String>,
+        build_key: impl Into<String>,
+        algo: JoinAlgo,
+    ) -> Self {
+        self.ops.push(LogicalOp::Join(JoinSpec {
+            build,
+            probe_key: probe_key.into(),
+            build_key: build_key.into(),
+            algo,
+        }));
+        self
+    }
+
+    /// Group the terminal aggregation by these columns.
+    pub fn group_by(mut self, columns: &[&str]) -> Self {
+        self.group_by = columns.iter().map(|c| c.to_string()).collect();
+        self
+    }
+
+    /// Terminate with `(function, argument)` aggregates. A query needs
+    /// this (or it is only usable as a join build side).
+    pub fn agg(mut self, aggs: Vec<(AggFunc, NamedExpr)>) -> Self {
+        self.aggs = aggs;
+        self
+    }
+
+    /// True when the query ends in an aggregation.
+    pub fn aggregates(&self) -> bool {
+        !self.aggs.is_empty()
+    }
+
+    /// Lower into the physical IR: build stages, a stream stage, and a
+    /// derived catalog holding the pushed-down scan projections.
+    pub fn lower(&self, catalog: &Catalog) -> Result<LoweredQuery, PlanError> {
+        if !self.aggregates() {
+            return Err(PlanError::StreamWithoutAggregate { name: self.name.clone() });
+        }
+        let mut ctx = Lowering::new(catalog);
+        let (pipeline, _) = ctx.lower_chain(self, &self.name, &[])?;
+        let mut stages = ctx.stages;
+        stages.push(Stage::Stream { pipeline });
+        let plan = QueryPlan::try_new(self.name.clone(), stages)?;
+        Ok(LoweredQuery { plan, catalog: ctx.derived })
+    }
+
+    /// Lower a *non-aggregating* query for explicit materialisation (the
+    /// intra-operator co-processing path): build stages plus the final
+    /// pipeline, with `keep` naming extra columns the output must retain
+    /// beyond what the chain itself uses.
+    pub fn lower_materialize(
+        &self,
+        catalog: &Catalog,
+        keep: &[&str],
+    ) -> Result<LoweredMaterialize, PlanError> {
+        if self.aggregates() {
+            return Err(PlanError::BuildWithAggregate { stage: self.name.clone() });
+        }
+        let keep: Vec<String> = keep.iter().map(|c| c.to_string()).collect();
+        let mut ctx = Lowering::new(catalog);
+        let (pipeline, cols) = ctx.lower_chain(self, &self.name, &keep)?;
+        Ok(LoweredMaterialize {
+            builds: ctx.stages,
+            pipeline,
+            output: cols.into_iter().map(|c| c.name).collect(),
+            catalog: ctx.derived,
+        })
+    }
+
+    /// Column names this chain could export: its source table's schema
+    /// plus, recursively, everything its build sides could provide.
+    fn available_names(&self, catalog: &Catalog) -> Result<Vec<String>, PlanError> {
+        let source = self.source()?;
+        let table = lookup(catalog, source)?;
+        let mut names: Vec<String> =
+            table.schema.fields.iter().map(|f| f.name.clone()).collect();
+        for op in &self.ops {
+            if let LogicalOp::Join(j) = op {
+                names.extend(j.build.available_names(catalog)?);
+            }
+        }
+        Ok(names)
+    }
+
+    /// Names this chain itself consumes (filters, probe keys, group-by,
+    /// aggregate arguments) — not including sub-chains.
+    fn names_used(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        for op in &self.ops {
+            match op {
+                LogicalOp::Filter(e) => names.extend(e.columns_used()),
+                LogicalOp::Join(j) => names.push(j.probe_key.clone()),
+            }
+        }
+        names.extend(self.group_by.iter().cloned());
+        for (_, e) in &self.aggs {
+            names.extend(e.columns_used());
+        }
+        names
+    }
+
+    fn source(&self) -> Result<&str, PlanError> {
+        self.source
+            .as_deref()
+            .ok_or_else(|| PlanError::MissingScan { query: self.name.clone() })
+    }
+}
+
+/// A lowered executable query: the physical plan plus the derived catalog
+/// holding its pushed-down scan projections (zero-copy views over the base
+/// tables).
+#[derive(Debug, Clone)]
+pub struct LoweredQuery {
+    /// The physical plan (the lowered IR — still public for benchmarks and
+    /// the baseline systems, which execute it under their own cost models).
+    pub plan: QueryPlan,
+    /// Base catalog plus the projected scan views the plan references.
+    pub catalog: Catalog,
+}
+
+/// A lowered non-aggregating query for explicit materialisation.
+#[derive(Debug, Clone)]
+pub struct LoweredMaterialize {
+    /// Hash-table build stages, in dependency order.
+    pub builds: Vec<Stage>,
+    /// The final (non-aggregating) pipeline.
+    pub pipeline: Pipeline,
+    /// Output column names, in the pipeline's physical column order.
+    pub output: Vec<String>,
+    /// Base catalog plus projected scan views.
+    pub catalog: Catalog,
+}
+
+impl LoweredMaterialize {
+    /// Physical index of an output column.
+    pub fn index_of(&self, name: &str) -> Result<usize, PlanError> {
+        self.output.iter().position(|n| n == name).ok_or_else(|| PlanError::UnknownColumn {
+            column: name.to_string(),
+            context: "materialised output".to_string(),
+        })
+    }
+}
+
+/// One visible column during lowering: its name, type, and the base table
+/// it originates from (for dictionary lookups).
+#[derive(Debug, Clone)]
+struct ColInfo {
+    name: String,
+    dtype: DataType,
+    origin: String,
+}
+
+/// Expression result kinds for type checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Num,
+    Bool,
+    Str,
+}
+
+impl Kind {
+    fn describe(self) -> &'static str {
+        match self {
+            Kind::Num => "numeric",
+            Kind::Bool => "boolean",
+            Kind::Str => "string",
+        }
+    }
+}
+
+fn lookup<'a>(catalog: &'a Catalog, table: &str) -> Result<&'a Table, PlanError> {
+    catalog.get(table).ok_or_else(|| PlanError::UnknownTable { table: table.to_string() })
+}
+
+/// Name resolution scope over the columns visible at one pipeline point.
+struct Scope<'a> {
+    cols: &'a [ColInfo],
+    catalog: &'a Catalog,
+}
+
+impl Scope<'_> {
+    fn find(&self, name: &str) -> Option<&ColInfo> {
+        self.cols.iter().find(|c| c.name == name)
+    }
+}
+
+impl ColumnResolver for Scope<'_> {
+    fn index_of(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c.name == name)
+    }
+
+    fn str_code(&self, name: &str, value: &str) -> Result<i32, ResolveError> {
+        let info = self
+            .find(name)
+            .ok_or_else(|| ResolveError::UnknownColumn { column: name.to_string() })?;
+        if info.dtype != DataType::Str {
+            return Err(ResolveError::StringLiteralType {
+                literal: value.to_string(),
+                column: name.to_string(),
+            });
+        }
+        // The origin table came out of this catalog during lowering, so
+        // both lookups are infallible here.
+        let code = self
+            .catalog
+            .get(&info.origin)
+            .and_then(|t| t.column(name).dict().and_then(|d| d.code_of(value)));
+        // Absent value: a sentinel no dictionary code equals (codes are
+        // unsigned), so the comparison selects no rows — SQL semantics.
+        Ok(code.map_or(-1, |c| c as i32))
+    }
+}
+
+/// Shared lowering state: the derived catalog being assembled, the build
+/// stages emitted so far, and the alias/hash-table names already taken.
+struct Lowering<'a> {
+    base: &'a Catalog,
+    derived: Catalog,
+    stages: Vec<Stage>,
+    taken_tables: HashSet<String>,
+    taken_hts: HashSet<String>,
+}
+
+impl<'a> Lowering<'a> {
+    fn new(base: &'a Catalog) -> Self {
+        Lowering {
+            base,
+            derived: base.clone(),
+            stages: Vec::new(),
+            taken_tables: HashSet::new(),
+            taken_hts: HashSet::new(),
+        }
+    }
+
+    /// Claim a unique scan alias derived from `want` (must not shadow a
+    /// base table either).
+    fn unique_table(&mut self, want: String) -> String {
+        let mut name = want.clone();
+        let mut n = 1;
+        while self.taken_tables.contains(&name) || self.base.get(&name).is_some() {
+            n += 1;
+            name = format!("{want}#{n}");
+        }
+        self.taken_tables.insert(name.clone());
+        name
+    }
+
+    /// Claim a unique hash-table name derived from `want`. Hash tables
+    /// live in the run's table store, a separate namespace from the
+    /// catalog.
+    fn unique_ht(&mut self, want: String) -> String {
+        let mut name = want.clone();
+        let mut n = 1;
+        while self.taken_hts.contains(&name) {
+            n += 1;
+            name = format!("{want}#{n}");
+        }
+        self.taken_hts.insert(name.clone());
+        name
+    }
+
+    /// Lower one linear chain (the stream chain or a build side).
+    ///
+    /// `export` names the columns the chain's output must retain for its
+    /// consumer (payloads + join key for build sides; `keep` columns for
+    /// materialisation). Emits any build stages the chain's joins need and
+    /// returns the chain's pipeline plus its output column layout.
+    fn lower_chain(
+        &mut self,
+        q: &Query,
+        root: &str,
+        export: &[String],
+    ) -> Result<(Pipeline, Vec<ColInfo>), PlanError> {
+        let source = q.source()?;
+        let table = lookup(self.base, source)?;
+
+        // ---- Projection pushdown: the scan reads exactly the base-table
+        // columns this chain (or its consumer) references.
+        let mut wanted: Vec<String> = q.names_used();
+        wanted.extend(export.iter().cloned());
+        let projected: Vec<&str> = table
+            .schema
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .filter(|n| wanted.iter().any(|w| w == n))
+            .collect();
+        let scan_source = if projected.len() == table.schema.len() {
+            source.to_string()
+        } else {
+            let alias = self.unique_table(format!("{root}.{source}"));
+            let view =
+                table.try_project(&projected).expect("projected names come from this schema");
+            self.derived.register_as(alias.clone(), view);
+            alias
+        };
+        let mut cols: Vec<ColInfo> = projected
+            .iter()
+            .map(|n| ColInfo {
+                name: n.to_string(),
+                dtype: table.schema.dtype_of(n).expect("projected names come from this schema"),
+                origin: source.to_string(),
+            })
+            .collect();
+
+        let mut pipeline = Pipeline::scan(scan_source);
+        for (i, op) in q.ops.iter().enumerate() {
+            match op {
+                LogicalOp::Filter(pred) => {
+                    let context = format!("filter over {source}");
+                    let kind = infer_kind(pred, &cols, &context)?;
+                    if kind != Kind::Bool {
+                        return Err(PlanError::TypeMismatch {
+                            context,
+                            expected: "boolean predicate",
+                            found: kind.describe().to_string(),
+                        });
+                    }
+                    let scope = Scope { cols: &cols, catalog: self.base };
+                    let resolved =
+                        pred.resolve(&scope).map_err(|e| map_resolve(e, &context))?;
+                    pipeline = pipeline.filter(resolved);
+                }
+                LogicalOp::Join(j) => {
+                    if j.build.aggregates() {
+                        return Err(PlanError::BuildWithAggregate {
+                            stage: j.build.name.clone(),
+                        });
+                    }
+                    // What later ops (and our own consumer) still need but
+                    // cannot see yet — candidates for this join's payload.
+                    // Track each name's first point of use: a name only
+                    // needed *after* a later join that can also provide it
+                    // is deferred to that join, so payloads ride the
+                    // latest (cheapest) hash table that can carry them —
+                    // e.g. Q5's n_name rides the small supplier build, not
+                    // the whole orders→customers→nations chain.
+                    let rest = &q.ops[i + 1..];
+                    let mut downstream: Vec<(String, usize)> = Vec::new();
+                    for (pos, later) in rest.iter().enumerate() {
+                        match later {
+                            LogicalOp::Filter(e) => downstream
+                                .extend(e.columns_used().into_iter().map(|n| (n, pos))),
+                            LogicalOp::Join(later_join) => {
+                                downstream.push((later_join.probe_key.clone(), pos))
+                            }
+                        }
+                    }
+                    let end = rest.len();
+                    downstream.extend(q.group_by.iter().map(|n| (n.clone(), end)));
+                    for (_, e) in &q.aggs {
+                        downstream.extend(e.columns_used().into_iter().map(|n| (n, end)));
+                    }
+                    downstream.extend(export.iter().map(|n| (n.clone(), end)));
+                    let available = j.build.available_names(self.base)?;
+                    let mut payload: Vec<String> = Vec::new();
+                    'candidates: for (name, first_use) in &downstream {
+                        if cols.iter().any(|c| c.name == *name)
+                            || !available.contains(name)
+                            || payload.contains(name)
+                        {
+                            continue;
+                        }
+                        for later in rest.iter().take(*first_use) {
+                            if let LogicalOp::Join(later_join) = later {
+                                if later_join.build.available_names(self.base)?.contains(name) {
+                                    // A later join provides it before its
+                                    // first use; let that join carry it.
+                                    continue 'candidates;
+                                }
+                            }
+                        }
+                        payload.push(name.clone());
+                    }
+
+                    // Lower the build side, exporting payloads + its key.
+                    let mut build_export = payload.clone();
+                    if !build_export.contains(&j.build_key) {
+                        build_export.push(j.build_key.clone());
+                    }
+                    let (build_pipeline, build_cols) =
+                        self.lower_chain(&j.build, root, &build_export)?;
+                    let key_col = build_cols
+                        .iter()
+                        .position(|c| c.name == j.build_key)
+                        .ok_or_else(|| PlanError::UnknownColumn {
+                            column: j.build_key.clone(),
+                            context: format!("build side {}", j.build.name),
+                        })?;
+                    check_key_type(&build_cols[key_col], &j.build.name)?;
+
+                    let probe_col = cols
+                        .iter()
+                        .position(|c| c.name == j.probe_key)
+                        .ok_or_else(|| PlanError::UnknownColumn {
+                            column: j.probe_key.clone(),
+                            context: format!("probe side of join with {}", j.build.name),
+                        })?;
+                    check_key_type(&cols[probe_col], source)?;
+
+                    // Payload indices into the build output, ascending so
+                    // the probe appends them in a stable physical order.
+                    let mut payload_cols: Vec<usize> = payload
+                        .iter()
+                        .map(|n| {
+                            build_cols.iter().position(|c| c.name == *n).ok_or_else(|| {
+                                PlanError::UnknownColumn {
+                                    column: n.clone(),
+                                    context: format!("build side {}", j.build.name),
+                                }
+                            })
+                        })
+                        .collect::<Result<_, _>>()?;
+                    payload_cols.sort_unstable();
+
+                    let ht = self.unique_ht(format!("{root}.{}", j.build.name));
+                    self.stages.push(Stage::Build {
+                        name: ht.clone(),
+                        key_col,
+                        pipeline: build_pipeline,
+                    });
+                    for &b in &payload_cols {
+                        cols.push(build_cols[b].clone());
+                    }
+                    pipeline = pipeline.join(ht, probe_col, payload_cols, j.algo);
+                }
+            }
+        }
+
+        // ---- Exports must all be visible in the chain output.
+        for name in export {
+            if cols.iter().all(|c| c.name != *name) {
+                return Err(PlanError::UnknownColumn {
+                    column: name.clone(),
+                    context: format!("output of {}", q.name),
+                });
+            }
+        }
+
+        // ---- Terminal aggregation.
+        if q.aggregates() {
+            if q.group_by.len() > 4 {
+                return Err(PlanError::TooManyGroupColumns { got: q.group_by.len(), max: 4 });
+            }
+            let mut group_idx = Vec::with_capacity(q.group_by.len());
+            for g in &q.group_by {
+                let context = format!("group-by of {}", q.name);
+                let i = cols.iter().position(|c| c.name == *g).ok_or_else(|| {
+                    PlanError::UnknownColumn { column: g.clone(), context: context.clone() }
+                })?;
+                if cols[i].dtype == DataType::F64 {
+                    return Err(PlanError::TypeMismatch {
+                        context,
+                        expected: "integer, date or string group key",
+                        found: "f64".to_string(),
+                    });
+                }
+                group_idx.push(i);
+            }
+            let mut aggs = Vec::with_capacity(q.aggs.len());
+            for (func, e) in &q.aggs {
+                let context = format!("aggregate of {}", q.name);
+                if *func != AggFunc::Count {
+                    let kind = infer_kind(e, &cols, &context)?;
+                    if kind != Kind::Num {
+                        return Err(PlanError::TypeMismatch {
+                            context,
+                            expected: "numeric aggregate argument",
+                            found: kind.describe().to_string(),
+                        });
+                    }
+                }
+                let scope = Scope { cols: &cols, catalog: self.base };
+                aggs.push((*func, e.resolve(&scope).map_err(|e| map_resolve(e, &context))?));
+            }
+            let spec = if group_idx.is_empty() {
+                AggSpec::ungrouped(aggs)
+            } else {
+                AggSpec::grouped(group_idx, aggs)
+            };
+            pipeline = pipeline.aggregate(spec);
+        }
+
+        Ok((pipeline, cols))
+    }
+}
+
+fn check_key_type(col: &ColInfo, side: &str) -> Result<(), PlanError> {
+    match col.dtype {
+        DataType::I32 | DataType::Date => Ok(()),
+        other => Err(PlanError::TypeMismatch {
+            context: format!("join key {} of {side}", col.name),
+            expected: "i32-typed key column",
+            found: format!("{other:?}"),
+        }),
+    }
+}
+
+fn map_resolve(e: ResolveError, context: &str) -> PlanError {
+    match e {
+        ResolveError::UnknownColumn { column } => {
+            PlanError::UnknownColumn { column, context: context.to_string() }
+        }
+        ResolveError::StringLiteralContext { literal }
+        | ResolveError::StringLiteralType { literal, .. } => {
+            PlanError::StringComparedToNonString { literal, context: context.to_string() }
+        }
+    }
+}
+
+/// Infer an expression's result kind against the visible columns,
+/// rejecting ill-typed shapes (arithmetic on strings/booleans, ordering
+/// comparisons on strings, logic over non-booleans).
+fn infer_kind(e: &NamedExpr, cols: &[ColInfo], context: &str) -> Result<Kind, PlanError> {
+    let of = |name: &str| -> Result<Kind, PlanError> {
+        let info = cols.iter().find(|c| c.name == name).ok_or_else(|| {
+            PlanError::UnknownColumn { column: name.to_string(), context: context.to_string() }
+        })?;
+        Ok(match info.dtype {
+            DataType::Str => Kind::Str,
+            _ => Kind::Num,
+        })
+    };
+    let mismatch = |expected: &'static str, found: Kind| PlanError::TypeMismatch {
+        context: context.to_string(),
+        expected,
+        found: found.describe().to_string(),
+    };
+    Ok(match e {
+        NamedExpr::Col(n) => of(n)?,
+        NamedExpr::LitI32(_) | NamedExpr::LitI64(_) | NamedExpr::LitF64(_) => Kind::Num,
+        NamedExpr::LitStr(_) => Kind::Str,
+        NamedExpr::Add(a, b) | NamedExpr::Sub(a, b) | NamedExpr::Mul(a, b) => {
+            for side in [a, b] {
+                let k = infer_kind(side, cols, context)?;
+                if k != Kind::Num {
+                    return Err(mismatch("numeric operand", k));
+                }
+            }
+            Kind::Num
+        }
+        NamedExpr::Eq(a, b) => {
+            let (ka, kb) = (infer_kind(a, cols, context)?, infer_kind(b, cols, context)?);
+            match (ka, kb) {
+                (Kind::Num, Kind::Num) => Kind::Bool,
+                // String equality is only meaningful against a literal
+                // (resolved through the column's own dictionary). Two
+                // string *columns* carry independent dictionaries whose
+                // codes are not comparable — lowering that would silently
+                // return wrong rows, so it is a typed error.
+                (Kind::Str, Kind::Str) => {
+                    let literal_operand = matches!(**a, NamedExpr::LitStr(_))
+                        || matches!(**b, NamedExpr::LitStr(_));
+                    if !literal_operand {
+                        return Err(PlanError::TypeMismatch {
+                            context: context.to_string(),
+                            expected: "a string literal operand (column dictionaries are not \
+                                       mutually comparable)",
+                            found: "two string columns".to_string(),
+                        });
+                    }
+                    Kind::Bool
+                }
+                (Kind::Bool, _) => return Err(mismatch("comparable operand", Kind::Bool)),
+                (_, k) => return Err(mismatch("matching comparison operand", k)),
+            }
+        }
+        NamedExpr::Lt(a, b)
+        | NamedExpr::Le(a, b)
+        | NamedExpr::Gt(a, b)
+        | NamedExpr::Ge(a, b) => {
+            for side in [a, b] {
+                let k = infer_kind(side, cols, context)?;
+                if k != Kind::Num {
+                    return Err(mismatch("numeric comparison operand", k));
+                }
+            }
+            Kind::Bool
+        }
+        NamedExpr::And(a, b) | NamedExpr::Or(a, b) => {
+            for side in [a, b] {
+                let k = infer_kind(side, cols, context)?;
+                if k != Kind::Bool {
+                    return Err(mismatch("boolean operand", k));
+                }
+            }
+            Kind::Bool
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hape_ops::{col, lit};
+    use hape_storage::datagen::gen_key_fk_table;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.register_as("fact", gen_key_fk_table(1 << 10, 1 << 10, 1));
+        c.register_as("dim", gen_key_fk_table(1 << 8, 1 << 8, 2));
+        c
+    }
+
+    fn count() -> Vec<(AggFunc, NamedExpr)> {
+        vec![(AggFunc::Count, col("k"))]
+    }
+
+    #[test]
+    fn lowers_scan_filter_agg() {
+        let q = Query::new("q")
+            .from_table("fact")
+            .filter(col("k").lt(lit(100)))
+            .agg(vec![(AggFunc::Count, col("k")), (AggFunc::Sum, col("v"))]);
+        let lowered = q.lower(&catalog()).unwrap();
+        assert_eq!(lowered.plan.stages.len(), 1);
+        // Full-width scan: no alias registered.
+        assert!(lowered.catalog.get("q.fact").is_none());
+    }
+
+    #[test]
+    fn projection_pushdown_registers_view() {
+        let q = Query::new("q")
+            .from_table("fact")
+            .filter(col("k").lt(lit(100)))
+            .agg(vec![(AggFunc::Count, col("k"))]);
+        let lowered = q.lower(&catalog()).unwrap();
+        // Only `k` is referenced; the scan view drops `v`.
+        let view = lowered.catalog.get("q.fact").expect("projected view");
+        assert_eq!(view.schema.len(), 1);
+        assert_eq!(view.schema.fields[0].name, "k");
+        match &lowered.plan.stages[0] {
+            Stage::Stream { pipeline } => assert_eq!(pipeline.source, "q.fact"),
+            s => panic!("unexpected stage {s:?}"),
+        }
+    }
+
+    #[test]
+    fn join_lowers_to_build_and_probe_with_payload() {
+        let q = Query::new("q")
+            .from_table("fact")
+            .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+            .agg(vec![(AggFunc::Count, col("k")), (AggFunc::Sum, col("v"))]);
+        let lowered = q.lower(&catalog()).unwrap();
+        assert_eq!(lowered.plan.stages.len(), 2);
+        match &lowered.plan.stages[0] {
+            Stage::Build { name, key_col, .. } => {
+                assert_eq!(name, "q.dim");
+                assert_eq!(*key_col, 0);
+            }
+            s => panic!("unexpected stage {s:?}"),
+        }
+        // `v` resolves from the probe side (first provider wins), so the
+        // join carries no payload at all.
+        match &lowered.plan.stages[1] {
+            Stage::Stream { pipeline } => match &pipeline.ops[0] {
+                crate::plan::PipeOp::JoinProbe { build_payload_cols, .. } => {
+                    assert!(build_payload_cols.is_empty());
+                }
+                op => panic!("unexpected op {op:?}"),
+            },
+            s => panic!("unexpected stage {s:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_table_reported() {
+        let q = Query::new("q").from_table("ghost").agg(count());
+        assert_eq!(
+            q.lower(&catalog()).unwrap_err(),
+            PlanError::UnknownTable { table: "ghost".into() }
+        );
+    }
+
+    #[test]
+    fn unknown_column_reported() {
+        let q = Query::new("q").from_table("fact").filter(col("nope").lt(lit(1))).agg(count());
+        match q.lower(&catalog()).unwrap_err() {
+            PlanError::UnknownColumn { column, .. } => assert_eq!(column, "nope"),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn missing_aggregate_reported() {
+        let q = Query::new("q").from_table("fact");
+        assert_eq!(
+            q.lower(&catalog()).unwrap_err(),
+            PlanError::StreamWithoutAggregate { name: "q".into() }
+        );
+    }
+
+    #[test]
+    fn aggregating_build_side_reported() {
+        let build = Query::scan("dim").agg(vec![(AggFunc::Count, col("k"))]);
+        let q = Query::new("q")
+            .from_table("fact")
+            .join(build, "k", "k", JoinAlgo::NonPartitioned)
+            .agg(count());
+        assert_eq!(
+            q.lower(&catalog()).unwrap_err(),
+            PlanError::BuildWithAggregate { stage: "dim".into() }
+        );
+    }
+
+    #[test]
+    fn missing_scan_reported() {
+        let q = Query::new("q").agg(count());
+        assert_eq!(
+            q.lower(&catalog()).unwrap_err(),
+            PlanError::MissingScan { query: "q".into() }
+        );
+    }
+
+    #[test]
+    fn filter_must_be_boolean() {
+        let q = Query::new("q").from_table("fact").filter(col("k").add(lit(1))).agg(count());
+        match q.lower(&catalog()).unwrap_err() {
+            PlanError::TypeMismatch { expected, found, .. } => {
+                assert_eq!(expected, "boolean predicate");
+                assert_eq!(found, "numeric");
+            }
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn materialize_exposes_named_output() {
+        let q = Query::new("q").from_table("fact").join(
+            Query::scan("dim"),
+            "k",
+            "k",
+            JoinAlgo::NonPartitioned,
+        );
+        let lowered = q.lower_materialize(&catalog(), &["k", "v"]).unwrap();
+        assert_eq!(lowered.builds.len(), 1);
+        assert_eq!(lowered.index_of("k").unwrap(), 0);
+        assert_eq!(lowered.index_of("v").unwrap(), 1);
+        assert!(lowered.index_of("nope").is_err());
+    }
+}

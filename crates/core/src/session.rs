@@ -1,0 +1,173 @@
+//! The session: the engine's front door.
+//!
+//! A [`Session`] owns an [`Engine`] over a simulated server, a [`Catalog`]
+//! of registered tables, and a default [`ExecConfig`]. Queries are
+//! described logically with [`Session::query`] and executed with
+//! [`Session::execute`] (or [`Session::execute_with`] for a one-off
+//! placement/policy); the session lowers them against its catalog —
+//! resolving names, pushing projections down, computing positional indices
+//! — and runs the resulting physical plan. All failures surface as the
+//! unified [`HapeError`].
+
+use hape_sim::topology::Server;
+use hape_storage::Table;
+
+use crate::catalog::Catalog;
+use crate::engine::{Engine, ExecConfig, Placement, QueryReport};
+use crate::error::HapeError;
+use crate::query::{LoweredQuery, Query};
+
+/// An engine + catalog + default execution config.
+#[derive(Debug, Clone)]
+pub struct Session {
+    engine: Engine,
+    catalog: Catalog,
+    config: ExecConfig,
+}
+
+impl Session {
+    /// A session over a server, empty catalog, hybrid placement.
+    pub fn new(server: Server) -> Self {
+        Session {
+            engine: Engine::new(server),
+            catalog: Catalog::new(),
+            config: ExecConfig::new(Placement::Hybrid),
+        }
+    }
+
+    /// Replace the default execution config.
+    pub fn with_config(mut self, config: ExecConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replace the default placement, keeping the other config defaults.
+    pub fn with_placement(self, placement: Placement) -> Self {
+        self.with_config(ExecConfig::new(placement))
+    }
+
+    /// The engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The default execution config.
+    pub fn config(&self) -> &ExecConfig {
+        &self.config
+    }
+
+    /// Register a table under its own name.
+    pub fn register(&mut self, table: Table) {
+        self.catalog.register(table);
+    }
+
+    /// Register a table under an explicit name.
+    pub fn register_as(&mut self, name: impl Into<String>, table: Table) {
+        self.catalog.register_as(name, table);
+    }
+
+    /// Start describing a named query.
+    pub fn query(&self, name: impl Into<String>) -> Query {
+        Query::new(name)
+    }
+
+    /// Lower a logical query against this session's catalog.
+    pub fn lower(&self, query: &Query) -> Result<LoweredQuery, HapeError> {
+        Ok(query.lower(&self.catalog)?)
+    }
+
+    /// Lower and execute under the session's default config.
+    ///
+    /// Lowering runs per call; to execute one query many times (e.g.
+    /// sweeping placements), [`Session::lower`] once and hand the
+    /// [`LoweredQuery`] to [`Engine::run`] directly.
+    pub fn execute(&self, query: &Query) -> Result<QueryReport, HapeError> {
+        self.execute_with(query, &self.config)
+    }
+
+    /// Lower and execute under an explicit config.
+    pub fn execute_with(
+        &self,
+        query: &Query,
+        config: &ExecConfig,
+    ) -> Result<QueryReport, HapeError> {
+        let lowered = self.lower(query)?;
+        Ok(self.engine.run(&lowered.catalog, &lowered.plan, config)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::PlanError;
+    use crate::plan::JoinAlgo;
+    use crate::query::Query;
+    use hape_ops::{col, lit, AggFunc};
+    use hape_storage::datagen::gen_key_fk_table;
+
+    fn session() -> Session {
+        let mut s = Session::new(Server::paper_testbed());
+        s.register_as("fact", gen_key_fk_table(1 << 16, 1 << 16, 1));
+        s.register_as("dim", gen_key_fk_table(1 << 12, 1 << 12, 2));
+        s
+    }
+
+    #[test]
+    fn session_runs_a_join_query_on_all_placements() {
+        let s = session();
+        let q = s
+            .query("smoke")
+            .from_table("fact")
+            .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+            .agg(vec![(AggFunc::Count, col("k")), (AggFunc::Sum, col("v"))]);
+        let mut rows = Vec::new();
+        for placement in [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid] {
+            let rep = s.execute_with(&q, &ExecConfig::new(placement)).unwrap();
+            // Unique fact keys over 2^16, dim keys over 2^12: the join
+            // keeps exactly the dim-sized key range.
+            assert_eq!(rep.rows[0].1[0], (1 << 12) as f64, "{placement:?}");
+            rows.push(rep.rows);
+        }
+        assert_eq!(rows[0], rows[1]);
+        assert_eq!(rows[1], rows[2]);
+    }
+
+    #[test]
+    fn execute_surfaces_plan_errors() {
+        let s = session();
+        let q = s
+            .query("bad")
+            .from_table("fact")
+            .filter(col("missing").lt(lit(1)))
+            .agg(vec![(AggFunc::Count, col("k"))]);
+        match s.execute(&q).unwrap_err() {
+            HapeError::Plan(PlanError::UnknownColumn { column, .. }) => {
+                assert_eq!(column, "missing")
+            }
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn execute_surfaces_engine_errors() {
+        // GPU memory scaled down so the dim hash table cannot fit.
+        let mut s = Session::new(Server::paper_testbed_gpu_mem_scaled(1.0 / 65536.0))
+            .with_placement(Placement::GpuOnly);
+        s.register_as("fact", gen_key_fk_table(1 << 16, 1 << 16, 1));
+        s.register_as("dim", gen_key_fk_table(1 << 14, 1 << 14, 2));
+        let q = s
+            .query("oom")
+            .from_table("fact")
+            .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+            .agg(vec![(AggFunc::Count, col("k"))]);
+        match s.execute(&q).unwrap_err() {
+            HapeError::Engine(e) => assert!(e.to_string().contains("GPU memory")),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+}

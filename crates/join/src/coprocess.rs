@@ -11,8 +11,8 @@
 
 use hape_sim::des::Resource;
 use hape_sim::spec::GpuSpec;
-use hape_sim::{Fidelity, GpuSim, SimTime};
 use hape_sim::topology::Server;
+use hape_sim::{Fidelity, GpuSim, SimTime};
 
 use crate::common::{JoinInput, JoinOutcome, JoinStats, OutputMode};
 use crate::cpu_radix::RadixPlan;
@@ -106,7 +106,7 @@ pub fn plan_cpu_bits(r_bytes: u64, s_bytes: u64, gpu: &GpuSpec) -> u32 {
     // co-partition, plus slack for tails/bookkeeping.
     let budget = (gpu.dram_capacity as f64 * 0.9) as u64;
     let mut bits = 0u32;
-    while 2 * (r_bytes + s_bytes) >> bits > budget {
+    while (2 * (r_bytes + s_bytes)) >> bits > budget {
         bits += 1;
         if bits >= 16 {
             break;
@@ -164,11 +164,16 @@ pub fn coprocess_join(
     // ---- Schedule co-partitions over GPUs (load-aware routing).
     let budget = (gpu_spec.dram_capacity as f64 * 0.9) as u64;
     let sim = GpuSim::new(gpu_spec.clone(), cfg.fidelity);
-    let mut links: Vec<_> = server.pcie.iter().take(n_gpus).map(|l| {
-        let mut l = l.clone();
-        l.reset();
-        l
-    }).collect();
+    let mut links: Vec<_> = server
+        .pcie
+        .iter()
+        .take(n_gpus)
+        .map(|l| {
+            let mut l = l.clone();
+            l.reset();
+            l
+        })
+        .collect();
     let mut gpus: Vec<Resource> =
         (0..n_gpus).map(|g| Resource::new(format!("gpu{g}"))).collect();
     let mut assignments = vec![0usize; n_gpus];
@@ -279,13 +284,21 @@ mod tests {
         let rv = vec![1u32; n];
         let r = JoinInput::new(&rk, &rv);
         let server = small_gpu_server(1.0 / 65536.0);
-        let one = coprocess_join(&server, r, r, &CoprocessConfig { n_gpus: 1, ..Default::default() }).unwrap();
-        let two = coprocess_join(&server, r, r, &CoprocessConfig { n_gpus: 2, ..Default::default() }).unwrap();
+        let one =
+            coprocess_join(&server, r, r, &CoprocessConfig { n_gpus: 1, ..Default::default() })
+                .unwrap();
+        let two =
+            coprocess_join(&server, r, r, &CoprocessConfig { n_gpus: 2, ..Default::default() })
+                .unwrap();
         assert_eq!(one.outcome.stats, two.outcome.stats);
         let speedup = one.outcome.time / two.outcome.time;
         assert!(speedup > 1.3, "2-GPU speedup only {speedup:.2}x");
         assert!(speedup < 2.2, "2-GPU speedup implausible: {speedup:.2}x");
-        assert!(two.per_gpu_assignments.iter().all(|&a| a > 0), "{:?}", two.per_gpu_assignments);
+        assert!(
+            two.per_gpu_assignments.iter().all(|&a| a > 0),
+            "{:?}",
+            two.per_gpu_assignments
+        );
     }
 
     #[test]
@@ -317,6 +330,6 @@ mod tests {
         let bits = plan_cpu_bits(16 << 30, 16 << 30, &gpu);
         // 2*(32GB) >> bits <= 0.9*8GB  →  bits >= 4.
         assert!(bits >= 4);
-        assert!((2u64 * 32 << 30) >> bits <= (gpu.dram_capacity as f64 * 0.9) as u64);
+        assert!(((2u64 * 32) << 30) >> bits <= (gpu.dram_capacity as f64 * 0.9) as u64);
     }
 }

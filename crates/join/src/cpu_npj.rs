@@ -58,8 +58,8 @@ pub fn cpu_npj(
         OutputMode::MatchIndices => stats.matches * 8,
     };
     let output = model.seq_write(out_bytes);
-    let time = build / (workers as f64 * BUILD_EFF)
-        + (probe + output) / (workers as f64 * PROBE_EFF);
+    let time =
+        build / (workers as f64 * BUILD_EFF) + (probe + output) / (workers as f64 * PROBE_EFF);
     JoinOutcome { stats, pairs, time }
 }
 
@@ -107,7 +107,14 @@ mod tests {
         let rk = gen_unique_keys(1 << 14, 3);
         let rv = vec![0u32; 1 << 14];
         let r = JoinInput::new(&rk, &rv);
-        let t1 = cpu_npj(r, r, &CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 1), 1, OutputMode::AggregateOnly).time;
+        let t1 = cpu_npj(
+            r,
+            r,
+            &CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 1),
+            1,
+            OutputMode::AggregateOnly,
+        )
+        .time;
         let t24 = cpu_npj(r, r, &model(), 24, OutputMode::AggregateOnly).time;
         assert!(t24.as_secs() < t1.as_secs() / 4.0);
     }

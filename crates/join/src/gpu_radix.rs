@@ -229,16 +229,10 @@ pub fn build_probe_phase(
         blk.global_read_stream(&s_region, s_off, ns * 8);
         blk.compute(nr, 5.0);
         blk.compute(ns, 7.0);
-        let bucket_words: Vec<u32> = rpart
-            .keys
-            .iter()
-            .map(|&k| crate::common::hash32(k, table.bits))
-            .collect();
-        let probe_words: Vec<u32> = spart
-            .keys
-            .iter()
-            .map(|&k| crate::common::hash32(k, table.bits))
-            .collect();
+        let bucket_words: Vec<u32> =
+            rpart.keys.iter().map(|&k| crate::common::hash32(k, table.bits)).collect();
+        let probe_words: Vec<u32> =
+            spart.keys.iter().map(|&k| crate::common::hash32(k, table.bits)).collect();
         match variant {
             BuildProbeVariant::Sm => {
                 // Build: copy tuples into the scratchpad + atomic inserts.
@@ -339,10 +333,22 @@ pub fn gpu_radix_with_shift(
     for &bits in &plan.pass_bits {
         pass_shift -= bits;
         let rep_r = charge_partition_pass(
-            sim, rk, pass_shift, bits, r_in.region, r_out.region, tails.region,
+            sim,
+            rk,
+            pass_shift,
+            bits,
+            r_in.region,
+            r_out.region,
+            tails.region,
         );
         let rep_s = charge_partition_pass(
-            sim, sk, pass_shift, bits, s_in.region, s_out.region, tails.region,
+            sim,
+            sk,
+            pass_shift,
+            bits,
+            s_in.region,
+            s_out.region,
+            tails.region,
         );
         time += rep_r.time + rep_s.time;
     }
@@ -351,7 +357,7 @@ pub fn gpu_radix_with_shift(
     let (sp, _) = radix_partition(JoinInput::new(sk, s.vals), plan.total_bits, max_pass_bits);
 
     let (mut outcome, _report) = build_probe_phase(sim, &rp, &sp, variant, mode);
-    outcome.time = outcome.time + time;
+    outcome.time += time;
 
     pool.free(r_in);
     pool.free(s_in);
@@ -410,8 +416,20 @@ mod tests {
         let (rp, _) = radix_partition(input, bits, bits);
         let (sp, _) = radix_partition(input, bits, bits);
         let exact = GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Exact);
-        let (sm, _) = build_probe_phase(&exact, &rp, &sp, BuildProbeVariant::Sm, OutputMode::AggregateOnly);
-        let (l1, _) = build_probe_phase(&exact, &rp, &sp, BuildProbeVariant::L1, OutputMode::AggregateOnly);
+        let (sm, _) = build_probe_phase(
+            &exact,
+            &rp,
+            &sp,
+            BuildProbeVariant::Sm,
+            OutputMode::AggregateOnly,
+        );
+        let (l1, _) = build_probe_phase(
+            &exact,
+            &rp,
+            &sp,
+            BuildProbeVariant::L1,
+            OutputMode::AggregateOnly,
+        );
         assert_eq!(sm.stats, l1.stats);
         assert!(
             l1.time.as_secs() > 1.2 * sm.time.as_secs(),
@@ -429,7 +447,15 @@ mod tests {
         let keys: Vec<i32> = gen_unique_keys(n, 9).iter().map(|k| k * 4).collect(); // low 2 bits zero
         let vals: Vec<u32> = (0..n as u32).collect();
         let r = JoinInput::new(&keys, &vals);
-        let out = gpu_radix_with_shift(&sim(), r, r, 2, BuildProbeVariant::Sm, OutputMode::AggregateOnly).unwrap();
+        let out = gpu_radix_with_shift(
+            &sim(),
+            r,
+            r,
+            2,
+            BuildProbeVariant::Sm,
+            OutputMode::AggregateOnly,
+        )
+        .unwrap();
         assert_eq!(out.stats.matches, n as u64);
     }
 
@@ -440,6 +466,8 @@ mod tests {
         let rk = gen_unique_keys(n, 1);
         let rv = vec![0u32; n];
         let r = JoinInput::new(&rk, &rv);
-        assert!(gpu_radix(&tiny, r, r, BuildProbeVariant::Sm, OutputMode::AggregateOnly).is_err());
+        assert!(
+            gpu_radix(&tiny, r, r, BuildProbeVariant::Sm, OutputMode::AggregateOnly).is_err()
+        );
     }
 }

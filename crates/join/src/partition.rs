@@ -133,12 +133,8 @@ pub fn radix_partition(
                 offsets.push(out_keys.len());
             }
         }
-        current = RadixPartitions {
-            keys: out_keys,
-            vals: out_vals,
-            offsets,
-            bits: current.bits + b,
-        };
+        current =
+            RadixPartitions { keys: out_keys, vals: out_vals, offsets, bits: current.bits + b };
     }
     (current, passes)
 }
@@ -192,7 +188,8 @@ mod tests {
 
     #[test]
     fn multi_pass_equals_single_pass_grouping() {
-        let (keys, vals) = input_from((0..4096).map(|i| (i * 2654435761u64 % 1024) as i32).collect());
+        let (keys, vals) =
+            input_from((0..4096).map(|i| (i * 2654435761u64 % 1024) as i32).collect());
         let (multi, passes) = radix_partition(JoinInput::new(&keys, &vals), 6, 3);
         assert_eq!(passes, vec![3, 3]);
         assert_eq!(multi.fanout(), 64);

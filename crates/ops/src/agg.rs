@@ -166,15 +166,13 @@ impl AggState {
         let group_cols: Vec<&Column> =
             self.spec.group_by.iter().map(|&i| batch.col(i)).collect();
         let n_aggs = self.spec.aggs.len();
+        #[allow(clippy::needless_range_loop)] // row indexes group_cols and args in lockstep
         for row in 0..n {
             let mut key: GroupKey = [0; 4];
             for (slot, col) in key.iter_mut().zip(&group_cols) {
                 *slot = group_value(col, row);
             }
-            let accs = self
-                .groups
-                .entry(key)
-                .or_insert_with(|| vec![Acc::new(); n_aggs]);
+            let accs = self.groups.entry(key).or_insert_with(|| vec![Acc::new(); n_aggs]);
             for (ai, (func, _)) in self.spec.aggs.iter().enumerate() {
                 match func {
                     AggFunc::Count => accs[ai].update(1.0),
@@ -209,15 +207,12 @@ impl AggState {
             .groups
             .iter()
             .map(|(k, accs)| {
-                let vals = accs
-                    .iter()
-                    .zip(&self.spec.aggs)
-                    .map(|(a, (f, _))| a.finish(*f))
-                    .collect();
+                let vals =
+                    accs.iter().zip(&self.spec.aggs).map(|(a, (f, _))| a.finish(*f)).collect();
                 (*k, vals)
             })
             .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.sort_by_key(|a| a.0);
         out
     }
 }

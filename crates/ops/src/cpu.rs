@@ -14,10 +14,7 @@ use crate::expr::{eval, eval_bool, Expr};
 
 /// Bytes per row the expression touches in this batch.
 fn bytes_used_per_row(e: &Expr, batch: &Batch) -> u64 {
-    e.columns_used()
-        .iter()
-        .map(|&i| batch.col(i).data_type().width() as u64)
-        .sum()
+    e.columns_used().iter().map(|&i| batch.col(i).data_type().width() as u64).sum()
 }
 
 /// Cost of a source scan delivering `bytes` from local memory.
@@ -36,8 +33,7 @@ pub fn filter(batch: &Batch, pred: &Expr, model: &CpuCostModel) -> (Batch, SimTi
     let n = batch.rows() as u64;
     let keep = eval_bool(pred, batch);
     let sel: Vec<u32> =
-        keep.iter().enumerate().filter(|(_, &k)| k)
-            .map(|(i, _)| i as u32).collect();
+        keep.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| i as u32).collect();
     let out = Batch {
         columns: batch.columns.iter().map(|c| c.take(&sel)).collect(),
         partition: batch.partition,
@@ -82,8 +78,7 @@ pub fn agg_update(state: &mut AggState, batch: &Batch, model: &CpuCostModel) -> 
     // what remains is expression evaluation plus random accesses into the
     // (usually tiny) group hash table.
     let table_bytes = (state.n_groups().max(1) * 64) as u64;
-    model.compute_simd(n, spec.ops_per_row())
-        + model.random_accesses(n, table_bytes)
+    model.compute_simd(n, spec.ops_per_row()) + model.random_accesses(n, table_bytes)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use hape_storage::table::DataType;
 use hape_storage::Batch;
 
 /// A scalar expression over the columns of a batch.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Column reference by index.
     Col(usize),
@@ -41,6 +41,10 @@ pub enum Expr {
     Or(Box<Expr>, Box<Expr>),
 }
 
+// The `add`/`sub`/`mul` constructors intentionally mirror the SQL-ish
+// builder vocabulary rather than implementing `std::ops` (they take the
+// operands by value as plain functions, not methods on self).
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Column reference.
     pub fn col(i: usize) -> Expr {
@@ -142,6 +146,253 @@ impl Expr {
             }
         }
     }
+}
+
+/// A scalar expression over *named* columns — what the logical query
+/// builder accepts before lowering.
+///
+/// Built with [`col`] / [`lit`] and the combinator methods, then resolved
+/// against a visible column set into a positional [`Expr`] by
+/// [`NamedExpr::resolve`]. String literals are legal only as the direct
+/// operand of a comparison against a column; the resolver translates them
+/// into dictionary codes (or a never-matching sentinel when the value is
+/// absent from the dictionary, mirroring SQL semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NamedExpr {
+    /// Column reference by name.
+    Col(String),
+    /// `i32` literal.
+    LitI32(i32),
+    /// `i64` literal.
+    LitI64(i64),
+    /// `f64` literal.
+    LitF64(f64),
+    /// String literal (resolved to a dictionary code).
+    LitStr(String),
+    /// Addition.
+    Add(Box<NamedExpr>, Box<NamedExpr>),
+    /// Subtraction.
+    Sub(Box<NamedExpr>, Box<NamedExpr>),
+    /// Multiplication.
+    Mul(Box<NamedExpr>, Box<NamedExpr>),
+    /// Equality.
+    Eq(Box<NamedExpr>, Box<NamedExpr>),
+    /// Less-than.
+    Lt(Box<NamedExpr>, Box<NamedExpr>),
+    /// Less-or-equal.
+    Le(Box<NamedExpr>, Box<NamedExpr>),
+    /// Greater-than.
+    Gt(Box<NamedExpr>, Box<NamedExpr>),
+    /// Greater-or-equal.
+    Ge(Box<NamedExpr>, Box<NamedExpr>),
+    /// Logical and.
+    And(Box<NamedExpr>, Box<NamedExpr>),
+    /// Logical or.
+    Or(Box<NamedExpr>, Box<NamedExpr>),
+}
+
+/// A named column reference: `col("l_shipdate")`.
+pub fn col(name: impl Into<String>) -> NamedExpr {
+    NamedExpr::Col(name.into())
+}
+
+/// A literal: `lit(42)`, `lit(0.05)`, `lit("ASIA")`.
+pub fn lit(value: impl Into<NamedExpr>) -> NamedExpr {
+    value.into()
+}
+
+impl From<i32> for NamedExpr {
+    fn from(v: i32) -> Self {
+        NamedExpr::LitI32(v)
+    }
+}
+
+impl From<i64> for NamedExpr {
+    fn from(v: i64) -> Self {
+        NamedExpr::LitI64(v)
+    }
+}
+
+impl From<f64> for NamedExpr {
+    fn from(v: f64) -> Self {
+        NamedExpr::LitF64(v)
+    }
+}
+
+impl From<&str> for NamedExpr {
+    fn from(v: &str) -> Self {
+        NamedExpr::LitStr(v.to_string())
+    }
+}
+
+impl From<String> for NamedExpr {
+    fn from(v: String) -> Self {
+        NamedExpr::LitStr(v)
+    }
+}
+
+macro_rules! named_binop {
+    ($(#[$doc:meta] $fn_name:ident => $variant:ident),* $(,)?) => {$(
+        #[$doc]
+        pub fn $fn_name(self, rhs: impl Into<NamedExpr>) -> NamedExpr {
+            NamedExpr::$variant(Box::new(self), Box::new(rhs.into()))
+        }
+    )*};
+}
+
+// `add`/`sub`/`mul` are the query-builder vocabulary (`col("a").add(lit(1))`),
+// deliberately consuming `impl Into<NamedExpr>` rather than the std::ops
+// signatures.
+#[allow(clippy::should_implement_trait)]
+impl NamedExpr {
+    named_binop! {
+        /// `self + rhs`.
+        add => Add,
+        /// `self - rhs`.
+        sub => Sub,
+        /// `self * rhs`.
+        mul => Mul,
+        /// `self == rhs`.
+        eq => Eq,
+        /// `self < rhs`.
+        lt => Lt,
+        /// `self <= rhs`.
+        le => Le,
+        /// `self > rhs`.
+        gt => Gt,
+        /// `self >= rhs`.
+        ge => Ge,
+        /// `self && rhs`.
+        and => And,
+        /// `self || rhs`.
+        or => Or,
+    }
+
+    /// `lo <= self < hi` — the half-open range filter every date predicate
+    /// in TPC-H uses.
+    pub fn between(self, lo: impl Into<NamedExpr>, hi: impl Into<NamedExpr>) -> NamedExpr {
+        let lo_cmp = self.clone().ge(lo);
+        let hi_cmp = self.lt(hi);
+        lo_cmp.and(hi_cmp)
+    }
+
+    /// Column names referenced by this expression (deduplicated, sorted).
+    pub fn columns_used(&self) -> Vec<String> {
+        let mut cols = Vec::new();
+        self.collect_named_columns(&mut cols);
+        cols.sort_unstable();
+        cols.dedup();
+        cols
+    }
+
+    fn collect_named_columns(&self, out: &mut Vec<String>) {
+        match self {
+            NamedExpr::Col(n) => out.push(n.clone()),
+            NamedExpr::LitI32(_)
+            | NamedExpr::LitI64(_)
+            | NamedExpr::LitF64(_)
+            | NamedExpr::LitStr(_) => {}
+            NamedExpr::Add(a, b)
+            | NamedExpr::Sub(a, b)
+            | NamedExpr::Mul(a, b)
+            | NamedExpr::Eq(a, b)
+            | NamedExpr::Lt(a, b)
+            | NamedExpr::Le(a, b)
+            | NamedExpr::Gt(a, b)
+            | NamedExpr::Ge(a, b)
+            | NamedExpr::And(a, b)
+            | NamedExpr::Or(a, b) => {
+                a.collect_named_columns(out);
+                b.collect_named_columns(out);
+            }
+        }
+    }
+
+    /// Resolve names into positions, producing a positional [`Expr`].
+    ///
+    /// String literals are resolved through the comparison they appear in:
+    /// `col("r_name").eq(lit("ASIA"))` becomes an integer comparison on the
+    /// column's dictionary code.
+    pub fn resolve<R: ColumnResolver>(&self, r: &R) -> Result<Expr, ResolveError> {
+        match self {
+            NamedExpr::Col(n) => Ok(Expr::Col(self.resolve_col(n, r)?)),
+            NamedExpr::LitI32(v) => Ok(Expr::LitI32(*v)),
+            NamedExpr::LitI64(v) => Ok(Expr::LitI64(*v)),
+            NamedExpr::LitF64(v) => Ok(Expr::LitF64(*v)),
+            NamedExpr::LitStr(s) => {
+                Err(ResolveError::StringLiteralContext { literal: s.clone() })
+            }
+            NamedExpr::Add(a, b) => Ok(Expr::add(a.resolve(r)?, b.resolve(r)?)),
+            NamedExpr::Sub(a, b) => Ok(Expr::sub(a.resolve(r)?, b.resolve(r)?)),
+            NamedExpr::Mul(a, b) => Ok(Expr::mul(a.resolve(r)?, b.resolve(r)?)),
+            NamedExpr::Eq(a, b) => self.resolve_cmp(a, b, r, Expr::eq),
+            NamedExpr::Lt(a, b) => self.resolve_cmp(a, b, r, Expr::lt),
+            NamedExpr::Le(a, b) => self.resolve_cmp(a, b, r, Expr::le),
+            NamedExpr::Gt(a, b) => self.resolve_cmp(a, b, r, Expr::gt),
+            NamedExpr::Ge(a, b) => self.resolve_cmp(a, b, r, Expr::ge),
+            NamedExpr::And(a, b) => Ok(Expr::and(a.resolve(r)?, b.resolve(r)?)),
+            NamedExpr::Or(a, b) => Ok(Expr::or(a.resolve(r)?, b.resolve(r)?)),
+        }
+    }
+
+    fn resolve_col<R: ColumnResolver>(&self, name: &str, r: &R) -> Result<usize, ResolveError> {
+        r.index_of(name).ok_or_else(|| ResolveError::UnknownColumn { column: name.to_string() })
+    }
+
+    /// Resolve a comparison, translating a string-literal operand against
+    /// the column on the other side.
+    fn resolve_cmp<R: ColumnResolver>(
+        &self,
+        a: &NamedExpr,
+        b: &NamedExpr,
+        r: &R,
+        build: fn(Expr, Expr) -> Expr,
+    ) -> Result<Expr, ResolveError> {
+        match (a, b) {
+            (NamedExpr::Col(c), NamedExpr::LitStr(s)) => {
+                let idx = self.resolve_col(c, r)?;
+                Ok(build(Expr::Col(idx), Expr::LitI32(r.str_code(c, s)?)))
+            }
+            (NamedExpr::LitStr(s), NamedExpr::Col(c)) => {
+                let idx = self.resolve_col(c, r)?;
+                Ok(build(Expr::LitI32(r.str_code(c, s)?), Expr::Col(idx)))
+            }
+            _ => Ok(build(a.resolve(r)?, b.resolve(r)?)),
+        }
+    }
+}
+
+/// What [`NamedExpr::resolve`] needs from the surrounding scope.
+pub trait ColumnResolver {
+    /// Positional index of a visible column, if any.
+    fn index_of(&self, name: &str) -> Option<usize>;
+
+    /// Dictionary code of `value` in string column `name`. Implementations
+    /// return a never-matching sentinel (e.g. `-1`) when `value` is not in
+    /// the dictionary, and an error when the column is not a string column.
+    fn str_code(&self, name: &str, value: &str) -> Result<i32, ResolveError>;
+}
+
+/// Why a [`NamedExpr`] failed to resolve.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The name is not visible in the current scope.
+    UnknownColumn {
+        /// The unresolved name.
+        column: String,
+    },
+    /// A string literal appeared outside a direct column comparison.
+    StringLiteralContext {
+        /// The literal.
+        literal: String,
+    },
+    /// A string literal was compared against a non-string column.
+    StringLiteralType {
+        /// The literal.
+        literal: String,
+        /// The non-string column.
+        column: String,
+    },
 }
 
 /// Result of evaluating an expression over a batch.
@@ -279,5 +530,77 @@ mod tests {
     fn type_confusion_panics() {
         let e = Expr::add(Expr::col(0), Expr::col(1));
         eval_bool(&e, &batch());
+    }
+
+    /// Toy scope: `a` at 0 (numeric), `region` at 1 (strings ASIA=7).
+    struct ToyScope;
+
+    impl ColumnResolver for ToyScope {
+        fn index_of(&self, name: &str) -> Option<usize> {
+            match name {
+                "a" => Some(0),
+                "region" => Some(1),
+                _ => None,
+            }
+        }
+
+        fn str_code(&self, name: &str, value: &str) -> Result<i32, ResolveError> {
+            if name != "region" {
+                return Err(ResolveError::StringLiteralType {
+                    literal: value.to_string(),
+                    column: name.to_string(),
+                });
+            }
+            Ok(if value == "ASIA" { 7 } else { -1 })
+        }
+    }
+
+    #[test]
+    fn named_exprs_resolve_to_positions() {
+        let e = col("a").mul(lit(2.0)).resolve(&ToyScope).unwrap();
+        let v = eval(&e, &batch());
+        assert_eq!(v.as_f64(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn named_unknown_column_reported() {
+        let err = col("missing").le(lit(3)).resolve(&ToyScope).unwrap_err();
+        assert_eq!(err, ResolveError::UnknownColumn { column: "missing".into() });
+    }
+
+    #[test]
+    fn string_literal_becomes_dictionary_code() {
+        let e = col("region").eq(lit("ASIA")).resolve(&ToyScope).unwrap();
+        assert_eq!(e.columns_used(), vec![1]);
+        // And an absent value resolves to the never-matching sentinel.
+        let e = col("region").eq(lit("ATLANTIS")).resolve(&ToyScope).unwrap();
+        match e {
+            Expr::Eq(_, rhs) => assert_eq!(*rhs, Expr::LitI32(-1)),
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_literal_against_numeric_column_rejected() {
+        let err = col("a").eq(lit("ASIA")).resolve(&ToyScope).unwrap_err();
+        assert!(matches!(err, ResolveError::StringLiteralType { .. }));
+    }
+
+    #[test]
+    fn stray_string_literal_rejected() {
+        let err = col("a").add(lit("ASIA")).resolve(&ToyScope).unwrap_err();
+        assert!(matches!(err, ResolveError::StringLiteralContext { .. }));
+    }
+
+    #[test]
+    fn between_expands_to_half_open_range() {
+        let e = col("a").between(lit(2), lit(4)).resolve(&ToyScope).unwrap();
+        assert_eq!(eval_bool(&e, &batch()), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn named_columns_used_deduplicates() {
+        let e = col("a").add(col("region").mul(col("a")));
+        assert_eq!(e.columns_used(), vec!["a".to_string(), "region".to_string()]);
     }
 }

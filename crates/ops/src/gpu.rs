@@ -23,10 +23,7 @@ pub fn grid_for(rows: usize) -> LaunchConfig {
 }
 
 fn bytes_used_per_row(e: &Expr, batch: &Batch) -> u64 {
-    e.columns_used()
-        .iter()
-        .map(|&i| batch.col(i).data_type().width() as u64)
-        .sum()
+    e.columns_used().iter().map(|&i| batch.col(i).data_type().width() as u64).sum()
 }
 
 /// The rows this block covers.
@@ -47,11 +44,7 @@ pub fn filter(
 ) -> (Batch, KernelReport) {
     let rows = batch.rows();
     let row_bytes = bytes_used_per_row(pred, batch).max(1);
-    let out_row_bytes: u64 = batch
-        .columns
-        .iter()
-        .map(|c| c.data_type().width() as u64)
-        .sum();
+    let out_row_bytes: u64 = batch.columns.iter().map(|c| c.data_type().width() as u64).sum();
     let mut sel: Vec<u32> = Vec::new();
     let report = sim.launch(&grid_for(rows), |blk| {
         let (start, end) = block_range(blk, rows);
@@ -63,10 +56,7 @@ pub fn filter(
         let keep = eval_bool(pred, &slice);
         let selected = keep.iter().filter(|&&k| k).count();
         sel.extend(
-            keep.iter()
-                .enumerate()
-                .filter(|(_, &k)| k)
-                .map(|(i, _)| (start + i) as u32),
+            keep.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| (start + i) as u32),
         );
         // Coalesced read of referenced columns, register compute, warp-level
         // compaction, coalesced write of survivors.
@@ -104,7 +94,8 @@ pub fn agg_update(
     // 1024 slots.
     let smem = 16 << 10;
     let cfg = LaunchConfig::new(rows.div_ceil(ITEMS_PER_BLOCK).max(1), BLOCK_THREADS, smem);
-    let report = sim.launch(&cfg, |blk| {
+
+    sim.launch(&cfg, |blk| {
         let (start, end) = block_range(blk, rows);
         if start >= end {
             return;
@@ -120,13 +111,11 @@ pub fn agg_update(
         // per aggregate plus one smem update per row.
         let words: Vec<u32> = (0..n.min(1024) as u32).map(|i| i % 241).collect();
         blk.smem_access(&words);
-        let warp_atomics: Vec<u32> =
-            (0..(n / 32).max(1) as u32).map(|i| i % 61).collect();
+        let warp_atomics: Vec<u32> = (0..(n / 32).max(1) as u32).map(|i| i % 61).collect();
         for _ in &spec.aggs {
             blk.smem_atomic(&warp_atomics);
         }
-    });
-    report
+    })
 }
 
 /// Cost-only helper: a fused streaming pass of `bytes` through a GPU

@@ -13,10 +13,12 @@ pub mod expr;
 pub mod gpu;
 
 pub use agg::{AggFunc, AggSpec, AggState, GroupKey};
-pub use expr::{eval, eval_bool, Expr, ExprValue};
+pub use expr::{
+    col, eval, eval_bool, lit, ColumnResolver, Expr, ExprValue, NamedExpr, ResolveError,
+};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::agg::{AggFunc, AggSpec, AggState};
-    pub use crate::expr::Expr;
+    pub use crate::expr::{col, lit, Expr, NamedExpr};
 }

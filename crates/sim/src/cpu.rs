@@ -72,7 +72,9 @@ impl CpuCostModel {
     /// `ops_per_elem` vector operations.
     pub fn compute_simd(&self, n: u64, ops_per_elem: f64) -> SimTime {
         let lanes = self.spec.simd_lanes_32 as f64;
-        SimTime::from_secs(n as f64 * ops_per_elem / lanes / (self.spec.clock_hz * self.spec.ipc))
+        SimTime::from_secs(
+            n as f64 * ops_per_elem / lanes / (self.spec.clock_hz * self.spec.ipc),
+        )
     }
 
     /// Expected cost of one random access into a structure of
@@ -101,8 +103,7 @@ impl CpuCostModel {
         let l2_ns = s.l2.hit_ns / 2.0;
         let l3_ns = s.l3.hit_ns / 3.0;
         let lat_ns = s.dram_latency_ns / s.mlp;
-        let bw_floor_ns =
-            s.l1d.line as f64 * self.workers_on_socket as f64 / s.dram_bw * 1e9;
+        let bw_floor_ns = s.l1d.line as f64 * self.workers_on_socket as f64 / s.dram_bw * 1e9;
         let mem_ns = lat_ns.max(bw_floor_ns);
         let mut ns = f_l1 * l1_ns + f_l2 * l2_ns + f_l3 * l3_ns + f_mem * mem_ns;
         // TLB: fraction of accesses missing the STLB (4 KiB pages).
@@ -138,11 +139,9 @@ impl CpuCostModel {
         } else {
             // TLB-thrashing scatter: every tuple write pays a TLB penalty
             // fraction and loses store coalescing.
-            let miss_frac =
-                (1.0 - max_fanout as f64 / fanout as f64).clamp(0.0, 1.0);
+            let miss_frac = (1.0 - max_fanout as f64 / fanout as f64).clamp(0.0, 1.0);
             let tlb_ns = n as f64 * miss_frac * self.spec.stlb.miss_ns / self.spec.mlp;
-            let latency_ns =
-                n as f64 * miss_frac * (self.spec.dram_latency_ns / self.spec.mlp);
+            let latency_ns = n as f64 * miss_frac * (self.spec.dram_latency_ns / self.spec.mlp);
             self.seq_write(bytes) * 1.15 + SimTime::from_ns(tlb_ns + latency_ns)
         };
         read + hash + write
@@ -213,10 +212,7 @@ mod tests {
         let n = 1 << 20;
         let ok = m.partition_pass(n, 8, m.spec().max_partition_fanout());
         let thrash = m.partition_pass(n, 8, 16 * m.spec().max_partition_fanout());
-        assert!(
-            thrash > ok * 1.5,
-            "TLB thrash should dominate: ok={ok} thrash={thrash}"
-        );
+        assert!(thrash > ok * 1.5, "TLB thrash should dominate: ok={ok} thrash={thrash}");
     }
 
     #[test]

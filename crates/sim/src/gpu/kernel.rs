@@ -375,12 +375,12 @@ impl GpuSim {
         let mut pending: Vec<Vec<BlockRecord>> = (0..sms).map(|_| Vec::new()).collect();
 
         let flush_wave = |sm: usize,
-                              wave: &mut Vec<BlockRecord>,
-                              l1s: &mut Vec<SetAssocCache>,
-                              l2: &mut SetAssocCache,
-                              sm_ns: &mut Vec<f64>,
-                              stats: &mut KernelStats,
-                              total_dram: &mut f64| {
+                          wave: &mut Vec<BlockRecord>,
+                          l1s: &mut Vec<SetAssocCache>,
+                          l2: &mut SetAssocCache,
+                          sm_ns: &mut Vec<f64>,
+                          stats: &mut KernelStats,
+                          total_dram: &mut f64| {
             if wave.is_empty() {
                 return;
             }
@@ -414,18 +414,34 @@ impl GpuSim {
             pending[sm].push(ctx.rec);
             if pending[sm].len() == occ {
                 let mut wave = std::mem::take(&mut pending[sm]);
-                flush_wave(sm, &mut wave, &mut l1s, &mut l2, &mut sm_ns, &mut stats, &mut total_dram);
+                flush_wave(
+                    sm,
+                    &mut wave,
+                    &mut l1s,
+                    &mut l2,
+                    &mut sm_ns,
+                    &mut stats,
+                    &mut total_dram,
+                );
             }
         }
+        #[allow(clippy::needless_range_loop)] // flush_wave needs the SM index too
         for sm in 0..sms {
             let mut wave = std::mem::take(&mut pending[sm]);
-            flush_wave(sm, &mut wave, &mut l1s, &mut l2, &mut sm_ns, &mut stats, &mut total_dram);
+            flush_wave(
+                sm,
+                &mut wave,
+                &mut l1s,
+                &mut l2,
+                &mut sm_ns,
+                &mut stats,
+                &mut total_dram,
+            );
         }
 
         let sm_time = SimTime::from_ns(sm_ns.iter().copied().fold(0.0, f64::max));
         let dram_time = SimTime::from_secs(total_dram / self.spec.dram_bw);
-        let time =
-            sm_time.max(dram_time) + SimTime::from_ns(self.spec.launch_overhead_ns);
+        let time = sm_time.max(dram_time) + SimTime::from_ns(self.spec.launch_overhead_ns);
         KernelReport { time, sm_time, dram_time, stats }
     }
 
@@ -496,7 +512,11 @@ mod tests {
         let cfg = LaunchConfig::new(400, 256, 0);
         let region = Region::at(1 << 20, 400 * bytes_per_block);
         let report = s.launch(&cfg, |blk| {
-            blk.global_read_stream(&region, blk.block_idx as u64 * bytes_per_block, bytes_per_block);
+            blk.global_read_stream(
+                &region,
+                blk.block_idx as u64 * bytes_per_block,
+                bytes_per_block,
+            );
             blk.compute(bytes_per_block / 4, 1.0);
         });
         let total = 400.0 * bytes_per_block as f64;
@@ -522,7 +542,11 @@ mod tests {
         });
         // Streaming the same number of payload bytes.
         let streaming = s.launch(&cfg, |blk| {
-            blk.global_read_stream(&region, (blk.block_idx * per_block * 8) as u64, (per_block * 8) as u64);
+            blk.global_read_stream(
+                &region,
+                (blk.block_idx * per_block * 8) as u64,
+                (per_block * 8) as u64,
+            );
         });
         assert!(
             random.time.as_secs() > 4.0 * streaming.time.as_secs(),

@@ -145,10 +145,8 @@ impl GpuMemPool {
             return Err(OutOfGpuMemory { requested: bytes, available: self.available() });
         }
         let aligned = bytes.div_ceil(128) * 128;
-        let buf = GpuBuffer {
-            region: Region { base: self.next_base, bytes },
-            id: self.next_id,
-        };
+        let buf =
+            GpuBuffer { region: Region { base: self.next_base, bytes }, id: self.next_id };
         self.next_base += aligned + 128;
         self.next_id += 1;
         self.used += bytes;

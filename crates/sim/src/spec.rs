@@ -247,11 +247,8 @@ impl GpuSpec {
     /// L1-sharing pollution between co-resident blocks.
     pub fn occupancy(&self, threads_per_block: usize, smem_per_block: usize) -> usize {
         let by_threads = self.max_threads_per_sm / threads_per_block.max(1);
-        let by_smem = if smem_per_block == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.smem_per_sm / smem_per_block
-        };
+        let by_smem =
+            self.smem_per_sm.checked_div(smem_per_block).unwrap_or(self.max_blocks_per_sm);
         by_threads.min(by_smem).min(self.max_blocks_per_sm).max(1)
     }
 

@@ -176,7 +176,8 @@ impl Server {
         }
         match (from, to) {
             (MemNode::CpuDram(a), MemNode::CpuDram(b)) if a != b => vec![RouteHop::XBus],
-            (MemNode::CpuDram(s), MemNode::GpuDram(g)) | (MemNode::GpuDram(g), MemNode::CpuDram(s)) => {
+            (MemNode::CpuDram(s), MemNode::GpuDram(g))
+            | (MemNode::GpuDram(g), MemNode::CpuDram(s)) => {
                 let mut hops = Vec::new();
                 if self.gpu_socket[g] != s {
                     hops.push(RouteHop::XBus);

@@ -72,7 +72,10 @@ pub fn gen_zipf_i32(n: usize, universe: usize, theta: f64, seed: u64) -> Vec<i32
 /// (requires `fanout_bits` to divide `n` evenly).
 pub fn gen_balanced_partition_keys(n: usize, fanout_bits: u32, seed: u64) -> Vec<i32> {
     let fanout = 1usize << fanout_bits;
-    assert!(n % fanout == 0, "{n} tuples do not split evenly into {fanout} partitions");
+    assert!(
+        n.is_multiple_of(fanout),
+        "{n} tuples do not split evenly into {fanout} partitions"
+    );
     let per = n / fanout;
     let mut keys: Vec<i32> = (0..n)
         .map(|i| {
@@ -90,7 +93,7 @@ pub fn gen_balanced_partition_keys(n: usize, fanout_bits: u32, seed: u64) -> Vec
 /// identical (unique, shuffled) key sets and 4-byte payloads, so the join
 /// output has exactly `rows` tuples.
 pub fn gen_key_fk_table(keys: usize, rows: usize, seed: u64) -> Table {
-    assert!(rows >= keys && rows % keys == 0, "rows must be a multiple of keys");
+    assert!(rows >= keys && rows.is_multiple_of(keys), "rows must be a multiple of keys");
     let mut k = Vec::with_capacity(rows);
     for rep in 0..rows / keys {
         k.extend(gen_unique_keys(keys, seed.wrapping_add(rep as u64)));

@@ -63,8 +63,7 @@ fn get_str(buf: &mut Bytes) -> Result<String, FormatError> {
         return Err(FormatError::Corrupt("truncated string payload".into()));
     }
     let bytes = buf.copy_to_bytes(n);
-    String::from_utf8(bytes.to_vec())
-        .map_err(|_| FormatError::Corrupt("invalid utf-8".into()))
+    String::from_utf8(bytes.to_vec()).map_err(|_| FormatError::Corrupt("invalid utf-8".into()))
 }
 
 fn dtype_tag(dt: DataType) -> u8 {

@@ -63,6 +63,21 @@ impl Schema {
         self.fields.iter().position(|f| f.name == name)
     }
 
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Type of a field by name.
+    pub fn dtype_of(&self, name: &str) -> Option<DataType> {
+        self.field(name).map(|f| f.dtype)
+    }
+
+    /// True when a field with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.index_of(name).is_some()
+    }
+
     /// Number of fields.
     pub fn len(&self) -> usize {
         self.fields.len()
@@ -171,10 +186,21 @@ impl Table {
         assert_eq!(schema.len(), data.columns.len(), "schema/data arity mismatch");
         for (f, c) in schema.fields.iter().zip(&data.columns) {
             let physical_match = match f.dtype {
-                DataType::Date => c.data_type() == DataType::I32 || c.data_type() == DataType::Date,
-                other => c.data_type() == other || (other == DataType::I32 && c.data_type() == DataType::Date),
+                DataType::Date => {
+                    c.data_type() == DataType::I32 || c.data_type() == DataType::Date
+                }
+                other => {
+                    c.data_type() == other
+                        || (other == DataType::I32 && c.data_type() == DataType::Date)
+                }
             };
-            assert!(physical_match, "column {} type mismatch: {:?} vs {:?}", f.name, f.dtype, c.data_type());
+            assert!(
+                physical_match,
+                "column {} type mismatch: {:?} vs {:?}",
+                f.name,
+                f.dtype,
+                c.data_type()
+            );
         }
         Table { name: name.into(), schema, data, mem_node: MemNode::CpuDram(0) }
     }
@@ -197,23 +223,29 @@ impl Table {
 
     /// A new table containing only the named columns (zero-copy views) —
     /// what a columnar scan reads when a query references a column subset.
+    /// Panics on unknown columns; [`Table::try_project`] is the fallible
+    /// variant query lowering uses.
     pub fn project(&self, cols: &[&str]) -> Table {
+        self.try_project(cols)
+            .unwrap_or_else(|c| panic!("no column {c} in table {}", self.name))
+    }
+
+    /// Fallible projection: returns the first unknown column name as the
+    /// error.
+    pub fn try_project(&self, cols: &[&str]) -> Result<Table, String> {
         let mut fields = Vec::with_capacity(cols.len());
         let mut data = Vec::with_capacity(cols.len());
         for &c in cols {
-            let i = self
-                .schema
-                .index_of(c)
-                .unwrap_or_else(|| panic!("no column {c} in table {}", self.name));
+            let i = self.schema.index_of(c).ok_or_else(|| c.to_string())?;
             fields.push(self.schema.fields[i].clone());
             data.push(self.data.col(i).clone());
         }
-        Table {
+        Ok(Table {
             name: self.name.clone(),
             schema: Schema { fields },
             data: Batch::new(data),
             mem_node: self.mem_node,
-        }
+        })
     }
 
     /// Column view by name. Panics if absent.

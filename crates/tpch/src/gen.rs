@@ -17,11 +17,30 @@ use crate::dates::{date, year_of, Date};
 
 /// The 25 TPC-H nations with their region assignment.
 pub const NATIONS: [(&str, usize); 25] = [
-    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
-    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
-    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
-    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
-    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
 
@@ -78,10 +97,7 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
     let region = Table::new(
         "region",
         Schema::new([("r_regionkey", DataType::I32), ("r_name", DataType::Str)]),
-        Batch::new(vec![
-            Column::from_i32((0..5).collect()),
-            Column::from_strs(REGIONS),
-        ]),
+        Batch::new(vec![Column::from_i32((0..5).collect()), Column::from_strs(REGIONS)]),
     );
     let nation = Table::new(
         "nation",
@@ -201,7 +217,11 @@ pub fn generate(sf: f64, seed: u64) -> TpchData {
             // N/F band exists where shipdate ≤ cutoff < receiptdate.
             let receipt = ship + rng.gen_range(1..=30);
             l_returnflag.push(if receipt <= cutoff {
-                if rng.gen_bool(0.5) { "A" } else { "R" }
+                if rng.gen_bool(0.5) {
+                    "A"
+                } else {
+                    "R"
+                }
             } else {
                 "N"
             });
@@ -294,7 +314,8 @@ mod tests {
         let cutoff = date(1995, 6, 17);
         let flags = d.lineitem.column("l_linestatus");
         let dict = flags.dict().unwrap().clone();
-        for (i, &ship) in d.lineitem.column("l_shipdate").as_i32().iter().enumerate().take(500) {
+        for (i, &ship) in d.lineitem.column("l_shipdate").as_i32().iter().enumerate().take(500)
+        {
             let status = dict.get(flags.as_codes()[i]).unwrap();
             if ship > cutoff {
                 assert_eq!(status, "O");

@@ -16,11 +16,13 @@ pub mod reference;
 
 pub use dates::{date, Date};
 pub use gen::{generate, TpchData};
-pub use queries::{q1_plan, q5_plan, q6_plan, q9_plan, run_q9_hybrid, Q9HybridReport};
+pub use queries::{
+    base_catalog, q1_query, q5_query, q6_query, q9_query, run_q9_hybrid, Q9HybridReport,
+};
 pub use reference::{q1_reference, q5_reference, q6_reference, q9_reference};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::gen::{generate, TpchData};
-    pub use crate::queries::{q1_plan, q5_plan, q6_plan, q9_plan};
+    pub use crate::queries::{base_catalog, q1_query, q5_query, q6_query, q9_query};
 }

@@ -1,266 +1,134 @@
-//! The paper's TPC-H queries as engine plans (§6.4).
+//! The paper's TPC-H queries as logical [`Query`]s (§6.4).
 //!
 //! Q1 and Q6 are scan-bound aggregations (they "stress the interconnect and
 //! memory bandwidth utilization"); Q5 and Q9* are join-heavy. Q9 follows the
 //! paper: no `LIKE` condition and no join to the filtered `part` table.
+//!
+//! The queries are written against *named columns* of the base tables in
+//! [`base_catalog`]; lowering derives the per-query columnar projections
+//! automatically (each scan reads exactly the referenced columns, so scan
+//! and transfer costs are charged on exactly the touched bytes — what the
+//! old hand-maintained `prepare_catalog` projections did manually).
 //!
 //! [`run_q9_hybrid`] implements the paper's hybrid Q9: the plan's hash
 //! tables exceed GPU memory, so the heavy lineitem⋈orders join runs as the
 //! §5 co-processing join while the CPU materialises the lineitem-side
 //! intermediate — "the cornerstone for evaluating Q9".
 
-use hape_core::engine::EngineError;
+use hape_core::error::HapeError;
+use hape_core::plan::Stage;
 use hape_core::provider::TableStore;
-use hape_core::{Catalog, Engine, JoinAlgo, Pipeline, QueryPlan, Stage};
+use hape_core::{Catalog, Engine, JoinAlgo, Query};
 use hape_join::{coprocess_join, CoprocessConfig, JoinInput, OutputMode};
-use hape_ops::{AggFunc, AggSpec, Expr, GroupKey};
+use hape_ops::{col, lit, AggFunc, GroupKey};
 use hape_sim::{CpuCostModel, SimTime};
 
 use crate::dates::date;
 use crate::gen::TpchData;
 
-/// Register the query-specific columnar projections in a catalog.
+/// Register the base tables in a catalog.
 ///
-/// A columnar engine only reads referenced columns; we make that explicit
-/// by registering per-query projections of the base tables, so scan and
-/// transfer costs are charged on exactly the touched bytes.
-pub fn prepare_catalog(data: &TpchData) -> Catalog {
+/// Queries reference columns by name; lowering pushes the per-query
+/// projections down onto these tables as zero-copy views.
+pub fn base_catalog(data: &TpchData) -> Catalog {
     let mut c = Catalog::new();
-    c.register_as(
-        "lineitem_q1",
-        data.lineitem.project(&[
-            "l_shipdate",
-            "l_returnflag",
-            "l_linestatus",
-            "l_quantity",
-            "l_extendedprice",
-            "l_discount",
-            "l_tax",
-        ]),
-    );
-    c.register_as(
-        "lineitem_q6",
-        data.lineitem.project(&["l_shipdate", "l_quantity", "l_discount", "l_extendedprice"]),
-    );
-    c.register_as(
-        "lineitem_q5",
-        data.lineitem.project(&["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"]),
-    );
-    c.register_as(
-        "lineitem_q9",
-        data.lineitem.project(&[
-            "l_orderkey",
-            "l_pskey",
-            "l_suppkey",
-            "l_quantity",
-            "l_extendedprice",
-            "l_discount",
-        ]),
-    );
-    c.register_as("orders_q5", data.orders.project(&["o_orderkey", "o_custkey", "o_orderdate"]));
-    c.register_as("orders_q9", data.orders.project(&["o_orderkey", "o_year"]));
-    c.register_as("customer", data.customer.clone());
-    c.register_as("supplier", data.supplier.clone());
-    c.register_as("partsupp", data.partsupp.clone());
-    c.register_as("nation", data.nation.clone());
-    c.register_as("region", data.region.clone());
+    c.register(data.lineitem.clone());
+    c.register(data.orders.clone());
+    c.register(data.customer.clone());
+    c.register(data.supplier.clone());
+    c.register(data.partsupp.clone());
+    c.register(data.nation.clone());
+    c.register(data.region.clone());
     c
 }
 
 /// TPC-H Q1: pricing summary report.
-pub fn q1_plan() -> QueryPlan {
+pub fn q1_query() -> Query {
     let threshold = date(1998, 12, 1) - 90;
-    QueryPlan::new(
-        "Q1",
-        vec![Stage::Stream {
-            pipeline: Pipeline::scan("lineitem_q1")
-                .filter(Expr::le(Expr::col(0), Expr::LitI32(threshold)))
-                .aggregate(AggSpec::grouped(
-                    vec![1, 2], // returnflag, linestatus
-                    vec![
-                        (AggFunc::Sum, Expr::col(3)),
-                        (AggFunc::Sum, Expr::col(4)),
-                        (
-                            AggFunc::Sum,
-                            Expr::mul(
-                                Expr::col(4),
-                                Expr::sub(Expr::LitF64(1.0), Expr::col(5)),
-                            ),
-                        ),
-                        (
-                            AggFunc::Sum,
-                            Expr::mul(
-                                Expr::mul(
-                                    Expr::col(4),
-                                    Expr::sub(Expr::LitF64(1.0), Expr::col(5)),
-                                ),
-                                Expr::add(Expr::LitF64(1.0), Expr::col(6)),
-                            ),
-                        ),
-                        (AggFunc::Avg, Expr::col(3)),
-                        (AggFunc::Avg, Expr::col(4)),
-                        (AggFunc::Avg, Expr::col(5)),
-                        (AggFunc::Count, Expr::col(3)),
-                    ],
-                )),
-        }],
-    )
+    let disc_price = col("l_extendedprice").mul(lit(1.0).sub(col("l_discount")));
+    Query::new("Q1")
+        .from_table("lineitem")
+        .filter(col("l_shipdate").le(lit(threshold)))
+        .group_by(&["l_returnflag", "l_linestatus"])
+        .agg(vec![
+            (AggFunc::Sum, col("l_quantity")),
+            (AggFunc::Sum, col("l_extendedprice")),
+            (AggFunc::Sum, disc_price.clone()),
+            (AggFunc::Sum, disc_price.mul(lit(1.0).add(col("l_tax")))),
+            (AggFunc::Avg, col("l_quantity")),
+            (AggFunc::Avg, col("l_extendedprice")),
+            (AggFunc::Avg, col("l_discount")),
+            (AggFunc::Count, col("l_quantity")),
+        ])
 }
 
 /// TPC-H Q6: forecasting revenue change.
-pub fn q6_plan() -> QueryPlan {
+pub fn q6_query() -> Query {
     let lo = date(1994, 1, 1);
     let hi = date(1995, 1, 1);
-    QueryPlan::new(
-        "Q6",
-        vec![Stage::Stream {
-            pipeline: Pipeline::scan("lineitem_q6")
-                .filter(Expr::and(
-                    Expr::and(
-                        Expr::ge(Expr::col(0), Expr::LitI32(lo)),
-                        Expr::lt(Expr::col(0), Expr::LitI32(hi)),
-                    ),
-                    Expr::and(
-                        Expr::and(
-                            Expr::ge(Expr::col(2), Expr::LitF64(0.0499)),
-                            Expr::le(Expr::col(2), Expr::LitF64(0.0701)),
-                        ),
-                        Expr::lt(Expr::col(1), Expr::LitF64(24.0)),
-                    ),
-                ))
-                .aggregate(AggSpec::ungrouped(vec![(
-                    AggFunc::Sum,
-                    Expr::mul(Expr::col(3), Expr::col(2)),
-                )])),
-        }],
-    )
+    Query::new("Q6")
+        .from_table("lineitem")
+        .filter(
+            col("l_shipdate").between(lit(lo), lit(hi)).and(
+                col("l_discount")
+                    .ge(lit(0.0499))
+                    .and(col("l_discount").le(lit(0.0701)))
+                    .and(col("l_quantity").lt(lit(24.0))),
+            ),
+        )
+        .agg(vec![(AggFunc::Sum, col("l_extendedprice").mul(col("l_discount")))])
 }
 
 /// TPC-H Q5: local supplier volume (region = ASIA, orders of 1994), with
 /// `algo` selecting the GPU join flavour (the Figure 9 toggle).
-pub fn q5_plan(data: &TpchData, algo: JoinAlgo) -> QueryPlan {
-    let asia = data
-        .region
-        .column("r_name")
-        .dict()
-        .expect("region dictionary")
-        .code_of("ASIA")
-        .expect("ASIA region") as i32;
+///
+/// The `"ASIA"` literal resolves through the region dictionary during
+/// lowering — no manual code lookup.
+pub fn q5_query(algo: JoinAlgo) -> Query {
     let lo = date(1994, 1, 1);
     let hi = date(1995, 1, 1);
-    QueryPlan::new(
-        "Q5",
-        vec![
-            Stage::Build {
-                name: "q5_region".into(),
-                key_col: 0,
-                pipeline: Pipeline::scan("region")
-                    .filter(Expr::eq(Expr::col(1), Expr::LitI32(asia))),
-            },
-            Stage::Build {
-                name: "q5_nation".into(),
-                key_col: 0,
-                // nation ⋈ region (keeps ASIA nations): (nationkey, regionkey, name)
-                pipeline: Pipeline::scan("nation").join("q5_region", 1, vec![], algo),
-            },
-            Stage::Build {
-                name: "q5_customer".into(),
-                key_col: 0,
-                // customers of ASIA nations: (custkey, nationkey)
-                pipeline: Pipeline::scan("customer").join("q5_nation", 1, vec![], algo),
-            },
-            Stage::Build {
-                name: "q5_orders".into(),
-                key_col: 0,
-                // 1994 orders by those customers: (+ c_nationkey payload)
-                pipeline: Pipeline::scan("orders_q5")
-                    .filter(Expr::and(
-                        Expr::ge(Expr::col(2), Expr::LitI32(lo)),
-                        Expr::lt(Expr::col(2), Expr::LitI32(hi)),
-                    ))
-                    .join("q5_customer", 1, vec![1], algo),
-            },
-            Stage::Build {
-                name: "q5_supplier".into(),
-                key_col: 0,
-                // ASIA suppliers with their nation name: (suppkey, nationkey, n_name)
-                pipeline: Pipeline::scan("supplier").join("q5_nation", 1, vec![2], algo),
-            },
-            Stage::Stream {
-                pipeline: Pipeline::scan("lineitem_q5")
-                    // + c_nationkey
-                    .join("q5_orders", 0, vec![3], algo)
-                    // + s_nationkey, n_name
-                    .join("q5_supplier", 1, vec![1, 2], algo)
-                    // customer and supplier in the same nation
-                    .filter(Expr::eq(Expr::col(4), Expr::col(5)))
-                    .aggregate(AggSpec::grouped(
-                        vec![6], // n_name
-                        vec![(
-                            AggFunc::Sum,
-                            Expr::mul(
-                                Expr::col(2),
-                                Expr::sub(Expr::LitF64(1.0), Expr::col(3)),
-                            ),
-                        )],
-                    )),
-            },
-        ],
-    )
+    let asia_regions = Query::scan("region").filter(col("r_name").eq(lit("ASIA")));
+    let asia_nations =
+        Query::scan("nation").join(asia_regions, "n_regionkey", "r_regionkey", algo);
+    let customers =
+        Query::scan("customer").join(asia_nations.clone(), "c_nationkey", "n_nationkey", algo);
+    let orders = Query::scan("orders")
+        .filter(col("o_orderdate").between(lit(lo), lit(hi)))
+        .join(customers, "o_custkey", "c_custkey", algo);
+    let suppliers =
+        Query::scan("supplier").join(asia_nations, "s_nationkey", "n_nationkey", algo);
+    Query::new("Q5")
+        .from_table("lineitem")
+        .join(orders, "l_orderkey", "o_orderkey", algo)
+        .join(suppliers, "l_suppkey", "s_suppkey", algo)
+        // Customer and supplier in the same nation.
+        .filter(col("c_nationkey").eq(col("s_nationkey")))
+        .group_by(&["n_name"])
+        .agg(vec![(AggFunc::Sum, col("l_extendedprice").mul(lit(1.0).sub(col("l_discount"))))])
 }
 
 /// TPC-H Q9* (no LIKE / no part join, as run in the paper): product-type
 /// profit by nation and year.
-pub fn q9_plan(algo: JoinAlgo) -> QueryPlan {
-    QueryPlan::new(
-        "Q9*",
-        vec![
-            Stage::Build {
-                name: "q9_nation".into(),
-                key_col: 0,
-                pipeline: Pipeline::scan("nation"),
-            },
-            Stage::Build {
-                name: "q9_supplier".into(),
-                key_col: 0,
-                // (suppkey, nationkey, n_name)
-                pipeline: Pipeline::scan("supplier").join("q9_nation", 1, vec![2], algo),
-            },
-            Stage::Build {
-                name: "q9_partsupp".into(),
-                key_col: 0,
-                pipeline: Pipeline::scan("partsupp"),
-            },
-            Stage::Build {
-                name: "q9_orders".into(),
-                key_col: 0,
-                pipeline: Pipeline::scan("orders_q9"),
-            },
-            Stage::Stream {
-                pipeline: Pipeline::scan("lineitem_q9")
-                    // + ps_supplycost
-                    .join("q9_partsupp", 1, vec![2], algo)
-                    // + n_name
-                    .join("q9_supplier", 2, vec![2], algo)
-                    // + o_year
-                    .join("q9_orders", 0, vec![1], algo)
-                    .aggregate(AggSpec::grouped(
-                        vec![7, 8], // n_name, o_year
-                        vec![(
-                            AggFunc::Sum,
-                            // price*(1-disc) - supplycost*qty
-                            Expr::sub(
-                                Expr::mul(
-                                    Expr::col(4),
-                                    Expr::sub(Expr::LitF64(1.0), Expr::col(5)),
-                                ),
-                                Expr::mul(Expr::col(6), Expr::col(3)),
-                            ),
-                        )],
-                    )),
-            },
-        ],
-    )
+pub fn q9_query(algo: JoinAlgo) -> Query {
+    Query::new("Q9*")
+        .from_table("lineitem")
+        .join(Query::scan("partsupp"), "l_pskey", "ps_pskey", algo)
+        .join(q9_suppliers(algo), "l_suppkey", "s_suppkey", algo)
+        .join(Query::scan("orders"), "l_orderkey", "o_orderkey", algo)
+        .group_by(&["n_name", "o_year"])
+        .agg(vec![(
+            AggFunc::Sum,
+            // price*(1-disc) - supplycost*qty
+            col("l_extendedprice")
+                .mul(lit(1.0).sub(col("l_discount")))
+                .sub(col("ps_supplycost").mul(col("l_quantity"))),
+        )])
+}
+
+/// Suppliers with their nation name attached — shared by Q9 and its hybrid
+/// runner.
+fn q9_suppliers(algo: JoinAlgo) -> Query {
+    Query::scan("supplier").join(Query::scan("nation"), "s_nationkey", "n_nationkey", algo)
 }
 
 /// Result of the hybrid Q9 run.
@@ -284,50 +152,45 @@ pub fn run_q9_hybrid(
     engine: &Engine,
     catalog: &Catalog,
     data: &TpchData,
-) -> Result<Q9HybridReport, EngineError> {
+) -> Result<Q9HybridReport, HapeError> {
+    // Materialise lineitem ⋈ partsupp ⋈ (supplier ⋈ nation) on the CPUs,
+    // keeping the columns the final aggregation and the co-processed join
+    // consume.
+    let algo = JoinAlgo::NonPartitioned;
+    let inter_query = Query::new("Q9.intermediate")
+        .from_table("lineitem")
+        .join(Query::scan("partsupp"), "l_pskey", "ps_pskey", algo)
+        .join(q9_suppliers(algo), "l_suppkey", "s_suppkey", algo);
+    let lowered = inter_query.lower_materialize(
+        catalog,
+        &[
+            "l_orderkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "ps_supplycost",
+            "n_name",
+        ],
+    )?;
+
+    // CPU-side builds for the small hash tables, in dependency order.
     let mut tables = TableStore::new();
     let mut clock = SimTime::ZERO;
-
-    // CPU-side builds for the small tables.
-    let (nation, end, _) = engine.build_join_table(
-        catalog,
-        &Pipeline::scan("nation"),
-        0,
-        &tables,
-        clock,
-    )?;
-    tables.insert("q9_nation".into(), nation);
-    clock = end;
-    let (supplier, end, _) = engine.build_join_table(
-        catalog,
-        &Pipeline::scan("supplier").join("q9_nation", 1, vec![2], JoinAlgo::NonPartitioned),
-        0,
-        &tables,
-        clock,
-    )?;
-    tables.insert("q9_supplier".into(), supplier);
-    clock = end;
-    let (partsupp, end, _) = engine.build_join_table(
-        catalog,
-        &Pipeline::scan("partsupp"),
-        0,
-        &tables,
-        clock,
-    )?;
-    tables.insert("q9_partsupp".into(), partsupp);
-    clock = end;
-
-    // Materialise lineitem ⋈ partsupp ⋈ supplier on the CPUs:
-    // (l_orderkey, .., qty, price, disc, supplycost, n_name).
-    let inter_pipeline = Pipeline::scan("lineitem_q9")
-        .join("q9_partsupp", 1, vec![2], JoinAlgo::NonPartitioned)
-        .join("q9_supplier", 2, vec![2], JoinAlgo::NonPartitioned);
+    for stage in &lowered.builds {
+        let Stage::Build { name, key_col, pipeline } = stage else {
+            continue;
+        };
+        let (jt, end, _) =
+            engine.build_join_table(&lowered.catalog, pipeline, *key_col, &tables, clock)?;
+        tables.insert(name.clone(), jt);
+        clock = end;
+    }
     let (inter, inter_end, _) =
-        engine.materialize_cpu(catalog, &inter_pipeline, &tables, clock)?;
+        engine.materialize_cpu(&lowered.catalog, &lowered.pipeline, &tables, clock)?;
     let intermediate_time = inter_end;
 
     // Co-processed join: intermediate ⋈ orders on o_orderkey.
-    let inter_keys: Vec<i32> = inter.col(0).as_i32().to_vec();
+    let inter_keys: Vec<i32> = inter.col(lowered.index_of("l_orderkey")?).as_i32().to_vec();
     let inter_vals: Vec<u32> = (0..inter.rows() as u32).collect();
     let order_keys: Vec<i32> = data.orders.column("o_orderkey").as_i32().to_vec();
     let order_vals: Vec<u32> = (0..order_keys.len() as u32).collect();
@@ -343,20 +206,20 @@ pub fn run_q9_hybrid(
         JoinInput::new(&inter_keys, &inter_vals),
         &cfg,
     )
+    // TPC-H order keys are near-unique: the skew guard cannot trip.
     .expect("co-processing join failed");
     let coprocess_time = cop.outcome.time;
 
     // Final aggregation over the match pairs (CPU side, trivially cheap
-    // relative to the join).
+    // relative to the join), addressing the intermediate by column name.
     let (order_rows, inter_rows) = cop.outcome.pairs.as_ref().expect("match indices");
     let o_year = data.orders.column("o_year").as_i32();
-    let qty = inter.col(3).as_i32();
-    let price = inter.col(4).as_f64();
-    let disc = inter.col(5).as_f64();
-    let cost = inter.col(6).as_f64();
-    let names = inter.col(7).as_codes();
-    let mut groups: std::collections::HashMap<GroupKey, f64> =
-        std::collections::HashMap::new();
+    let qty = inter.col(lowered.index_of("l_quantity")?).as_i32();
+    let price = inter.col(lowered.index_of("l_extendedprice")?).as_f64();
+    let disc = inter.col(lowered.index_of("l_discount")?).as_f64();
+    let cost = inter.col(lowered.index_of("ps_supplycost")?).as_f64();
+    let names = inter.col(lowered.index_of("n_name")?).as_codes();
+    let mut groups: std::collections::HashMap<GroupKey, f64> = std::collections::HashMap::new();
     for (&o, &i) in order_rows.iter().zip(inter_rows) {
         let (o, i) = (o as usize, i as usize);
         let amount = price[i] * (1.0 - disc[i]) - cost[i] * qty[i] as f64;
@@ -365,7 +228,7 @@ pub fn run_q9_hybrid(
     }
     let mut rows: Vec<(GroupKey, Vec<f64>)> =
         groups.into_iter().map(|(k, v)| (k, vec![v])).collect();
-    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows.sort_by_key(|a| a.0);
     let model = CpuCostModel::new(engine.server.cpus[0].clone(), engine.server.cpus[0].cores);
     let agg_time = model.random_accesses(order_rows.len() as u64, 1 << 16)
         / (engine.server.total_cpu_cores() as f64 * 0.9);
@@ -389,22 +252,67 @@ mod tests {
     #[test]
     fn q1_matches_reference_on_cpu() {
         let data = generate(0.002, 11);
-        let catalog = prepare_catalog(&data);
+        let catalog = base_catalog(&data);
         let engine = Engine::new(Server::paper_testbed());
-        let rep = engine.run(&catalog, &q1_plan(), &ExecConfig::new(Placement::CpuOnly)).unwrap();
+        let q1 = q1_query().lower(&catalog).unwrap();
+        let rep =
+            engine.run(&q1.catalog, &q1.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
         let reference = reference::q1_reference(&data);
-        assert!(reference::rows_approx_eq(&rep.rows, &reference), "{:?}\n{:?}", rep.rows, reference);
+        assert!(
+            reference::rows_approx_eq(&rep.rows, &reference),
+            "{:?}\n{:?}",
+            rep.rows,
+            reference
+        );
         assert_eq!(rep.rows.len(), 4); // A/F, N/F, N/O, R/F
+    }
+
+    #[test]
+    fn q1_projection_is_pushed_down() {
+        let data = generate(0.002, 11);
+        let catalog = base_catalog(&data);
+        let q1 = q1_query().lower(&catalog).unwrap();
+        // The lineitem scan reads exactly the 7 referenced columns.
+        let view = q1.catalog.get("Q1.lineitem").expect("projected lineitem view");
+        assert_eq!(view.schema.len(), 7);
+        assert!(view.schema.contains("l_shipdate"));
+        assert!(!view.schema.contains("l_orderkey"));
+    }
+
+    #[test]
+    fn q5_payloads_ride_the_latest_providing_join() {
+        use hape_core::plan::{PipeOp, Stage};
+        let data = generate(0.002, 13);
+        let catalog = base_catalog(&data);
+        let q5 = q5_query(JoinAlgo::NonPartitioned).lower(&catalog).unwrap();
+        // The paper's hand-written plan shape: the orders join carries only
+        // c_nationkey; n_name rides the small supplier build (not the whole
+        // orders→customers→nations chain).
+        let Some(Stage::Stream { pipeline }) = q5.plan.stages.last() else {
+            panic!("stream stage last");
+        };
+        let probes: Vec<&PipeOp> =
+            pipeline.ops.iter().filter(|op| matches!(op, PipeOp::JoinProbe { .. })).collect();
+        assert_eq!(probes.len(), 2);
+        let PipeOp::JoinProbe { build_payload_cols: orders_payload, .. } = probes[0] else {
+            unreachable!()
+        };
+        let PipeOp::JoinProbe { build_payload_cols: supplier_payload, .. } = probes[1] else {
+            unreachable!()
+        };
+        assert_eq!(orders_payload.len(), 1, "orders join carries only c_nationkey");
+        assert_eq!(supplier_payload.len(), 2, "supplier join carries s_nationkey + n_name");
     }
 
     #[test]
     fn q6_matches_reference_all_placements() {
         let data = generate(0.002, 12);
-        let catalog = prepare_catalog(&data);
+        let catalog = base_catalog(&data);
         let engine = Engine::new(Server::paper_testbed());
         let reference = reference::q6_reference(&data);
+        let q6 = q6_query().lower(&catalog).unwrap();
         for placement in [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid] {
-            let rep = engine.run(&catalog, &q6_plan(), &ExecConfig::new(placement)).unwrap();
+            let rep = engine.run(&q6.catalog, &q6.plan, &ExecConfig::new(placement)).unwrap();
             assert!(
                 reference::rows_approx_eq(&rep.rows, &reference),
                 "{placement:?}: {:?} vs {reference:?}",
@@ -416,13 +324,13 @@ mod tests {
     #[test]
     fn q5_matches_reference() {
         let data = generate(0.002, 13);
-        let catalog = prepare_catalog(&data);
+        let catalog = base_catalog(&data);
         let engine = Engine::new(Server::paper_testbed());
         let reference = reference::q5_reference(&data);
         for algo in [JoinAlgo::NonPartitioned, JoinAlgo::Partitioned] {
-            let rep = engine
-                .run(&catalog, &q5_plan(&data, algo), &ExecConfig::new(Placement::Hybrid))
-                .unwrap();
+            let q5 = q5_query(algo).lower(&catalog).unwrap();
+            let rep =
+                engine.run(&q5.catalog, &q5.plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
             assert!(
                 reference::rows_approx_eq(&rep.rows, &reference),
                 "{algo:?}: {:?} vs {reference:?}",
@@ -434,12 +342,12 @@ mod tests {
     #[test]
     fn q9_matches_reference_and_hybrid_agrees() {
         let data = generate(0.002, 14);
-        let catalog = prepare_catalog(&data);
+        let catalog = base_catalog(&data);
         let engine = Engine::new(Server::paper_testbed());
         let reference = reference::q9_reference(&data);
-        let rep = engine
-            .run(&catalog, &q9_plan(JoinAlgo::NonPartitioned), &ExecConfig::new(Placement::CpuOnly))
-            .unwrap();
+        let q9 = q9_query(JoinAlgo::NonPartitioned).lower(&catalog).unwrap();
+        let rep =
+            engine.run(&q9.catalog, &q9.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
         assert!(reference::rows_approx_eq(&rep.rows, &reference));
         let hybrid = run_q9_hybrid(&engine, &catalog, &data).unwrap();
         assert!(

@@ -33,7 +33,7 @@ pub fn rows_approx_eq(a: &[(GroupKey, Vec<f64>)], b: &[(GroupKey, Vec<f64>)]) ->
 
 fn sorted(groups: HashMap<GroupKey, Vec<f64>>) -> Vec<(GroupKey, Vec<f64>)> {
     let mut rows: Vec<_> = groups.into_iter().collect();
-    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    rows.sort_by_key(|a| a.0);
     rows
 }
 
@@ -103,8 +103,7 @@ pub fn q5_reference(data: &TpchData) -> Vec<(GroupKey, Vec<f64>)> {
     let lo = date(1994, 1, 1);
     let hi = date(1995, 1, 1);
     let n_region = data.nation.column("n_regionkey").as_i32();
-    let asia_nation: Vec<bool> =
-        n_region.iter().map(|&r| r == asia as i32).collect();
+    let asia_nation: Vec<bool> = n_region.iter().map(|&r| r == asia as i32).collect();
     let c_nation = data.customer.column("c_nationkey").as_i32();
     let s_nation = data.supplier.column("s_nationkey").as_i32();
     let n_name = data.nation.column("n_name").as_codes();
@@ -176,7 +175,7 @@ mod tests {
             assert_eq!(vals.len(), 8);
             let (sum_qty, avg_qty, count) = (vals[0], vals[4], vals[7]);
             assert!((sum_qty / count - avg_qty).abs() < 1e-9);
-            assert!(avg_qty >= 1.0 && avg_qty <= 50.0);
+            assert!((1.0..=50.0).contains(&avg_qty));
         }
     }
 
@@ -197,10 +196,8 @@ mod tests {
         let asia = data.region.column("r_name").dict().unwrap().code_of("ASIA").unwrap();
         let n_region = data.nation.column("n_regionkey").as_i32();
         let n_name = data.nation.column("n_name").as_codes();
-        let asia_names: Vec<i64> = (0..25)
-            .filter(|&n| n_region[n] == asia as i32)
-            .map(|n| n_name[n] as i64)
-            .collect();
+        let asia_names: Vec<i64> =
+            (0..25).filter(|&n| n_region[n] == asia as i32).map(|n| n_name[n] as i64).collect();
         for (k, _) in &rows {
             assert!(asia_names.contains(&k[0]), "{k:?}");
         }

@@ -1,43 +1,37 @@
-//! Quickstart: run a join-and-aggregate query on the HAPE engine in all
-//! three placements and watch the hybrid configuration beat both.
+//! Quickstart: describe a join-and-aggregate query against named columns
+//! on a [`hape::core::Session`], run it in all three placements, and watch
+//! the hybrid configuration beat both.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use hape::core::{Catalog, Engine, ExecConfig, JoinAlgo, Pipeline, Placement, QueryPlan, Stage};
-use hape::ops::{AggFunc, AggSpec, Expr};
+use hape::core::{ExecConfig, JoinAlgo, Placement, Query, Session};
+use hape::ops::{col, AggFunc};
 use hape::sim::topology::Server;
 use hape::storage::datagen::gen_key_fk_table;
 
 fn main() {
     // The paper's testbed: 2×12-core Xeon + 2× GTX 1080 (simulated).
-    let server = Server::paper_testbed();
-    let engine = Engine::new(server);
+    let mut session = Session::new(Server::paper_testbed());
 
     // A fact table of 4M rows joined against a 64K-row dimension.
-    let mut catalog = Catalog::new();
-    catalog.register_as("fact", gen_key_fk_table(1 << 22, 1 << 22, 7));
-    catalog.register_as("dim", gen_key_fk_table(1 << 16, 1 << 16, 8));
+    session.register_as("fact", gen_key_fk_table(1 << 22, 1 << 22, 7));
+    session.register_as("dim", gen_key_fk_table(1 << 16, 1 << 16, 8));
 
-    let plan = QueryPlan::new(
-        "quickstart",
-        vec![
-            Stage::Build { name: "dim_ht".into(), key_col: 0, pipeline: Pipeline::scan("dim") },
-            Stage::Stream {
-                pipeline: Pipeline::scan("fact")
-                    .join("dim_ht", 0, vec![1], JoinAlgo::Partitioned)
-                    .aggregate(AggSpec::ungrouped(vec![
-                        (AggFunc::Count, Expr::col(0)),
-                        (AggFunc::Sum, Expr::col(2)),
-                    ])),
-            },
-        ],
-    );
+    // Named columns; the engine lowers this to build/stream pipelines with
+    // positional indices and pushed-down projections.
+    let query = session
+        .query("quickstart")
+        .from_table("fact")
+        .join(Query::scan("dim"), "k", "k", JoinAlgo::Partitioned)
+        .agg(vec![(AggFunc::Count, col("k")), (AggFunc::Sum, col("v"))]);
 
     println!("placement   time        CPU-pkts GPU-pkts  H2D bytes   result(count)");
     for placement in [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid] {
-        let rep = engine.run(&catalog, &plan, &ExecConfig::new(placement)).unwrap();
+        let rep = session
+            .execute_with(&query, &ExecConfig::new(placement))
+            .expect("quickstart query runs");
         println!(
             "{:<11} {:<11} {:<8} {:<8} {:<11} {}",
             format!("{placement:?}"),

@@ -67,12 +67,8 @@ fn main() {
     }
 
     println!("\n== routes and bottlenecks:");
-    let nodes = [
-        MemNode::CpuDram(0),
-        MemNode::CpuDram(1),
-        MemNode::GpuDram(0),
-        MemNode::GpuDram(1),
-    ];
+    let nodes =
+        [MemNode::CpuDram(0), MemNode::CpuDram(1), MemNode::GpuDram(0), MemNode::GpuDram(1)];
     for from in nodes {
         for to in nodes {
             if from == to {

@@ -2,45 +2,55 @@
 //! (the paper's Figure 8 setting) and print the outcome, including the Q9
 //! GPU-only out-of-memory failure and its co-processing rescue.
 //!
+//! The queries are logical `Query` builders over named columns; the session
+//! lowers them (with automatic projection pushdown) before execution.
+//!
 //! ```text
 //! cargo run --release --example tpch_hybrid [sf]
 //! ```
 
-use hape::core::{Engine, ExecConfig, JoinAlgo, Placement};
+use hape::core::{ExecConfig, JoinAlgo, Placement, Session};
 use hape::sim::topology::Server;
-use hape::tpch::queries::{prepare_catalog, q1_plan, q5_plan, q6_plan, q9_plan, run_q9_hybrid};
+use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query, run_q9_hybrid};
 
 fn main() {
     let sf: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.05);
     println!("generating TPC-H at SF {sf} …");
     let data = hape::tpch::generate(sf, 42);
-    let catalog = prepare_catalog(&data);
     // GPU memory scales with SF so the paper's SF-100 capacity effects hold.
-    let engine = Engine::new(Server::tpch_scaled(sf));
+    let mut session = Session::new(Server::tpch_scaled(sf));
+    session.register(data.lineitem.clone());
+    session.register(data.orders.clone());
+    session.register(data.customer.clone());
+    session.register(data.supplier.clone());
+    session.register(data.partsupp.clone());
+    session.register(data.nation.clone());
+    session.register(data.region.clone());
 
     let queries = vec![
-        ("Q1", q1_plan()),
-        ("Q5", q5_plan(&data, JoinAlgo::Partitioned)),
-        ("Q6", q6_plan()),
-        ("Q9*", q9_plan(JoinAlgo::Partitioned)),
+        ("Q1", q1_query()),
+        ("Q5", q5_query(JoinAlgo::Partitioned)),
+        ("Q6", q6_query()),
+        ("Q9*", q9_query(JoinAlgo::Partitioned)),
     ];
     println!("{:<5} {:>14} {:>14} {:>14}", "query", "CPU-only", "GPU-only", "Hybrid");
-    for (name, plan) in &queries {
-        let cpu = engine.run(&catalog, plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
-        let gpu = engine.run(&catalog, plan, &ExecConfig::new(Placement::GpuOnly));
-        let hybrid = engine.run(&catalog, plan, &ExecConfig::new(Placement::Hybrid));
+    for (name, query) in &queries {
+        let cpu = session
+            .execute_with(query, &ExecConfig::new(Placement::CpuOnly))
+            .expect("CPU-only runs everything");
+        let gpu = session.execute_with(query, &ExecConfig::new(Placement::GpuOnly));
+        let hybrid = session.execute_with(query, &ExecConfig::new(Placement::Hybrid));
         let gpu_s = match &gpu {
             Ok(r) => format!("{}", r.time),
-            Err(e) => {
-                let _ = e; // Q9: hash tables exceed GPU memory
-                "OOM".to_string()
-            }
+            // Q9: hash tables exceed GPU memory.
+            Err(_) => "OOM".to_string(),
         };
         let hybrid_s = match hybrid {
             Ok(r) => format!("{}", r.time),
             Err(_) => {
                 // Q9: hybrid falls back to intra-operator co-processing.
-                let rep = run_q9_hybrid(&engine, &catalog, &data).unwrap();
+                let rep = run_q9_hybrid(session.engine(), session.catalog(), &data)
+                    .expect("co-processing hybrid runs");
                 format!("{} (coproc)", rep.time)
             }
         };

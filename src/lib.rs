@@ -19,34 +19,43 @@
 //!
 //! ## Quickstart
 //!
+//! Describe queries logically on a [`core::Session`] — named columns,
+//! fallible construction — and let the engine lower them into its physical
+//! pipelines (projection pushdown, positional indices, build/stream
+//! stages):
+//!
 //! ```
-//! use hape::core::{Catalog, Engine, ExecConfig, JoinAlgo, Pipeline, Placement,
-//!                  QueryPlan, Stage};
-//! use hape::ops::{AggFunc, AggSpec, Expr};
+//! use hape::core::{JoinAlgo, Query, Session};
+//! use hape::ops::{col, lit, AggFunc};
 //! use hape::sim::topology::Server;
 //! use hape::storage::datagen::gen_key_fk_table;
 //!
-//! // A server with 2 CPU sockets and 2 GPUs, like the paper's testbed.
-//! let engine = Engine::new(Server::paper_testbed());
+//! // A server with 2 CPU sockets and 2 GPUs, like the paper's testbed;
+//! // hybrid placement by default.
+//! let mut session = Session::new(Server::paper_testbed());
 //!
-//! // Two 4-byte-key/4-byte-payload tables, joined and counted, hybrid.
-//! let mut catalog = Catalog::new();
-//! catalog.register_as("fact", gen_key_fk_table(1 << 14, 1 << 14, 42));
-//! catalog.register_as("dim", gen_key_fk_table(1 << 14, 1 << 14, 43));
-//! let plan = QueryPlan::new(
-//!     "quickstart",
-//!     vec![
-//!         Stage::Build { name: "d".into(), key_col: 0, pipeline: Pipeline::scan("dim") },
-//!         Stage::Stream {
-//!             pipeline: Pipeline::scan("fact")
-//!                 .join("d", 0, vec![1], JoinAlgo::Partitioned)
-//!                 .aggregate(AggSpec::ungrouped(vec![(AggFunc::Count, Expr::col(0))])),
-//!         },
-//!     ],
-//! );
-//! let report = engine.run(&catalog, &plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
+//! // Two 4-byte-key/4-byte-payload tables, joined and counted.
+//! session.register_as("fact", gen_key_fk_table(1 << 14, 1 << 14, 42));
+//! session.register_as("dim", gen_key_fk_table(1 << 14, 1 << 14, 43));
+//! let query = session
+//!     .query("quickstart")
+//!     .from_table("fact")
+//!     .filter(col("k").ge(lit(0)))
+//!     .join(Query::scan("dim"), "k", "k", JoinAlgo::Partitioned)
+//!     .agg(vec![(AggFunc::Count, col("k"))]);
+//! let report = session.execute(&query).unwrap();
 //! assert_eq!(report.rows[0].1[0], (1 << 14) as f64);
+//!
+//! // Misdescribed queries are typed errors, not panics.
+//! let bad = session.query("bad").from_table("fact")
+//!     .filter(col("missing").lt(lit(1)))
+//!     .agg(vec![(AggFunc::Count, col("k"))]);
+//! assert!(session.execute(&bad).is_err());
 //! ```
+//!
+//! The physical [`core::QueryPlan`]/[`core::Stage`]/[`core::Pipeline`]
+//! layer the session lowers into remains public — benchmarks and the
+//! baseline systems execute it directly under their own cost models.
 pub use hape_baselines as baselines;
 pub use hape_core as core;
 pub use hape_join as join;

@@ -1,12 +1,15 @@
 //! Cross-crate integration tests: the engine, the TPC-H workload, the
 //! baselines and the co-processing path agree on results, and the paper's
-//! qualitative claims hold end-to-end.
+//! qualitative claims hold end-to-end — all through the logical
+//! `Query` front-end lowered against the base catalog.
 
 use hape::baselines::{DbmsC, DbmsG};
 use hape::core::engine::EngineError;
-use hape::core::{Engine, ExecConfig, JoinAlgo, Placement};
+use hape::core::{Engine, ExecConfig, JoinAlgo, LoweredQuery, Placement};
 use hape::sim::topology::Server;
-use hape::tpch::queries::{prepare_catalog, q1_plan, q5_plan, q6_plan, q9_plan, run_q9_hybrid};
+use hape::tpch::queries::{
+    base_catalog, q1_query, q5_query, q6_query, q9_query, run_q9_hybrid,
+};
 use hape::tpch::reference::{
     q1_reference, q5_reference, q6_reference, q9_reference, rows_approx_eq,
 };
@@ -15,23 +18,30 @@ const SF: f64 = 0.01;
 
 fn setup() -> (hape::tpch::TpchData, hape::core::Catalog, Engine) {
     let data = hape::tpch::generate(SF, 777);
-    let catalog = prepare_catalog(&data);
+    let catalog = base_catalog(&data);
     let engine = Engine::new(Server::tpch_scaled(SF));
     (data, catalog, engine)
+}
+
+fn lower(q: hape::core::Query, catalog: &hape::core::Catalog) -> LoweredQuery {
+    q.lower(catalog).expect("TPC-H query lowers")
 }
 
 #[test]
 fn all_systems_agree_on_q1_and_q6() {
     let (data, catalog, engine) = setup();
-    for (plan, reference) in
-        [(q1_plan(), q1_reference(&data)), (q6_plan(), q6_reference(&data))]
-    {
-        let cpu = engine.run(&catalog, &plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
-        let hybrid = engine.run(&catalog, &plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
-        assert!(rows_approx_eq(&cpu.rows, &reference), "{}: engine CPU", plan.name);
-        assert!(rows_approx_eq(&hybrid.rows, &reference), "{}: engine hybrid", plan.name);
-        let c = DbmsC::new(engine.server.clone()).run_plan(&catalog, &plan);
-        assert!(rows_approx_eq(&c.rows, &reference), "{}: DBMS C", plan.name);
+    for (q, reference) in [
+        (lower(q1_query(), &catalog), q1_reference(&data)),
+        (lower(q6_query(), &catalog), q6_reference(&data)),
+    ] {
+        let cpu =
+            engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+        let hybrid =
+            engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
+        assert!(rows_approx_eq(&cpu.rows, &reference), "{}: engine CPU", q.plan.name);
+        assert!(rows_approx_eq(&hybrid.rows, &reference), "{}: engine hybrid", q.plan.name);
+        let c = DbmsC::new(engine.server.clone()).run_plan(&q.catalog, &q.plan).unwrap();
+        assert!(rows_approx_eq(&c.rows, &reference), "{}: DBMS C", q.plan.name);
     }
 }
 
@@ -40,9 +50,10 @@ fn q5_partitioned_and_non_partitioned_agree() {
     let (data, catalog, engine) = setup();
     let reference = q5_reference(&data);
     for algo in [JoinAlgo::NonPartitioned, JoinAlgo::Partitioned] {
+        let q = lower(q5_query(algo), &catalog);
         for placement in [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid] {
             let rep = engine
-                .run(&catalog, &q5_plan(&data, algo), &ExecConfig::new(placement))
+                .run(&q.catalog, &q.plan, &ExecConfig::new(placement))
                 .unwrap_or_else(|e| panic!("{algo:?}/{placement:?}: {e}"));
             assert!(
                 rows_approx_eq(&rep.rows, &reference),
@@ -57,14 +68,13 @@ fn q9_gpu_only_oom_but_hybrid_coprocessing_succeeds() {
     let (data, catalog, engine) = setup();
     let reference = q9_reference(&data);
     // GPU-only must fail with the capacity error (the paper's §6.4).
-    let err = engine
-        .run(&catalog, &q9_plan(JoinAlgo::Partitioned), &ExecConfig::new(Placement::GpuOnly))
-        .unwrap_err();
+    let q9p = lower(q9_query(JoinAlgo::Partitioned), &catalog);
+    let err =
+        engine.run(&q9p.catalog, &q9p.plan, &ExecConfig::new(Placement::GpuOnly)).unwrap_err();
     assert!(matches!(err, EngineError::GpuMemoryExceeded { .. }), "{err}");
     // CPU-only works and matches the reference.
-    let cpu = engine
-        .run(&catalog, &q9_plan(JoinAlgo::NonPartitioned), &ExecConfig::new(Placement::CpuOnly))
-        .unwrap();
+    let q9 = lower(q9_query(JoinAlgo::NonPartitioned), &catalog);
+    let cpu = engine.run(&q9.catalog, &q9.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
     assert!(rows_approx_eq(&cpu.rows, &reference));
     // Hybrid via intra-operator co-processing matches and beats CPU-only.
     let hybrid = run_q9_hybrid(&engine, &catalog, &data).unwrap();
@@ -81,12 +91,16 @@ fn q9_gpu_only_oom_but_hybrid_coprocessing_succeeds() {
 fn dbms_g_runs_only_q6_of_the_four() {
     let (data, catalog, engine) = setup();
     let g = DbmsG::new(engine.server.clone());
-    assert!(g.run_plan(&catalog, &q6_plan()).is_ok());
-    assert!(g.run_plan(&catalog, &q1_plan()).is_err());
-    assert!(g.run_plan(&catalog, &q5_plan(&data, JoinAlgo::NonPartitioned)).is_err());
-    assert!(g.run_plan(&catalog, &q9_plan(JoinAlgo::NonPartitioned)).is_err());
+    let q6 = lower(q6_query(), &catalog);
+    assert!(g.run_plan(&q6.catalog, &q6.plan).is_ok());
+    let q1 = lower(q1_query(), &catalog);
+    assert!(g.run_plan(&q1.catalog, &q1.plan).is_err());
+    let q5 = lower(q5_query(JoinAlgo::NonPartitioned), &catalog);
+    assert!(g.run_plan(&q5.catalog, &q5.plan).is_err());
+    let q9 = lower(q9_query(JoinAlgo::NonPartitioned), &catalog);
+    assert!(g.run_plan(&q9.catalog, &q9.plan).is_err());
     // And where it runs, it agrees.
-    let rep = g.run_plan(&catalog, &q6_plan()).unwrap();
+    let rep = g.run_plan(&q6.catalog, &q6.plan).unwrap();
     assert!(rows_approx_eq(&rep.rows, &q6_reference(&data)));
 }
 
@@ -94,16 +108,23 @@ fn dbms_g_runs_only_q6_of_the_four() {
 fn hybrid_is_never_slower_than_both_single_device_configs() {
     // The paper's headline Figure 8 claim: "in all four experiments the
     // multi-CPU multi-GPU hybrid configuration outperforms both".
-    let (data, catalog, engine) = setup();
-    for plan in [q1_plan(), q6_plan(), q5_plan(&data, JoinAlgo::Partitioned)] {
-        let cpu = engine.run(&catalog, &plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
-        let gpu = engine.run(&catalog, &plan, &ExecConfig::new(Placement::GpuOnly)).unwrap();
-        let hybrid = engine.run(&catalog, &plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
+    let (_, catalog, engine) = setup();
+    for q in [
+        lower(q1_query(), &catalog),
+        lower(q6_query(), &catalog),
+        lower(q5_query(JoinAlgo::Partitioned), &catalog),
+    ] {
+        let cpu =
+            engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+        let gpu =
+            engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::GpuOnly)).unwrap();
+        let hybrid =
+            engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
         let best = cpu.time.min(gpu.time);
         assert!(
             hybrid.time.as_secs() <= best.as_secs() * 1.05,
             "{}: hybrid {} vs best single-device {}",
-            plan.name,
+            q.plan.name,
             hybrid.time,
             best
         );
@@ -114,14 +135,16 @@ fn hybrid_is_never_slower_than_both_single_device_configs() {
 fn scan_bound_queries_prefer_cpu_join_heavy_prefer_gpu() {
     // Figure 8's two regimes: Q1/Q6 scan-bound (CPU wins: local DRAM beats
     // PCIe), Q5 join-heavy (GPU wins despite the transfers).
-    let (data, catalog, engine) = setup();
-    for plan in [q1_plan(), q6_plan()] {
-        let cpu = engine.run(&catalog, &plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
-        let gpu = engine.run(&catalog, &plan, &ExecConfig::new(Placement::GpuOnly)).unwrap();
+    let (_, catalog, engine) = setup();
+    for q in [lower(q1_query(), &catalog), lower(q6_query(), &catalog)] {
+        let cpu =
+            engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+        let gpu =
+            engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::GpuOnly)).unwrap();
         assert!(
             cpu.time.as_secs() < gpu.time.as_secs(),
             "{}: CPU {} should beat GPU {}",
-            plan.name,
+            q.plan.name,
             cpu.time,
             gpu.time
         );
@@ -130,17 +153,20 @@ fn scan_bound_queries_prefer_cpu_join_heavy_prefer_gpu() {
     // scale the join/scan cost ratio shrinks (EXPERIMENTS.md, E4), so we
     // assert the weaker scale-robust property: GPU-only is competitive on
     // Q5 (within 1.5×) while it loses by >2.5× on the scan-bound queries.
-    let plan = q5_plan(&data, JoinAlgo::Partitioned);
-    let cpu = engine.run(&catalog, &plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
-    let gpu = engine.run(&catalog, &plan, &ExecConfig::new(Placement::GpuOnly)).unwrap();
+    let q5 = lower(q5_query(JoinAlgo::Partitioned), &catalog);
+    let cpu = engine.run(&q5.catalog, &q5.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+    let gpu = engine.run(&q5.catalog, &q5.plan, &ExecConfig::new(Placement::GpuOnly)).unwrap();
     assert!(
         gpu.time.as_secs() < 1.5 * cpu.time.as_secs(),
         "Q5: GPU {} should be competitive with CPU {}",
         gpu.time,
         cpu.time
     );
-    let q6_cpu = engine.run(&catalog, &q6_plan(), &ExecConfig::new(Placement::CpuOnly)).unwrap();
-    let q6_gpu = engine.run(&catalog, &q6_plan(), &ExecConfig::new(Placement::GpuOnly)).unwrap();
+    let q6 = lower(q6_query(), &catalog);
+    let q6_cpu =
+        engine.run(&q6.catalog, &q6.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+    let q6_gpu =
+        engine.run(&q6.catalog, &q6.plan, &ExecConfig::new(Placement::GpuOnly)).unwrap();
     let q6_ratio = q6_gpu.time.as_secs() / q6_cpu.time.as_secs();
     let q5_ratio = gpu.time.as_secs() / cpu.time.as_secs();
     assert!(

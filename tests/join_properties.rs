@@ -1,4 +1,8 @@
-//! Property-based tests over the join suite and its substrates.
+//! Property-style tests over the join suite and its substrates.
+//!
+//! These were originally `proptest` generators; the registry is unreachable
+//! in this environment, so the same properties run over deterministic
+//! seeded case sweeps instead — every case is reproducible by seed.
 
 use hape::join::{
     coprocess_join, cpu_npj, cpu_radix, gpu_npj, gpu_radix, radix_partition, reference_join,
@@ -6,21 +10,29 @@ use hape::join::{
 };
 use hape::sim::prelude::*;
 use hape::sim::topology::Server;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn model() -> CpuCostModel {
     CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 12)
 }
 
-fn keys_strategy(max_len: usize) -> impl Strategy<Value = Vec<i32>> {
-    prop::collection::vec(0i32..4096, 1..max_len)
+/// `len` keys in `[0, 4096)`, deterministic per seed.
+fn keys(len: usize, seed: u64) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len.max(1)).map(|_| rng.gen_range(0..4096)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn len_for(seed: u64, max_len: usize) -> usize {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
+    rng.gen_range(1..max_len)
+}
 
-    #[test]
-    fn all_joins_match_reference(rk in keys_strategy(800), sk in keys_strategy(800)) {
+#[test]
+fn all_joins_match_reference() {
+    for case in 0..24u64 {
+        let rk = keys(len_for(case, 800), case * 2 + 1);
+        let sk = keys(len_for(case + 100, 800), case * 2 + 2);
         let rv: Vec<u32> = (0..rk.len() as u32).collect();
         let sv: Vec<u32> = (0..sk.len() as u32).map(|i| i + 10_000).collect();
         let r = JoinInput::new(&rk, &rv);
@@ -30,85 +42,95 @@ proptest! {
         let sim = GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Analytic);
 
         let a = cpu_npj(r, s, &m, 24, OutputMode::MatchIndices);
-        prop_assert_eq!(a.stats, expect.stats);
-        prop_assert_eq!(a.sorted_pairs(), expect.sorted_pairs());
+        assert_eq!(a.stats, expect.stats, "case {case}: cpu_npj stats");
+        assert_eq!(a.sorted_pairs(), expect.sorted_pairs(), "case {case}: cpu_npj pairs");
 
         let b = cpu_radix(r, s, &m, 24, OutputMode::MatchIndices);
-        prop_assert_eq!(b.stats, expect.stats);
-        prop_assert_eq!(b.sorted_pairs(), expect.sorted_pairs());
+        assert_eq!(b.stats, expect.stats, "case {case}: cpu_radix stats");
+        assert_eq!(b.sorted_pairs(), expect.sorted_pairs(), "case {case}: cpu_radix pairs");
 
         let c = gpu_npj(&sim, r, s, OutputMode::MatchIndices).unwrap();
-        prop_assert_eq!(c.stats, expect.stats);
-        prop_assert_eq!(c.sorted_pairs(), expect.sorted_pairs());
+        assert_eq!(c.stats, expect.stats, "case {case}: gpu_npj stats");
+        assert_eq!(c.sorted_pairs(), expect.sorted_pairs(), "case {case}: gpu_npj pairs");
 
         let d = gpu_radix(&sim, r, s, BuildProbeVariant::Sm, OutputMode::MatchIndices).unwrap();
-        prop_assert_eq!(d.stats, expect.stats);
-        prop_assert_eq!(d.sorted_pairs(), expect.sorted_pairs());
+        assert_eq!(d.stats, expect.stats, "case {case}: gpu_radix stats");
+        assert_eq!(d.sorted_pairs(), expect.sorted_pairs(), "case {case}: gpu_radix pairs");
     }
+}
 
-    #[test]
-    fn partitioning_is_a_radix_respecting_permutation(
-        keys in keys_strategy(2000),
-        bits in 1u32..6,
-        per_pass in 1u32..4,
-    ) {
-        let vals: Vec<u32> = (0..keys.len() as u32).collect();
-        let (parts, _) = radix_partition(JoinInput::new(&keys, &vals), bits, per_pass);
+#[test]
+fn partitioning_is_a_radix_respecting_permutation() {
+    for case in 0..12u64 {
+        let ks = keys(len_for(case, 2000), case + 31);
+        let bits = 1 + (case % 5) as u32;
+        let per_pass = 1 + (case % 3) as u32;
+        let vals: Vec<u32> = (0..ks.len() as u32).collect();
+        let (parts, _) = radix_partition(JoinInput::new(&ks, &vals), bits, per_pass);
         // Permutation of the input multiset.
-        let mut before: Vec<(i32, u32)> = keys.iter().copied().zip(vals).collect();
+        let mut before: Vec<(i32, u32)> = ks.iter().copied().zip(vals).collect();
         let mut after: Vec<(i32, u32)> =
             parts.keys.iter().copied().zip(parts.vals.iter().copied()).collect();
         before.sort_unstable();
         after.sort_unstable();
-        prop_assert_eq!(before, after);
+        assert_eq!(before, after, "case {case}");
         // Every tuple landed in the partition of its key radix.
         let mask = (1u32 << bits) - 1;
         for p in 0..parts.fanout() {
             let slice = parts.part(p);
             for &k in slice.keys {
-                prop_assert_eq!((k as u32) & mask, p as u32);
+                assert_eq!((k as u32) & mask, p as u32, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn coprocess_matches_reference_under_memory_pressure(
-        rk in keys_strategy(600),
-        sk in keys_strategy(600),
-        shrink in 12u32..18,
-    ) {
+#[test]
+fn coprocess_matches_reference_under_memory_pressure() {
+    for case in 0..10u64 {
+        let rk = keys(len_for(case + 7, 600), case + 61);
+        let sk = keys(len_for(case + 17, 600), case + 62);
+        let shrink = 12 + (case % 6) as u32;
         let rv: Vec<u32> = (0..rk.len() as u32).collect();
         let sv: Vec<u32> = (0..sk.len() as u32).collect();
         let r = JoinInput::new(&rk, &rv);
         let s = JoinInput::new(&sk, &sv);
         let server = Server::paper_testbed_gpu_mem_scaled(1.0 / f64::from(1u32 << shrink));
-        let cfg = CoprocessConfig { n_gpus: 2, mode: OutputMode::MatchIndices, ..Default::default() };
+        let cfg =
+            CoprocessConfig { n_gpus: 2, mode: OutputMode::MatchIndices, ..Default::default() };
         match coprocess_join(&server, r, s, &cfg) {
             Ok(rep) => {
                 let expect = reference_join(r, s);
-                prop_assert_eq!(rep.outcome.stats, expect.stats);
-                prop_assert_eq!(rep.outcome.sorted_pairs(), expect.sorted_pairs());
+                assert_eq!(rep.outcome.stats, expect.stats, "case {case}");
+                assert_eq!(rep.outcome.sorted_pairs(), expect.sorted_pairs(), "case {case}");
             }
             // Legitimate refusal: an oversized co-partition (skew guard).
-            Err(e) => prop_assert!(e.to_string().contains("co-partition")),
+            Err(e) => assert!(e.to_string().contains("co-partition"), "case {case}: {e}"),
         }
     }
+}
 
-    #[test]
-    fn cache_hit_rate_monotone_in_capacity(
-        addr_seed in 0u64..1000,
-        small_kb in 1usize..8,
-    ) {
-        use hape::sim::cache::SetAssocCache;
-        use hape::sim::spec::CacheLevelSpec;
+#[test]
+fn cache_hit_rate_monotone_in_capacity() {
+    use hape::sim::cache::SetAssocCache;
+    use hape::sim::spec::CacheLevelSpec;
+    for case in 0..8u64 {
+        let addr_seed = case * 123 + 1;
+        let small_kb = 1 + (case % 7) as usize;
         let addrs: Vec<u64> = (0..4096u64)
             .map(|i| (i.wrapping_mul(addr_seed * 2 + 1) * 7919) % (1 << 18))
             .collect();
         let mut small = SetAssocCache::new(CacheLevelSpec {
-            size: small_kb << 10, line: 64, assoc: 4, hit_ns: 1.0,
+            size: small_kb << 10,
+            line: 64,
+            assoc: 4,
+            hit_ns: 1.0,
         });
         let mut large = SetAssocCache::new(CacheLevelSpec {
-            size: (small_kb << 10) * 8, line: 64, assoc: 4, hit_ns: 1.0,
+            size: (small_kb << 10) * 8,
+            line: 64,
+            assoc: 4,
+            hit_ns: 1.0,
         });
         for &a in &addrs {
             small.access(a);
@@ -121,22 +143,43 @@ proptest! {
             small.access(a);
             large.access(a);
         }
-        prop_assert!(large.stats().hit_rate() + 1e-9 >= small.stats().hit_rate());
+        assert!(
+            large.stats().hit_rate() + 1e-9 >= small.stats().hit_rate(),
+            "case {case}: {} < {}",
+            large.stats().hit_rate(),
+            small.stats().hit_rate()
+        );
     }
+}
 
-    #[test]
-    fn simulated_join_time_monotone_in_size(scale in 1usize..5) {
+#[test]
+fn simulated_join_time_monotone_in_size() {
+    let m = model();
+    for scale in 1usize..5 {
         let n1 = 1usize << (12 + scale);
         let n2 = n1 * 2;
-        let m = model();
         let mk = |n: usize| -> (Vec<i32>, Vec<u32>) {
             (hape::storage::datagen::gen_unique_keys(n, 3), vec![0u32; n])
         };
         let (k1, v1) = mk(n1);
         let (k2, v2) = mk(n2);
-        let t1 = cpu_radix(JoinInput::new(&k1, &v1), JoinInput::new(&k1, &v1), &m, 24, OutputMode::AggregateOnly).time;
-        let t2 = cpu_radix(JoinInput::new(&k2, &v2), JoinInput::new(&k2, &v2), &m, 24, OutputMode::AggregateOnly).time;
-        prop_assert!(t2 > t1);
+        let t1 = cpu_radix(
+            JoinInput::new(&k1, &v1),
+            JoinInput::new(&k1, &v1),
+            &m,
+            24,
+            OutputMode::AggregateOnly,
+        )
+        .time;
+        let t2 = cpu_radix(
+            JoinInput::new(&k2, &v2),
+            JoinInput::new(&k2, &v2),
+            &m,
+            24,
+            OutputMode::AggregateOnly,
+        )
+        .time;
+        assert!(t2 > t1, "scale {scale}");
     }
 }
 

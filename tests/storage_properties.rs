@@ -1,30 +1,32 @@
-//! Property tests for the storage substrate: format round-trips, slicing
-//! and packet algebra.
+//! Property-style tests for the storage substrate: format round-trips,
+//! slicing and packet algebra.
+//!
+//! Originally `proptest` generators; the registry is unreachable in this
+//! environment, so the same properties run over deterministic seeded case
+//! sweeps instead.
 
 use hape::storage::{read_table, write_table, Batch, Column, DataType, Schema, Table};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+fn ints(len: usize, seed: u64) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(i32::MIN..i32::MAX)).collect()
+}
 
-    #[test]
-    fn binary_format_round_trips(
-        ints in prop::collection::vec(any::<i32>(), 0..200),
-        floats_seed in any::<u32>(),
-    ) {
-        let n = ints.len();
+#[test]
+fn binary_format_round_trips() {
+    for case in 0..32u64 {
+        let n = (case * 13 % 200) as usize;
+        let vals = ints(n, case + 1);
         let floats: Vec<f64> =
-            (0..n).map(|i| (i as f64) * 0.5 + f64::from(floats_seed % 97)).collect();
-        let longs: Vec<i64> = ints.iter().map(|&v| i64::from(v) * 3).collect();
+            (0..n).map(|i| (i as f64) * 0.5 + f64::from((case as u32) % 97)).collect();
+        let longs: Vec<i64> = vals.iter().map(|&v| i64::from(v) * 3).collect();
         let t = Table::new(
             "prop",
-            Schema::new([
-                ("a", DataType::I32),
-                ("b", DataType::F64),
-                ("c", DataType::I64),
-            ]),
+            Schema::new([("a", DataType::I32), ("b", DataType::F64), ("c", DataType::I64)]),
             Batch::new(vec![
-                Column::from_i32(ints.clone()),
+                Column::from_i32(vals.clone()),
                 Column::from_f64(floats.clone()),
                 Column::from_i64(longs.clone()),
             ]),
@@ -32,36 +34,39 @@ proptest! {
         let mut bytes = Vec::new();
         write_table(&t, &mut bytes).unwrap();
         let rt = read_table(&mut bytes.as_slice()).unwrap();
-        prop_assert_eq!(rt.column("a").as_i32(), &ints[..]);
-        prop_assert_eq!(rt.column("b").as_f64(), &floats[..]);
-        prop_assert_eq!(rt.column("c").as_i64(), &longs[..]);
+        assert_eq!(rt.column("a").as_i32(), &vals[..], "case {case}");
+        assert_eq!(rt.column("b").as_f64(), &floats[..], "case {case}");
+        assert_eq!(rt.column("c").as_i64(), &longs[..], "case {case}");
     }
+}
 
-    #[test]
-    fn split_concat_identity(
-        vals in prop::collection::vec(any::<i32>(), 1..500),
-        packet in 1usize..64,
-    ) {
+#[test]
+fn split_concat_identity() {
+    for case in 0..32u64 {
+        let n = 1 + (case * 17 % 500) as usize;
+        let packet = 1 + (case * 7 % 63) as usize;
+        let vals = ints(n, case + 101);
         let b = Batch::new(vec![Column::from_i32(vals.clone())]);
         let packets = b.split(packet);
-        prop_assert_eq!(packets.iter().map(Batch::rows).sum::<usize>(), vals.len());
+        assert_eq!(packets.iter().map(Batch::rows).sum::<usize>(), vals.len(), "case {case}");
         let cols: Vec<Column> = packets.iter().map(|p| p.col(0).clone()).collect();
         let back = Column::concat(&cols);
-        prop_assert_eq!(back.as_i32(), &vals[..]);
+        assert_eq!(back.as_i32(), &vals[..], "case {case}");
     }
+}
 
-    #[test]
-    fn take_selects_expected(
-        vals in prop::collection::vec(any::<i32>(), 1..200),
-        idx_seed in any::<u64>(),
-    ) {
-        let n = vals.len();
+#[test]
+fn take_selects_expected() {
+    for case in 0..32u64 {
+        let n = 1 + (case * 11 % 200) as usize;
+        let vals = ints(n, case + 201);
+        let idx_seed = case.wrapping_mul(0x9E3779B9) | 1;
         let sel: Vec<u32> =
-            (0..n).map(|i| ((i as u64).wrapping_mul(idx_seed | 1) % n as u64) as u32).collect();
+            (0..n).map(|i| ((i as u64).wrapping_mul(idx_seed) % n as u64) as u32).collect();
         let c = Column::from_i32(vals.clone());
         let taken = c.take(&sel);
         for (out, &i) in taken.as_i32().iter().zip(&sel) {
-            prop_assert_eq!(*out, vals[i as usize]);
+            assert_eq!(*out, vals[i as usize], "case {case}");
         }
     }
 }
