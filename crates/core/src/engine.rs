@@ -1,34 +1,47 @@
-//! The HAPE engine: discrete-event execution of query plans over the
+//! The HAPE engine: discrete-event execution of placed plans over the
 //! simulated server.
 //!
-//! Execution follows §4.2/§5: a plan's stages run in order (pipeline
-//! breakers); within a stage the source table is split into packets and a
-//! CPU-side [`Router`] distributes them over the configured worker set —
-//! CPU cores, GPUs, or both (hybrid). GPU-bound packets cross PCIe via
-//! `mem-move`s; built hash tables are broadcast to every participating GPU
-//! before the probe stage and must fit device memory (Q9's GPU-only failure
-//! mode). Every worker folds into a private aggregation state; states merge
-//! at the end — no cross-device shared mutable structures, which is the
-//! paper's answer to missing system-wide cache coherence.
+//! Execution follows §4.2/§5 as a generic interpretation of a
+//! [`PlacedPlan`]: each placed stage instantiates one
+//! [`crate::provider::DeviceProvider`] worker per operator
+//! instance of its segments (a [`CpuWorker`] per core, a [`GpuWorker`] per
+//! GPU), the stage's [`Exchange::Router`](crate::exchange::Exchange)
+//! distributes source packets over *all* workers, and each worker realises
+//! the exchanges on its own input edge — GPU workers charge the mem-move
+//! across their PCIe link, broadcast the probed hash tables into device
+//! memory first (the paper's Q9 capacity constraint, §6.4), and swap in
+//! the GPU code-generation backend (the device crossing). Every worker
+//! folds into a private aggregation state; states merge at the end — no
+//! cross-device shared mutable structures, which is the paper's answer to
+//! missing system-wide cache coherence.
+//!
+//! The interpreter never branches on [`Placement`]: placement decisions
+//! are made once by [`crate::place::place`] and read back from the IR.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use hape_ops::agg::AggState;
-use hape_ops::GroupKey;
-use hape_sim::des::Resource;
-use hape_sim::interconnect::Link;
-use hape_sim::topology::Server;
-use hape_sim::{CpuCostModel, Fidelity, GpuSim, Region, SimTime};
+use hape_ops::{AggSpec, GroupKey};
+use hape_sim::topology::{DeviceId, Server};
+use hape_sim::{CpuCostModel, Fidelity, SimTime};
 use hape_storage::Batch;
 
 use crate::catalog::Catalog;
 use crate::error::PlanError;
-use crate::exchange::{CandidateLoad, Router, RoutingPolicy};
-use crate::plan::{JoinAlgo, JoinTable, PipeOp, Pipeline, QueryPlan, Stage};
-use crate::provider::{CpuProvider, GpuProvider, TableStore};
+use crate::exchange::{CandidateLoad, Exchange, Router, RoutingPolicy};
+use crate::place::{place, PlacedPlan, PlacedStage, Segment};
+use crate::plan::{JoinTable, Pipeline, QueryPlan};
+use crate::provider::{CpuWorker, DeviceProvider, GpuWorker, TableStore};
+use crate::traits::DeviceType;
+
+pub use crate::error::EngineError;
 
 /// Which devices execute the stream stage.
+///
+/// Since the placement pass, this enum is *sugar only*: it selects the
+/// participating devices in [`crate::place::participants`] and nothing on
+/// the execution path branches on it. New device mixes (per-GPU subsets,
+/// remote backends) extend the placement pass, not the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// All CPU cores, no GPUs (Proteus CPU in Figure 8).
@@ -57,52 +70,6 @@ impl ExecConfig {
     }
 }
 
-/// Engine errors.
-#[derive(Debug)]
-pub enum EngineError {
-    /// The plan's hash tables exceed GPU memory (with working space) —
-    /// the paper's Q9 GPU-only failure (§6.4).
-    GpuMemoryExceeded {
-        /// Bytes the tables (plus working space) require.
-        required: u64,
-        /// Device capacity.
-        capacity: u64,
-    },
-    /// A table referenced by the plan is missing from the catalog.
-    MissingTable(String),
-    /// The plan failed structural validation before execution started.
-    InvalidPlan(PlanError),
-    /// The placement selects a device class the server does not have.
-    NoWorkers {
-        /// The placement description.
-        placement: String,
-    },
-}
-
-impl std::fmt::Display for EngineError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            EngineError::GpuMemoryExceeded { required, capacity } => {
-                write!(f, "hash tables require {required} bytes but GPU memory is {capacity}")
-            }
-            EngineError::MissingTable(t) => write!(f, "missing table {t:?}"),
-            EngineError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
-            EngineError::NoWorkers { placement } => {
-                write!(f, "placement {placement} selects no available workers")
-            }
-        }
-    }
-}
-
-impl std::error::Error for EngineError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            EngineError::InvalidPlan(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
 /// The result of running a query.
 #[derive(Debug, Clone)]
 pub struct QueryReport {
@@ -114,20 +81,15 @@ pub struct QueryReport {
     pub cpu_busy: SimTime,
     /// Aggregate GPU busy time.
     pub gpu_busy: SimTime,
-    /// Host-to-device bytes moved.
+    /// Host-to-device bytes moved (packet mem-moves and hash-table
+    /// broadcasts, across all stages).
     pub h2d_bytes: u64,
-    /// Packets processed by CPU workers.
+    /// *Stream-stage* packets routed to CPU workers (build-stage packets
+    /// are not counted — builds are plumbing, not the measured workload).
     pub packets_cpu: usize,
-    /// Packets processed by GPUs.
+    /// *Stream-stage* packets routed to GPUs.
     pub packets_gpu: usize,
 }
-
-/// Working space multiplier for GPU-resident hash tables (buffer
-/// management, as the paper notes when sizing Q9, §6.4). Calibrated so
-/// Q9's broadcast tables exceed the SF-scaled GPU memory even with the
-/// front-end's minimal pushed-down projections, reproducing the paper's
-/// GPU-only failure mode.
-const GPU_HT_WORKING_FACTOR: f64 = 2.5;
 
 /// The engine.
 #[derive(Debug, Clone)]
@@ -138,19 +100,15 @@ pub struct Engine {
     pub fidelity: Fidelity,
 }
 
-struct GpuWorker {
-    res: Resource,
-    provider: GpuProvider,
-    link: Link,
-    agg: Option<AggState>,
-    est_ns_per_byte: f64,
-}
-
-struct CpuWorker {
-    res: Resource,
-    provider: CpuProvider,
-    agg: Option<AggState>,
-    est_ns_per_byte: f64,
+/// What one placed stage reported back to the interpreter.
+struct StageOutcome {
+    outputs: Vec<Batch>,
+    end: SimTime,
+    cpu_busy: SimTime,
+    gpu_busy: SimTime,
+    h2d_bytes: u64,
+    packets_cpu: usize,
+    packets_gpu: usize,
 }
 
 impl Engine {
@@ -159,18 +117,30 @@ impl Engine {
         Engine { server, fidelity: Fidelity::Analytic }
     }
 
-    /// Run `plan` against `catalog` under `cfg`.
+    /// Place and run `plan` against `catalog` under `cfg`: sugar for
+    /// [`crate::place::place`] followed by [`Engine::run_placed`].
     ///
-    /// The plan is structurally re-validated first, so hand-assembled
-    /// physical plans that bypass [`QueryPlan::try_new`] surface
-    /// [`EngineError::InvalidPlan`] instead of panicking mid-execution.
+    /// The plan is structurally re-validated by the placement pass, so
+    /// hand-assembled physical plans that bypass [`QueryPlan::try_new`]
+    /// surface [`EngineError::InvalidPlan`] instead of panicking
+    /// mid-execution.
     pub fn run(
         &self,
         catalog: &Catalog,
         plan: &QueryPlan,
         cfg: &ExecConfig,
     ) -> Result<QueryReport, EngineError> {
-        plan.validate().map_err(EngineError::InvalidPlan)?;
+        let placed = place(plan, cfg, &self.server)?;
+        self.run_placed(catalog, &placed)
+    }
+
+    /// Interpret a placed plan: stages in order, each over the workers its
+    /// segments instantiate.
+    pub fn run_placed(
+        &self,
+        catalog: &Catalog,
+        placed: &PlacedPlan,
+    ) -> Result<QueryReport, EngineError> {
         let mut tables: TableStore = TableStore::new();
         let mut clock = SimTime::ZERO;
         let mut cpu_busy = SimTime::ZERO;
@@ -180,29 +150,57 @@ impl Engine {
         let mut packets_gpu = 0usize;
         let mut rows = Vec::new();
 
-        for stage in &plan.stages {
+        for stage in &placed.stages {
             match stage {
-                Stage::Build { name, key_col, pipeline } => {
-                    // Builds run on the CPU side (dimension pipelines are
-                    // scan-light); the probe stage moves the tables to the
-                    // devices that need them.
-                    let (outputs, end, busy) =
-                        self.run_cpu_stage(catalog, pipeline, &tables, clock, None)?;
-                    cpu_busy += busy;
-                    clock = end;
-                    let batch = concat_outputs(outputs);
+                PlacedStage::Build { name, key_col, pipeline, segments, .. } => {
+                    let out = self.run_stage(
+                        catalog,
+                        pipeline,
+                        segments,
+                        stage.policy(),
+                        None,
+                        &tables,
+                        clock,
+                        None,
+                    )?;
+                    clock = out.end;
+                    cpu_busy += out.cpu_busy;
+                    gpu_busy += out.gpu_busy;
+                    h2d_bytes += out.h2d_bytes;
+                    let batch = concat_outputs(out.outputs);
                     tables.insert(name.clone(), Arc::new(JoinTable::build(batch, *key_col)));
                 }
-                Stage::Stream { pipeline } => {
-                    let report =
-                        self.run_stream_stage(catalog, pipeline, &tables, clock, cfg)?;
-                    clock = report.0;
-                    cpu_busy += report.1;
-                    gpu_busy += report.2;
-                    h2d_bytes += report.3;
-                    packets_cpu += report.4;
-                    packets_gpu += report.5;
-                    rows = report.6;
+                PlacedStage::Stream { pipeline, segments, .. } => {
+                    let agg_spec = pipeline.agg.as_ref().ok_or_else(|| {
+                        EngineError::InvalidPlan(PlanError::StreamWithoutAggregate {
+                            name: pipeline.source.clone(),
+                        })
+                    })?;
+                    let mut workers = self.workers_for(segments, Some(agg_spec))?;
+                    let out = self.run_workers(
+                        catalog,
+                        pipeline,
+                        &mut workers,
+                        stage.policy(),
+                        &tables,
+                        clock,
+                        placed.packet_rows,
+                    )?;
+                    clock = out.end;
+                    cpu_busy += out.cpu_busy;
+                    gpu_busy += out.gpu_busy;
+                    h2d_bytes += out.h2d_bytes;
+                    packets_cpu += out.packets_cpu;
+                    packets_gpu += out.packets_gpu;
+                    // ---- Merge partial aggregates (cheap: group counts
+                    // are small), in worker order for determinism.
+                    let mut merged = AggState::new(agg_spec.clone());
+                    for w in &workers {
+                        if let Some(a) = w.agg() {
+                            merged.merge(a);
+                        }
+                    }
+                    rows = merged.finish();
                 }
             }
         }
@@ -237,9 +235,18 @@ impl Engine {
                 stage: pipeline.source.clone(),
             }));
         }
-        let (outputs, end, busy) =
-            self.run_cpu_stage(catalog, pipeline, tables, start, None)?;
-        Ok((concat_outputs(outputs), end, busy))
+        let segments = self.cpu_segments();
+        let out = self.run_stage(
+            catalog,
+            pipeline,
+            &segments,
+            RoutingPolicy::LoadAware,
+            None,
+            tables,
+            start,
+            None,
+        )?;
+        Ok((concat_outputs(out.outputs), out.end, out.cpu_busy))
     }
 
     /// Build a named hash table by materialising `pipeline` on the CPU.
@@ -255,234 +262,172 @@ impl Engine {
         Ok((Arc::new(JoinTable::build(batch, key_col)), end, busy))
     }
 
-    fn cpu_workers(&self, agg: Option<&hape_ops::AggSpec>) -> Vec<CpuWorker> {
-        let mut workers = Vec::new();
-        for (socket, spec) in self.server.cpus.iter().enumerate() {
-            let model = CpuCostModel::new(spec.clone(), spec.cores);
-            for core in 0..spec.cores {
-                workers.push(CpuWorker {
-                    res: Resource::new(format!("cpu{socket}.{core}")),
-                    provider: CpuProvider { model: model.clone() },
-                    agg: agg.map(|a| AggState::new(a.clone())),
-                    est_ns_per_byte: 0.25,
-                });
-            }
-        }
-        workers
-    }
-
-    fn gpu_workers(&self, agg: Option<&hape_ops::AggSpec>) -> Vec<GpuWorker> {
-        self.server
-            .gpus
-            .iter()
-            .enumerate()
-            .map(|(idx, spec)| {
-                let mut link = self.server.pcie[idx].clone();
-                link.reset();
-                GpuWorker {
-                    res: Resource::new(format!("gpu{idx}")),
-                    provider: GpuProvider { sim: GpuSim::new(spec.clone(), self.fidelity) },
-                    link,
-                    agg: agg.map(|a| AggState::new(a.clone())),
-                    est_ns_per_byte: 0.12,
-                }
+    /// Ad-hoc CPU-side segments for the explicit materialisation hooks
+    /// (which predate placement and take a bare pipeline).
+    fn cpu_segments(&self) -> Vec<Segment> {
+        crate::place::participants(Placement::CpuOnly, &self.server)
+            .into_iter()
+            .map(|d| Segment {
+                target: d,
+                traits: crate::place::segment_traits(d, &self.server),
+                exchanges: Vec::new(),
             })
             .collect()
     }
 
-    /// Run a pipeline entirely on CPU workers (build stages). Returns the
-    /// packet outputs, the stage end time, and CPU busy time.
-    fn run_cpu_stage(
+    /// Instantiate the workers a segment list describes: one
+    /// [`CpuWorker`] per core of a CPU segment, one [`GpuWorker`] per GPU
+    /// segment. A segment targeting a device this server lacks is the
+    /// typed [`EngineError::DeviceNotPresent`].
+    fn workers_for(
+        &self,
+        segments: &[Segment],
+        agg: Option<&AggSpec>,
+    ) -> Result<Vec<Box<dyn DeviceProvider>>, EngineError> {
+        let mut workers: Vec<Box<dyn DeviceProvider>> = Vec::new();
+        for seg in segments {
+            match seg.target {
+                DeviceId::Cpu(socket) => {
+                    let spec = self.server.cpus.get(socket).ok_or_else(|| {
+                        EngineError::DeviceNotPresent { device: format!("cpu{socket}") }
+                    })?;
+                    let model = CpuCostModel::new(spec.clone(), spec.cores);
+                    for core in 0..spec.cores {
+                        workers.push(Box::new(CpuWorker::new(
+                            socket,
+                            core,
+                            model.clone(),
+                            agg.map(|a| AggState::new(a.clone())),
+                        )));
+                    }
+                }
+                DeviceId::Gpu(idx) => {
+                    let (spec, link) =
+                        self.server.gpus.get(idx).zip(self.server.pcie.get(idx)).ok_or_else(
+                            || EngineError::DeviceNotPresent { device: format!("gpu{idx}") },
+                        )?;
+                    // The segment's broadcast mem-move exchanges are the
+                    // authoritative list of tables the worker installs.
+                    let broadcast: Vec<String> = seg
+                        .broadcast_moves()
+                        .filter_map(|e| match e {
+                            Exchange::MemMove { table: Some(t), .. } => Some(t.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    workers.push(Box::new(GpuWorker::new(
+                        idx,
+                        spec.clone(),
+                        link.clone(),
+                        self.fidelity,
+                        agg.map(|a| AggState::new(a.clone())),
+                        broadcast,
+                    )));
+                }
+            }
+        }
+        Ok(workers)
+    }
+
+    /// Run one placed stage: instantiate its workers and route the source
+    /// packets over them.
+    #[allow(clippy::too_many_arguments)]
+    fn run_stage(
         &self,
         catalog: &Catalog,
         pipeline: &Pipeline,
+        segments: &[Segment],
+        policy: RoutingPolicy,
+        agg: Option<&AggSpec>,
         tables: &TableStore,
         start: SimTime,
-        agg: Option<&hape_ops::AggSpec>,
-    ) -> Result<(Vec<Batch>, SimTime, SimTime), EngineError> {
+        packet_rows: Option<usize>,
+    ) -> Result<StageOutcome, EngineError> {
+        let mut workers = self.workers_for(segments, agg)?;
+        self.run_workers(catalog, pipeline, &mut workers, policy, tables, start, packet_rows)
+    }
+
+    /// The generic packet loop: one router, N `dyn DeviceProvider`
+    /// workers, no knowledge of device classes beyond the trait.
+    #[allow(clippy::too_many_arguments)]
+    fn run_workers(
+        &self,
+        catalog: &Catalog,
+        pipeline: &Pipeline,
+        workers: &mut [Box<dyn DeviceProvider>],
+        policy: RoutingPolicy,
+        tables: &TableStore,
+        start: SimTime,
+        packet_rows: Option<usize>,
+    ) -> Result<StageOutcome, EngineError> {
         let table = catalog.lookup(&pipeline.source)?;
-        let mut workers = self.cpu_workers(agg);
-        let packet_rows = auto_packet_rows(table.rows(), workers.len(), None);
-        let packets = table.data.split(packet_rows);
-        let mut outputs = Vec::new();
+        if workers.is_empty() {
+            return Err(EngineError::NoWorkers { placement: "placed stage".to_string() });
+        }
+
+        // ---- Broadcast the probed hash tables along each worker's input
+        // exchanges (a no-op for host-local workers) and check capacities.
+        let mut h2d_bytes = 0u64;
+        for w in workers.iter_mut() {
+            h2d_bytes += w.install_tables(pipeline, tables, start)?;
+        }
+
+        // ---- Route packets.
+        let shares: usize = workers.iter().map(|w| w.packet_share()).sum();
+        let rows_per_packet = auto_packet_rows(table.rows(), shares, packet_rows);
+        let packets = table.data.split(rows_per_packet);
+        let mut router = Router::new(policy);
         let mut end = start;
-        let mut router = Router::new(RoutingPolicy::LoadAware);
+        let mut packets_cpu = 0usize;
+        let mut packets_gpu = 0usize;
+        let mut outputs = Vec::new();
         for packet in packets {
+            let bytes = packet.bytes().max(1);
             let candidates: Vec<CandidateLoad> = workers
                 .iter()
                 .map(|w| CandidateLoad {
-                    ready_at: w.res.free_at().max(start),
-                    est_ns_per_byte: w.est_ns_per_byte,
+                    ready_at: w.ready_at(start, bytes),
+                    est_ns_per_byte: w.est_ns_per_byte(),
                 })
                 .collect();
-            let wi = router.pick(&packet, &candidates);
-            let w = &mut workers[wi];
-            let bytes = packet.bytes().max(1);
-            let result = w.provider.run_packet(packet, pipeline, tables, w.agg.as_mut());
-            let (_, done) = w.res.acquire(start, result.time);
-            end = end.max(done);
-            w.est_ns_per_byte =
-                0.7 * w.est_ns_per_byte + 0.3 * (result.time.as_ns() / bytes as f64);
-            if let Some(out) = result.output {
+            let pick = router.pick(&packet, &candidates);
+            let w = &mut workers[pick];
+            let outcome = w.execute(packet, pipeline, tables, start)?;
+            end = end.max(outcome.done);
+            h2d_bytes += outcome.h2d_bytes;
+            match w.device() {
+                DeviceType::Cpu => packets_cpu += 1,
+                DeviceType::Gpu => packets_gpu += 1,
+            }
+            if let Some(out) = outcome.output {
                 if out.rows() > 0 {
                     outputs.push(out);
                 }
             }
         }
-        let busy = workers.iter().map(|w| w.res.busy_time()).sum();
-        Ok((outputs, end, busy))
-    }
 
-    /// Run the stream stage per the configured placement.
-    #[allow(clippy::type_complexity)]
-    fn run_stream_stage(
-        &self,
-        catalog: &Catalog,
-        pipeline: &Pipeline,
-        tables: &TableStore,
-        start: SimTime,
-        cfg: &ExecConfig,
-    ) -> Result<
-        (SimTime, SimTime, SimTime, u64, usize, usize, Vec<(GroupKey, Vec<f64>)>),
-        EngineError,
-    > {
-        let table = catalog.lookup(&pipeline.source)?;
-        let agg_spec = pipeline.agg.as_ref().ok_or_else(|| {
-            EngineError::InvalidPlan(PlanError::StreamWithoutAggregate {
-                name: pipeline.source.clone(),
-            })
-        })?;
-
-        let mut cpu_workers = match cfg.placement {
-            Placement::GpuOnly => Vec::new(),
-            _ => self.cpu_workers(Some(agg_spec)),
+        let busy_of = |device: DeviceType| {
+            workers.iter().filter(|w| w.device() == device).map(|w| w.busy()).sum()
         };
-        let mut gpu_workers = match cfg.placement {
-            Placement::CpuOnly => Vec::new(),
-            _ => self.gpu_workers(Some(agg_spec)),
-        };
-        if cpu_workers.is_empty() && gpu_workers.is_empty() {
-            return Err(EngineError::NoWorkers { placement: format!("{:?}", cfg.placement) });
-        }
-
-        // ---- Broadcast hash tables to the GPUs (mem-move) and check the
-        // capacity constraint.
-        let probed: Vec<&str> = pipeline.tables_probed();
-        let mut ht_regions: HashMap<String, Region> = HashMap::new();
-        let mut h2d_bytes = 0u64;
-        if !gpu_workers.is_empty() && !probed.is_empty() {
-            let mut total: u64 = 0;
-            let mut region_base = 1u64 << 44;
-            let mut partitioned_prep = SimTime::ZERO;
-            for name in &probed {
-                let jt = tables.get(*name).expect("validated by plan");
-                total += jt.bytes();
-                ht_regions
-                    .insert((*name).to_string(), Region::at(region_base, jt.bytes().max(1)));
-                region_base += jt.bytes().max(128) * 2;
-            }
-            // Partitioned probes pre-partition the build side on the GPU.
-            for op in &pipeline.ops {
-                if let PipeOp::JoinProbe { ht, algo: JoinAlgo::Partitioned, .. } = op {
-                    let jt = tables.get(ht).expect("validated");
-                    let gpu_bw = self.server.gpus[0].dram_bw;
-                    partitioned_prep += SimTime::from_secs(4.0 * jt.bytes() as f64 / gpu_bw);
-                }
-            }
-            let required = (total as f64 * GPU_HT_WORKING_FACTOR) as u64;
-            let capacity = self.server.gpus[0].dram_capacity as u64;
-            if required > capacity {
-                return Err(EngineError::GpuMemoryExceeded { required, capacity });
-            }
-            for w in &mut gpu_workers {
-                let (_, arrived) = w.link.transfer(start, total);
-                h2d_bytes += total;
-                let (_, ready) = w.res.acquire(arrived, partitioned_prep);
-                debug_assert!(ready >= arrived);
-            }
-        }
-
-        // ---- Route packets.
-        let packet_rows = auto_packet_rows(
-            table.rows(),
-            cpu_workers.len() + gpu_workers.len() * 4,
-            cfg.packet_rows,
-        );
-        let packets = table.data.split(packet_rows);
-        let mut router = Router::new(cfg.policy);
-        let mut end = start;
-        let mut packets_cpu = 0usize;
-        let mut packets_gpu = 0usize;
-        for packet in packets {
-            // Candidate list: CPU workers first, then GPUs.
-            let mut candidates: Vec<CandidateLoad> =
-                Vec::with_capacity(cpu_workers.len() + gpu_workers.len());
-            for w in &cpu_workers {
-                candidates.push(CandidateLoad {
-                    ready_at: w.res.free_at().max(start),
-                    est_ns_per_byte: w.est_ns_per_byte,
-                });
-            }
-            let bytes = packet.bytes().max(1);
-            for w in &gpu_workers {
-                let arrive = w.link.free_at().max(start) + w.link.duration(bytes);
-                candidates.push(CandidateLoad {
-                    ready_at: w.res.free_at().max(arrive),
-                    est_ns_per_byte: w.est_ns_per_byte,
-                });
-            }
-            let pick = router.pick(&packet, &candidates);
-            if pick < cpu_workers.len() {
-                let w = &mut cpu_workers[pick];
-                let result = w.provider.run_packet(packet, pipeline, tables, w.agg.as_mut());
-                let (_, done) = w.res.acquire(start, result.time);
-                end = end.max(done);
-                w.est_ns_per_byte =
-                    0.7 * w.est_ns_per_byte + 0.3 * (result.time.as_ns() / bytes as f64);
-                packets_cpu += 1;
-            } else {
-                let w = &mut gpu_workers[pick - cpu_workers.len()];
-                let (_, arrived) = w.link.transfer(start, bytes);
-                h2d_bytes += bytes;
-                let result = w.provider.run_packet(
-                    packet,
-                    pipeline,
-                    tables,
-                    &ht_regions,
-                    w.agg.as_mut(),
-                );
-                let (_, done) = w.res.acquire(arrived, result.time);
-                end = end.max(done);
-                w.est_ns_per_byte =
-                    0.7 * w.est_ns_per_byte + 0.3 * (result.time.as_ns() / bytes as f64);
-                packets_gpu += 1;
-            }
-        }
-
-        // ---- Merge partial aggregates (cheap: group counts are small).
-        let mut merged = AggState::new(agg_spec.clone());
-        for w in &cpu_workers {
-            if let Some(a) = &w.agg {
-                merged.merge(a);
-            }
-        }
-        for w in &gpu_workers {
-            if let Some(a) = &w.agg {
-                merged.merge(a);
-            }
-        }
-        let cpu_busy = cpu_workers.iter().map(|w| w.res.busy_time()).sum();
-        let gpu_busy = gpu_workers.iter().map(|w| w.res.busy_time()).sum();
-        Ok((end, cpu_busy, gpu_busy, h2d_bytes, packets_cpu, packets_gpu, merged.finish()))
+        Ok(StageOutcome {
+            outputs,
+            end,
+            cpu_busy: busy_of(DeviceType::Cpu),
+            gpu_busy: busy_of(DeviceType::Gpu),
+            h2d_bytes,
+            packets_cpu,
+            packets_gpu,
+        })
     }
 }
 
-/// Packet sizing: about four packets per worker, clamped to [8K, 1M] rows.
-fn auto_packet_rows(rows: usize, workers: usize, explicit: Option<usize>) -> usize {
+/// Packet sizing: about four packets per worker share, clamped to
+/// [2K, 1M] rows.
+fn auto_packet_rows(rows: usize, shares: usize, explicit: Option<usize>) -> usize {
     if let Some(r) = explicit {
         return r.max(1);
     }
-    (rows / (4 * workers.max(1))).clamp(2 << 10, 1 << 20)
+    (rows / (4 * shares.max(1))).clamp(2 << 10, 1 << 20)
 }
 
 /// Concatenate packet outputs into one batch (column-wise).
@@ -506,6 +451,7 @@ fn concat_outputs(outputs: Vec<Batch>) -> Batch {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::{JoinAlgo, Pipeline, Stage};
     use hape_ops::{AggFunc, AggSpec, Expr};
     use hape_storage::datagen::gen_key_fk_table;
 
@@ -593,6 +539,52 @@ mod tests {
             .run(&Catalog::new(), &plan, &ExecConfig::new(Placement::CpuOnly))
             .unwrap_err();
         assert!(matches!(err, EngineError::MissingTable(_)));
+    }
+
+    #[test]
+    fn gpu_placement_on_cpu_only_server_is_a_typed_error() {
+        let (catalog, plan) = setup();
+        let engine = Engine::new(Server::cpu_only());
+        let err =
+            engine.run(&catalog, &plan, &ExecConfig::new(Placement::GpuOnly)).unwrap_err();
+        assert!(matches!(err, EngineError::NoWorkers { .. }), "{err}");
+        // Hybrid degrades gracefully to the CPUs that do exist.
+        let rep = engine.run(&catalog, &plan, &ExecConfig::new(Placement::Hybrid)).unwrap();
+        assert_eq!(rep.packets_gpu, 0);
+        assert!(rep.packets_cpu > 0);
+    }
+
+    #[test]
+    fn placed_plan_against_smaller_server_is_a_typed_error() {
+        // Place against the 2-GPU testbed, run on a 1-GPU server: the
+        // second GPU segment must surface DeviceNotPresent, not panic.
+        let (catalog, plan) = setup();
+        let placed = crate::place::place(
+            &plan,
+            &ExecConfig::new(Placement::GpuOnly),
+            &Server::paper_testbed(),
+        )
+        .unwrap();
+        let engine = Engine::new(Server::single_gpu());
+        let err = engine.run_placed(&catalog, &placed).unwrap_err();
+        assert!(matches!(err, EngineError::DeviceNotPresent { .. }), "{err}");
+    }
+
+    #[test]
+    fn unbuilt_hash_table_is_a_typed_error_not_a_panic() {
+        // A hand-assembled placed plan whose stream probes a table no
+        // stage built — only constructible by bypassing plan validation.
+        let (catalog, plan) = setup();
+        let engine = Engine::new(Server::paper_testbed());
+        let mut placed =
+            crate::place::place(&plan, &ExecConfig::new(Placement::CpuOnly), &engine.server)
+                .unwrap();
+        placed.stages.remove(0); // drop the build stage
+        let err = engine.run_placed(&catalog, &placed).unwrap_err();
+        assert!(
+            matches!(err, EngineError::HashTableNotBuilt { ref table } if table == "dim_ht"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -1,14 +1,13 @@
-//! Typed errors for plan construction, lowering and execution.
+//! Typed errors for plan construction, placement and execution.
 //!
 //! Everything that can go wrong while *describing* a query surfaces as a
 //! [`PlanError`] from the logical front-end ([`crate::query`]) or from
 //! [`crate::plan::QueryPlan::try_new`]; everything that goes wrong while
-//! *running* one surfaces as an [`crate::engine::EngineError`]. The
+//! *placing* or *running* one surfaces as an [`EngineError`] from the
+//! placement pass ([`mod@crate::place`]) or the engine interpreter. The
 //! crate-level [`HapeError`] unifies the two for callers (the
 //! [`crate::session::Session`] front door returns it), so `?` works across
-//! the whole build→lower→execute path without `unwrap`s or panics.
-
-use crate::engine::EngineError;
+//! the whole build→lower→place→execute path without `unwrap`s or panics.
 
 /// Why a logical query could not be built or lowered, or why a physical
 /// plan failed validation.
@@ -77,6 +76,11 @@ pub enum PlanError {
         /// Supported maximum.
         max: usize,
     },
+    /// A `select` projection produced no output columns.
+    EmptySelect {
+        /// The query whose select is empty.
+        query: String,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -115,18 +119,86 @@ impl std::fmt::Display for PlanError {
             PlanError::TooManyGroupColumns { got, max } => {
                 write!(f, "{got} group-by columns requested, at most {max} supported")
             }
+            PlanError::EmptySelect { query } => {
+                write!(f, "select in query {query:?} projects no columns")
+            }
         }
     }
 }
 
 impl std::error::Error for PlanError {}
 
+/// Why a (structurally valid) plan could not be placed or executed.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The plan's hash tables exceed a device's memory (with working
+    /// space) — the paper's Q9 GPU-only failure (§6.4).
+    GpuMemoryExceeded {
+        /// Bytes the tables (plus working space) require.
+        required: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// A table referenced by the plan is missing from the catalog.
+    MissingTable(String),
+    /// The plan failed structural validation before execution started.
+    InvalidPlan(PlanError),
+    /// The placement selects a device class the server does not have.
+    NoWorkers {
+        /// The placement description.
+        placement: String,
+    },
+    /// A pipeline probes a hash table that no earlier placed stage built —
+    /// only reachable through hand-assembled [`crate::place::PlacedPlan`]s
+    /// that bypass plan validation.
+    HashTableNotBuilt {
+        /// The missing hash-table name.
+        table: String,
+    },
+    /// A placed segment targets a device the engine's server does not
+    /// have (e.g. a plan placed against a larger topology).
+    DeviceNotPresent {
+        /// The absent device (`cpu<n>` / `gpu<n>`).
+        device: String,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::GpuMemoryExceeded { required, capacity } => {
+                write!(f, "hash tables require {required} bytes but GPU memory is {capacity}")
+            }
+            EngineError::MissingTable(t) => write!(f, "missing table {t:?}"),
+            EngineError::InvalidPlan(e) => write!(f, "invalid plan: {e}"),
+            EngineError::NoWorkers { placement } => {
+                write!(f, "placement {placement} selects no available workers")
+            }
+            EngineError::HashTableNotBuilt { table } => {
+                write!(f, "hash table {table:?} was never built by an earlier stage")
+            }
+            EngineError::DeviceNotPresent { device } => {
+                write!(f, "placed segment targets device {device} absent from the server")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::InvalidPlan(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 /// The crate-level error: a plan-time or an execution-time failure.
 #[derive(Debug)]
 pub enum HapeError {
     /// The query could not be built or lowered.
     Plan(PlanError),
-    /// The engine could not execute the (valid) plan.
+    /// The engine could not place or execute the (valid) plan.
     Engine(EngineError),
 }
 
@@ -176,5 +248,9 @@ mod tests {
         let h: HapeError = EngineError::MissingTable("fact".into()).into();
         assert!(h.to_string().contains("engine error"));
         assert!(std::error::Error::source(&h).is_some());
+        let e = EngineError::HashTableNotBuilt { table: "ht".into() };
+        assert!(e.to_string().contains("never built"));
+        let e = EngineError::DeviceNotPresent { device: "gpu7".into() };
+        assert!(e.to_string().contains("gpu7"));
     }
 }

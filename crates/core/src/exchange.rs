@@ -9,8 +9,75 @@
 //! broadcast-aware multicasting).
 
 use hape_sim::interconnect::Link;
+use hape_sim::topology::MemNode;
 use hape_sim::SimTime;
 use hape_storage::Batch;
+
+use crate::traits::DeviceType;
+
+/// An explicit trait-conversion operator on a placed-plan edge (§3,
+/// Fig. 3). The placement pass ([`mod@crate::place`]) inserts one wherever two
+/// adjacent pipeline segments disagree on a [`crate::traits::HetTraits`]
+/// component; relational operators never convert traits themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Exchange {
+    /// Converts the *parallelism* trait: receives packets from `from_dop`
+    /// producer instances and routes each to one of `to_dop` consumer
+    /// instances under `policy`.
+    Router {
+        /// The routing policy the executor instantiates.
+        policy: RoutingPolicy,
+        /// Producer-side degree of parallelism.
+        from_dop: usize,
+        /// Consumer-side degree of parallelism (summed over segments).
+        to_dop: usize,
+    },
+    /// Converts the *locality* trait: moves bytes between memory nodes
+    /// over the topology's links. `table` names a broadcast hash-table
+    /// payload; `None` is the streaming per-packet move.
+    MemMove {
+        /// Source memory node.
+        from: MemNode,
+        /// Destination memory node.
+        to: MemNode,
+        /// Hash table broadcast by this move (`None` = packet stream).
+        table: Option<String>,
+    },
+    /// Converts the *device* trait: the executor swaps the device provider
+    /// that runs the downstream segment's compiled pipeline.
+    DeviceCrossing {
+        /// Producer-side device type.
+        from: DeviceType,
+        /// Consumer-side device type.
+        to: DeviceType,
+    },
+}
+
+impl Exchange {
+    /// True for broadcast hash-table mem-moves.
+    pub fn is_broadcast(&self) -> bool {
+        matches!(self, Exchange::MemMove { table: Some(_), .. })
+    }
+}
+
+impl std::fmt::Display for Exchange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Exchange::Router { policy, from_dop, to_dop } => {
+                write!(f, "Router({policy:?}, {from_dop} -> {to_dop})")
+            }
+            Exchange::MemMove { from, to, table: None } => {
+                write!(f, "MemMove({from} -> {to})")
+            }
+            Exchange::MemMove { from, to, table: Some(t) } => {
+                write!(f, "MemMove({from} -> {to}, broadcast {t:?})")
+            }
+            Exchange::DeviceCrossing { from, to } => {
+                write!(f, "DeviceCrossing({from:?} -> {to:?})")
+            }
+        }
+    }
+}
 
 /// Identity of a worker instance the router can route to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -174,6 +241,28 @@ mod tests {
         // Untagged packets fall back to round robin.
         assert_eq!(r.pick(&packet(None), &c), 0);
         assert_eq!(r.pick(&packet(None), &c), 1);
+    }
+
+    #[test]
+    fn exchange_renders_compactly() {
+        let r = Exchange::Router { policy: RoutingPolicy::LoadAware, from_dop: 1, to_dop: 26 };
+        assert_eq!(r.to_string(), "Router(LoadAware, 1 -> 26)");
+        let m = Exchange::MemMove {
+            from: MemNode::CpuDram(0),
+            to: MemNode::GpuDram(1),
+            table: None,
+        };
+        assert_eq!(m.to_string(), "MemMove(dram0 -> gmem1)");
+        assert!(!m.is_broadcast());
+        let b = Exchange::MemMove {
+            from: MemNode::CpuDram(0),
+            to: MemNode::GpuDram(0),
+            table: Some("Q5.orders".into()),
+        };
+        assert_eq!(b.to_string(), "MemMove(dram0 -> gmem0, broadcast \"Q5.orders\")");
+        assert!(b.is_broadcast());
+        let d = Exchange::DeviceCrossing { from: DeviceType::Cpu, to: DeviceType::Gpu };
+        assert_eq!(d.to_string(), "DeviceCrossing(Cpu -> Gpu)");
     }
 
     #[test]

@@ -8,22 +8,67 @@
 //!    heterogeneity-*oblivious* but hardware-*conscious*; per-device
 //!    [`provider`]s ("device providers") compile a pipeline's operators into
 //!    fused per-packet code for their target (the code-generation interface
-//!    of §4.2), and
-//! 2. **efficient multi-device execution** — the four HetExchange-style
+//!    of §4.2), unified behind the [`provider::DeviceProvider`] trait, and
+//! 2. **efficient multi-device execution** — the HetExchange-style
 //!    meta-operators in [`exchange`]: the *router* (parallelism trait), the
 //!    *device crossing* (target-device trait), the *mem-move* (locality
-//!    trait) and *pack/unpack* (packing trait), plus the zip/split plumbing
-//!    that the intra-operator co-processing join builds on.
+//!    trait) and *pack/unpack* (packing trait). The [`mod@place`] pass makes
+//!    them explicit: it turns a [`plan::QueryPlan`] into a
+//!    [`place::PlacedPlan`] whose segments carry [`traits::HetTraits`] and
+//!    whose edges carry the inserted [`exchange::Exchange`] operators.
 //!
-//! The [`engine::Engine`] executes [`plan::QueryPlan`]s over the simulated
-//! server as a deterministic discrete-event simulation: packets of real data
-//! flow through compiled pipelines; CPU workers, GPUs and PCIe links are
-//! clocked resources; the reported latency is the makespan.
+//! The [`engine::Engine`] interprets placed plans over the simulated
+//! server as a deterministic discrete-event simulation: packets of real
+//! data flow through compiled pipelines; CPU workers, GPUs and PCIe links
+//! are clocked resources; the reported latency is the makespan.
+//!
+//! ## Quickstart: lower → place → run
+//!
+//! ```
+//! use hape_core::{ExecConfig, JoinAlgo, Placement, Query, Session};
+//! use hape_ops::{col, AggFunc};
+//! use hape_sim::topology::Server;
+//! use hape_storage::datagen::gen_key_fk_table;
+//!
+//! let mut session = Session::new(Server::paper_testbed());
+//! session.register_as("fact", gen_key_fk_table(1 << 14, 1 << 14, 42));
+//! session.register_as("dim", gen_key_fk_table(1 << 12, 1 << 12, 43));
+//! let query = session
+//!     .query("q")
+//!     .from_table("fact")
+//!     .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+//!     .agg(vec![(AggFunc::Count, col("k"))]);
+//!
+//! // Lowering resolves names into the physical plan; placement annotates
+//! // it with per-device segments and trait-conversion exchanges; the
+//! // engine interprets the placed plan. `execute` chains all three.
+//! let placed = session.place(&query).unwrap();
+//! assert_eq!(placed.stages.len(), 2); // build dim, stream fact
+//!
+//! // `explain` renders the placed plan — under the default hybrid
+//! // placement the GPU segments show the inserted mem-move, device
+//! // crossing, and hash-table broadcast operators.
+//! let text = session.explain(&query).unwrap();
+//! assert!(text.contains("DeviceCrossing(Cpu -> Gpu)"));
+//!
+//! let report = session.execute(&query).unwrap();
+//! assert_eq!(report.rows[0].1[0], (1 << 12) as f64);
+//!
+//! // `Placement` is sugar selecting which devices participate; a
+//! // placement with no devices is a typed error, never a panic.
+//! let cpu = session
+//!     .execute_with(&query, &ExecConfig::new(Placement::CpuOnly))
+//!     .unwrap();
+//! assert_eq!(cpu.rows, report.rows);
+//! ```
+
+#![warn(missing_docs)]
 
 pub mod catalog;
 pub mod engine;
 pub mod error;
 pub mod exchange;
+pub mod place;
 pub mod plan;
 pub mod provider;
 pub mod query;
@@ -31,10 +76,12 @@ pub mod session;
 pub mod traits;
 
 pub use catalog::Catalog;
-pub use engine::{Engine, EngineError, ExecConfig, Placement, QueryReport};
-pub use error::{HapeError, PlanError};
-pub use exchange::{RoutingPolicy, WorkerId};
+pub use engine::{Engine, ExecConfig, Placement, QueryReport};
+pub use error::{EngineError, HapeError, PlanError};
+pub use exchange::{Exchange, RoutingPolicy, WorkerId};
+pub use place::{place, PlacedPlan, PlacedStage, Segment};
 pub use plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};
+pub use provider::DeviceProvider;
 pub use query::{LoweredMaterialize, LoweredQuery, Query};
 pub use session::Session;
 pub use traits::{DeviceType, HetTraits, Packing};
@@ -42,11 +89,13 @@ pub use traits::{DeviceType, HetTraits, Packing};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::catalog::Catalog;
-    pub use crate::engine::{Engine, EngineError, ExecConfig, Placement, QueryReport};
-    pub use crate::error::{HapeError, PlanError};
-    pub use crate::exchange::RoutingPolicy;
+    pub use crate::engine::{Engine, ExecConfig, Placement, QueryReport};
+    pub use crate::error::{EngineError, HapeError, PlanError};
+    pub use crate::exchange::{Exchange, RoutingPolicy};
+    pub use crate::place::{place, PlacedPlan, PlacedStage, Segment};
     pub use crate::plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};
+    pub use crate::provider::DeviceProvider;
     pub use crate::query::{LoweredQuery, Query};
     pub use crate::session::Session;
-    pub use crate::traits::DeviceType;
+    pub use crate::traits::{DeviceType, HetTraits};
 }

@@ -1,0 +1,495 @@
+//! The placement pass: [`QueryPlan`] + [`ExecConfig`] → [`PlacedPlan`].
+//!
+//! This is the HetExchange separation (§3) made explicit as an IR layer:
+//! relational operators stay heterogeneity-oblivious while a *placement*
+//! decides where each pipeline runs. [`place`] annotates every pipeline
+//! with [`Segment`]s — one per participating device, each carrying the
+//! [`HetTraits`] its operators execute under — and inserts the exchange
+//! operators ([`Exchange::Router`], [`Exchange::MemMove`],
+//! [`Exchange::DeviceCrossing`]) wherever the source traits and a
+//! segment's traits disagree, using the [`HetTraits::needs_router`] /
+//! [`HetTraits::needs_mem_move`] / [`HetTraits::needs_device_crossing`]
+//! predicates. The engine then interprets the placed plan generically over
+//! [`crate::provider::DeviceProvider`]s; no placement-enum branching
+//! survives on the execution path — [`Placement`] is only sugar selecting
+//! which devices participate here.
+
+use hape_sim::topology::{DeviceId, Server};
+
+use crate::engine::{ExecConfig, Placement};
+use crate::error::EngineError;
+use crate::exchange::{Exchange, RoutingPolicy};
+use crate::plan::{PipeOp, Pipeline, QueryPlan, Stage};
+use crate::traits::{DeviceType, HetTraits, Packing};
+
+/// One pipeline segment placed on a concrete device.
+///
+/// A segment is the unit the router feeds: its `traits.dop` operator
+/// instances all run on `target`, reading packets whose locality the
+/// segment's input exchanges have already converted.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// The device the segment's operator instances run on.
+    pub target: DeviceId,
+    /// The heterogeneity traits the segment's operators execute under.
+    pub traits: HetTraits,
+    /// Exchange operators inserted on the segment's input edge, in
+    /// conversion order: the streaming mem-move, the device crossing, then
+    /// one broadcast mem-move per hash table the pipeline probes. (The
+    /// router is stage-level: it fans out over *all* segments at once.)
+    ///
+    /// The executor consumes these: the broadcast mem-moves are the
+    /// authoritative list of tables a GPU worker installs (and
+    /// capacity-checks), while the streaming mem-move and device crossing
+    /// are realised by instantiating the worker with its transfer link
+    /// and device-specific provider.
+    pub exchanges: Vec<Exchange>,
+}
+
+impl Segment {
+    /// The broadcast hash-table moves on this segment's input edge.
+    pub fn broadcast_moves(&self) -> impl Iterator<Item = &Exchange> {
+        self.exchanges.iter().filter(|e| e.is_broadcast())
+    }
+}
+
+/// One placed stage: the stage's pipeline plus where it runs.
+#[derive(Debug, Clone)]
+pub enum PlacedStage {
+    /// Build a named hash table over the pipeline's output.
+    Build {
+        /// Name under which probes reference the table.
+        name: String,
+        /// Key column of the pipeline's output.
+        key_col: usize,
+        /// The producing pipeline.
+        pipeline: Pipeline,
+        /// The stage-level router (absent when no parallelism conversion
+        /// is needed).
+        router: Option<Exchange>,
+        /// The placed segments, in router candidate order.
+        segments: Vec<Segment>,
+    },
+    /// Run the pipeline into its terminal aggregation.
+    Stream {
+        /// The aggregating pipeline.
+        pipeline: Pipeline,
+        /// The stage-level router (absent when no parallelism conversion
+        /// is needed).
+        router: Option<Exchange>,
+        /// The placed segments, in router candidate order.
+        segments: Vec<Segment>,
+    },
+}
+
+impl PlacedStage {
+    /// The stage's pipeline.
+    pub fn pipeline(&self) -> &Pipeline {
+        match self {
+            PlacedStage::Build { pipeline, .. } | PlacedStage::Stream { pipeline, .. } => {
+                pipeline
+            }
+        }
+    }
+
+    /// The stage's placed segments.
+    pub fn segments(&self) -> &[Segment] {
+        match self {
+            PlacedStage::Build { segments, .. } | PlacedStage::Stream { segments, .. } => {
+                segments
+            }
+        }
+    }
+
+    /// The stage-level router exchange, if a parallelism conversion was
+    /// needed.
+    pub fn router(&self) -> Option<&Exchange> {
+        match self {
+            PlacedStage::Build { router, .. } | PlacedStage::Stream { router, .. } => {
+                router.as_ref()
+            }
+        }
+    }
+
+    /// The routing policy the executor should instantiate (the router's,
+    /// or load-aware when the stage needed no router).
+    pub fn policy(&self) -> RoutingPolicy {
+        match self.router() {
+            Some(Exchange::Router { policy, .. }) => *policy,
+            _ => RoutingPolicy::LoadAware,
+        }
+    }
+}
+
+/// A fully placed physical plan: the executable IR the engine interprets.
+#[derive(Debug, Clone)]
+pub struct PlacedPlan {
+    /// Display name (e.g. `"Q5"`).
+    pub name: String,
+    /// Rows per packet for the *stream* stage (`None` = auto: ~4 packets
+    /// per worker share). Build stages always auto-size — they are
+    /// plumbing, not the tunable workload.
+    pub packet_rows: Option<usize>,
+    /// The placed stages, executed in order.
+    pub stages: Vec<PlacedStage>,
+}
+
+/// The devices a placement selects on a server — [`Placement`] survives
+/// only as this sugar; nothing downstream branches on it.
+pub fn participants(placement: Placement, server: &Server) -> Vec<DeviceId> {
+    server
+        .devices()
+        .into_iter()
+        .filter(|d| match placement {
+            Placement::CpuOnly => !d.is_gpu(),
+            Placement::GpuOnly => d.is_gpu(),
+            Placement::Hybrid => true,
+        })
+        .collect()
+}
+
+/// The traits a pipeline segment executes under on `device`.
+///
+/// CPU segments keep host (`dram0`) locality: workers stream socket-0
+/// resident packets in place (NUMA placement is not modelled, so the
+/// cross-socket link never appears on the packet path). GPU segments are
+/// device-memory local — their packets must be mem-moved across PCIe.
+pub fn segment_traits(device: DeviceId, server: &Server) -> HetTraits {
+    match device {
+        DeviceId::Cpu(socket) => HetTraits {
+            device: DeviceType::Cpu,
+            dop: server.cpus[socket].cores,
+            locality: HetTraits::cpu_seq().locality,
+            packing: Packing::Packets,
+        },
+        DeviceId::Gpu(_) => HetTraits {
+            device: DeviceType::Gpu,
+            dop: 1,
+            locality: device.local_mem(),
+            packing: Packing::Packets,
+        },
+    }
+}
+
+/// Place one pipeline over `devices`: a segment per device, with the
+/// trait-mismatch exchanges inserted on each input edge, plus the
+/// stage-level router when the total dop differs from the source's.
+fn place_pipeline(
+    pipeline: &Pipeline,
+    devices: &[DeviceId],
+    policy: RoutingPolicy,
+    server: &Server,
+) -> (Option<Exchange>, Vec<Segment>) {
+    let source = HetTraits::cpu_seq();
+    let probed: Vec<String> = pipeline.tables_probed().iter().map(|s| s.to_string()).collect();
+    let segments: Vec<Segment> = devices
+        .iter()
+        .map(|&device| {
+            let traits = segment_traits(device, server);
+            let mut exchanges = Vec::new();
+            if source.needs_mem_move(&traits) {
+                exchanges.push(Exchange::MemMove {
+                    from: source.locality,
+                    to: traits.locality,
+                    table: None,
+                });
+            }
+            if source.needs_device_crossing(&traits) {
+                exchanges
+                    .push(Exchange::DeviceCrossing { from: source.device, to: traits.device });
+            }
+            // Built hash tables live in host memory; a segment whose
+            // locality differs needs each probed table broadcast to it.
+            if source.needs_mem_move(&traits) {
+                for ht in &probed {
+                    exchanges.push(Exchange::MemMove {
+                        from: source.locality,
+                        to: traits.locality,
+                        table: Some(ht.clone()),
+                    });
+                }
+            }
+            Segment { target: device, traits, exchanges }
+        })
+        .collect();
+    let total_dop: usize = segments.iter().map(|s| s.traits.dop).sum();
+    let target = HetTraits { dop: total_dop, ..source };
+    let router = source.needs_router(&target).then_some(Exchange::Router {
+        policy,
+        from_dop: source.dop,
+        to_dop: total_dop,
+    });
+    (router, segments)
+}
+
+/// Run the placement pass: validate `plan`, pick the participating devices
+/// for `cfg`, and annotate every stage with segments and exchanges.
+///
+/// Build stages always run CPU-side (dimension pipelines are scan-light
+/// and their tables must end up host-resident for broadcasting); the
+/// stream stage runs on the placement's devices. A placement that selects
+/// no existing device — e.g. [`Placement::GpuOnly`] on a zero-GPU server —
+/// is the typed [`EngineError::NoWorkers`], not a panic.
+pub fn place(
+    plan: &QueryPlan,
+    cfg: &ExecConfig,
+    server: &Server,
+) -> Result<PlacedPlan, EngineError> {
+    plan.validate().map_err(EngineError::InvalidPlan)?;
+    let stream_devices = participants(cfg.placement, server);
+    if stream_devices.is_empty() {
+        return Err(EngineError::NoWorkers { placement: format!("{:?}", cfg.placement) });
+    }
+    let build_devices = participants(Placement::CpuOnly, server);
+    let mut stages = Vec::with_capacity(plan.stages.len());
+    for stage in &plan.stages {
+        match stage {
+            Stage::Build { name, key_col, pipeline } => {
+                if build_devices.is_empty() {
+                    return Err(EngineError::NoWorkers {
+                        placement: "CpuOnly (build stage)".to_string(),
+                    });
+                }
+                let (router, segments) =
+                    place_pipeline(pipeline, &build_devices, RoutingPolicy::LoadAware, server);
+                stages.push(PlacedStage::Build {
+                    name: name.clone(),
+                    key_col: *key_col,
+                    pipeline: pipeline.clone(),
+                    router,
+                    segments,
+                });
+            }
+            Stage::Stream { pipeline } => {
+                let (router, segments) =
+                    place_pipeline(pipeline, &stream_devices, cfg.policy, server);
+                stages.push(PlacedStage::Stream {
+                    pipeline: pipeline.clone(),
+                    router,
+                    segments,
+                });
+            }
+        }
+    }
+    Ok(PlacedPlan { name: plan.name.clone(), packet_rows: cfg.packet_rows, stages })
+}
+
+impl PlacedPlan {
+    /// Render the placed plan for humans: one block per stage listing the
+    /// pipeline shape, the router, and each segment with its traits and
+    /// the exchanges inserted on its input edge. This is what
+    /// [`crate::session::Session::explain`] returns.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "PlacedPlan {}", self.name);
+        for (i, stage) in self.stages.iter().enumerate() {
+            let pipeline = stage.pipeline();
+            match stage {
+                PlacedStage::Build { name, key_col, .. } => {
+                    let _ = writeln!(out, "stage {i}: build {name} (key col {key_col})");
+                }
+                PlacedStage::Stream { .. } => {
+                    let _ = writeln!(out, "stage {i}: stream");
+                }
+            }
+            let _ = writeln!(out, "  pipeline: {}", render_pipeline(pipeline));
+            if let Some(router) = stage.router() {
+                let _ = writeln!(out, "  {router}");
+            }
+            for seg in stage.segments() {
+                let t = &seg.traits;
+                let _ = writeln!(
+                    out,
+                    "  segment {}: {:?} dop={} mem={} packing={:?}",
+                    seg.target, t.device, t.dop, t.locality, t.packing
+                );
+                for x in &seg.exchanges {
+                    let _ = writeln!(out, "    {x}");
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One-line pipeline shape: `scan(src) | filter | join(ht) | ... | agg`.
+fn render_pipeline(p: &Pipeline) -> String {
+    let mut parts = vec![format!("scan({})", p.source)];
+    for op in &p.ops {
+        parts.push(match op {
+            PipeOp::Filter(_) => "filter".to_string(),
+            PipeOp::Project(exprs) => format!("project[{}]", exprs.len()),
+            PipeOp::JoinProbe { ht, .. } => format!("join({ht})"),
+        });
+    }
+    if p.agg.is_some() {
+        parts.push("agg".to_string());
+    }
+    parts.join(" | ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::JoinAlgo;
+    use hape_ops::{AggFunc, AggSpec, Expr};
+    use hape_sim::topology::MemNode;
+
+    fn join_plan() -> QueryPlan {
+        QueryPlan::try_new(
+            "t",
+            vec![
+                Stage::Build {
+                    name: "dim_ht".into(),
+                    key_col: 0,
+                    pipeline: Pipeline::scan("dim"),
+                },
+                Stage::Stream {
+                    pipeline: Pipeline::scan("fact")
+                        .join("dim_ht", 0, vec![1], JoinAlgo::NonPartitioned)
+                        .aggregate(AggSpec::ungrouped(vec![(AggFunc::Count, Expr::col(0))])),
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cpu_only_placement_has_no_device_exchanges() {
+        let plan = join_plan();
+        let server = Server::paper_testbed();
+        let placed = place(&plan, &ExecConfig::new(Placement::CpuOnly), &server).unwrap();
+        assert_eq!(placed.stages.len(), 2);
+        let stream = placed.stages.last().unwrap();
+        assert_eq!(stream.segments().len(), 2); // one per socket
+        for seg in stream.segments() {
+            assert_eq!(seg.traits.device, DeviceType::Cpu);
+            assert_eq!(seg.traits.locality, MemNode::CpuDram(0));
+            assert!(seg.exchanges.is_empty(), "no trait mismatch on CPU segments");
+        }
+        // 1 -> 24 parallelism conversion: the router is required.
+        match stream.router() {
+            Some(Exchange::Router { from_dop: 1, to_dop: 24, .. }) => {}
+            r => panic!("unexpected router {r:?}"),
+        }
+    }
+
+    #[test]
+    fn gpu_segments_get_mem_move_crossing_and_broadcasts() {
+        let plan = join_plan();
+        let server = Server::paper_testbed();
+        let placed = place(&plan, &ExecConfig::new(Placement::Hybrid), &server).unwrap();
+        let stream = placed.stages.last().unwrap();
+        // CPU sockets first (router candidate order), then GPUs.
+        assert_eq!(stream.segments().len(), 4);
+        let gpu1 = &stream.segments()[3];
+        assert_eq!(gpu1.target, DeviceId::Gpu(1));
+        assert_eq!(gpu1.traits.device, DeviceType::Gpu);
+        assert_eq!(gpu1.traits.locality, MemNode::GpuDram(1));
+        assert_eq!(
+            gpu1.exchanges,
+            vec![
+                Exchange::MemMove {
+                    from: MemNode::CpuDram(0),
+                    to: MemNode::GpuDram(1),
+                    table: None,
+                },
+                Exchange::DeviceCrossing { from: DeviceType::Cpu, to: DeviceType::Gpu },
+                Exchange::MemMove {
+                    from: MemNode::CpuDram(0),
+                    to: MemNode::GpuDram(1),
+                    table: Some("dim_ht".into()),
+                },
+            ]
+        );
+        assert_eq!(gpu1.broadcast_moves().count(), 1);
+        // Hybrid router fans 1 -> 24 cores + 2 GPUs.
+        match stream.router() {
+            Some(Exchange::Router { from_dop: 1, to_dop: 26, .. }) => {}
+            r => panic!("unexpected router {r:?}"),
+        }
+    }
+
+    #[test]
+    fn builds_stay_cpu_side_even_under_gpu_only() {
+        let plan = join_plan();
+        let server = Server::paper_testbed();
+        let placed = place(&plan, &ExecConfig::new(Placement::GpuOnly), &server).unwrap();
+        let PlacedStage::Build { segments, .. } = &placed.stages[0] else {
+            panic!("first stage is the build");
+        };
+        assert!(segments.iter().all(|s| !s.target.is_gpu()));
+        let stream = placed.stages.last().unwrap();
+        assert!(stream.segments().iter().all(|s| s.target.is_gpu()));
+    }
+
+    #[test]
+    fn gpu_only_on_zero_gpu_server_is_a_typed_error() {
+        let plan = join_plan();
+        let err = place(&plan, &ExecConfig::new(Placement::GpuOnly), &Server::cpu_only())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::NoWorkers { .. }), "{err}");
+    }
+
+    #[test]
+    fn hybrid_on_zero_gpu_server_degrades_to_cpu_segments() {
+        let plan = join_plan();
+        let placed =
+            place(&plan, &ExecConfig::new(Placement::Hybrid), &Server::cpu_only()).unwrap();
+        let stream = placed.stages.last().unwrap();
+        assert_eq!(stream.segments().len(), 2);
+        assert!(stream.segments().iter().all(|s| !s.target.is_gpu()));
+    }
+
+    #[test]
+    fn single_worker_placement_needs_no_router() {
+        // A single GPU is a 1 -> 1 parallelism "conversion": the
+        // needs_router predicate correctly suppresses the exchange.
+        let plan = join_plan();
+        let placed =
+            place(&plan, &ExecConfig::new(Placement::GpuOnly), &Server::single_gpu()).unwrap();
+        let stream = placed.stages.last().unwrap();
+        assert!(stream.router().is_none());
+        assert_eq!(stream.policy(), RoutingPolicy::LoadAware);
+        assert_eq!(stream.segments().len(), 1);
+    }
+
+    #[test]
+    fn policy_rides_the_stream_router_builds_stay_load_aware() {
+        let plan = join_plan();
+        let server = Server::paper_testbed();
+        let cfg = ExecConfig {
+            policy: RoutingPolicy::RoundRobin,
+            ..ExecConfig::new(Placement::Hybrid)
+        };
+        let placed = place(&plan, &cfg, &server).unwrap();
+        assert_eq!(placed.stages[0].policy(), RoutingPolicy::LoadAware);
+        assert_eq!(placed.stages[1].policy(), RoutingPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn invalid_plan_rejected_before_placement() {
+        let plan = QueryPlan {
+            name: "bad".into(),
+            stages: vec![Stage::Stream { pipeline: Pipeline::scan("t") }],
+        };
+        let err = place(&plan, &ExecConfig::new(Placement::CpuOnly), &Server::paper_testbed())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidPlan(_)));
+    }
+
+    #[test]
+    fn render_shows_exchanges() {
+        let plan = join_plan();
+        let placed =
+            place(&plan, &ExecConfig::new(Placement::Hybrid), &Server::paper_testbed())
+                .unwrap();
+        let text = placed.render();
+        assert!(text.contains("Router(LoadAware, 1 -> 26)"), "{text}");
+        assert!(text.contains("MemMove(dram0 -> gmem0)"), "{text}");
+        assert!(text.contains("DeviceCrossing(Cpu -> Gpu)"), "{text}");
+        assert!(text.contains("broadcast \"dim_ht\""), "{text}");
+        assert!(text.contains("pipeline: scan(fact) | join(dim_ht) | agg"), "{text}");
+    }
+}

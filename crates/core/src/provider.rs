@@ -8,27 +8,115 @@
 //!
 //! Providers are what make relational operators device-*portable*: the same
 //! [`Pipeline`] runs on either device type, and the device-crossing operator
-//! merely swaps the provider.
+//! merely swaps the provider. The [`DeviceProvider`] trait is that swap
+//! point made explicit: the engine interprets a
+//! [`crate::place::PlacedPlan`] over `dyn DeviceProvider` workers — one
+//! [`CpuWorker`] per core, one [`GpuWorker`] per GPU — and never branches
+//! on a placement enum. New device classes implement the trait and slot
+//! into the same interpreter.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use hape_ops::agg::AggState;
 use hape_ops::{cpu as cpu_ops, gpu as gpu_ops};
-use hape_sim::{CpuCostModel, GpuSim, Region, SimTime};
+use hape_sim::des::Resource;
+use hape_sim::interconnect::Link;
+use hape_sim::{CpuCostModel, Fidelity, GpuSim, GpuSpec, Region, SimTime};
 use hape_storage::{Batch, Column};
 
+use crate::error::EngineError;
+use crate::exchange::WorkerId;
 use crate::plan::{JoinAlgo, JoinTable, PipeOp, Pipeline};
+use crate::traits::DeviceType;
 
 /// The built hash tables visible to probes.
 pub type TableStore = HashMap<String, Arc<JoinTable>>;
 
+/// Working space multiplier for GPU-resident hash tables (buffer
+/// management, as the paper notes when sizing Q9, §6.4). Calibrated so
+/// Q9's broadcast tables exceed the SF-scaled GPU memory even with the
+/// front-end's minimal pushed-down projections, reproducing the paper's
+/// GPU-only failure mode.
+pub const GPU_HT_WORKING_FACTOR: f64 = 2.5;
+
 /// Result of pushing one packet through a compiled pipeline.
+#[derive(Debug)]
 pub struct PacketResult {
     /// Output rows (for build pipelines); `None` when aggregated away.
     pub output: Option<Batch>,
     /// Simulated device time consumed.
     pub time: SimTime,
+}
+
+/// What a [`DeviceProvider`] reports after executing one routed packet.
+#[derive(Debug)]
+pub struct PacketOutcome {
+    /// Output rows (for build pipelines); `None` when aggregated away.
+    pub output: Option<Batch>,
+    /// When the worker finished the packet.
+    pub done: SimTime,
+    /// Bytes the packet moved host-to-device to reach the worker.
+    pub h2d_bytes: u64,
+}
+
+/// A placed worker instance: one router consumer executing packets of a
+/// compiled pipeline on a concrete device.
+///
+/// The trait unifies everything the engine's generic interpreter needs —
+/// a load estimate for the router's candidate list, packet execution
+/// (including any transfer the worker's placement implies), hash-table
+/// installation (the broadcast mem-move), and the worker's partial
+/// aggregation state. The interpreter holds `Box<dyn DeviceProvider>`
+/// workers and treats CPU cores and GPUs identically.
+pub trait DeviceProvider {
+    /// This worker's identity.
+    fn id(&self) -> WorkerId;
+
+    /// The device type executing the packets (the device trait).
+    fn device(&self) -> DeviceType;
+
+    /// Relative packet-sizing weight: how many packet shares this worker
+    /// wants in flight (GPUs pipeline transfers against kernels, so they
+    /// run deeper queues).
+    fn packet_share(&self) -> usize {
+        1
+    }
+
+    /// Earliest time this worker could *start* a packet of `bytes` that
+    /// becomes ready at `start`, including any input mem-move on the
+    /// worker's exchange path.
+    fn ready_at(&self, start: SimTime, bytes: u64) -> SimTime;
+
+    /// Calibrated processing-cost estimate (ns per byte), updated after
+    /// every executed packet — the router's tie-breaker.
+    fn est_ns_per_byte(&self) -> f64;
+
+    /// Install the hash tables `pipeline` probes ahead of the stage (the
+    /// broadcast mem-move plus any device-side preparation), checking the
+    /// device's capacity. Returns the host-to-device bytes moved.
+    fn install_tables(
+        &mut self,
+        pipeline: &Pipeline,
+        tables: &TableStore,
+        start: SimTime,
+    ) -> Result<u64, EngineError>;
+
+    /// Execute one packet that became ready at `start`, folding aggregate
+    /// rows into the worker's partial state.
+    fn execute(
+        &mut self,
+        packet: Batch,
+        pipeline: &Pipeline,
+        tables: &TableStore,
+        start: SimTime,
+    ) -> Result<PacketOutcome, EngineError>;
+
+    /// The worker's partial aggregation state (stream stages).
+    fn agg(&self) -> Option<&AggState>;
+
+    /// Total simulated busy time of the worker's compute resource.
+    fn busy(&self) -> SimTime;
 }
 
 /// Probe `packet` against `jt`, producing the joined batch (probe columns
@@ -62,6 +150,10 @@ pub fn probe_join(
     (out, avg_chain)
 }
 
+fn lookup_ht<'a>(tables: &'a TableStore, ht: &str) -> Result<&'a Arc<JoinTable>, EngineError> {
+    tables.get(ht).ok_or_else(|| EngineError::HashTableNotBuilt { table: ht.to_string() })
+}
+
 /// The CPU device provider.
 #[derive(Debug, Clone)]
 pub struct CpuProvider {
@@ -73,14 +165,15 @@ impl CpuProvider {
     /// Push one packet through the fused pipeline.
     ///
     /// `agg` is this worker's partial aggregation state (for stream
-    /// pipelines).
+    /// pipelines). A probe of a never-built hash table is the typed
+    /// [`EngineError::HashTableNotBuilt`], not a panic.
     pub fn run_packet(
         &self,
         packet: Batch,
         pipeline: &Pipeline,
         tables: &TableStore,
         agg: Option<&mut AggState>,
-    ) -> PacketResult {
+    ) -> Result<PacketResult, EngineError> {
         let mut time = cpu_ops::scan_cost(packet.bytes(), &self.model);
         let mut cur = packet;
         for op in &pipeline.ops {
@@ -99,8 +192,7 @@ impl CpuProvider {
                     time += t;
                 }
                 PipeOp::JoinProbe { ht, key_col, build_payload_cols, .. } => {
-                    let jt =
-                        tables.get(ht).unwrap_or_else(|| panic!("hash table {ht} not built"));
+                    let jt = lookup_ht(tables, ht)?;
                     let n = cur.rows() as u64;
                     let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
                     // Fused probe: random table accesses only — the gathered
@@ -114,9 +206,9 @@ impl CpuProvider {
             if cur.rows() > 0 {
                 time += cpu_ops::agg_update(state, &cur, &self.model);
             }
-            return PacketResult { output: None, time };
+            return Ok(PacketResult { output: None, time });
         }
-        PacketResult { output: Some(cur), time }
+        Ok(PacketResult { output: Some(cur), time })
     }
 }
 
@@ -139,7 +231,7 @@ impl GpuProvider {
         tables: &TableStore,
         ht_regions: &HashMap<String, Region>,
         agg: Option<&mut AggState>,
-    ) -> PacketResult {
+    ) -> Result<PacketResult, EngineError> {
         let mut time = SimTime::ZERO;
         let mut cur = packet;
         let in_region = Region::at(1 << 24, cur.bytes().max(1));
@@ -166,19 +258,16 @@ impl GpuProvider {
                     cur = Batch { columns: cols, partition: cur.partition };
                 }
                 PipeOp::JoinProbe { ht, key_col, build_payload_cols, algo } => {
-                    let jt =
-                        tables.get(ht).unwrap_or_else(|| panic!("hash table {ht} not built"));
+                    let jt = lookup_ht(tables, ht)?;
                     let region = ht_regions
                         .get(ht)
                         .copied()
                         .unwrap_or_else(|| Region::at(1 << 44, jt.bytes().max(1)));
-                    let n = cur.rows();
                     let keys: Vec<i32> = cur.col(*key_col).as_i32().to_vec();
                     let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
                     time += self.charge_probe(&keys, jt, region, chain, *algo);
                     time +=
                         SimTime::from_ns((out.rows() * build_payload_cols.len()) as f64 * 0.05);
-                    let _ = n;
                     cur = out;
                 }
             }
@@ -189,9 +278,9 @@ impl GpuProvider {
                 let report = gpu_ops::agg_update(&self.sim, region, &cur, state);
                 time += report.time;
             }
-            return PacketResult { output: None, time };
+            return Ok(PacketResult { output: None, time });
         }
-        PacketResult { output: Some(cur), time }
+        Ok(PacketResult { output: Some(cur), time })
     }
 
     /// Charge a GPU join probe of `keys` against a device-resident table.
@@ -261,6 +350,238 @@ impl GpuProvider {
     }
 }
 
+/// Exponentially-weighted update of a worker's ns-per-byte estimate.
+fn update_estimate(est: &mut f64, time: SimTime, bytes: u64) {
+    *est = 0.7 * *est + 0.3 * (time.as_ns() / bytes as f64);
+}
+
+/// One CPU core as a placed worker.
+#[derive(Debug)]
+pub struct CpuWorker {
+    socket: usize,
+    core: usize,
+    res: Resource,
+    provider: CpuProvider,
+    agg: Option<AggState>,
+    est: f64,
+}
+
+impl CpuWorker {
+    /// A worker for `core` of `socket`, charging `model` (the per-core
+    /// share of the socket's bandwidth is already folded in).
+    pub fn new(socket: usize, core: usize, model: CpuCostModel, agg: Option<AggState>) -> Self {
+        CpuWorker {
+            socket,
+            core,
+            res: Resource::new(format!("cpu{socket}.{core}")),
+            provider: CpuProvider { model },
+            agg,
+            est: 0.25,
+        }
+    }
+}
+
+impl DeviceProvider for CpuWorker {
+    fn id(&self) -> WorkerId {
+        WorkerId::CpuCore { socket: self.socket, core: self.core }
+    }
+
+    fn device(&self) -> DeviceType {
+        DeviceType::Cpu
+    }
+
+    fn ready_at(&self, start: SimTime, _bytes: u64) -> SimTime {
+        self.res.free_at().max(start)
+    }
+
+    fn est_ns_per_byte(&self) -> f64 {
+        self.est
+    }
+
+    fn install_tables(
+        &mut self,
+        _pipeline: &Pipeline,
+        _tables: &TableStore,
+        _start: SimTime,
+    ) -> Result<u64, EngineError> {
+        // Built tables already live in host memory: no mem-move needed.
+        Ok(0)
+    }
+
+    fn execute(
+        &mut self,
+        packet: Batch,
+        pipeline: &Pipeline,
+        tables: &TableStore,
+        start: SimTime,
+    ) -> Result<PacketOutcome, EngineError> {
+        let bytes = packet.bytes().max(1);
+        let result = self.provider.run_packet(packet, pipeline, tables, self.agg.as_mut())?;
+        let (_, done) = self.res.acquire(start, result.time);
+        update_estimate(&mut self.est, result.time, bytes);
+        Ok(PacketOutcome { output: result.output, done, h2d_bytes: 0 })
+    }
+
+    fn agg(&self) -> Option<&AggState> {
+        self.agg.as_ref()
+    }
+
+    fn busy(&self) -> SimTime {
+        self.res.busy_time()
+    }
+}
+
+/// One GPU as a placed worker: packets (and broadcast hash tables) reach
+/// it over its PCIe link — realising the mem-move exchanges its segment
+/// carries.
+#[derive(Debug)]
+pub struct GpuWorker {
+    idx: usize,
+    res: Resource,
+    provider: GpuProvider,
+    link: Link,
+    dram_capacity: u64,
+    dram_bw: f64,
+    /// Hash tables this worker's segment broadcasts to it (from the
+    /// segment's `MemMove { table: Some(_) }` exchanges, in order).
+    broadcast: Vec<String>,
+    ht_regions: HashMap<String, Region>,
+    agg: Option<AggState>,
+    est: f64,
+}
+
+impl GpuWorker {
+    /// A worker for GPU `idx` with spec `spec`, reached over `link`.
+    ///
+    /// `broadcast` names the hash tables the worker's segment moves into
+    /// device memory ahead of the stage — the IR's broadcast mem-move
+    /// exchanges, which [`GpuWorker::install_tables`] executes.
+    pub fn new(
+        idx: usize,
+        spec: GpuSpec,
+        mut link: Link,
+        fidelity: Fidelity,
+        agg: Option<AggState>,
+        broadcast: Vec<String>,
+    ) -> Self {
+        link.reset();
+        GpuWorker {
+            idx,
+            res: Resource::new(format!("gpu{idx}")),
+            dram_capacity: spec.dram_capacity as u64,
+            dram_bw: spec.dram_bw,
+            provider: GpuProvider { sim: GpuSim::new(spec, fidelity) },
+            link,
+            broadcast,
+            ht_regions: HashMap::new(),
+            agg,
+            est: 0.12,
+        }
+    }
+}
+
+impl DeviceProvider for GpuWorker {
+    fn id(&self) -> WorkerId {
+        WorkerId::Gpu(self.idx)
+    }
+
+    fn device(&self) -> DeviceType {
+        DeviceType::Gpu
+    }
+
+    fn packet_share(&self) -> usize {
+        4
+    }
+
+    fn ready_at(&self, start: SimTime, bytes: u64) -> SimTime {
+        let arrive = self.link.free_at().max(start) + self.link.duration(bytes);
+        self.res.free_at().max(arrive)
+    }
+
+    fn est_ns_per_byte(&self) -> f64 {
+        self.est
+    }
+
+    /// Execute the segment's broadcast mem-moves: every table named by a
+    /// `MemMove { table: Some(_) }` exchange crosses this worker's PCIe
+    /// link into device memory, after the capacity check against this
+    /// device's own spec. The exchange list is authoritative: a placed
+    /// plan that omits the broadcasts runs the probes against host-staged
+    /// default regions and skips the capacity constraint.
+    fn install_tables(
+        &mut self,
+        pipeline: &Pipeline,
+        tables: &TableStore,
+        start: SimTime,
+    ) -> Result<u64, EngineError> {
+        if self.broadcast.is_empty() {
+            return Ok(0);
+        }
+        self.ht_regions.clear();
+        let mut total: u64 = 0;
+        let mut region_base = 1u64 << 44;
+        for name in &self.broadcast {
+            let jt = lookup_ht(tables, name)?;
+            total += jt.bytes();
+            self.ht_regions.insert(name.clone(), Region::at(region_base, jt.bytes().max(1)));
+            region_base += jt.bytes().max(128) * 2;
+        }
+        // Partitioned probes pre-partition the device-resident build side
+        // on the GPU.
+        let mut prep = SimTime::ZERO;
+        for op in &pipeline.ops {
+            if let PipeOp::JoinProbe { ht, algo: JoinAlgo::Partitioned, .. } = op {
+                if self.ht_regions.contains_key(ht) {
+                    let jt = lookup_ht(tables, ht)?;
+                    prep += SimTime::from_secs(4.0 * jt.bytes() as f64 / self.dram_bw);
+                }
+            }
+        }
+        // The capacity constraint — this device's own memory, with working
+        // space (the paper's Q9 GPU-only failure, §6.4).
+        let required = (total as f64 * GPU_HT_WORKING_FACTOR) as u64;
+        if required > self.dram_capacity {
+            return Err(EngineError::GpuMemoryExceeded {
+                required,
+                capacity: self.dram_capacity,
+            });
+        }
+        let (_, arrived) = self.link.transfer(start, total);
+        let (_, ready) = self.res.acquire(arrived, prep);
+        debug_assert!(ready >= arrived);
+        Ok(total)
+    }
+
+    fn execute(
+        &mut self,
+        packet: Batch,
+        pipeline: &Pipeline,
+        tables: &TableStore,
+        start: SimTime,
+    ) -> Result<PacketOutcome, EngineError> {
+        let bytes = packet.bytes().max(1);
+        let (_, arrived) = self.link.transfer(start, bytes);
+        let result = self.provider.run_packet(
+            packet,
+            pipeline,
+            tables,
+            &self.ht_regions,
+            self.agg.as_mut(),
+        )?;
+        let (_, done) = self.res.acquire(arrived, result.time);
+        update_estimate(&mut self.est, result.time, bytes);
+        Ok(PacketOutcome { output: result.output, done, h2d_bytes: bytes })
+    }
+
+    fn agg(&self) -> Option<&AggState> {
+        self.agg.as_ref()
+    }
+
+    fn busy(&self) -> SimTime {
+        self.res.busy_time()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -301,13 +622,14 @@ mod tests {
 
         let cpu = CpuProvider { model: CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 12) };
         let mut cpu_state = AggState::new(p.agg.clone().unwrap());
-        let r1 = cpu.run_packet(packet(1000), &p, &tables, Some(&mut cpu_state));
+        let r1 = cpu.run_packet(packet(1000), &p, &tables, Some(&mut cpu_state)).unwrap();
         assert!(r1.output.is_none());
 
         let gpu = GpuProvider { sim: GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Analytic) };
         let mut gpu_state = AggState::new(p.agg.clone().unwrap());
-        let r2 =
-            gpu.run_packet(packet(1000), &p, &tables, &HashMap::new(), Some(&mut gpu_state));
+        let r2 = gpu
+            .run_packet(packet(1000), &p, &tables, &HashMap::new(), Some(&mut gpu_state))
+            .unwrap();
         assert!(r2.output.is_none());
 
         let a = cpu_state.finish();
@@ -324,9 +646,24 @@ mod tests {
     fn build_pipeline_returns_output() {
         let cpu = CpuProvider { model: CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 12) };
         let p = Pipeline::scan("t").filter(Expr::lt(Expr::col(0), Expr::LitI32(10)));
-        let r = cpu.run_packet(packet(100), &p, &TableStore::new(), None);
+        let r = cpu.run_packet(packet(100), &p, &TableStore::new(), None).unwrap();
         let out = r.output.unwrap();
         assert_eq!(out.rows(), 10);
+    }
+
+    #[test]
+    fn unbuilt_hash_table_is_a_typed_error() {
+        let cpu = CpuProvider { model: CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 12) };
+        let p = Pipeline::scan("t").join("ghost", 0, vec![], JoinAlgo::NonPartitioned);
+        let err = cpu.run_packet(packet(16), &p, &TableStore::new(), None).unwrap_err();
+        assert!(
+            matches!(err, EngineError::HashTableNotBuilt { ref table } if table == "ghost")
+        );
+        let gpu = GpuProvider { sim: GpuSim::new(GpuSpec::gtx_1080(), Fidelity::Analytic) };
+        let err = gpu
+            .run_packet(packet(16), &p, &TableStore::new(), &HashMap::new(), None)
+            .unwrap_err();
+        assert!(matches!(err, EngineError::HashTableNotBuilt { .. }));
     }
 
     #[test]
@@ -355,9 +692,73 @@ mod tests {
             .aggregate(AggSpec::ungrouped(vec![(AggFunc::Count, Expr::col(0))]));
         let mut s1 = AggState::new(npj.agg.clone().unwrap());
         let mut s2 = AggState::new(part.agg.clone().unwrap());
-        let t_npj = gpu.run_packet(probe.clone(), &npj, &tables, &regions, Some(&mut s1)).time;
-        let t_part = gpu.run_packet(probe, &part, &tables, &regions, Some(&mut s2)).time;
+        let t_npj =
+            gpu.run_packet(probe.clone(), &npj, &tables, &regions, Some(&mut s1)).unwrap().time;
+        let t_part =
+            gpu.run_packet(probe, &part, &tables, &regions, Some(&mut s2)).unwrap().time;
         assert_eq!(s1.finish(), s2.finish());
         assert!(t_part.as_secs() < t_npj.as_secs(), "partitioned {} !< npj {}", t_part, t_npj);
+    }
+
+    #[test]
+    fn workers_unify_devices_behind_the_trait() {
+        let mut tables = TableStore::new();
+        tables.insert("d".into(), dim_table());
+        let p = pipeline();
+        let agg = p.agg.clone().unwrap();
+        let mut workers: Vec<Box<dyn DeviceProvider>> = vec![
+            Box::new(CpuWorker::new(
+                0,
+                0,
+                CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 12),
+                Some(AggState::new(agg.clone())),
+            )),
+            Box::new(GpuWorker::new(
+                0,
+                GpuSpec::gtx_1080(),
+                Link::pcie3_x16("pcie0"),
+                Fidelity::Analytic,
+                Some(AggState::new(agg.clone())),
+                vec!["d".into()],
+            )),
+        ];
+        let mut merged = AggState::new(agg);
+        for w in &mut workers {
+            let h2d = w.install_tables(&p, &tables, SimTime::ZERO).unwrap();
+            // Only the GPU worker needs the broadcast mem-move.
+            assert_eq!(h2d > 0, w.device() == DeviceType::Gpu, "{:?}", w.id());
+            let out = w.execute(packet(1000), &p, &tables, SimTime::ZERO).unwrap();
+            assert!(out.output.is_none());
+            assert!(out.done.as_ns() > 0.0);
+            assert!(w.busy().as_ns() > 0.0);
+            merged.merge(w.agg().unwrap());
+        }
+        let rows = merged.finish();
+        assert_eq!(rows[0].1[0], 100.0); // both workers saw 50 matches
+    }
+
+    #[test]
+    fn gpu_worker_rejects_oversized_tables_on_its_own_capacity() {
+        let mut tables = TableStore::new();
+        tables.insert("d".into(), dim_table());
+        let p = pipeline();
+        let mut spec = GpuSpec::gtx_1080();
+        spec.dram_capacity = 64; // far below the table bytes
+        let mut w = GpuWorker::new(
+            0,
+            spec,
+            Link::pcie3_x16("pcie0"),
+            Fidelity::Analytic,
+            None,
+            vec!["d".into()],
+        );
+        let err = w.install_tables(&p, &tables, SimTime::ZERO).unwrap_err();
+        match err {
+            EngineError::GpuMemoryExceeded { required, capacity } => {
+                assert_eq!(capacity, 64);
+                assert!(required > capacity);
+            }
+            e => panic!("unexpected error {e}"),
+        }
     }
 }

@@ -1,8 +1,9 @@
 //! The logical query builder: named columns, fallible lowering.
 //!
 //! A [`Query`] is a DataFrame-style description of a query — scans,
-//! filters, joins (whose build sides are themselves `Query`s) and a
-//! terminal group-by/aggregate — written entirely against *column names*:
+//! filters, mid-chain computed projections ([`Query::select`]), joins
+//! (whose build sides are themselves `Query`s) and a terminal
+//! group-by/aggregate — written entirely against *column names*:
 //!
 //! ```
 //! use hape_core::query::Query;
@@ -55,6 +56,7 @@ pub struct Query {
 #[derive(Debug, Clone)]
 enum LogicalOp {
     Filter(NamedExpr),
+    Select(Vec<(String, NamedExpr)>),
     Join(JoinSpec),
 }
 
@@ -96,6 +98,22 @@ impl Query {
     /// Keep rows satisfying `predicate` (a boolean [`NamedExpr`]).
     pub fn filter(mut self, predicate: NamedExpr) -> Self {
         self.ops.push(LogicalOp::Filter(predicate));
+        self
+    }
+
+    /// Mid-chain computed projection: **replace** the visible columns with
+    /// the given `(name, expression)` outputs — the logical face of
+    /// [`crate::plan::PipeOp::Project`].
+    ///
+    /// All expressions must be numeric (outputs are `f64`-typed), so a
+    /// select output cannot be used as a later join key or group-by
+    /// column — lowering rejects both with typed [`PlanError`]s. Columns
+    /// not re-selected stop being visible downstream; anything the rest of
+    /// the chain needs must ride through the select explicitly (e.g.
+    /// `("l_quantity", col("l_quantity"))`).
+    pub fn select<S: Into<String>>(mut self, exprs: Vec<(S, NamedExpr)>) -> Self {
+        self.ops
+            .push(LogicalOp::Select(exprs.into_iter().map(|(n, e)| (n.into(), e)).collect()));
         self
     }
 
@@ -181,27 +199,36 @@ impl Query {
     }
 
     /// Column names this chain could export: its source table's schema
-    /// plus, recursively, everything its build sides could provide.
+    /// plus, recursively, everything its build sides could provide — with
+    /// a `select` resetting visibility to exactly its outputs.
     fn available_names(&self, catalog: &Catalog) -> Result<Vec<String>, PlanError> {
         let source = self.source()?;
         let table = lookup(catalog, source)?;
         let mut names: Vec<String> =
             table.schema.fields.iter().map(|f| f.name.clone()).collect();
         for op in &self.ops {
-            if let LogicalOp::Join(j) = op {
-                names.extend(j.build.available_names(catalog)?);
+            match op {
+                LogicalOp::Join(j) => names.extend(j.build.available_names(catalog)?),
+                LogicalOp::Select(items) => {
+                    names = items.iter().map(|(n, _)| n.clone()).collect();
+                }
+                LogicalOp::Filter(_) => {}
             }
         }
         Ok(names)
     }
 
-    /// Names this chain itself consumes (filters, probe keys, group-by,
-    /// aggregate arguments) — not including sub-chains.
+    /// Names this chain itself consumes (filters, select expressions,
+    /// probe keys, group-by, aggregate arguments) — not including
+    /// sub-chains.
     fn names_used(&self) -> Vec<String> {
         let mut names = Vec::new();
         for op in &self.ops {
             match op {
                 LogicalOp::Filter(e) => names.extend(e.columns_used()),
+                LogicalOp::Select(items) => {
+                    names.extend(items.iter().flat_map(|(_, e)| e.columns_used()));
+                }
                 LogicalOp::Join(j) => names.push(j.probe_key.clone()),
             }
         }
@@ -434,6 +461,36 @@ impl<'a> Lowering<'a> {
                         pred.resolve(&scope).map_err(|e| map_resolve(e, &context))?;
                     pipeline = pipeline.filter(resolved);
                 }
+                LogicalOp::Select(items) => {
+                    if items.is_empty() {
+                        return Err(PlanError::EmptySelect { query: q.name.clone() });
+                    }
+                    let context = format!("select over {source}");
+                    let mut exprs = Vec::with_capacity(items.len());
+                    let mut out_cols = Vec::with_capacity(items.len());
+                    for (name, e) in items {
+                        let kind = infer_kind(e, &cols, &context)?;
+                        if kind != Kind::Num {
+                            return Err(PlanError::TypeMismatch {
+                                context,
+                                expected: "numeric projection expression",
+                                found: kind.describe().to_string(),
+                            });
+                        }
+                        let scope = Scope { cols: &cols, catalog: self.base };
+                        exprs.push(e.resolve(&scope).map_err(|e| map_resolve(e, &context))?);
+                        // Projection outputs are materialised as f64; the
+                        // origin is only consulted for dictionary lookups,
+                        // which f64 columns never trigger.
+                        out_cols.push(ColInfo {
+                            name: name.clone(),
+                            dtype: DataType::F64,
+                            origin: source.to_string(),
+                        });
+                    }
+                    pipeline = pipeline.project(exprs);
+                    cols = out_cols;
+                }
                 LogicalOp::Join(j) => {
                     if j.build.aggregates() {
                         return Err(PlanError::BuildWithAggregate {
@@ -454,6 +511,12 @@ impl<'a> Lowering<'a> {
                         match later {
                             LogicalOp::Filter(e) => downstream
                                 .extend(e.columns_used().into_iter().map(|n| (n, pos))),
+                            LogicalOp::Select(items) => downstream.extend(
+                                items
+                                    .iter()
+                                    .flat_map(|(_, e)| e.columns_used())
+                                    .map(|n| (n, pos)),
+                            ),
                             LogicalOp::Join(later_join) => {
                                 downstream.push((later_join.probe_key.clone(), pos))
                             }
@@ -774,6 +837,66 @@ mod tests {
             },
             s => panic!("unexpected stage {s:?}"),
         }
+    }
+
+    #[test]
+    fn select_lowers_to_project_and_replaces_columns() {
+        let q = Query::new("q")
+            .from_table("fact")
+            .select(vec![("vk", col("v").mul(col("k"))), ("k2", col("k").add(lit(1)))])
+            .agg(vec![(AggFunc::Sum, col("vk")), (AggFunc::Sum, col("k2"))]);
+        let lowered = q.lower(&catalog()).unwrap();
+        let Stage::Stream { pipeline } = &lowered.plan.stages[0] else {
+            panic!("stream stage");
+        };
+        assert!(
+            matches!(&pipeline.ops[0], crate::plan::PipeOp::Project(exprs) if exprs.len() == 2)
+        );
+    }
+
+    #[test]
+    fn select_output_shadows_dropped_columns() {
+        // `v` is not re-selected, so referencing it downstream is a typed
+        // error.
+        let q = Query::new("q")
+            .from_table("fact")
+            .select(vec![("vk", col("v").mul(col("k")))])
+            .agg(vec![(AggFunc::Sum, col("v"))]);
+        match q.lower(&catalog()).unwrap_err() {
+            PlanError::UnknownColumn { column, .. } => assert_eq!(column, "v"),
+            e => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn select_type_checks() {
+        // A boolean expression is not a projection.
+        let q = Query::new("q")
+            .from_table("fact")
+            .select(vec![("b", col("k").lt(lit(1)))])
+            .agg(vec![(AggFunc::Sum, col("b"))]);
+        match q.lower(&catalog()).unwrap_err() {
+            PlanError::TypeMismatch { expected, .. } => {
+                assert_eq!(expected, "numeric projection expression")
+            }
+            e => panic!("unexpected error {e}"),
+        }
+        // A select output is f64-typed: joining on it is rejected.
+        let q = Query::new("q")
+            .from_table("fact")
+            .select(vec![("k2", col("k").add(lit(0)))])
+            .join(Query::scan("dim"), "k2", "k", JoinAlgo::NonPartitioned)
+            .agg(vec![(AggFunc::Count, col("k2"))]);
+        assert!(matches!(q.lower(&catalog()).unwrap_err(), PlanError::TypeMismatch { .. }));
+        // An empty select is its own typed error.
+        let q = Query::new("q")
+            .from_table("fact")
+            .select(Vec::<(&str, hape_ops::NamedExpr)>::new())
+            .agg(count());
+        assert_eq!(
+            q.lower(&catalog()).unwrap_err(),
+            PlanError::EmptySelect { query: "q".into() }
+        );
     }
 
     #[test]

@@ -2,12 +2,18 @@
 //!
 //! A [`Session`] owns an [`Engine`] over a simulated server, a [`Catalog`]
 //! of registered tables, and a default [`ExecConfig`]. Queries are
-//! described logically with [`Session::query`] and executed with
-//! [`Session::execute`] (or [`Session::execute_with`] for a one-off
-//! placement/policy); the session lowers them against its catalog —
-//! resolving names, pushing projections down, computing positional indices
-//! — and runs the resulting physical plan. All failures surface as the
-//! unified [`HapeError`].
+//! described logically with [`Session::query`] and flow through three
+//! explicit layers:
+//!
+//! 1. **lower** ([`Session::lower`]) — resolve names against the catalog,
+//!    push projections down, produce the physical [`crate::plan::QueryPlan`];
+//! 2. **place** ([`Session::place`]) — annotate every pipeline with
+//!    [`crate::place::Segment`]s and trait-conversion exchanges, producing
+//!    the [`PlacedPlan`] IR ([`Session::explain`] renders it);
+//! 3. **run** ([`Session::execute`] / [`Session::execute_with`]) — the
+//!    engine interprets the placed plan over its device providers.
+//!
+//! All failures surface as the unified [`HapeError`].
 
 use hape_sim::topology::Server;
 use hape_storage::Table;
@@ -15,6 +21,7 @@ use hape_storage::Table;
 use crate::catalog::Catalog;
 use crate::engine::{Engine, ExecConfig, Placement, QueryReport};
 use crate::error::HapeError;
+use crate::place::{place, PlacedPlan};
 use crate::query::{LoweredQuery, Query};
 
 /// An engine + catalog + default execution config.
@@ -81,23 +88,57 @@ impl Session {
         Ok(query.lower(&self.catalog)?)
     }
 
-    /// Lower and execute under the session's default config.
+    /// Lower and place a logical query under the session's default config:
+    /// the explicit [`PlacedPlan`] IR with per-segment [`crate::traits::HetTraits`]
+    /// and the inserted exchange operators.
+    pub fn place(&self, query: &Query) -> Result<PlacedPlan, HapeError> {
+        self.place_with(query, &self.config)
+    }
+
+    /// Lower and place under an explicit config.
+    pub fn place_with(
+        &self,
+        query: &Query,
+        config: &ExecConfig,
+    ) -> Result<PlacedPlan, HapeError> {
+        let lowered = self.lower(query)?;
+        Ok(place(&lowered.plan, config, &self.engine.server)?)
+    }
+
+    /// Render the placed plan for a query under the session's default
+    /// config: segments, traits, and every inserted Router / MemMove /
+    /// DeviceCrossing operator.
+    pub fn explain(&self, query: &Query) -> Result<String, HapeError> {
+        Ok(self.place(query)?.render())
+    }
+
+    /// Render the placed plan under an explicit config.
+    pub fn explain_with(
+        &self,
+        query: &Query,
+        config: &ExecConfig,
+    ) -> Result<String, HapeError> {
+        Ok(self.place_with(query, config)?.render())
+    }
+
+    /// Lower, place and execute under the session's default config.
     ///
-    /// Lowering runs per call; to execute one query many times (e.g.
-    /// sweeping placements), [`Session::lower`] once and hand the
-    /// [`LoweredQuery`] to [`Engine::run`] directly.
+    /// Lowering and placement run per call; to execute one query many
+    /// times (e.g. sweeping placements), [`Session::lower`] once and hand
+    /// the [`LoweredQuery`] to [`Engine::run`] directly.
     pub fn execute(&self, query: &Query) -> Result<QueryReport, HapeError> {
         self.execute_with(query, &self.config)
     }
 
-    /// Lower and execute under an explicit config.
+    /// Lower, place and execute under an explicit config.
     pub fn execute_with(
         &self,
         query: &Query,
         config: &ExecConfig,
     ) -> Result<QueryReport, HapeError> {
         let lowered = self.lower(query)?;
-        Ok(self.engine.run(&lowered.catalog, &lowered.plan, config)?)
+        let placed = place(&lowered.plan, config, &self.engine.server)?;
+        Ok(self.engine.run_placed(&lowered.catalog, &placed)?)
     }
 }
 
@@ -135,6 +176,30 @@ mod tests {
         }
         assert_eq!(rows[0], rows[1]);
         assert_eq!(rows[1], rows[2]);
+    }
+
+    #[test]
+    fn place_and_explain_surface_the_ir() {
+        let s = session();
+        let q = s
+            .query("placed")
+            .from_table("fact")
+            .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+            .agg(vec![(AggFunc::Count, col("k"))]);
+        let placed = s.place(&q).unwrap();
+        assert_eq!(placed.name, "placed");
+        assert_eq!(placed.stages.len(), 2);
+        // Default hybrid placement: the stream fans out over CPUs + GPUs.
+        let stream = placed.stages.last().unwrap();
+        assert_eq!(stream.segments().len(), 4);
+        let text = s.explain(&q).unwrap();
+        assert!(text.contains("Router("), "{text}");
+        assert!(text.contains("DeviceCrossing(Cpu -> Gpu)"), "{text}");
+        assert!(text.contains("broadcast \"placed.dim\""), "{text}");
+        // The placed plan is directly executable.
+        let lowered = s.lower(&q).unwrap();
+        let rep = s.engine().run_placed(&lowered.catalog, &placed).unwrap();
+        assert_eq!(rep.rows[0].1[0], (1 << 12) as f64);
     }
 
     #[test]

@@ -5,6 +5,23 @@
 //! **locality** and **packing** (data flow). HetExchange operators are the
 //! only trait *converters*; every relational operator keeps all four fixed,
 //! which is what lets it stay heterogeneity-oblivious.
+//!
+//! The placement pass ([`mod@crate::place`]) compares the traits on every
+//! placed edge with the `needs_*` predicates below and inserts the
+//! matching converter, following the paper's §3 mapping:
+//!
+//! | [`HetTraits`] field | mismatch predicate | converter (§3, Fig. 3) | IR operator |
+//! |---|---|---|---|
+//! | `device` | [`HetTraits::needs_device_crossing`] | device crossing (cpu2gpu / gpu2cpu) | [`crate::exchange::Exchange::DeviceCrossing`] |
+//! | `dop` | [`HetTraits::needs_router`] | router | [`crate::exchange::Exchange::Router`] |
+//! | `locality` | [`HetTraits::needs_mem_move`] | mem-move (+ broadcast variant) | [`crate::exchange::Exchange::MemMove`] |
+//! | `packing` | — (fixed to packets between operators) | pack / unpack | packet granularity of the executor |
+//!
+//! A stream pipeline starts at [`HetTraits::cpu_seq`] (the sequential,
+//! host-resident scan source); each placed segment declares its own
+//! traits, and whatever disagrees becomes an explicit exchange on that
+//! segment's input edge — visible in
+//! [`crate::session::Session::explain`].
 
 use hape_sim::topology::MemNode;
 

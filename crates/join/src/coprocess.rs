@@ -1,4 +1,4 @@
-//! The co-processing radix join (§5, Sioulas et al. [30]).
+//! The co-processing radix join (§5, Sioulas et al. \[30\]).
 //!
 //! When the inputs exceed GPU memory, the CPU performs a *low-fanout*
 //! co-partitioning local to the data — fanout chosen just large enough that

@@ -6,7 +6,7 @@
 //! writing each run to its output partition — consolidating stores so DRAM
 //! writes coalesce. Output partitions are linked lists of buffers whose
 //! tails are bumped with global atomics (no extra offset-computation scan,
-//! unlike [27]).
+//! unlike \[27\]).
 //!
 //! **Build & probe (Fig. 3):** one block per co-partition. The Figure 5
 //! variants differ in where the join's intermediate structures live:

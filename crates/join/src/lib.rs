@@ -2,15 +2,15 @@
 //!
 //! The paper's §4.1/§5 join suite:
 //!
-//! * [`cpu_npj`] — CPU non-partitioned (hardware-oblivious) hash join: a
+//! * [`mod@cpu_npj`] — CPU non-partitioned (hardware-oblivious) hash join: a
 //!   shared chained hash table built and probed by all cores; random accesses
 //!   pay DRAM latency once the table outgrows the caches.
-//! * [`cpu_radix`] — CPU radix join: multi-pass software-managed partitioning
+//! * [`mod@cpu_radix`] — CPU radix join: multi-pass software-managed partitioning
 //!   with TLB-bounded fanout (Boncz), until per-partition hash tables are
 //!   cache-resident (Shatdal); then in-cache build & probe.
-//! * [`gpu_npj`] — GPU non-partitioned join: global-memory hash table;
+//! * [`mod@gpu_npj`] — GPU non-partitioned join: global-memory hash table;
 //!   every probe over-fetches whole cache lines through L1/L2.
-//! * [`gpu_radix`] — the paper's GPU join (Figs 3 & 4): multi-pass
+//! * [`mod@gpu_radix`] — the paper's GPU join (Figs 3 & 4): multi-pass
 //!   partitioning with scratchpad-staged store consolidation and linked-list
 //!   output buffers, then per-co-partition build & probe with the
 //!   scratchpad (SM), SM+L1 or L1 placement variants of Figure 5.

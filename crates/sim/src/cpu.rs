@@ -127,7 +127,7 @@ impl CpuCostModel {
     /// the fanout stays within TLB/cache reach the writes behave like
     /// buffered sequential stores. Beyond it every write risks a TLB miss and
     /// a cache conflict — exactly the effect that motivates multi-pass radix
-    /// partitioning (Boncz et al. [6]).
+    /// partitioning (Boncz et al. \[6\]).
     pub fn partition_pass(&self, n: u64, tuple_bytes: u64, fanout: usize) -> SimTime {
         let bytes = n * tuple_bytes;
         let read = self.seq_read(bytes);

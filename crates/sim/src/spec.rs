@@ -119,7 +119,7 @@ impl CpuSpec {
     }
 
     /// Maximum software-managed partitioning fanout for one pass, following
-    /// Boncz et al. [6]: one output buffer per partition must stay TLB- and
+    /// Boncz et al. \[6\]: one output buffer per partition must stay TLB- and
     /// cache-resident, so fanout is bounded by TLB entries and by the number
     /// of cache lines L1 can dedicate to write buffers.
     ///
@@ -173,7 +173,7 @@ pub struct GpuSpec {
     pub l1: CacheLevelSpec,
     /// Device-wide L2.
     pub l2: CacheLevelSpec,
-    /// TLB with big pages (Karnagel et al. [18] measured 2 MiB GPU pages).
+    /// TLB with big pages (Karnagel et al. \[18\] measured 2 MiB GPU pages).
     pub tlb: TlbSpec,
     /// Effective device-memory bandwidth, bytes/s (paper quotes 280 GB/s).
     pub dram_bw: f64,

@@ -1,6 +1,8 @@
 //! Quickstart: describe a join-and-aggregate query against named columns
-//! on a [`hape::core::Session`], run it in all three placements, and watch
-//! the hybrid configuration beat both.
+//! on a [`hape::core::Session`], inspect its placed plan with `explain`
+//! (segments, traits, and the inserted Router / MemMove / DeviceCrossing
+//! exchanges), run it in all three placements, and watch the hybrid
+//! configuration beat both.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -26,6 +28,11 @@ fn main() {
         .from_table("fact")
         .join(Query::scan("dim"), "k", "k", JoinAlgo::Partitioned)
         .agg(vec![(AggFunc::Count, col("k")), (AggFunc::Sum, col("v"))]);
+
+    // The placement pass makes the paper's trait conversions explicit:
+    // `explain` renders each stage's segments with their HetTraits and
+    // every inserted exchange operator.
+    println!("{}", session.explain(&query).expect("quickstart query places"));
 
     println!("placement   time        CPU-pkts GPU-pkts  H2D bytes   result(count)");
     for placement in [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid] {

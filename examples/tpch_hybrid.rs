@@ -3,10 +3,12 @@
 //! GPU-only out-of-memory failure and its co-processing rescue.
 //!
 //! The queries are logical `Query` builders over named columns; the session
-//! lowers them (with automatic projection pushdown) before execution.
+//! lowers them (with automatic projection pushdown), places them (explicit
+//! per-device segments + exchange operators — pass `--explain` to see Q5's
+//! placed plan), and interprets the placed plans.
 //!
 //! ```text
-//! cargo run --release --example tpch_hybrid [sf]
+//! cargo run --release --example tpch_hybrid [sf] [--explain]
 //! ```
 
 use hape::core::{ExecConfig, JoinAlgo, Placement, Session};
@@ -26,6 +28,14 @@ fn main() {
     session.register(data.partsupp.clone());
     session.register(data.nation.clone());
     session.register(data.region.clone());
+
+    if std::env::args().any(|a| a == "--explain") {
+        let q5 = q5_query(JoinAlgo::Partitioned);
+        println!(
+            "{}",
+            session.explain_with(&q5, &ExecConfig::new(Placement::Hybrid)).expect("Q5 places")
+        );
+    }
 
     let queries = vec![
         ("Q1", q1_query()),

@@ -17,15 +17,19 @@
 //! * [`tpch`] — TPC-H data generation and the paper's Q1/Q5/Q6/Q9* plans.
 //! * [`baselines`] — the commercial-system stand-ins DBMS-C and DBMS-G.
 //!
-//! ## Quickstart
+//! ## Quickstart: lower → place → run
 //!
 //! Describe queries logically on a [`core::Session`] — named columns,
-//! fallible construction — and let the engine lower them into its physical
-//! pipelines (projection pushdown, positional indices, build/stream
-//! stages):
+//! fallible construction. Execution flows through three explicit layers:
+//! *lowering* resolves names into the physical plan (projection pushdown,
+//! positional indices, build/stream stages); *placement* annotates every
+//! pipeline with per-device segments carrying [`core::HetTraits`] and
+//! inserts the trait-conversion exchange operators (router, mem-move,
+//! device crossing); the engine then *interprets* the placed plan over
+//! its device providers:
 //!
 //! ```
-//! use hape::core::{JoinAlgo, Query, Session};
+//! use hape::core::{ExecConfig, JoinAlgo, Placement, Query, Session};
 //! use hape::ops::{col, lit, AggFunc};
 //! use hape::sim::topology::Server;
 //! use hape::storage::datagen::gen_key_fk_table;
@@ -34,17 +38,31 @@
 //! // hybrid placement by default.
 //! let mut session = Session::new(Server::paper_testbed());
 //!
-//! // Two 4-byte-key/4-byte-payload tables, joined and counted.
+//! // Two 4-byte-key/4-byte-payload tables, joined and counted, with a
+//! // mid-chain computed projection.
 //! session.register_as("fact", gen_key_fk_table(1 << 14, 1 << 14, 42));
 //! session.register_as("dim", gen_key_fk_table(1 << 14, 1 << 14, 43));
 //! let query = session
 //!     .query("quickstart")
 //!     .from_table("fact")
-//!     .filter(col("k").ge(lit(0)))
 //!     .join(Query::scan("dim"), "k", "k", JoinAlgo::Partitioned)
-//!     .agg(vec![(AggFunc::Count, col("k"))]);
+//!     .select(vec![("v2", col("v").mul(lit(2.0)))])
+//!     .agg(vec![(AggFunc::Count, col("v2"))]);
+//!
+//! // `explain` renders the placed plan: segments, traits, and the
+//! // inserted HetExchange operators.
+//! let text = session.explain(&query).unwrap();
+//! assert!(text.contains("Router("));
+//! assert!(text.contains("DeviceCrossing(Cpu -> Gpu)"));
+//!
+//! // `execute` = lower + place + run; `Placement` is sugar selecting
+//! // which devices participate in the placement pass.
 //! let report = session.execute(&query).unwrap();
 //! assert_eq!(report.rows[0].1[0], (1 << 14) as f64);
+//! let cpu = session
+//!     .execute_with(&query, &ExecConfig::new(Placement::CpuOnly))
+//!     .unwrap();
+//! assert_eq!(cpu.rows, report.rows);
 //!
 //! // Misdescribed queries are typed errors, not panics.
 //! let bad = session.query("bad").from_table("fact")
@@ -55,7 +73,9 @@
 //!
 //! The physical [`core::QueryPlan`]/[`core::Stage`]/[`core::Pipeline`]
 //! layer the session lowers into remains public — benchmarks and the
-//! baseline systems execute it directly under their own cost models.
+//! baseline systems execute it directly under their own cost models — and
+//! so is the placed [`core::PlacedPlan`] IR the placement pass produces
+//! ([`core::place()`] + [`core::Engine::run_placed`]).
 pub use hape_baselines as baselines;
 pub use hape_core as core;
 pub use hape_join as join;

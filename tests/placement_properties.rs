@@ -1,0 +1,220 @@
+//! Placement-layer properties.
+//!
+//! 1. **Placement invariance** (deterministic property sweep): for every
+//!    TPC-H query and every placement × routing-policy combination, the
+//!    placed plan executes to row-identical results vs. the `CpuOnly`
+//!    reference — identical group keys and row counts, values equal up to
+//!    the float-fold rounding that different packet partitionings imply.
+//! 2. **Explain snapshots**: `Session::explain` renders Q5's placed plan
+//!    with the inserted Router / MemMove / DeviceCrossing operators
+//!    visible in all three placements.
+
+use hape::core::engine::EngineError;
+use hape::core::{ExecConfig, HapeError, JoinAlgo, Placement, Query, RoutingPolicy, Session};
+use hape::sim::topology::Server;
+use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query};
+use hape::tpch::reference::rows_approx_eq;
+
+const SF: f64 = 0.01;
+
+const PLACEMENTS: [Placement; 3] = [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid];
+const POLICIES: [RoutingPolicy; 3] =
+    [RoutingPolicy::LoadAware, RoutingPolicy::RoundRobin, RoutingPolicy::HashPartition];
+
+fn tpch_session() -> Session {
+    let data = hape::tpch::generate(SF, 31337);
+    let mut session = Session::new(Server::tpch_scaled(SF));
+    session.register(data.lineitem.clone());
+    session.register(data.orders.clone());
+    session.register(data.customer.clone());
+    session.register(data.supplier.clone());
+    session.register(data.partsupp.clone());
+    session.register(data.nation.clone());
+    session.register(data.region.clone());
+    session
+}
+
+#[test]
+fn every_query_is_placement_and_policy_invariant() {
+    let session = tpch_session();
+    let queries: Vec<Query> = vec![
+        q1_query(),
+        q5_query(JoinAlgo::NonPartitioned),
+        q5_query(JoinAlgo::Partitioned),
+        q6_query(),
+    ];
+    for query in &queries {
+        let reference =
+            session.execute_with(query, &ExecConfig::new(Placement::CpuOnly)).unwrap().rows;
+        assert!(!reference.is_empty(), "{}: empty CpuOnly reference", query.name);
+        for placement in PLACEMENTS {
+            for policy in POLICIES {
+                let cfg = ExecConfig { policy, ..ExecConfig::new(placement) };
+                let rep = session
+                    .execute_with(query, &cfg)
+                    .unwrap_or_else(|e| panic!("{}/{placement:?}/{policy:?}: {e}", query.name));
+                assert_eq!(
+                    rep.rows.len(),
+                    reference.len(),
+                    "{}/{placement:?}/{policy:?}: row count",
+                    query.name
+                );
+                for (got, want) in rep.rows.iter().zip(&reference) {
+                    assert_eq!(
+                        got.0, want.0,
+                        "{}/{placement:?}/{policy:?}: group keys",
+                        query.name
+                    );
+                }
+                assert!(
+                    rows_approx_eq(&rep.rows, &reference),
+                    "{}/{placement:?}/{policy:?}: values diverge from CpuOnly",
+                    query.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn q9_fails_capacity_on_gpu_placements_under_every_policy() {
+    // Q9's hash tables exceed device memory (§6.4): every placement that
+    // includes a GPU surfaces the typed capacity error; CPU-only agrees
+    // with itself under every policy.
+    let session = tpch_session();
+    let q9 = q9_query(JoinAlgo::NonPartitioned);
+    let reference =
+        session.execute_with(&q9, &ExecConfig::new(Placement::CpuOnly)).unwrap().rows;
+    for policy in POLICIES {
+        for placement in [Placement::GpuOnly, Placement::Hybrid] {
+            let cfg = ExecConfig { policy, ..ExecConfig::new(placement) };
+            match session.execute_with(&q9, &cfg).unwrap_err() {
+                HapeError::Engine(EngineError::GpuMemoryExceeded { required, capacity }) => {
+                    assert!(required > capacity, "{placement:?}/{policy:?}");
+                }
+                e => panic!("{placement:?}/{policy:?}: unexpected error {e}"),
+            }
+        }
+        let cfg = ExecConfig { policy, ..ExecConfig::new(Placement::CpuOnly) };
+        let rep = session.execute_with(&q9, &cfg).unwrap();
+        assert!(rows_approx_eq(&rep.rows, &reference), "Q9 CpuOnly/{policy:?}");
+    }
+}
+
+/// The build-stage preamble is placement-independent: builds always run
+/// CPU-side so their tables end up host-resident for broadcasting.
+const Q5_BUILD_PREAMBLE: &str = "\
+PlacedPlan Q5
+stage 0: build Q5.region (key col 0)
+  pipeline: scan(region) | filter
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+stage 1: build Q5.nation (key col 0)
+  pipeline: scan(Q5.nation) | join(Q5.region)
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+stage 2: build Q5.customer (key col 0)
+  pipeline: scan(customer) | join(Q5.nation)
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+stage 3: build Q5.orders (key col 0)
+  pipeline: scan(Q5.orders) | filter | join(Q5.customer)
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+stage 4: build Q5.region#2 (key col 0)
+  pipeline: scan(region) | filter
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+stage 5: build Q5.nation#2 (key col 0)
+  pipeline: scan(nation) | join(Q5.region#2)
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+stage 6: build Q5.supplier (key col 0)
+  pipeline: scan(supplier) | join(Q5.nation#2)
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+";
+
+const Q5_STREAM_CPU_ONLY: &str = "\
+stage 7: stream
+  pipeline: scan(Q5.lineitem) | join(Q5.orders) | join(Q5.supplier) | filter | agg
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+";
+
+const Q5_STREAM_GPU_ONLY: &str = "\
+stage 7: stream
+  pipeline: scan(Q5.lineitem) | join(Q5.orders) | join(Q5.supplier) | filter | agg
+  Router(LoadAware, 1 -> 2)
+  segment gpu0: Gpu dop=1 mem=gmem0 packing=Packets
+    MemMove(dram0 -> gmem0)
+    DeviceCrossing(Cpu -> Gpu)
+    MemMove(dram0 -> gmem0, broadcast \"Q5.orders\")
+    MemMove(dram0 -> gmem0, broadcast \"Q5.supplier\")
+  segment gpu1: Gpu dop=1 mem=gmem1 packing=Packets
+    MemMove(dram0 -> gmem1)
+    DeviceCrossing(Cpu -> Gpu)
+    MemMove(dram0 -> gmem1, broadcast \"Q5.orders\")
+    MemMove(dram0 -> gmem1, broadcast \"Q5.supplier\")
+";
+
+const Q5_STREAM_HYBRID: &str = "\
+stage 7: stream
+  pipeline: scan(Q5.lineitem) | join(Q5.orders) | join(Q5.supplier) | filter | agg
+  Router(LoadAware, 1 -> 26)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+  segment gpu0: Gpu dop=1 mem=gmem0 packing=Packets
+    MemMove(dram0 -> gmem0)
+    DeviceCrossing(Cpu -> Gpu)
+    MemMove(dram0 -> gmem0, broadcast \"Q5.orders\")
+    MemMove(dram0 -> gmem0, broadcast \"Q5.supplier\")
+  segment gpu1: Gpu dop=1 mem=gmem1 packing=Packets
+    MemMove(dram0 -> gmem1)
+    DeviceCrossing(Cpu -> Gpu)
+    MemMove(dram0 -> gmem1, broadcast \"Q5.orders\")
+    MemMove(dram0 -> gmem1, broadcast \"Q5.supplier\")
+";
+
+#[test]
+fn q5_explain_snapshots_show_exchange_operators() {
+    let session = tpch_session();
+    let q5 = q5_query(JoinAlgo::NonPartitioned);
+    for (placement, stream) in [
+        (Placement::CpuOnly, Q5_STREAM_CPU_ONLY),
+        (Placement::GpuOnly, Q5_STREAM_GPU_ONLY),
+        (Placement::Hybrid, Q5_STREAM_HYBRID),
+    ] {
+        let text = session.explain_with(&q5, &ExecConfig::new(placement)).unwrap();
+        let expected = format!("{Q5_BUILD_PREAMBLE}{stream}");
+        assert_eq!(text, expected, "{placement:?} snapshot diverged:\n{text}");
+    }
+    // The hybrid render makes every HetExchange operator kind visible.
+    let hybrid = session.explain_with(&q5, &ExecConfig::new(Placement::Hybrid)).unwrap();
+    for needle in ["Router(", "MemMove(", "DeviceCrossing(", "broadcast"] {
+        assert!(hybrid.contains(needle), "missing {needle} in hybrid render");
+    }
+}
+
+#[test]
+fn explain_reflects_the_configured_policy() {
+    let session = tpch_session();
+    let q5 = q5_query(JoinAlgo::NonPartitioned);
+    let cfg = ExecConfig {
+        policy: RoutingPolicy::HashPartition,
+        ..ExecConfig::new(Placement::Hybrid)
+    };
+    let text = session.explain_with(&q5, &cfg).unwrap();
+    // The stream router carries the configured policy; build routers stay
+    // load-aware.
+    assert!(text.contains("Router(HashPartition, 1 -> 26)"), "{text}");
+    assert!(text.contains("Router(LoadAware, 1 -> 24)"), "{text}");
+}

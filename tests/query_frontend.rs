@@ -62,6 +62,61 @@ fn tpch_queries_match_oracles_on_every_placement() {
 }
 
 #[test]
+fn mid_chain_select_reaches_project_and_matches_the_oracle() {
+    // Q6 rewritten with a computed projection: the revenue term is
+    // materialised by a mid-chain `select` instead of inside the
+    // aggregate, exercising `PipeOp::Project` from the front-end on every
+    // placement.
+    let (data, session) = tpch_session();
+    let lo = hape::tpch::date(1994, 1, 1);
+    let hi = hape::tpch::date(1995, 1, 1);
+    let q = session
+        .query("Q6-select")
+        .from_table("lineitem")
+        .filter(
+            col("l_shipdate").between(lit(lo), lit(hi)).and(
+                col("l_discount")
+                    .ge(lit(0.0499))
+                    .and(col("l_discount").le(lit(0.0701)))
+                    .and(col("l_quantity").lt(lit(24.0))),
+            ),
+        )
+        .select(vec![("revenue_item", col("l_extendedprice").mul(col("l_discount")))])
+        .agg(vec![(AggFunc::Sum, col("revenue_item"))]);
+    // The select lowers to a physical projection.
+    let lowered = session.lower(&q).unwrap();
+    let has_project = lowered.plan.stages.iter().any(|s| match s {
+        hape::core::Stage::Stream { pipeline } | hape::core::Stage::Build { pipeline, .. } => {
+            pipeline.ops.iter().any(|op| matches!(op, hape::core::PipeOp::Project(_)))
+        }
+    });
+    assert!(has_project, "select did not lower to PipeOp::Project");
+    // And the result matches the Q6 oracle on every placement.
+    let reference = q6_reference(&data);
+    for placement in [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid] {
+        let rep = session.execute_with(&q, &ExecConfig::new(placement)).unwrap();
+        assert!(
+            rows_approx_eq(&rep.rows, &reference),
+            "{placement:?}: {:?} vs {reference:?}",
+            rep.rows
+        );
+    }
+    // Columns not re-selected are gone: referencing one downstream is a
+    // typed error, not silence.
+    let bad = session
+        .query("bad")
+        .from_table("lineitem")
+        .select(vec![("revenue_item", col("l_extendedprice").mul(col("l_discount")))])
+        .agg(vec![(AggFunc::Sum, col("l_quantity"))]);
+    match session.execute(&bad).unwrap_err() {
+        HapeError::Plan(PlanError::UnknownColumn { column, .. }) => {
+            assert_eq!(column, "l_quantity")
+        }
+        e => panic!("unexpected error {e}"),
+    }
+}
+
+#[test]
 fn unknown_table_is_a_typed_error() {
     let (_, session) = tpch_session();
     let q = session
