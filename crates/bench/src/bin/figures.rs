@@ -1,35 +1,92 @@
 //! Regenerate the paper's figures.
 //!
 //! ```text
-//! figures [fig5|fig6|fig7|fig8|fig9|all] [--full] [--sf <f64>]
+//! figures [fig5|fig6|fig7|fig8|fig9|all] [--full] [--smoke] [--sf <f64>]
+//!         [--placements <p,p,...>]
 //! ```
 //!
 //! Default sizes are scaled down (see EXPERIMENTS.md); `--full` uses
-//! paper-scale inputs where host memory permits (slow).
+//! paper-scale inputs where host memory permits (slow). `--smoke` shrinks
+//! every figure to seconds of runtime — the CI guard that keeps this
+//! harness runnable while the criterion benches stay gated off.
+//!
+//! `--placements` selects the Proteus series of fig8 by name (`cpu`,
+//! `gpu`, `hybrid`, `auto` — `Placement`'s `FromStr`); `auto` plots the
+//! cost-based optimizer against the manual placements.
 
-use hape_bench::figures::{fig5, fig6, fig7, fig8, fig9, print_figure};
+use hape_bench::figures::{fig5, fig6, fig7, fig8_with, fig9, print_figure};
+use hape_core::Placement;
+
+/// The first positional argument, skipping flags *and their values*
+/// (`--sf 0.1` must not make `0.1` the figure id).
+fn positional(args: &[String]) -> Option<&String> {
+    let mut skip_value = false;
+    for a in args {
+        if skip_value {
+            skip_value = false;
+            continue;
+        }
+        if a == "--sf" || a == "--placements" {
+            skip_value = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let which = args.first().map(String::as_str).unwrap_or("all").to_string();
+    let which = positional(&args).map(String::as_str).unwrap_or("all").to_string();
     let full = args.iter().any(|a| a == "--full");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let sf = args
         .iter()
         .position(|a| a == "--sf")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(if full { 1.0 } else { 0.05 });
+        .unwrap_or(if full {
+            1.0
+        } else if smoke {
+            0.01
+        } else {
+            0.05
+        });
+    let placements: Vec<Placement> = args
+        .iter()
+        .position(|a| a == "--placements")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .map(|p| p.parse::<Placement>().unwrap_or_else(|e| panic!("{e}")))
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            vec![Placement::CpuOnly, Placement::Hybrid, Placement::GpuOnly, Placement::Auto]
+        });
 
     let run = |id: &str| which == "all" || which == id;
 
     if run("fig5") {
-        let tuples = if full { 32 << 20 } else { 1 << 20 };
-        let sizes = [128usize, 256, 512, 1024, 2048, 4096];
-        print_figure(&fig5(tuples, &sizes));
+        let tuples = if full {
+            32 << 20
+        } else if smoke {
+            1 << 17
+        } else {
+            1 << 20
+        };
+        let sizes: &[usize] =
+            if smoke { &[256, 1024, 4096] } else { &[128, 256, 512, 1024, 2048, 4096] };
+        print_figure(&fig5(tuples, sizes));
     }
     if run("fig6") {
         let sizes: Vec<usize> = if full {
             vec![1 << 20, 1 << 23, 1 << 25, 1 << 27]
+        } else if smoke {
+            vec![1 << 19, 1 << 21]
         } else {
             vec![1 << 20, 1 << 21, 1 << 22, 1 << 23]
         };
@@ -38,13 +95,15 @@ fn main() {
     if run("fig7") {
         let sizes: Vec<usize> = if full {
             vec![256 << 20, 512 << 20, 1024 << 20]
+        } else if smoke {
+            vec![1 << 20, 1 << 21]
         } else {
             vec![1 << 21, 1 << 22, 1 << 23, 1 << 24]
         };
         print_figure(&fig7(&sizes));
     }
     if run("fig8") {
-        print_figure(&fig8(sf));
+        print_figure(&fig8_with(sf, &placements));
     }
     if run("fig9") {
         print_figure(&fig9(sf));

@@ -208,11 +208,30 @@ pub fn fig7(sizes: &[usize]) -> Figure {
     }
 }
 
-/// **Figure 8** — TPC-H Q1/Q5/Q6/Q9* end-to-end: DBMS C, Proteus CPU,
-/// Proteus Hybrid, Proteus GPU, DBMS G. GPU memory scales with `sf/100`
-/// so the paper's SF-100 capacity effects reproduce (Q9 GPU-only fails;
-/// DBMS G runs only Q6).
+/// The Proteus series label for a placement (paper legend style).
+fn proteus_label(placement: Placement) -> &'static str {
+    match placement {
+        Placement::CpuOnly => "Proteus CPUs",
+        Placement::GpuOnly => "Proteus GPUs",
+        Placement::Hybrid => "Proteus Hybrid",
+        Placement::Auto => "Proteus Auto",
+    }
+}
+
+/// **Figure 8** — TPC-H Q1/Q5/Q6/Q9* end-to-end with the paper's series:
+/// DBMS C, Proteus CPU, Proteus Hybrid, Proteus GPU, DBMS G. GPU memory
+/// scales with `sf/100` so the paper's SF-100 capacity effects reproduce
+/// (Q9 GPU-only fails; DBMS G runs only Q6).
 pub fn fig8(sf: f64) -> Figure {
+    fig8_with(sf, &[Placement::CpuOnly, Placement::Hybrid, Placement::GpuOnly])
+}
+
+/// [`fig8`] with a CLI-selectable Proteus placement list (one series per
+/// placement, between the DBMS C and DBMS G baselines): pass
+/// `Placement::Auto` to plot the cost-based optimizer against the manual
+/// placements — it must route Q9 around the GPU-only out-of-memory
+/// failure without the hand-written co-processing fallback.
+pub fn fig8_with(sf: f64, placements: &[Placement]) -> Figure {
     let data = hape_tpch::generate(sf, 420);
     let catalog = base_catalog(&data);
     let server = Server::tpch_scaled(sf);
@@ -225,35 +244,33 @@ pub fn fig8(sf: f64) -> Figure {
         ("Q6", q6_query().lower(&catalog).unwrap()),
         ("Q9*", q9_query(JoinAlgo::Partitioned).lower(&catalog).unwrap()),
     ];
-    let mut series: Vec<Series> =
-        ["DBMS C", "Proteus CPUs", "Proteus Hybrid", "Proteus GPUs", "DBMS G"]
-            .iter()
-            .map(|l| Series { label: l.to_string(), points: Vec::new() })
-            .collect();
+    let mut series: Vec<Series> = std::iter::once("DBMS C")
+        .chain(placements.iter().map(|&p| proteus_label(p)))
+        .chain(std::iter::once("DBMS G"))
+        .map(|l| Series { label: l.to_string(), points: Vec::new() })
+        .collect();
     for (qi, (name, q)) in queries.iter().enumerate() {
         let x = qi as f64 + 1.0;
         series[0]
             .points
             .push((x, Some(dbms_c.run_plan(&q.catalog, &q.plan).unwrap().time.as_secs())));
-        let cpu =
-            engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
-        series[1].points.push((x, Some(cpu.time.as_secs())));
-        // Hybrid: Q9 falls back to the intra-operator co-processing path.
-        let hybrid = match engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::Hybrid))
-        {
-            Ok(rep) => Some(rep.time.as_secs()),
-            Err(_) if *name == "Q9*" => {
-                Some(run_q9_hybrid(&engine, &catalog, &data).unwrap().time.as_secs())
-            }
-            Err(_) => None,
-        };
-        series[2].points.push((x, hybrid));
-        let gpu = engine
-            .run(&q.catalog, &q.plan, &ExecConfig::new(Placement::GpuOnly))
-            .ok()
-            .map(|r| r.time.as_secs());
-        series[3].points.push((x, gpu));
-        series[4]
+        for (si, &placement) in placements.iter().enumerate() {
+            let t = match engine.run(&q.catalog, &q.plan, &ExecConfig::new(placement)) {
+                Ok(rep) => Some(rep.time.as_secs()),
+                // Q9's hash tables exceed GPU memory: the Hybrid bar falls
+                // back to the intra-operator co-processing path (§5);
+                // other failing placements are missing bars. Auto never
+                // lands here — the optimizer routes around the capacity
+                // cliff.
+                Err(_) if *name == "Q9*" && placement == Placement::Hybrid => {
+                    Some(run_q9_hybrid(&engine, &catalog, &data).unwrap().time.as_secs())
+                }
+                Err(_) => None,
+            };
+            series[1 + si].points.push((x, t));
+        }
+        let last = series.len() - 1;
+        series[last]
             .points
             .push((x, dbms_g.run_plan(&q.catalog, &q.plan).ok().map(|r| r.time.as_secs())));
     }
@@ -328,6 +345,17 @@ mod tests {
         assert!(p_gpu < np_gpu, "partitioned GPU {p_gpu} !< NPJ GPU {np_gpu}");
         assert!(p_gpu < p_cpu, "partitioned GPU {p_gpu} !< partitioned CPU {p_cpu}");
         assert!(p_cpu < np_cpu, "partitioned CPU {p_cpu} !< NPJ CPU {np_cpu}");
+    }
+
+    #[test]
+    fn fig8_auto_bar_completes_q9_where_gpu_only_cannot() {
+        let fig = fig8_with(0.01, &[Placement::GpuOnly, Placement::Auto]);
+        assert_eq!(fig.series[1].label, "Proteus GPUs");
+        assert_eq!(fig.series[2].label, "Proteus Auto");
+        let q9 = fig.series[1].points.len() - 1;
+        assert!(fig.series[1].points[q9].1.is_none(), "Q9 GPU-only must be a missing bar");
+        assert!(fig.series[2].points[q9].1.is_some(), "Q9 Auto must complete");
+        assert!(fig.series[2].points.iter().all(|p| p.1.is_some()), "Auto runs every query");
     }
 
     #[test]

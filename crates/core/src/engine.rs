@@ -38,10 +38,14 @@ pub use crate::error::EngineError;
 
 /// Which devices execute the stream stage.
 ///
-/// Since the placement pass, this enum is *sugar only*: it selects the
-/// participating devices in [`crate::place::participants`] and nothing on
-/// the execution path branches on it. New device mixes (per-GPU subsets,
-/// remote backends) extend the placement pass, not the engine.
+/// Since the placement pass, the manual arms are *sugar only*: they select
+/// the participating devices in [`crate::place::participants`] and nothing
+/// on the execution path branches on them. [`Placement::Auto`] instead
+/// invokes the cost-based optimizer ([`crate::optimize::optimize`]), which
+/// picks per-stage device subsets from the hardware model — the engine
+/// interprets the resulting [`crate::place::PlacedPlan`] exactly like a
+/// manually placed one. New device mixes (per-GPU subsets, remote
+/// backends) extend the placement/optimizer passes, not the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Placement {
     /// All CPU cores, no GPUs (Proteus CPU in Figure 8).
@@ -50,6 +54,52 @@ pub enum Placement {
     GpuOnly,
     /// Everything (Proteus Hybrid).
     Hybrid,
+    /// Cost-based: the optimizer picks per-stage device subsets from the
+    /// hardware model (compute throughput, interconnect cost, device
+    /// memory capacity).
+    Auto,
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Placement::CpuOnly => "cpu",
+            Placement::GpuOnly => "gpu",
+            Placement::Hybrid => "hybrid",
+            Placement::Auto => "auto",
+        })
+    }
+}
+
+/// A placement name that [`Placement`]'s `FromStr` did not recognise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePlacementError {
+    /// The unrecognised input.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParsePlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown placement {:?} (expected cpu, gpu, hybrid or auto)", self.input)
+    }
+}
+
+impl std::error::Error for ParsePlacementError {}
+
+impl std::str::FromStr for Placement {
+    type Err = ParsePlacementError;
+
+    /// Parse a CLI-style placement name: `cpu`/`cpu-only`, `gpu`/
+    /// `gpu-only`, `hybrid`, `auto` (case-insensitive).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "cpu" | "cpu-only" | "cpuonly" => Ok(Placement::CpuOnly),
+            "gpu" | "gpu-only" | "gpuonly" => Ok(Placement::GpuOnly),
+            "hybrid" => Ok(Placement::Hybrid),
+            "auto" => Ok(Placement::Auto),
+            _ => Err(ParsePlacementError { input: s.to_string() }),
+        }
+    }
 }
 
 /// Execution configuration.
@@ -117,8 +167,13 @@ impl Engine {
         Engine { server, fidelity: Fidelity::Analytic }
     }
 
-    /// Place and run `plan` against `catalog` under `cfg`: sugar for
-    /// [`crate::place::place`] followed by [`Engine::run_placed`].
+    /// Place and run `plan` against `catalog` under `cfg`: sugar for the
+    /// placement step followed by [`Engine::run_placed`]. Manual
+    /// placements go through [`crate::place::place`];
+    /// [`Placement::Auto`] goes through the cost-based optimizer
+    /// ([`crate::optimize::optimize`]), which consumes the catalog's scan
+    /// statistics to pick per-stage device subsets. Either way the
+    /// interpreter sees only the placed IR.
     ///
     /// The plan is structurally re-validated by the placement pass, so
     /// hand-assembled physical plans that bypass [`QueryPlan::try_new`]
@@ -130,7 +185,10 @@ impl Engine {
         plan: &QueryPlan,
         cfg: &ExecConfig,
     ) -> Result<QueryReport, EngineError> {
-        let placed = place(plan, cfg, &self.server)?;
+        let placed = match cfg.placement {
+            Placement::Auto => crate::optimize::optimize(plan, catalog, cfg, &self.server)?,
+            _ => place(plan, cfg, &self.server)?,
+        };
         self.run_placed(catalog, &placed)
     }
 
@@ -585,6 +643,35 @@ mod tests {
             matches!(err, EngineError::HashTableNotBuilt { ref table } if table == "dim_ht"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn placement_parses_and_displays_round_trip() {
+        for p in [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid, Placement::Auto] {
+            assert_eq!(p.to_string().parse::<Placement>().unwrap(), p);
+        }
+        assert_eq!("CPU-only".parse::<Placement>().unwrap(), Placement::CpuOnly);
+        assert_eq!("gpuonly".parse::<Placement>().unwrap(), Placement::GpuOnly);
+        assert_eq!("AUTO".parse::<Placement>().unwrap(), Placement::Auto);
+        let err = "both".parse::<Placement>().unwrap_err();
+        assert!(err.to_string().contains("both"), "{err}");
+    }
+
+    #[test]
+    fn auto_runs_through_the_optimizer_and_matches_manual_results() {
+        let (catalog, plan) = setup();
+        let engine = Engine::new(Server::paper_testbed());
+        let auto = engine.run(&catalog, &plan, &ExecConfig::new(Placement::Auto)).unwrap();
+        let cpu = engine.run(&catalog, &plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+        assert_eq!(auto.rows, cpu.rows);
+        // Handing Auto to the bare placement pass is a typed error.
+        let err = crate::place::place(
+            &plan,
+            &ExecConfig::new(Placement::Auto),
+            &Server::paper_testbed(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::AutoWithoutOptimizer), "{err}");
     }
 
     #[test]

@@ -161,6 +161,20 @@ pub enum EngineError {
         /// The absent device (`cpu<n>` / `gpu<n>`).
         device: String,
     },
+    /// `Placement::Auto` was handed to the trait-driven placement pass
+    /// directly. Auto placement needs catalog statistics and must go
+    /// through the cost-based optimizer
+    /// ([`crate::optimize::optimize`]) — the `Session` and `Engine`
+    /// front doors do this automatically.
+    AutoWithoutOptimizer,
+    /// [`crate::place::place_on`] was handed a device-subset list whose
+    /// length does not match the plan's stage count.
+    SubsetCountMismatch {
+        /// Stages in the plan.
+        stages: usize,
+        /// Subsets supplied.
+        subsets: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -179,6 +193,16 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::DeviceNotPresent { device } => {
                 write!(f, "placed segment targets device {device} absent from the server")
+            }
+            EngineError::AutoWithoutOptimizer => {
+                write!(
+                    f,
+                    "Placement::Auto requires the cost-based optimizer \
+                     (optimize::optimize), not the bare placement pass"
+                )
+            }
+            EngineError::SubsetCountMismatch { stages, subsets } => {
+                write!(f, "plan has {stages} stages but {subsets} device subsets were supplied")
             }
         }
     }

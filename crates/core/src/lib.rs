@@ -22,7 +22,14 @@
 //! data flow through compiled pipelines; CPU workers, GPUs and PCIe links
 //! are clocked resources; the reported latency is the makespan.
 //!
-//! ## Quickstart: lower → place → run
+//! Between lowering and placement sits the **cost-based optimizer**
+//! ([`mod@optimize`], backed by the analytic [`mod@cost`] model derived
+//! from the hardware specs): [`engine::Placement::Auto`] enumerates
+//! candidate device subsets per stage, prunes the ones whose estimated
+//! GPU hash-table footprint exceeds device capacity (the paper's §6.4
+//! constraint), and places each stage on its minimum-makespan subset.
+//!
+//! ## Quickstart: lower → optimize → place → run
 //!
 //! ```
 //! use hape_core::{ExecConfig, JoinAlgo, Placement, Query, Session};
@@ -54,20 +61,34 @@
 //! let report = session.execute(&query).unwrap();
 //! assert_eq!(report.rows[0].1[0], (1 << 12) as f64);
 //!
-//! // `Placement` is sugar selecting which devices participate; a
-//! // placement with no devices is a typed error, never a panic.
+//! // The manual `Placement` arms are sugar selecting which devices
+//! // participate; a placement with no devices is a typed error, never a
+//! // panic.
 //! let cpu = session
 //!     .execute_with(&query, &ExecConfig::new(Placement::CpuOnly))
 //!     .unwrap();
 //! assert_eq!(cpu.rows, report.rows);
+//!
+//! // `Placement::Auto` runs the cost-based optimizer instead: per-stage
+//! // device subsets follow from the hardware model, the chosen plan
+//! // carries the optimizer's cost estimates, and `explain` renders them.
+//! let auto = session.place_with(&query, &ExecConfig::new(Placement::Auto)).unwrap();
+//! let costs = auto.costs.as_ref().expect("optimized plans carry estimates");
+//! assert!(costs.stages.iter().all(|c| c.fits_gpu_memory()));
+//! let report = session
+//!     .execute_with(&query, &ExecConfig::new(Placement::Auto))
+//!     .unwrap();
+//! assert_eq!(report.rows, cpu.rows);
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod cost;
 pub mod engine;
 pub mod error;
 pub mod exchange;
+pub mod optimize;
 pub mod place;
 pub mod plan;
 pub mod provider;
@@ -76,10 +97,12 @@ pub mod session;
 pub mod traits;
 
 pub use catalog::Catalog;
-pub use engine::{Engine, ExecConfig, Placement, QueryReport};
+pub use cost::{CostModel, PlanCost, StageCost};
+pub use engine::{Engine, ExecConfig, ParsePlacementError, Placement, QueryReport};
 pub use error::{EngineError, HapeError, PlanError};
 pub use exchange::{Exchange, RoutingPolicy, WorkerId};
-pub use place::{place, PlacedPlan, PlacedStage, Segment};
+pub use optimize::optimize;
+pub use place::{place, place_on, PlacedPlan, PlacedStage, Segment};
 pub use plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};
 pub use provider::DeviceProvider;
 pub use query::{LoweredMaterialize, LoweredQuery, Query};
@@ -89,9 +112,11 @@ pub use traits::{DeviceType, HetTraits, Packing};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::catalog::Catalog;
+    pub use crate::cost::{CostModel, PlanCost, StageCost};
     pub use crate::engine::{Engine, ExecConfig, Placement, QueryReport};
     pub use crate::error::{EngineError, HapeError, PlanError};
     pub use crate::exchange::{Exchange, RoutingPolicy};
+    pub use crate::optimize::optimize;
     pub use crate::place::{place, PlacedPlan, PlacedStage, Segment};
     pub use crate::plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};
     pub use crate::provider::DeviceProvider;

@@ -16,6 +16,7 @@
 
 use hape_sim::topology::{DeviceId, Server};
 
+use crate::cost::PlanCost;
 use crate::engine::{ExecConfig, Placement};
 use crate::error::EngineError;
 use crate::exchange::{Exchange, RoutingPolicy};
@@ -132,10 +133,16 @@ pub struct PlacedPlan {
     pub packet_rows: Option<usize>,
     /// The placed stages, executed in order.
     pub stages: Vec<PlacedStage>,
+    /// Per-stage cost estimates, attached when the cost-based optimizer
+    /// ([`crate::optimize::optimize`]) chose the subsets; `None` for
+    /// manually placed plans. Rendered by [`PlacedPlan::render`].
+    pub costs: Option<PlanCost>,
 }
 
 /// The devices a placement selects on a server — [`Placement`] survives
-/// only as this sugar; nothing downstream branches on it.
+/// only as this sugar; nothing downstream branches on it. For
+/// [`Placement::Auto`] this is the *candidate pool* (every device): the
+/// cost-based optimizer narrows it to per-stage subsets.
 pub fn participants(placement: Placement, server: &Server) -> Vec<DeviceId> {
     server
         .devices()
@@ -143,7 +150,7 @@ pub fn participants(placement: Placement, server: &Server) -> Vec<DeviceId> {
         .filter(|d| match placement {
             Placement::CpuOnly => !d.is_gpu(),
             Placement::GpuOnly => d.is_gpu(),
-            Placement::Hybrid => true,
+            Placement::Hybrid | Placement::Auto => true,
         })
         .collect()
 }
@@ -181,7 +188,15 @@ fn place_pipeline(
     server: &Server,
 ) -> (Option<Exchange>, Vec<Segment>) {
     let source = HetTraits::cpu_seq();
-    let probed: Vec<String> = pipeline.tables_probed().iter().map(|s| s.to_string()).collect();
+    // Distinct tables only: memoised build sides let a pipeline probe the
+    // same hash table at several sites, but it is broadcast into device
+    // memory (and capacity-counted) once.
+    let mut probed: Vec<String> = Vec::new();
+    for t in pipeline.tables_probed() {
+        if probed.iter().all(|p| p != t) {
+            probed.push(t.to_string());
+        }
+    }
     let segments: Vec<Segment> = devices
         .iter()
         .map(|&device| {
@@ -225,33 +240,73 @@ fn place_pipeline(
 /// Run the placement pass: validate `plan`, pick the participating devices
 /// for `cfg`, and annotate every stage with segments and exchanges.
 ///
-/// Build stages always run CPU-side (dimension pipelines are scan-light
-/// and their tables must end up host-resident for broadcasting); the
-/// stream stage runs on the placement's devices. A placement that selects
-/// no existing device — e.g. [`Placement::GpuOnly`] on a zero-GPU server —
-/// is the typed [`EngineError::NoWorkers`], not a panic.
+/// Under a manual placement, build stages always run CPU-side (dimension
+/// pipelines are scan-light and their tables must end up host-resident
+/// for broadcasting) and the stream stage runs on the placement's
+/// devices. A placement that selects no existing device — e.g.
+/// [`Placement::GpuOnly`] on a zero-GPU server — is the typed
+/// [`EngineError::NoWorkers`], not a panic.
+///
+/// [`Placement::Auto`] has no fixed device pool to fan over: it needs the
+/// catalog statistics the cost-based optimizer consumes, so handing it to
+/// this pass directly is the typed [`EngineError::AutoWithoutOptimizer`].
+/// [`crate::session::Session`] and [`crate::engine::Engine::run`] route
+/// `Auto` through [`crate::optimize::optimize`] automatically.
 pub fn place(
     plan: &QueryPlan,
     cfg: &ExecConfig,
     server: &Server,
 ) -> Result<PlacedPlan, EngineError> {
+    if cfg.placement == Placement::Auto {
+        return Err(EngineError::AutoWithoutOptimizer);
+    }
     plan.validate().map_err(EngineError::InvalidPlan)?;
     let stream_devices = participants(cfg.placement, server);
     if stream_devices.is_empty() {
         return Err(EngineError::NoWorkers { placement: format!("{:?}", cfg.placement) });
     }
     let build_devices = participants(Placement::CpuOnly, server);
+    let subsets: Vec<Vec<DeviceId>> = plan
+        .stages
+        .iter()
+        .map(|stage| match stage {
+            Stage::Build { .. } => build_devices.clone(),
+            Stage::Stream { .. } => stream_devices.clone(),
+        })
+        .collect();
+    place_on(plan, cfg, server, &subsets)
+}
+
+/// Place each stage of `plan` on an explicit device subset — the entry
+/// point the cost-based optimizer drives, one subset per stage in stage
+/// order. A stage handed an empty subset is the typed
+/// [`EngineError::NoWorkers`]; a subset list whose length does not match
+/// the plan's stage count is the typed
+/// [`EngineError::SubsetCountMismatch`].
+pub fn place_on(
+    plan: &QueryPlan,
+    cfg: &ExecConfig,
+    server: &Server,
+    subsets: &[Vec<DeviceId>],
+) -> Result<PlacedPlan, EngineError> {
+    plan.validate().map_err(EngineError::InvalidPlan)?;
+    if subsets.len() != plan.stages.len() {
+        return Err(EngineError::SubsetCountMismatch {
+            stages: plan.stages.len(),
+            subsets: subsets.len(),
+        });
+    }
     let mut stages = Vec::with_capacity(plan.stages.len());
-    for stage in &plan.stages {
+    for (stage, devices) in plan.stages.iter().zip(subsets) {
+        if devices.is_empty() {
+            return Err(EngineError::NoWorkers {
+                placement: "empty device subset".to_string(),
+            });
+        }
         match stage {
             Stage::Build { name, key_col, pipeline } => {
-                if build_devices.is_empty() {
-                    return Err(EngineError::NoWorkers {
-                        placement: "CpuOnly (build stage)".to_string(),
-                    });
-                }
                 let (router, segments) =
-                    place_pipeline(pipeline, &build_devices, RoutingPolicy::LoadAware, server);
+                    place_pipeline(pipeline, devices, RoutingPolicy::LoadAware, server);
                 stages.push(PlacedStage::Build {
                     name: name.clone(),
                     key_col: *key_col,
@@ -261,8 +316,7 @@ pub fn place(
                 });
             }
             Stage::Stream { pipeline } => {
-                let (router, segments) =
-                    place_pipeline(pipeline, &stream_devices, cfg.policy, server);
+                let (router, segments) = place_pipeline(pipeline, devices, cfg.policy, server);
                 stages.push(PlacedStage::Stream {
                     pipeline: pipeline.clone(),
                     router,
@@ -271,13 +325,20 @@ pub fn place(
             }
         }
     }
-    Ok(PlacedPlan { name: plan.name.clone(), packet_rows: cfg.packet_rows, stages })
+    Ok(PlacedPlan {
+        name: plan.name.clone(),
+        packet_rows: cfg.packet_rows,
+        stages,
+        costs: None,
+    })
 }
 
 impl PlacedPlan {
     /// Render the placed plan for humans: one block per stage listing the
     /// pipeline shape, the router, and each segment with its traits and
-    /// the exchanges inserted on its input edge. This is what
+    /// the exchanges inserted on its input edge. Optimized plans
+    /// additionally render the chosen subset's per-stage cost estimate and
+    /// the estimated plan makespan. This is what
     /// [`crate::session::Session::explain`] returns.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -308,9 +369,34 @@ impl PlacedPlan {
                     let _ = writeln!(out, "    {x}");
                 }
             }
+            if let Some(cost) = self.costs.as_ref().and_then(|c| c.stages.get(i)) {
+                let _ = writeln!(
+                    out,
+                    "  est: total {} = stream {} + broadcast {} + d2h {}",
+                    fmt_ms(cost.total_seconds()),
+                    fmt_ms(cost.stream_seconds),
+                    fmt_ms(cost.broadcast_seconds),
+                    fmt_ms(cost.d2h_seconds),
+                );
+                if let Some(cap) = cost.gpu_capacity {
+                    let _ = writeln!(
+                        out,
+                        "  est: gpu hash tables {} B ({} B with working space) of {cap} B",
+                        cost.ht_bytes, cost.gpu_required,
+                    );
+                }
+            }
+        }
+        if let Some(costs) = &self.costs {
+            let _ = writeln!(out, "est makespan: {}", fmt_ms(costs.total_seconds()));
         }
         out
     }
+}
+
+/// Fixed-format milliseconds for cost rendering (snapshot-stable).
+fn fmt_ms(seconds: f64) -> String {
+    format!("{:.4} ms", seconds * 1e3)
 }
 
 /// One-line pipeline shape: `scan(src) | filter | join(ht) | ... | agg`.
@@ -466,6 +552,52 @@ mod tests {
         let placed = place(&plan, &cfg, &server).unwrap();
         assert_eq!(placed.stages[0].policy(), RoutingPolicy::LoadAware);
         assert_eq!(placed.stages[1].policy(), RoutingPolicy::RoundRobin);
+    }
+
+    #[test]
+    fn duplicate_probes_broadcast_once() {
+        // Memoised lowering can probe one hash table at two sites; the
+        // GPU segment's input edge carries a single broadcast for it.
+        let plan = QueryPlan::try_new(
+            "t",
+            vec![
+                Stage::Build {
+                    name: "dim_ht".into(),
+                    key_col: 0,
+                    pipeline: Pipeline::scan("dim"),
+                },
+                Stage::Stream {
+                    pipeline: Pipeline::scan("fact")
+                        .join("dim_ht", 0, vec![1], JoinAlgo::NonPartitioned)
+                        .join("dim_ht", 0, vec![1], JoinAlgo::NonPartitioned)
+                        .aggregate(AggSpec::ungrouped(vec![(AggFunc::Count, Expr::col(0))])),
+                },
+            ],
+        )
+        .unwrap();
+        let placed =
+            place(&plan, &ExecConfig::new(Placement::GpuOnly), &Server::paper_testbed())
+                .unwrap();
+        for seg in placed.stages.last().unwrap().segments() {
+            assert_eq!(seg.broadcast_moves().count(), 1, "{}", seg.target);
+        }
+    }
+
+    #[test]
+    fn place_on_subset_count_mismatch_is_typed() {
+        let plan = join_plan();
+        let server = Server::paper_testbed();
+        let err = place_on(
+            &plan,
+            &ExecConfig::new(Placement::CpuOnly),
+            &server,
+            &[vec![DeviceId::Cpu(0)]], // 1 subset for 2 stages
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, EngineError::SubsetCountMismatch { stages: 2, subsets: 1 }),
+            "{err}"
+        );
     }
 
     #[test]

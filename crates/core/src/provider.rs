@@ -40,6 +40,20 @@ pub type TableStore = HashMap<String, Arc<JoinTable>>;
 /// GPU-only failure mode.
 pub const GPU_HT_WORKING_FACTOR: f64 = 2.5;
 
+/// Seed for a CPU worker's calibrated ns-per-byte processing estimate (the
+/// router tie-breaker before the first packet lands): roughly one core's
+/// share of socket bandwidth on the paper's Xeon. Shared with the cost
+/// subsystem so the optimizer's priors match the router's.
+pub const CPU_WORKER_SEED_NS_PER_BYTE: f64 = 0.25;
+
+/// Seed for a GPU worker's calibrated ns-per-byte estimate: PCIe-bound
+/// streaming on a x16 link (~12 GB/s ≈ 0.08 ns/B) plus kernel overheads.
+pub const GPU_WORKER_SEED_NS_PER_BYTE: f64 = 0.12;
+
+/// Packet shares a GPU worker requests from the packet sizer: GPUs pipeline
+/// PCIe transfers against kernels, so they run deeper queues than a core.
+pub const GPU_PACKET_SHARE: usize = 4;
+
 /// Result of pushing one packet through a compiled pipeline.
 #[derive(Debug)]
 pub struct PacketResult {
@@ -376,7 +390,7 @@ impl CpuWorker {
             res: Resource::new(format!("cpu{socket}.{core}")),
             provider: CpuProvider { model },
             agg,
-            est: 0.25,
+            est: CPU_WORKER_SEED_NS_PER_BYTE,
         }
     }
 }
@@ -475,7 +489,7 @@ impl GpuWorker {
             broadcast,
             ht_regions: HashMap::new(),
             agg,
-            est: 0.12,
+            est: GPU_WORKER_SEED_NS_PER_BYTE,
         }
     }
 }
@@ -490,7 +504,7 @@ impl DeviceProvider for GpuWorker {
     }
 
     fn packet_share(&self) -> usize {
-        4
+        GPU_PACKET_SHARE
     }
 
     fn ready_at(&self, start: SimTime, bytes: u64) -> SimTime {
@@ -521,17 +535,25 @@ impl DeviceProvider for GpuWorker {
         let mut total: u64 = 0;
         let mut region_base = 1u64 << 44;
         for name in &self.broadcast {
+            // Defensive dedupe: a table listed twice (duplicate probe
+            // sites of a memoised build) still crosses the link — and
+            // occupies device memory — once.
+            if self.ht_regions.contains_key(name) {
+                continue;
+            }
             let jt = lookup_ht(tables, name)?;
             total += jt.bytes();
             self.ht_regions.insert(name.clone(), Region::at(region_base, jt.bytes().max(1)));
             region_base += jt.bytes().max(128) * 2;
         }
         // Partitioned probes pre-partition the device-resident build side
-        // on the GPU.
+        // on the GPU (once per distinct table).
         let mut prep = SimTime::ZERO;
+        let mut prepped: Vec<&str> = Vec::new();
         for op in &pipeline.ops {
             if let PipeOp::JoinProbe { ht, algo: JoinAlgo::Partitioned, .. } = op {
-                if self.ht_regions.contains_key(ht) {
+                if self.ht_regions.contains_key(ht) && !prepped.contains(&ht.as_str()) {
+                    prepped.push(ht);
                     let jt = lookup_ht(tables, ht)?;
                     prep += SimTime::from_secs(4.0 * jt.bytes() as f64 / self.dram_bw);
                 }
@@ -569,6 +591,13 @@ impl DeviceProvider for GpuWorker {
             self.agg.as_mut(),
         )?;
         let (_, done) = self.res.acquire(arrived, result.time);
+        // A build pipeline's output is consumed host-side (the hash table
+        // is built in host memory for broadcasting): it rides the link
+        // back, and the packet is not finished until the return lands.
+        let done = match &result.output {
+            Some(out) if out.rows() > 0 => self.link.transfer(done, out.bytes().max(1)).1,
+            _ => done,
+        };
         update_estimate(&mut self.est, result.time, bytes);
         Ok(PacketOutcome { output: result.output, done, h2d_bytes: bytes })
     }
@@ -735,6 +764,60 @@ mod tests {
         }
         let rows = merged.finish();
         assert_eq!(rows[0].1[0], 100.0); // both workers saw 50 matches
+    }
+
+    #[test]
+    fn duplicate_broadcast_entries_install_once() {
+        let mut tables = TableStore::new();
+        tables.insert("d".into(), dim_table());
+        let p = Pipeline::scan("t").join("d", 0, vec![1], JoinAlgo::NonPartitioned).join(
+            "d",
+            0,
+            vec![1],
+            JoinAlgo::NonPartitioned,
+        );
+        let mut once = GpuWorker::new(
+            0,
+            GpuSpec::gtx_1080(),
+            Link::pcie3_x16("pcie0"),
+            Fidelity::Analytic,
+            None,
+            vec!["d".into()],
+        );
+        let mut twice = GpuWorker::new(
+            0,
+            GpuSpec::gtx_1080(),
+            Link::pcie3_x16("pcie0"),
+            Fidelity::Analytic,
+            None,
+            vec!["d".into(), "d".into()],
+        );
+        let a = once.install_tables(&p, &tables, SimTime::ZERO).unwrap();
+        let b = twice.install_tables(&p, &tables, SimTime::ZERO).unwrap();
+        assert_eq!(a, b, "a duplicated table must cross the link once");
+        assert_eq!(a, dim_table().bytes());
+    }
+
+    #[test]
+    fn gpu_build_output_rides_the_link_back() {
+        // A build pipeline (no aggregation) produces output the host
+        // consumes: the worker is not done until the d2h return lands —
+        // at least two link trips for a pass-through scan.
+        let mut w = GpuWorker::new(
+            0,
+            GpuSpec::gtx_1080(),
+            Link::pcie3_x16("pcie0"),
+            Fidelity::Analytic,
+            None,
+            Vec::new(),
+        );
+        let pkt = packet(100_000);
+        let bytes = pkt.bytes();
+        let out =
+            w.execute(pkt, &Pipeline::scan("t"), &TableStore::new(), SimTime::ZERO).unwrap();
+        assert!(out.output.is_some());
+        let two_trips = Link::pcie3_x16("x").duration(bytes) * 2.0;
+        assert!(out.done >= two_trips, "{} < {}", out.done, two_trips);
     }
 
     #[test]

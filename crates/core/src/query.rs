@@ -32,7 +32,7 @@
 //! aggregating build sides and aggregate-less streams all surface as
 //! [`PlanError`]s instead of panicking.
 
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use hape_ops::{AggFunc, AggSpec, ColumnResolver, NamedExpr, ResolveError};
 use hape_storage::{DataType, Table};
@@ -163,11 +163,22 @@ impl Query {
 
     /// Lower into the physical IR: build stages, a stream stage, and a
     /// derived catalog holding the pushed-down scan projections.
+    ///
+    /// Structurally identical join build sides (same scan, operators and
+    /// build key — e.g. Q5's ASIA-nations chain, referenced by both the
+    /// customer and the supplier sub-queries) are lowered and built
+    /// **once**: a first pass collects, per shared structure, the union of
+    /// the payload columns its probe sites need; the second pass memoises
+    /// on the structural key, so later sites probe the first site's hash
+    /// table instead of emitting a duplicate build stage.
     pub fn lower(&self, catalog: &Catalog) -> Result<LoweredQuery, PlanError> {
         if !self.aggregates() {
             return Err(PlanError::StreamWithoutAggregate { name: self.name.clone() });
         }
-        let mut ctx = Lowering::new(catalog);
+        let mut ctx = Lowering::with_export_unions(
+            catalog,
+            Lowering::collect_export_unions(catalog, self, &self.name, &[])?,
+        );
         let (pipeline, _) = ctx.lower_chain(self, &self.name, &[])?;
         let mut stages = ctx.stages;
         stages.push(Stage::Stream { pipeline });
@@ -188,7 +199,10 @@ impl Query {
             return Err(PlanError::BuildWithAggregate { stage: self.name.clone() });
         }
         let keep: Vec<String> = keep.iter().map(|c| c.to_string()).collect();
-        let mut ctx = Lowering::new(catalog);
+        let mut ctx = Lowering::with_export_unions(
+            catalog,
+            Lowering::collect_export_unions(catalog, self, &self.name, &keep)?,
+        );
         let (pipeline, cols) = ctx.lower_chain(self, &self.name, &keep)?;
         Ok(LoweredMaterialize {
             builds: ctx.stages,
@@ -243,6 +257,38 @@ impl Query {
         self.source
             .as_deref()
             .ok_or_else(|| PlanError::MissingScan { query: self.name.clone() })
+    }
+
+    /// Append a canonical structural description — source, operators,
+    /// keys, everything that determines the lowered pipeline, but *not*
+    /// the display name — to `out`. Two sub-queries with equal keys lower
+    /// identically given equal exports, which is what the build-side memo
+    /// in [`Query::lower`] relies on.
+    fn structural_key(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(out, "scan({:?})", self.source);
+        for op in &self.ops {
+            match op {
+                LogicalOp::Filter(e) => {
+                    let _ = write!(out, "|filter({e:?})");
+                }
+                LogicalOp::Select(items) => {
+                    let _ = write!(out, "|select(");
+                    for (n, e) in items {
+                        let _ = write!(out, "{n}={e:?};");
+                    }
+                    let _ = write!(out, ")");
+                }
+                LogicalOp::Join(j) => {
+                    let _ = write!(out, "|join[{}={},{:?}](", j.probe_key, j.build_key, j.algo);
+                    j.build.structural_key(out);
+                    let _ = write!(out, ")");
+                }
+            }
+        }
+        // Build sides never aggregate (validated during lowering), but a
+        // complete key costs nothing.
+        let _ = write!(out, "|group{:?}|aggs{:?}", self.group_by, self.aggs);
     }
 }
 
@@ -351,14 +397,30 @@ impl ColumnResolver for Scope<'_> {
     }
 }
 
+/// The key identifying a shareable build side: its structural description
+/// plus the key column the hash table is built over.
+type BuildKey = (String, String);
+
 /// Shared lowering state: the derived catalog being assembled, the build
-/// stages emitted so far, and the alias/hash-table names already taken.
+/// stages emitted so far, the alias/hash-table names already taken, and
+/// the build-side memoisation (structural-hash cache) that lowers
+/// structurally identical build sub-queries once.
 struct Lowering<'a> {
     base: &'a Catalog,
     derived: Catalog,
     stages: Vec<Stage>,
     taken_tables: HashSet<String>,
     taken_hts: HashSet<String>,
+    /// Union of the export columns every probe site of a shared build
+    /// structure needs (collected by the first lowering pass), so the one
+    /// shared hash table carries every payload any site pulls from it.
+    export_unions: HashMap<BuildKey, BTreeSet<String>>,
+    /// Builds already emitted this pass: later structurally identical
+    /// sites reuse the hash table instead of emitting a duplicate stage.
+    built: HashMap<BuildKey, (String, Vec<ColInfo>)>,
+    /// True during the collection pass (stages are discarded; only
+    /// `export_unions` survives).
+    collecting: bool,
 }
 
 impl<'a> Lowering<'a> {
@@ -369,7 +431,35 @@ impl<'a> Lowering<'a> {
             stages: Vec::new(),
             taken_tables: HashSet::new(),
             taken_hts: HashSet::new(),
+            export_unions: HashMap::new(),
+            built: HashMap::new(),
+            collecting: false,
         }
+    }
+
+    /// The real (second) lowering pass, seeded with the export unions the
+    /// collection pass gathered.
+    fn with_export_unions(
+        base: &'a Catalog,
+        export_unions: HashMap<BuildKey, BTreeSet<String>>,
+    ) -> Self {
+        Lowering { export_unions, ..Lowering::new(base) }
+    }
+
+    /// Pass 1: lower the whole chain once, discarding the plan, to learn —
+    /// per shared build structure — the union of export columns its probe
+    /// sites need. Cheap (lowering touches no data) and keeps the payload
+    /// derivation logic in one place.
+    fn collect_export_unions(
+        base: &'a Catalog,
+        q: &Query,
+        root: &str,
+        export: &[String],
+    ) -> Result<HashMap<BuildKey, BTreeSet<String>>, PlanError> {
+        let mut ctx = Lowering::new(base);
+        ctx.collecting = true;
+        ctx.lower_chain(q, root, export)?;
+        Ok(ctx.export_unions)
     }
 
     /// Claim a unique scan alias derived from `want` (must not shadow a
@@ -397,6 +487,28 @@ impl<'a> Lowering<'a> {
         }
         self.taken_hts.insert(name.clone());
         name
+    }
+
+    /// Claim a hash-table name for a lowered build side, resolve the key
+    /// column the table is built over, and emit the build stage. Returns
+    /// the name and output layout probe sites address payloads against.
+    fn push_build(
+        &mut self,
+        build: &Query,
+        build_key: &str,
+        root: &str,
+        pipeline: Pipeline,
+        build_cols: &[ColInfo],
+    ) -> Result<(String, Vec<ColInfo>), PlanError> {
+        let key_col = build_cols.iter().position(|c| c.name == build_key).ok_or_else(|| {
+            PlanError::UnknownColumn {
+                column: build_key.to_string(),
+                context: format!("build side {}", build.name),
+            }
+        })?;
+        let ht = self.unique_ht(format!("{root}.{}", build.name));
+        self.stages.push(Stage::Build { name: ht.clone(), key_col, pipeline });
+        Ok((ht, build_cols.to_vec()))
     }
 
     /// Lower one linear chain (the stream chain or a build side).
@@ -549,13 +661,54 @@ impl<'a> Lowering<'a> {
                         payload.push(name.clone());
                     }
 
-                    // Lower the build side, exporting payloads + its key.
+                    // Lower the build side, exporting payloads + its key —
+                    // or reuse a structurally identical build another site
+                    // already lowered (the memo; Q5's shared ASIA-nations
+                    // chain builds once).
                     let mut build_export = payload.clone();
                     if !build_export.contains(&j.build_key) {
                         build_export.push(j.build_key.clone());
                     }
-                    let (build_pipeline, build_cols) =
-                        self.lower_chain(&j.build, root, &build_export)?;
+                    let mut skey = String::new();
+                    j.build.structural_key(&mut skey);
+                    let memo_key: BuildKey = (skey, j.build_key.clone());
+                    let (ht, build_cols) = if self.collecting {
+                        self.export_unions
+                            .entry(memo_key)
+                            .or_default()
+                            .extend(build_export.iter().cloned());
+                        let (build_pipeline, build_cols) =
+                            self.lower_chain(&j.build, root, &build_export)?;
+                        self.push_build(
+                            &j.build,
+                            &j.build_key,
+                            root,
+                            build_pipeline,
+                            &build_cols,
+                        )?
+                    } else if let Some((ht, build_cols)) = self.built.get(&memo_key) {
+                        (ht.clone(), build_cols.clone())
+                    } else {
+                        // First site of this structure: lower with the
+                        // union of every site's exports so the shared
+                        // table carries all of their payloads.
+                        let exports: Vec<String> = self
+                            .export_unions
+                            .get(&memo_key)
+                            .map(|s| s.iter().cloned().collect())
+                            .unwrap_or_else(|| build_export.clone());
+                        let (build_pipeline, build_cols) =
+                            self.lower_chain(&j.build, root, &exports)?;
+                        let out = self.push_build(
+                            &j.build,
+                            &j.build_key,
+                            root,
+                            build_pipeline,
+                            &build_cols,
+                        )?;
+                        self.built.insert(memo_key, out.clone());
+                        out
+                    };
                     let key_col = build_cols
                         .iter()
                         .position(|c| c.name == j.build_key)
@@ -589,12 +742,6 @@ impl<'a> Lowering<'a> {
                         .collect::<Result<_, _>>()?;
                     payload_cols.sort_unstable();
 
-                    let ht = self.unique_ht(format!("{root}.{}", j.build.name));
-                    self.stages.push(Stage::Build {
-                        name: ht.clone(),
-                        key_col,
-                        pipeline: build_pipeline,
-                    });
                     for &b in &payload_cols {
                         cols.push(build_cols[b].clone());
                     }
@@ -958,6 +1105,60 @@ mod tests {
             }
             e => panic!("unexpected error {e}"),
         }
+    }
+
+    #[test]
+    fn identical_build_sides_are_memoised() {
+        // The same dim chain joined twice on the same key: one build
+        // stage, probed twice.
+        let dim = Query::scan("dim").filter(col("k").lt(lit(100)));
+        let q = Query::new("q")
+            .from_table("fact")
+            .join(dim.clone(), "k", "k", JoinAlgo::NonPartitioned)
+            .join(dim, "k", "k", JoinAlgo::NonPartitioned)
+            .agg(count());
+        let lowered = q.lower(&catalog()).unwrap();
+        let builds: Vec<_> =
+            lowered.plan.stages.iter().filter(|s| matches!(s, Stage::Build { .. })).collect();
+        assert_eq!(builds.len(), 1, "shared structure must build once");
+        let Stage::Stream { pipeline } = lowered.plan.stages.last().unwrap() else {
+            panic!("stream last");
+        };
+        assert_eq!(pipeline.tables_probed(), vec!["q.dim", "q.dim"]);
+    }
+
+    #[test]
+    fn different_keys_or_structure_are_not_memoised() {
+        // Same scan, different build key: two distinct hash tables.
+        let q = Query::new("q")
+            .from_table("fact")
+            .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+            .join(Query::scan("dim"), "v", "v", JoinAlgo::NonPartitioned)
+            .agg(count());
+        let lowered = q.lower(&catalog()).unwrap();
+        let builds =
+            lowered.plan.stages.iter().filter(|s| matches!(s, Stage::Build { .. })).count();
+        assert_eq!(builds, 2);
+        // Different filter constants: structurally distinct, two builds.
+        let q = Query::new("q")
+            .from_table("fact")
+            .join(
+                Query::scan("dim").filter(col("k").lt(lit(10))),
+                "k",
+                "k",
+                JoinAlgo::NonPartitioned,
+            )
+            .join(
+                Query::scan("dim").filter(col("k").lt(lit(20))),
+                "k",
+                "k",
+                JoinAlgo::NonPartitioned,
+            )
+            .agg(count());
+        let lowered = q.lower(&catalog()).unwrap();
+        let builds =
+            lowered.plan.stages.iter().filter(|s| matches!(s, Stage::Build { .. })).count();
+        assert_eq!(builds, 2);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use hape_storage::Table;
 use crate::catalog::Catalog;
 use crate::engine::{Engine, ExecConfig, Placement, QueryReport};
 use crate::error::HapeError;
+use crate::optimize::optimize;
 use crate::place::{place, PlacedPlan};
 use crate::query::{LoweredQuery, Query};
 
@@ -102,7 +103,25 @@ impl Session {
         config: &ExecConfig,
     ) -> Result<PlacedPlan, HapeError> {
         let lowered = self.lower(query)?;
-        Ok(place(&lowered.plan, config, &self.engine.server)?)
+        self.place_lowered(&lowered, config)
+    }
+
+    /// Place an already-lowered query: [`Placement::Auto`] goes through
+    /// the cost-based optimizer (which reads the lowered catalog's scan
+    /// statistics); the manual placements go through the trait-driven
+    /// placement pass directly.
+    fn place_lowered(
+        &self,
+        lowered: &LoweredQuery,
+        config: &ExecConfig,
+    ) -> Result<PlacedPlan, HapeError> {
+        let placed = match config.placement {
+            Placement::Auto => {
+                optimize(&lowered.plan, &lowered.catalog, config, &self.engine.server)?
+            }
+            _ => place(&lowered.plan, config, &self.engine.server)?,
+        };
+        Ok(placed)
     }
 
     /// Render the placed plan for a query under the session's default
@@ -130,14 +149,16 @@ impl Session {
         self.execute_with(query, &self.config)
     }
 
-    /// Lower, place and execute under an explicit config.
+    /// Lower, place and execute under an explicit config. Under
+    /// [`Placement::Auto`] the full four-layer flow runs: lower →
+    /// optimize → place → run.
     pub fn execute_with(
         &self,
         query: &Query,
         config: &ExecConfig,
     ) -> Result<QueryReport, HapeError> {
         let lowered = self.lower(query)?;
-        let placed = place(&lowered.plan, config, &self.engine.server)?;
+        let placed = self.place_lowered(&lowered, config)?;
         Ok(self.engine.run_placed(&lowered.catalog, &placed)?)
     }
 }

@@ -137,6 +137,14 @@ impl CpuSpec {
     pub fn cache_resident_bytes(&self) -> usize {
         self.l1d.size / 2 + self.l2.size / 2
     }
+
+    /// Aggregate streaming bandwidth the socket sustains with all cores
+    /// scanning, bytes/s: the socket's DRAM bandwidth, capped by what the
+    /// cores can collectively issue. This is the sequential-scan throughput
+    /// term cost models charge for CPU-side pipeline segments.
+    pub fn socket_scan_bw(&self) -> f64 {
+        self.dram_bw.min(self.cores as f64 * self.per_core_bw)
+    }
 }
 
 /// A GPU specification.
@@ -268,6 +276,24 @@ impl GpuSpec {
         // Staging chunk in scratchpad: one line-sized run per partition.
         (self.smem_per_block / self.l2.line).next_power_of_two() / 2
     }
+
+    /// Expected cost of one random access into a device-memory structure of
+    /// `working_set` bytes, in nanoseconds *of device throughput* (the
+    /// massively-threaded analogue of the CPU's latency-bound probe: SMs
+    /// hide latency, so a random access costs the bandwidth of the cache
+    /// line it drags — L2-resident structures pay the cheaper L2 line).
+    ///
+    /// This is an aggregate-throughput figure for analytic cost models; the
+    /// kernel simulator charges the exact per-warp accesses instead.
+    pub fn random_access_ns(&self, working_set: u64) -> f64 {
+        let ws = working_set.max(1) as f64;
+        let f_l2 = (self.l2.size as f64 / ws).min(1.0);
+        // An L2 hit streams a line through the SM interconnect; a miss
+        // drags a whole line from device memory.
+        let l2_ns = self.l2.line as f64 / (self.dram_bw * 4.0) * 1e9;
+        let mem_ns = self.l2.line as f64 / self.dram_bw * 1e9;
+        f_l2 * l2_ns + (1.0 - f_l2) * mem_ns
+    }
 }
 
 #[cfg(test)]
@@ -319,6 +345,25 @@ mod tests {
         let gpu = GpuSpec::gtx_1080();
         assert!(gpu.max_partition_fanout().is_power_of_two());
         assert!(gpu.max_partition_fanout() >= 32);
+    }
+
+    #[test]
+    fn socket_scan_bw_is_core_capped_dram_bw() {
+        let cpu = CpuSpec::xeon_e5_2650l_v3();
+        assert!(cpu.socket_scan_bw() <= cpu.dram_bw);
+        assert!(cpu.socket_scan_bw() <= cpu.cores as f64 * cpu.per_core_bw);
+        assert!(cpu.socket_scan_bw() > 0.0);
+    }
+
+    #[test]
+    fn gpu_random_access_cheaper_when_l2_resident() {
+        let gpu = GpuSpec::gtx_1080();
+        let in_l2 = gpu.random_access_ns(256 << 10);
+        let in_dram = gpu.random_access_ns(1 << 30);
+        assert!(in_l2 < in_dram, "{in_l2} !< {in_dram}");
+        // DRAM-resident probes cost about one line of bandwidth.
+        let line_ns = gpu.l2.line as f64 / gpu.dram_bw * 1e9;
+        assert!((in_dram - line_ns).abs() / line_ns < 0.05);
     }
 
     #[test]

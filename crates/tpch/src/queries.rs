@@ -280,6 +280,39 @@ mod tests {
     }
 
     #[test]
+    fn q5_shared_asia_chain_builds_once() {
+        use hape_core::plan::Stage;
+        let data = generate(0.002, 13);
+        let catalog = base_catalog(&data);
+        let q5 = q5_query(JoinAlgo::NonPartitioned).lower(&catalog).unwrap();
+        // The ASIA-nations chain (region → nation) is shared by the
+        // customer and supplier sub-queries; the structural-hash memo
+        // lowers it once: 5 builds + 1 stream, no `#2` duplicates.
+        assert_eq!(q5.plan.stages.len(), 6);
+        let builds: Vec<&str> = q5
+            .plan
+            .stages
+            .iter()
+            .filter_map(|s| match s {
+                Stage::Build { name, .. } => Some(name.as_str()),
+                Stage::Stream { .. } => None,
+            })
+            .collect();
+        assert_eq!(
+            builds,
+            vec!["Q5.region", "Q5.nation", "Q5.customer", "Q5.orders", "Q5.supplier"]
+        );
+        // Both the customer and the supplier builds probe the one shared
+        // nation table.
+        let probes_nation = |i: usize| -> bool {
+            let Stage::Build { pipeline, .. } = &q5.plan.stages[i] else { return false };
+            pipeline.tables_probed() == vec!["Q5.nation"]
+        };
+        assert!(probes_nation(2), "customer probes the shared nation table");
+        assert!(probes_nation(4), "supplier probes the shared nation table");
+    }
+
+    #[test]
     fn q5_payloads_ride_the_latest_providing_join() {
         use hape_core::plan::{PipeOp, Stage};
         let data = generate(0.002, 13);

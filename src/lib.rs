@@ -17,16 +17,18 @@
 //! * [`tpch`] — TPC-H data generation and the paper's Q1/Q5/Q6/Q9* plans.
 //! * [`baselines`] — the commercial-system stand-ins DBMS-C and DBMS-G.
 //!
-//! ## Quickstart: lower → place → run
+//! ## Quickstart: lower → optimize → place → run
 //!
 //! Describe queries logically on a [`core::Session`] — named columns,
-//! fallible construction. Execution flows through three explicit layers:
+//! fallible construction. Execution flows through four explicit layers:
 //! *lowering* resolves names into the physical plan (projection pushdown,
-//! positional indices, build/stream stages); *placement* annotates every
-//! pipeline with per-device segments carrying [`core::HetTraits`] and
-//! inserts the trait-conversion exchange operators (router, mem-move,
-//! device crossing); the engine then *interprets* the placed plan over
-//! its device providers:
+//! positional indices, build/stream stages, memoised shared build sides);
+//! the cost-based *optimizer* (under [`core::Placement::Auto`]) picks
+//! per-stage device subsets from the hardware model; *placement*
+//! annotates every pipeline with per-device segments carrying
+//! [`core::HetTraits`] and inserts the trait-conversion exchange
+//! operators (router, mem-move, device crossing); the engine then
+//! *interprets* the placed plan over its device providers:
 //!
 //! ```
 //! use hape::core::{ExecConfig, JoinAlgo, Placement, Query, Session};
@@ -55,14 +57,21 @@
 //! assert!(text.contains("Router("));
 //! assert!(text.contains("DeviceCrossing(Cpu -> Gpu)"));
 //!
-//! // `execute` = lower + place + run; `Placement` is sugar selecting
-//! // which devices participate in the placement pass.
+//! // `execute` = lower + place + run; the manual `Placement` arms are
+//! // sugar selecting which devices participate in the placement pass.
 //! let report = session.execute(&query).unwrap();
 //! assert_eq!(report.rows[0].1[0], (1 << 14) as f64);
 //! let cpu = session
 //!     .execute_with(&query, &ExecConfig::new(Placement::CpuOnly))
 //!     .unwrap();
 //! assert_eq!(cpu.rows, report.rows);
+//!
+//! // `Placement::Auto` adds the optimize layer: per-stage device subsets
+//! // chosen by the analytic cost model (and shown by `explain`).
+//! let auto = session
+//!     .execute_with(&query, &ExecConfig::new(Placement::Auto))
+//!     .unwrap();
+//! assert_eq!(auto.rows, report.rows);
 //!
 //! // Misdescribed queries are typed errors, not panics.
 //! let bad = session.query("bad").from_table("fact")

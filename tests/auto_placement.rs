@@ -1,0 +1,215 @@
+//! Cost-based auto-placement properties.
+//!
+//! 1. **Capacity guard** (deterministic property sweep — the Q9
+//!    regression guard): across GPU memory scalings and hash-table sizes,
+//!    `Placement::Auto` never selects a placement whose *estimated* GPU
+//!    hash-table footprint exceeds device capacity, and the placement it
+//!    does select executes to the `CpuOnly` reference rows.
+//! 2. **TPC-H sweep**: `Auto` picks a valid placement for every query —
+//!    row-identical to `CpuOnly`, including Q9, which completes where the
+//!    manual GPU placements hit the §6.4 out-of-memory failure.
+//! 3. **Makespan**: on Q1/Q5/Q6 the optimizer's simulated makespan is no
+//!    worse than the best of the three manual placements.
+//! 4. **Explain snapshot**: Q5 under `Auto` renders the chosen subsets
+//!    with per-stage cost estimates.
+
+use hape::core::engine::EngineError;
+use hape::core::{ExecConfig, HapeError, JoinAlgo, Placement, Query, Session};
+use hape::ops::{col, AggFunc};
+use hape::sim::topology::Server;
+use hape::storage::datagen::gen_key_fk_table;
+use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query};
+use hape::tpch::reference::rows_approx_eq;
+
+const SF: f64 = 0.01;
+
+fn tpch_session() -> Session {
+    let data = hape::tpch::generate(SF, 31337);
+    let mut session = Session::new(Server::tpch_scaled(SF));
+    session.register(data.lineitem.clone());
+    session.register(data.orders.clone());
+    session.register(data.customer.clone());
+    session.register(data.supplier.clone());
+    session.register(data.partsupp.clone());
+    session.register(data.nation.clone());
+    session.register(data.region.clone());
+    session
+}
+
+fn tpch_queries() -> Vec<Query> {
+    vec![
+        q1_query(),
+        q5_query(JoinAlgo::NonPartitioned),
+        q5_query(JoinAlgo::Partitioned),
+        q6_query(),
+        q9_query(JoinAlgo::NonPartitioned),
+    ]
+}
+
+/// The Q9 regression guard as a property: whatever the ratio between
+/// hash-table size and GPU memory, the optimizer either keeps the tables
+/// off the GPUs or proves (on its own estimates) that they fit — and the
+/// chosen placement always executes to the CPU reference rows.
+#[test]
+fn auto_never_overcommits_gpu_memory() {
+    for dim_rows in [1usize << 10, 1 << 13, 1 << 16] {
+        for mem_factor in [1.0, 1.0 / 256.0, 1.0 / 4096.0, 1.0 / 65536.0] {
+            let mut session = Session::new(Server::paper_testbed_gpu_mem_scaled(mem_factor))
+                .with_placement(Placement::Auto);
+            session.register_as("fact", gen_key_fk_table(1 << 18, 1 << 18, 7));
+            session.register_as("dim", gen_key_fk_table(dim_rows, dim_rows, 8));
+            let q = session
+                .query("guard")
+                .from_table("fact")
+                .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+                .agg(vec![(AggFunc::Count, col("k")), (AggFunc::Sum, col("v"))]);
+            let ctx = format!("dim_rows={dim_rows} mem_factor={mem_factor}");
+            let placed = session.place(&q).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            let costs = placed.costs.as_ref().expect("auto plans carry cost estimates");
+            for (i, cost) in costs.stages.iter().enumerate() {
+                assert!(
+                    cost.fits_gpu_memory(),
+                    "{ctx}: stage {i} estimated footprint {} exceeds capacity {:?}",
+                    cost.gpu_required,
+                    cost.gpu_capacity
+                );
+                // The estimate is attached to the stage that actually
+                // placed on GPUs; CPU-only stages have no capacity bound.
+                let has_gpu = placed.stages[i].segments().iter().any(|s| s.target.is_gpu());
+                assert_eq!(cost.gpu_capacity.is_some(), has_gpu, "{ctx}: stage {i}");
+            }
+            let auto = session.execute(&q).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            let cpu = session
+                .execute_with(&q, &ExecConfig::new(Placement::CpuOnly))
+                .unwrap_or_else(|e| panic!("{ctx}: {e}"));
+            assert_eq!(auto.rows, cpu.rows, "{ctx}: rows diverge from CpuOnly");
+        }
+    }
+}
+
+#[test]
+fn auto_is_row_identical_to_cpu_reference_across_tpch() {
+    let session = tpch_session();
+    for query in &tpch_queries() {
+        let reference =
+            session.execute_with(query, &ExecConfig::new(Placement::CpuOnly)).unwrap().rows;
+        let auto = session
+            .execute_with(query, &ExecConfig::new(Placement::Auto))
+            .unwrap_or_else(|e| panic!("{} under Auto: {e}", query.name));
+        assert_eq!(auto.rows.len(), reference.len(), "{}: row count", query.name);
+        for (got, want) in auto.rows.iter().zip(&reference) {
+            assert_eq!(got.0, want.0, "{}: group keys", query.name);
+        }
+        assert!(
+            rows_approx_eq(&auto.rows, &reference),
+            "{}: Auto values diverge from CpuOnly",
+            query.name
+        );
+    }
+}
+
+#[test]
+fn auto_completes_q9_where_manual_gpu_placements_oom() {
+    let session = tpch_session();
+    let q9 = q9_query(JoinAlgo::NonPartitioned);
+    // The manual GPU placements reproduce the §6.4 failure…
+    for placement in [Placement::GpuOnly, Placement::Hybrid] {
+        match session.execute_with(&q9, &ExecConfig::new(placement)).unwrap_err() {
+            HapeError::Engine(EngineError::GpuMemoryExceeded { required, capacity }) => {
+                assert!(required > capacity, "{placement:?}");
+            }
+            e => panic!("{placement:?}: unexpected error {e}"),
+        }
+    }
+    // …while the optimizer routes the stream stage onto the CPUs.
+    let placed = session.place_with(&q9, &ExecConfig::new(Placement::Auto)).unwrap();
+    let stream = placed.stages.last().unwrap();
+    assert!(
+        stream.segments().iter().all(|s| !s.target.is_gpu()),
+        "Q9's stream must stay off the GPUs"
+    );
+    let auto = session.execute_with(&q9, &ExecConfig::new(Placement::Auto)).unwrap();
+    let cpu = session.execute_with(&q9, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+    assert!(rows_approx_eq(&auto.rows, &cpu.rows));
+    assert_eq!(auto.time, cpu.time, "Q9 Auto degenerates to the CPU placement");
+}
+
+#[test]
+fn auto_makespan_is_no_worse_than_the_best_manual_placement() {
+    let session = tpch_session();
+    for query in [q1_query(), q5_query(JoinAlgo::Partitioned), q6_query()] {
+        let auto =
+            session.execute_with(&query, &ExecConfig::new(Placement::Auto)).unwrap().time;
+        let mut best = None::<hape::sim::SimTime>;
+        for placement in [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid] {
+            if let Ok(rep) = session.execute_with(&query, &ExecConfig::new(placement)) {
+                best = Some(best.map_or(rep.time, |b: hape::sim::SimTime| b.min(rep.time)));
+            }
+        }
+        let best = best.expect("at least one manual placement runs");
+        assert!(auto <= best, "{}: Auto {auto} slower than best manual {best}", query.name);
+    }
+}
+
+const Q5_AUTO_EXPLAIN: &str = "\
+PlacedPlan Q5
+stage 0: build Q5.region (key col 0)
+  pipeline: scan(region) | filter
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+  est: total 0.0000 ms = stream 0.0000 ms + broadcast 0.0000 ms + d2h 0.0000 ms
+stage 1: build Q5.nation (key col 0)
+  pipeline: scan(nation) | join(Q5.region)
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+  est: total 0.0000 ms = stream 0.0000 ms + broadcast 0.0000 ms + d2h 0.0000 ms
+stage 2: build Q5.customer (key col 0)
+  pipeline: scan(customer) | join(Q5.nation)
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+  est: total 0.0005 ms = stream 0.0005 ms + broadcast 0.0000 ms + d2h 0.0000 ms
+stage 3: build Q5.orders (key col 0)
+  pipeline: scan(Q5.orders) | filter | join(Q5.customer)
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+  est: total 0.0034 ms = stream 0.0034 ms + broadcast 0.0000 ms + d2h 0.0000 ms
+stage 4: build Q5.supplier (key col 0)
+  pipeline: scan(supplier) | join(Q5.nation)
+  Router(LoadAware, 1 -> 24)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+  est: total 0.0000 ms = stream 0.0000 ms + broadcast 0.0000 ms + d2h 0.0000 ms
+stage 5: stream
+  pipeline: scan(Q5.lineitem) | join(Q5.orders) | join(Q5.supplier) | filter | agg
+  Router(LoadAware, 1 -> 26)
+  segment cpu0: Cpu dop=12 mem=dram0 packing=Packets
+  segment cpu1: Cpu dop=12 mem=dram0 packing=Packets
+  segment gpu0: Gpu dop=1 mem=gmem0 packing=Packets
+    MemMove(dram0 -> gmem0)
+    DeviceCrossing(Cpu -> Gpu)
+    MemMove(dram0 -> gmem0, broadcast \"Q5.orders\")
+    MemMove(dram0 -> gmem0, broadcast \"Q5.supplier\")
+  segment gpu1: Gpu dop=1 mem=gmem1 packing=Packets
+    MemMove(dram0 -> gmem1)
+    DeviceCrossing(Cpu -> Gpu)
+    MemMove(dram0 -> gmem1, broadcast \"Q5.orders\")
+    MemMove(dram0 -> gmem1, broadcast \"Q5.supplier\")
+  est: total 0.0522 ms = stream 0.0373 ms + broadcast 0.0149 ms + d2h 0.0000 ms
+  est: gpu hash tables 179280 B (448200 B with working space) of 858993 B
+est makespan: 0.0562 ms
+";
+
+#[test]
+fn q5_auto_explain_renders_subsets_and_cost_estimates() {
+    let session = tpch_session();
+    let q5 = q5_query(JoinAlgo::NonPartitioned);
+    let text = session.explain_with(&q5, &ExecConfig::new(Placement::Auto)).unwrap();
+    assert_eq!(text, Q5_AUTO_EXPLAIN, "Auto snapshot diverged:\n{text}");
+    // Manual placements render no cost lines.
+    let manual = session.explain_with(&q5, &ExecConfig::new(Placement::Hybrid)).unwrap();
+    assert!(!manual.contains("est:"), "{manual}");
+}
