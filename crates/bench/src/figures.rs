@@ -10,7 +10,7 @@ use hape_join::{
 use hape_sim::topology::Server;
 use hape_sim::{CpuCostModel, Fidelity, GpuSim, GpuSpec};
 use hape_storage::datagen::{gen_balanced_partition_keys, gen_unique_keys};
-use hape_tpch::queries::{base_catalog, q1_query, q5_query, q6_query, q9_query, run_q9_hybrid};
+use hape_tpch::queries::{base_catalog, q1_query, q5_query, q6_query, q9_query};
 
 /// One line/bar series of a figure.
 #[derive(Debug, Clone)]
@@ -219,18 +219,20 @@ fn proteus_label(placement: Placement) -> &'static str {
 }
 
 /// **Figure 8** — TPC-H Q1/Q5/Q6/Q9* end-to-end with the paper's series:
-/// DBMS C, Proteus CPU, Proteus Hybrid, Proteus GPU, DBMS G. GPU memory
-/// scales with `sf/100` so the paper's SF-100 capacity effects reproduce
-/// (Q9 GPU-only fails; DBMS G runs only Q6).
+/// DBMS C, Proteus CPU, Proteus Hybrid, Proteus GPU, Proteus Auto, DBMS G.
+/// GPU memory scales with `sf/100` so the paper's SF-100 capacity effects
+/// reproduce (Q9's broadcast tables overflow the GPUs: the manual GPU
+/// placements fail while Auto plans the §5 co-processing stage).
 pub fn fig8(sf: f64) -> Figure {
-    fig8_with(sf, &[Placement::CpuOnly, Placement::Hybrid, Placement::GpuOnly])
+    fig8_with(sf, &[Placement::CpuOnly, Placement::Hybrid, Placement::GpuOnly, Placement::Auto])
 }
 
 /// [`fig8`] with a CLI-selectable Proteus placement list (one series per
 /// placement, between the DBMS C and DBMS G baselines): pass
 /// `Placement::Auto` to plot the cost-based optimizer against the manual
-/// placements — it must route Q9 around the GPU-only out-of-memory
-/// failure without the hand-written co-processing fallback.
+/// placements — on Q9 it plans the intra-operator co-processing stage
+/// (§5) instead of retreating to the CPUs, with no hand-written fallback
+/// anywhere in the harness.
 pub fn fig8_with(sf: f64, placements: &[Placement]) -> Figure {
     let data = hape_tpch::generate(sf, 420);
     let catalog = base_catalog(&data);
@@ -249,24 +251,20 @@ pub fn fig8_with(sf: f64, placements: &[Placement]) -> Figure {
         .chain(std::iter::once("DBMS G"))
         .map(|l| Series { label: l.to_string(), points: Vec::new() })
         .collect();
-    for (qi, (name, q)) in queries.iter().enumerate() {
+    for (qi, (_name, q)) in queries.iter().enumerate() {
         let x = qi as f64 + 1.0;
         series[0]
             .points
             .push((x, Some(dbms_c.run_plan(&q.catalog, &q.plan).unwrap().time.as_secs())));
         for (si, &placement) in placements.iter().enumerate() {
-            let t = match engine.run(&q.catalog, &q.plan, &ExecConfig::new(placement)) {
-                Ok(rep) => Some(rep.time.as_secs()),
-                // Q9's hash tables exceed GPU memory: the Hybrid bar falls
-                // back to the intra-operator co-processing path (§5);
-                // other failing placements are missing bars. Auto never
-                // lands here — the optimizer routes around the capacity
-                // cliff.
-                Err(_) if *name == "Q9*" && placement == Placement::Hybrid => {
-                    Some(run_q9_hybrid(&engine, &catalog, &data).unwrap().time.as_secs())
-                }
-                Err(_) => None,
-            };
+            // Q9's hash tables exceed GPU memory (§6.4): the manual GPU
+            // placements are missing bars, while Auto completes it through
+            // the optimizer-planned co-processing stage — no special-cased
+            // fallback here.
+            let t = engine
+                .run(&q.catalog, &q.plan, &ExecConfig::new(placement))
+                .ok()
+                .map(|rep| rep.time.as_secs());
             series[1 + si].points.push((x, t));
         }
         let last = series.len() - 1;

@@ -21,6 +21,9 @@
 //! | per-packet fixed ns = `link latency + launch overhead` | DMA setup, kernel launch (§2.2) | [`Link::latency`](hape_sim::interconnect::Link), [`GpuSpec::launch_overhead_ns`](hape_sim::GpuSpec) |
 //! | broadcast s = `Σ ht bytes / link bw` per GPU | hash-table mem-move over PCIe (§4.2) | [`Link::bw`](hape_sim::interconnect::Link) |
 //! | capacity bound = `Σ ht bytes × working factor ≤ DRAM` | GPU device memory, Q9's §6.4 failure | [`GpuSpec::dram_capacity`](hape_sim::GpuSpec), [`GPU_HT_WORKING_FACTOR`] |
+//! | co-partition fanout: `2(R+S) >> bits ≤ 0.9 × DRAM` | §5 "just small enough to fit in GPU-memory" | [`hape_join::plan_cpu_bits`], [`hape_join::gpu_budget`] |
+//! | co-partition s = `Σ passes partition_pass(n, 8, 2^bits) / workers` | TLB-bounded multi-pass CPU partitioning (§4.1, §5) | [`CpuCostModel::partition_pass`], [`CpuSpec::max_partition_fanout`](hape_sim::CpuSpec::max_partition_fanout) |
+//! | co-process single pass s = `max((R+S)/Σ link bw, 4(R+S)/Σ gpu bw)` | each co-partition pair crosses PCIe once, joined at device bandwidth (§5) | [`Link::bw`](hape_sim::interconnect::Link), [`GpuSpec::dram_bw`](hape_sim::GpuSpec) |
 //!
 //! Cardinalities are estimated from the catalog's *actual* table sizes
 //! (the scan views lowering pushes down), with classic default
@@ -84,6 +87,9 @@ pub struct ProbeEstimate {
     pub rows: f64,
     /// Estimated footprint of the probed table (the probe's working set).
     pub ht_bytes: u64,
+    /// Estimated build rows of the probed table (the co-processing arm
+    /// co-partitions these against the stream).
+    pub ht_rows: f64,
 }
 
 /// Cardinality walk over one pipeline.
@@ -115,6 +121,27 @@ impl PipelineEstimate {
     }
 }
 
+/// The co-processing components of a [`StageCost`], present when the
+/// stage is priced under [`ProbeExec::CoProcess`](crate::plan::ProbeExec::CoProcess) (§5): the CPU-side
+/// co-partitioning and the per-GPU single-pass transfer/join — the same
+/// decomposition `hape_join::coprocess_join` executes.
+#[derive(Debug, Clone)]
+pub struct CoprocessCost {
+    /// The oversized hash table executed as the co-processing join.
+    pub ht: String,
+    /// CPU co-partitioning time: all partition passes of both sides,
+    /// spread over the subset's workers.
+    pub cpu_partition_seconds: f64,
+    /// Single PCIe pass + in-GPU join time, load-balanced over the
+    /// subset's GPUs.
+    pub gpu_pass_seconds: f64,
+    /// Planned CPU-side radix bits.
+    pub cpu_bits: u32,
+    /// Estimated bytes of one co-partition pair with the join's working
+    /// space (what must fit one GPU).
+    pub per_partition_bytes: u64,
+}
+
 /// Per-stage cost estimate for one candidate device subset. This is what
 /// the optimizer minimises and what
 /// [`Session::explain`](crate::session::Session::explain) renders for
@@ -124,7 +151,9 @@ pub struct StageCost {
     /// The candidate devices.
     pub devices: Vec<DeviceId>,
     /// Estimated streaming makespan: input bytes over the subset's summed
-    /// effective rates (the load-aware router balances by rate).
+    /// effective rates (the load-aware router balances by rate). Under
+    /// [`ProbeExec::CoProcess`](crate::plan::ProbeExec::CoProcess) this is the CPU-side prefix (everything up
+    /// to the co-processed probe) plus the final aggregation.
     pub stream_seconds: f64,
     /// Upfront hash-table broadcast time (max over the subset's GPUs;
     /// dedicated links broadcast in parallel).
@@ -134,21 +163,31 @@ pub struct StageCost {
     pub d2h_seconds: f64,
     /// Estimated broadcast footprint per GPU (raw table bytes).
     pub ht_bytes: u64,
-    /// The footprint with working space ([`GPU_HT_WORKING_FACTOR`]).
+    /// The footprint with working space ([`GPU_HT_WORKING_FACTOR`]); for
+    /// co-processing stages, one co-partition pair's footprint instead.
     pub gpu_required: u64,
     /// Smallest device-memory capacity among the subset's GPUs (`None`
     /// when the subset has no GPU).
     pub gpu_capacity: Option<u64>,
+    /// The co-processing decomposition when the stage is priced under
+    /// [`ProbeExec::CoProcess`](crate::plan::ProbeExec::CoProcess); `None` for broadcast stages.
+    pub coprocess: Option<CoprocessCost>,
 }
 
 impl StageCost {
     /// Total estimated stage makespan.
     pub fn total_seconds(&self) -> f64 {
-        self.stream_seconds + self.broadcast_seconds + self.d2h_seconds
+        let cp = self
+            .coprocess
+            .as_ref()
+            .map_or(0.0, |c| c.cpu_partition_seconds + c.gpu_pass_seconds);
+        self.stream_seconds + self.broadcast_seconds + self.d2h_seconds + cp
     }
 
-    /// Whether every GPU in the subset can hold the broadcast tables with
-    /// working space — the §6.4 capacity constraint, checked on estimates.
+    /// Whether every GPU in the subset can hold its working set — the
+    /// broadcast tables with working space for [`ProbeExec::Broadcast`](crate::plan::ProbeExec::Broadcast)
+    /// stages (the §6.4 capacity constraint), one co-partition pair for
+    /// [`ProbeExec::CoProcess`](crate::plan::ProbeExec::CoProcess) stages — checked on estimates.
     pub fn fits_gpu_memory(&self) -> bool {
         self.gpu_capacity.is_none_or(|cap| self.gpu_required <= cap)
     }
@@ -204,7 +243,12 @@ impl<'a> CostModel<'a> {
                         .get(ht)
                         .copied()
                         .ok_or_else(|| EngineError::HashTableNotBuilt { table: ht.clone() })?;
-                    probes.push(ProbeEstimate { ht: ht.clone(), rows, ht_bytes: est.bytes });
+                    probes.push(ProbeEstimate {
+                        ht: ht.clone(),
+                        rows,
+                        ht_bytes: est.bytes,
+                        ht_rows: est.rows,
+                    });
                     rows *= JOIN_MATCH_RATE;
                     width += build_payload_cols.len() as f64 * EST_COLUMN_BYTES;
                 }
@@ -305,7 +349,168 @@ impl<'a> CostModel<'a> {
             ht_bytes: broadcast_bytes,
             gpu_required: (broadcast_bytes as f64 * GPU_HT_WORKING_FACTOR) as u64,
             gpu_capacity,
+            coprocess: None,
         })
+    }
+
+    /// Price a stream stage under [`ProbeExec::CoProcess`](crate::plan::ProbeExec::CoProcess) (§5): the CPUs
+    /// in `cpus` run the pipeline prefix (every operator before the final
+    /// probe) and co-partition the stream against the final probe's
+    /// oversized table; the GPUs in `gpus` each receive co-partition
+    /// pairs over their own links for single-pass radix joins. The
+    /// decomposition mirrors `hape_join::coprocess_join` term by term —
+    /// fanout planning included, via the shared
+    /// [`hape_join::plan_cpu_bits`] — so the optimizer's estimate and the
+    /// engine's execution agree about the hardware by construction.
+    ///
+    /// Returns `Ok(None)` when the stage has no probe, a subset side is
+    /// empty, or no legal co-partitioning fanout exists (the CPU's
+    /// multi-pass bound) — the candidate simply does not form.
+    pub fn coprocess_cost(
+        &self,
+        est: &PipelineEstimate,
+        cpus: &[DeviceId],
+        gpus: &[DeviceId],
+    ) -> Result<Option<StageCost>, EngineError> {
+        let Some(big) = est.probes.last() else {
+            return Ok(None);
+        };
+        if cpus.is_empty() || gpus.is_empty() {
+            return Ok(None);
+        }
+        // The §5 co-partition inputs are (key, row-index) pairs: 8 bytes
+        // per tuple on each side, regardless of payload width.
+        let s_rows = big.rows.max(1.0);
+        let r_rows = big.ht_rows.max(1.0);
+        let s_bytes = (s_rows * 8.0) as u64;
+        let r_bytes = (r_rows * 8.0) as u64;
+
+        // Per-GPU budgets, link and device bandwidths from each device's
+        // own spec.
+        let mut lanes: Vec<(u64, f64, f64, f64)> = Vec::new(); // (budget, link bw, dram bw, fixed s)
+        for &d in gpus {
+            let DeviceId::Gpu(g) = d else { continue };
+            let (spec, link) = self.gpu_spec(g)?;
+            lanes.push((
+                hape_join::gpu_budget(spec.dram_capacity),
+                link.bw,
+                spec.dram_bw,
+                link.latency + spec.launch_overhead_ns / 1e9,
+            ));
+        }
+        let min_budget = lanes.iter().map(|l| l.0).min().unwrap_or(0);
+        let max_budget = lanes.iter().map(|l| l.0).max().unwrap_or(0);
+        if max_budget == 0 {
+            return Ok(None);
+        }
+        let first_socket = cpus.iter().find_map(|d| match d {
+            DeviceId::Cpu(s) => Some(*s),
+            DeviceId::Gpu(_) => None,
+        });
+        let Some(first_socket) = first_socket else { return Ok(None) };
+        let cpu0 = self.cpu_spec(first_socket)?;
+
+        // Fanout planning, shared with the executing join: prefer the
+        // fanout at which a pair fits every GPU, fall back to the largest
+        // budget within the CPU's multi-pass bound.
+        let (bits, planned_budget) =
+            match hape_join::plan_cpu_bits(r_bytes, s_bytes, min_budget, cpu0) {
+                Ok(b) => (b, min_budget),
+                Err(_) => match hape_join::plan_cpu_bits(r_bytes, s_bytes, max_budget, cpu0) {
+                    Ok(b) => (b, max_budget),
+                    Err(_) => return Ok(None),
+                },
+            };
+        let per_partition_bytes = (2 * (r_bytes + s_bytes)) >> bits;
+
+        // Only GPUs a planned co-partition actually fits receive work —
+        // the executing join skips the rest, so the estimate's aggregate
+        // bandwidths must too (a tiny second GPU must not halve the
+        // estimated pass time it will never serve).
+        let mut link_bw = 0.0f64;
+        let mut gpu_bw = 0.0f64;
+        let mut fixed_seconds = 0.0f64;
+        let mut eligible = 0usize;
+        for &(budget, lbw, dbw, fixed) in &lanes {
+            if per_partition_bytes > budget {
+                continue;
+            }
+            link_bw += lbw;
+            gpu_bw += dbw;
+            fixed_seconds = fixed_seconds.max(fixed);
+            eligible += 1;
+        }
+        if eligible == 0 {
+            return Ok(None);
+        }
+
+        // CPU prefix: the stream with every probe but the last, priced on
+        // the CPU subset exactly like an ordinary CPU-only stream stage.
+        let prefix = PipelineEstimate {
+            probes: est.probes[..est.probes.len() - 1].to_vec(),
+            ..est.clone()
+        };
+        let mut rates = 0.0f64;
+        let mut workers = 0usize;
+        for &d in cpus {
+            let DeviceId::Cpu(s) = d else { continue };
+            rates += 1.0 / self.cpu_ns_per_byte(s, &prefix)?;
+            workers += self.cpu_spec(s)?.cores;
+        }
+        let prefix_seconds = est.in_bytes / rates / 1e9;
+
+        // Co-partition passes, mirroring coprocess_join: both sides, each
+        // pass near DRAM bandwidth, spread over all workers.
+        let n_sockets = cpus.iter().filter(|d| !d.is_gpu()).count().max(1);
+        let per_socket = (workers / n_sockets).max(1);
+        let model = CpuCostModel::new(cpu0.clone(), per_socket.min(cpu0.cores));
+        let max_pass_bits = cpu0.max_partition_fanout().trailing_zeros().max(1);
+        let mut t_cpu = hape_sim::SimTime::ZERO;
+        let mut rem = bits;
+        while rem > 0 {
+            let b = rem.min(max_pass_bits);
+            t_cpu += model.partition_pass(r_rows as u64, 8, 1 << b);
+            t_cpu += model.partition_pass(s_rows as u64, 8, 1 << b);
+            rem -= b;
+        }
+        let cpu_partition_seconds = t_cpu.as_secs() / (workers.max(1) as f64 * 0.92);
+
+        // Single pass over PCIe, pipelined against the in-GPU radix joins
+        // (partition-continue + build + probe ≈ 4 device-memory trips),
+        // plus the per-co-partition fixed costs amortised over the lanes.
+        let pass_bytes = (r_bytes + s_bytes) as f64;
+        let transfer = pass_bytes / link_bw;
+        let kernel = 4.0 * pass_bytes / gpu_bw;
+        let co_partitions = (1u64 << bits) as f64;
+        let gpu_pass_seconds =
+            transfer.max(kernel) + co_partitions * fixed_seconds / eligible as f64;
+
+        // The final aggregation folds the match pairs CPU-side (the pair
+        // indices are tiny against the co-partition traffic; the executed
+        // path charges their consumption in the post-join packet loop,
+        // which this term mirrors).
+        let matches = s_rows * JOIN_MATCH_RATE;
+        let agg_seconds = model.random_accesses(matches as u64, 1 << 16).as_secs()
+            / (workers.max(1) as f64 * 0.9);
+
+        let mut devices = cpus.to_vec();
+        devices.extend_from_slice(gpus);
+        Ok(Some(StageCost {
+            devices,
+            stream_seconds: prefix_seconds + agg_seconds,
+            broadcast_seconds: 0.0,
+            d2h_seconds: 0.0,
+            ht_bytes: big.ht_bytes,
+            gpu_required: per_partition_bytes,
+            gpu_capacity: Some(planned_budget),
+            coprocess: Some(CoprocessCost {
+                ht: big.ht.clone(),
+                cpu_partition_seconds,
+                gpu_pass_seconds,
+                cpu_bits: bits,
+                per_partition_bytes,
+            }),
+        }))
     }
 
     /// Effective processing cost of one input byte on a CPU socket, in

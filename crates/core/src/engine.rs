@@ -26,12 +26,14 @@ use hape_sim::topology::{DeviceId, Server};
 use hape_sim::{CpuCostModel, Fidelity, SimTime};
 use hape_storage::Batch;
 
+use hape_join::{coprocess_join_on, BuildProbeVariant, CoprocessConfig, JoinInput, OutputMode};
+
 use crate::catalog::Catalog;
 use crate::error::PlanError;
 use crate::exchange::{CandidateLoad, Exchange, Router, RoutingPolicy};
 use crate::place::{place, PlacedPlan, PlacedStage, Segment};
-use crate::plan::{JoinTable, Pipeline, QueryPlan};
-use crate::provider::{CpuWorker, DeviceProvider, GpuWorker, TableStore};
+use crate::plan::{JoinTable, PipeOp, Pipeline, QueryPlan};
+use crate::provider::{gather_matches, CpuWorker, DeviceProvider, GpuWorker, TableStore};
 use crate::traits::DeviceType;
 
 pub use crate::error::EngineError;
@@ -150,6 +152,9 @@ pub struct Engine {
     pub fidelity: Fidelity,
 }
 
+/// Aggregated result rows, sorted by group key.
+type AggRows = Vec<(GroupKey, Vec<f64>)>;
+
 /// What one placed stage reported back to the interpreter.
 struct StageOutcome {
     outputs: Vec<Batch>,
@@ -260,6 +265,32 @@ impl Engine {
                     }
                     rows = merged.finish();
                 }
+                PlacedStage::CoProcess { pipeline, ht, segments, gpus, .. } => {
+                    let agg_spec = pipeline.agg.as_ref().ok_or_else(|| {
+                        EngineError::InvalidPlan(PlanError::StreamWithoutAggregate {
+                            name: pipeline.source.clone(),
+                        })
+                    })?;
+                    let (merged_rows, out) = self.run_coprocess_stage(
+                        catalog,
+                        pipeline,
+                        ht,
+                        segments,
+                        stage.policy(),
+                        gpus,
+                        &tables,
+                        clock,
+                        agg_spec,
+                        placed.packet_rows,
+                    )?;
+                    clock = out.end;
+                    cpu_busy += out.cpu_busy;
+                    gpu_busy += out.gpu_busy;
+                    h2d_bytes += out.h2d_bytes;
+                    packets_cpu += out.packets_cpu;
+                    packets_gpu += out.packets_gpu;
+                    rows = merged_rows;
+                }
             }
         }
 
@@ -278,9 +309,11 @@ impl Engine {
     /// an explicit table store. Returns the output batch, the completion
     /// time (relative to `start`) and the CPU busy time.
     ///
-    /// This is the hook intra-operator co-processing builds on: the TPC-H
-    /// Q9 hybrid runner materialises the lineitem-side intermediate here
-    /// and hands it to the co-processing join (§5).
+    /// Historically this was the hook the hand-written Q9 hybrid runner
+    /// built on; the optimizer-planned co-processing stage now
+    /// materialises its prefix internally
+    /// ([`crate::place::PlacedStage::CoProcess`]), and this hook remains
+    /// for benchmarks and custom drivers that stage pipelines explicitly.
     pub fn materialize_cpu(
         &self,
         catalog: &Catalog,
@@ -405,8 +438,202 @@ impl Engine {
         self.run_workers(catalog, pipeline, &mut workers, policy, tables, start, packet_rows)
     }
 
-    /// The generic packet loop: one router, N `dyn DeviceProvider`
-    /// workers, no knowledge of device classes beyond the trait.
+    /// Run a placed co-processing stage
+    /// ([`crate::place::PlacedStage::CoProcess`], §5):
+    ///
+    /// 1. the CPU segments' device providers run the pipeline *prefix*
+    ///    (every operator before the final probe) through the ordinary
+    ///    packet loop, materialising the intermediate;
+    /// 2. the intermediate is co-partitioned against the final probe's
+    ///    hash table and joined via `hape_join::coprocess_join_on` over
+    ///    the stage's GPU lanes — each lane priced and capacity-checked
+    ///    against its own spec, link and budget;
+    /// 3. the match pairs are gathered into the same physical layout an
+    ///    in-pipeline probe would produce, and the remaining operators
+    ///    plus the terminal aggregation fold on the CPU workers.
+    ///
+    /// All failures are typed [`EngineError`]s — the skew/capacity cases
+    /// surface as [`EngineError::OversizedCoPartition`], never a panic.
+    #[allow(clippy::too_many_arguments)]
+    fn run_coprocess_stage(
+        &self,
+        catalog: &Catalog,
+        pipeline: &Pipeline,
+        ht: &str,
+        segments: &[Segment],
+        policy: RoutingPolicy,
+        gpus: &[DeviceId],
+        tables: &TableStore,
+        start: SimTime,
+        agg_spec: &AggSpec,
+        packet_rows: Option<usize>,
+    ) -> Result<(AggRows, StageOutcome), EngineError> {
+        // ---- Split the pipeline at its final probe.
+        let probe_idx = match pipeline.last_probe() {
+            Some((idx, probe_ht)) if probe_ht == ht => idx,
+            _ => return Err(EngineError::InvalidCoProcessStage { table: ht.to_string() }),
+        };
+        let PipeOp::JoinProbe { key_col, build_payload_cols, .. } = &pipeline.ops[probe_idx]
+        else {
+            return Err(EngineError::InvalidCoProcessStage { table: ht.to_string() });
+        };
+        let jt = tables
+            .get(ht)
+            .ok_or_else(|| EngineError::HashTableNotBuilt { table: ht.to_string() })?;
+
+        // ---- 1. CPU prefix through the device providers.
+        let prefix = Pipeline {
+            source: pipeline.source.clone(),
+            ops: pipeline.ops[..probe_idx].to_vec(),
+            agg: None,
+        };
+        let pre = self.run_stage(
+            catalog,
+            &prefix,
+            segments,
+            policy,
+            None,
+            tables,
+            start,
+            packet_rows,
+        )?;
+        let inter = concat_outputs(pre.outputs);
+
+        // ---- 2. Co-partition + single-pass GPU joins on the stage's
+        // lanes. Sides follow the §5 convention: the (smaller) build side
+        // is R, the streamed intermediate is S; values are row indices so
+        // the match pairs address both batches.
+        let mut joined = Batch::empty();
+        let mut join_time = SimTime::ZERO;
+        let mut first_join_done = SimTime::ZERO;
+        let mut cpu_partition_time = SimTime::ZERO;
+        let mut gpu_busy = SimTime::ZERO;
+        let mut h2d_bytes = 0u64;
+        let mut packets_gpu = 0usize;
+        if inter.rows() > 0 {
+            let probe_keys: Vec<i32> = inter.col(*key_col).as_i32().to_vec();
+            let probe_vals: Vec<u32> = (0..inter.rows() as u32).collect();
+            let build_vals: Vec<u32> = (0..jt.rows() as u32).collect();
+            let gpu_ids: Vec<usize> = gpus
+                .iter()
+                .filter_map(|d| match d {
+                    DeviceId::Gpu(g) => Some(*g),
+                    DeviceId::Cpu(_) => None,
+                })
+                .collect();
+            let cfg = CoprocessConfig {
+                n_gpus: gpu_ids.len(),
+                cpu_workers: segments.iter().map(|s| s.traits.dop).sum(),
+                variant: BuildProbeVariant::Sm,
+                mode: OutputMode::MatchIndices,
+                fidelity: self.fidelity,
+            };
+            let rep = coprocess_join_on(
+                &self.server,
+                &gpu_ids,
+                JoinInput::new(&jt.keys, &build_vals),
+                JoinInput::new(&probe_keys, &probe_vals),
+                &cfg,
+            )?;
+            if let Some((build_rows, probe_rows)) = rep.outcome.pairs.as_ref() {
+                joined = gather_matches(&inter, jt, probe_rows, build_rows, build_payload_cols);
+            }
+            join_time = rep.outcome.time;
+            first_join_done = rep.first_join_done;
+            cpu_partition_time = rep.cpu_partition_time;
+            gpu_busy = rep.gpu_busy;
+            h2d_bytes = rep.h2d_bytes;
+            packets_gpu = rep.per_gpu_assignments.iter().sum();
+        }
+        let join_end = pre.end + join_time;
+
+        // ---- 3. Remaining operators + aggregation on the CPU workers.
+        // Match pairs stream back as co-partitions complete, so the fold
+        // overlaps the join phase (§5's pipelining) — but it cannot start
+        // before the first co-partition's join lands *and* the CPUs have
+        // finished the co-partitioning passes; the stage ends when both
+        // the last join and the fold have finished.
+        let fold_start = pre.end + first_join_done.max(cpu_partition_time);
+        let suffix_ops = &pipeline.ops[probe_idx + 1..];
+        let (rows, end, fold_cpu_busy, fold_h2d, fold_packets_cpu);
+        if suffix_ops.is_empty() {
+            // The §5 shape: the co-processed probe feeds the aggregation
+            // directly, so the match pairs stream through registers into
+            // the fold (fused consumption) — expression evaluation plus
+            // group-table random accesses, spread over the CPU workers; no
+            // rematerialised scan of the joined rows.
+            let socket = segments
+                .iter()
+                .find_map(|s| match s.target {
+                    DeviceId::Cpu(socket) => Some(socket),
+                    DeviceId::Gpu(_) => None,
+                })
+                .ok_or_else(|| EngineError::InvalidCoProcessStage { table: ht.to_string() })?;
+            let spec = self.server.cpus.get(socket).ok_or_else(|| {
+                EngineError::DeviceNotPresent { device: format!("cpu{socket}") }
+            })?;
+            let model = CpuCostModel::new(spec.clone(), spec.cores);
+            let mut state = AggState::new(agg_spec.clone());
+            let fold_busy = if joined.rows() > 0 {
+                hape_ops::cpu::agg_update(&mut state, &joined, &model)
+            } else {
+                SimTime::ZERO
+            };
+            let dop: usize = segments.iter().map(|s| s.traits.dop).sum();
+            let fold_time = fold_busy / (dop.max(1) as f64 * 0.9);
+            rows = state.finish();
+            end = (fold_start + fold_time).max(join_end);
+            fold_cpu_busy = fold_busy;
+            fold_h2d = 0;
+            fold_packets_cpu = 0;
+        } else {
+            // Operators remain after the co-processed probe: the joined
+            // rows genuinely re-enter the generic packet loop on the CPU
+            // workers.
+            let suffix = Pipeline {
+                source: pipeline.source.clone(),
+                ops: suffix_ops.to_vec(),
+                agg: pipeline.agg.clone(),
+            };
+            let mut workers = self.workers_for(segments, Some(agg_spec))?;
+            let shares: usize = workers.iter().map(|w| w.packet_share()).sum();
+            let packets = if joined.rows() > 0 {
+                joined.split(auto_packet_rows(joined.rows(), shares, packet_rows))
+            } else {
+                Vec::new()
+            };
+            let post =
+                self.packet_loop(packets, &suffix, &mut workers, policy, tables, fold_start)?;
+            let mut merged = AggState::new(agg_spec.clone());
+            for w in &workers {
+                if let Some(a) = w.agg() {
+                    merged.merge(a);
+                }
+            }
+            rows = merged.finish();
+            end = post.end.max(join_end);
+            fold_cpu_busy = post.cpu_busy;
+            fold_h2d = post.h2d_bytes;
+            fold_packets_cpu = post.packets_cpu;
+        }
+
+        Ok((
+            rows,
+            StageOutcome {
+                outputs: Vec::new(),
+                end,
+                cpu_busy: pre.cpu_busy + cpu_partition_time + fold_cpu_busy,
+                gpu_busy: pre.gpu_busy + gpu_busy,
+                h2d_bytes: pre.h2d_bytes + h2d_bytes + fold_h2d,
+                packets_cpu: pre.packets_cpu + fold_packets_cpu,
+                packets_gpu,
+            },
+        ))
+    }
+
+    /// The generic packet loop over a catalog source: one router, N
+    /// `dyn DeviceProvider` workers, no knowledge of device classes beyond
+    /// the trait.
     #[allow(clippy::too_many_arguments)]
     fn run_workers(
         &self,
@@ -422,6 +649,27 @@ impl Engine {
         if workers.is_empty() {
             return Err(EngineError::NoWorkers { placement: "placed stage".to_string() });
         }
+        let shares: usize = workers.iter().map(|w| w.packet_share()).sum();
+        let rows_per_packet = auto_packet_rows(table.rows(), shares, packet_rows);
+        let packets = table.data.split(rows_per_packet);
+        self.packet_loop(packets, pipeline, workers, policy, tables, start)
+    }
+
+    /// The packet loop proper, over pre-split packets — also driven
+    /// directly by the co-processing stage for its post-join remainder
+    /// (whose input is an in-memory batch, not a catalog table).
+    fn packet_loop(
+        &self,
+        packets: Vec<Batch>,
+        pipeline: &Pipeline,
+        workers: &mut [Box<dyn DeviceProvider>],
+        policy: RoutingPolicy,
+        tables: &TableStore,
+        start: SimTime,
+    ) -> Result<StageOutcome, EngineError> {
+        if workers.is_empty() {
+            return Err(EngineError::NoWorkers { placement: "placed stage".to_string() });
+        }
 
         // ---- Broadcast the probed hash tables along each worker's input
         // exchanges (a no-op for host-local workers) and check capacities.
@@ -431,9 +679,6 @@ impl Engine {
         }
 
         // ---- Route packets.
-        let shares: usize = workers.iter().map(|w| w.packet_share()).sum();
-        let rows_per_packet = auto_packet_rows(table.rows(), shares, packet_rows);
-        let packets = table.data.split(rows_per_packet);
         let mut router = Router::new(policy);
         let mut end = start;
         let mut packets_cpu = 0usize;

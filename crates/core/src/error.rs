@@ -175,6 +175,34 @@ pub enum EngineError {
         /// Subsets supplied.
         subsets: usize,
     },
+    /// A co-processing stage found a co-partition too large for every
+    /// selected GPU even at maximum fanout — the skew case the paper's §5
+    /// single-pass guarantee excludes.
+    OversizedCoPartition {
+        /// The offending co-partition index.
+        partition: usize,
+        /// Its size in bytes (both sides + working space).
+        bytes: u64,
+        /// The largest GPU budget it had to fit in.
+        budget: u64,
+    },
+    /// A co-processing stage needs a higher CPU co-partitioning fanout
+    /// than the CPU spec can produce
+    /// ([`hape_join::coprocess::COPROCESS_MAX_PASSES`] passes of
+    /// `CpuSpec::max_partition_fanout` each).
+    CoPartitionFanoutExceeded {
+        /// Radix bits the GPU budget demands.
+        required_bits: u32,
+        /// Radix bits the CPU can produce.
+        max_bits: u32,
+    },
+    /// A placed co-processing stage does not end in a probe of its named
+    /// hash table — only reachable through hand-assembled
+    /// [`crate::place::PlacedPlan`]s.
+    InvalidCoProcessStage {
+        /// The hash table the stage was supposed to co-process.
+        table: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -204,6 +232,19 @@ impl std::fmt::Display for EngineError {
             EngineError::SubsetCountMismatch { stages, subsets } => {
                 write!(f, "plan has {stages} stages but {subsets} device subsets were supplied")
             }
+            EngineError::OversizedCoPartition { partition, bytes, budget } => write!(
+                f,
+                "co-partition {partition} needs {bytes} bytes > GPU budget {budget} \
+                 (skewed key?)"
+            ),
+            EngineError::CoPartitionFanoutExceeded { required_bits, max_bits } => write!(
+                f,
+                "co-partitioning needs 2^{required_bits} fanout but the CPU tops out \
+                 at 2^{max_bits}"
+            ),
+            EngineError::InvalidCoProcessStage { table } => {
+                write!(f, "co-processing stage must end in a probe of hash table {table:?}")
+            }
         }
     }
 }
@@ -213,6 +254,35 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::InvalidPlan(e) => Some(e),
             _ => None,
+        }
+    }
+}
+
+impl From<hape_join::coprocess::CoprocessError> for EngineError {
+    /// Surface a co-processing join failure as the engine's typed
+    /// vocabulary: capacity/skew failures keep their detail, device-shape
+    /// failures map onto the existing worker/device variants.
+    fn from(e: hape_join::coprocess::CoprocessError) -> Self {
+        use hape_join::coprocess::CoprocessError as CE;
+        match e {
+            CE::OversizedCoPartition { partition, bytes, budget } => {
+                EngineError::OversizedCoPartition { partition, bytes, budget }
+            }
+            CE::NoGpus => {
+                EngineError::NoWorkers { placement: "co-process (no GPUs)".to_string() }
+            }
+            CE::NoCpus => {
+                EngineError::NoWorkers { placement: "co-process (no CPUs)".to_string() }
+            }
+            CE::UnknownGpu { gpu } => {
+                EngineError::DeviceNotPresent { device: format!("gpu{gpu}") }
+            }
+            CE::MissingLink { gpu } => {
+                EngineError::DeviceNotPresent { device: format!("pcie{gpu}") }
+            }
+            CE::FanoutExceeded { required_bits, max_bits } => {
+                EngineError::CoPartitionFanoutExceeded { required_bits, max_bits }
+            }
         }
     }
 }

@@ -28,6 +28,11 @@
 //! candidate device subsets per stage, prunes the ones whose estimated
 //! GPU hash-table footprint exceeds device capacity (the paper's §6.4
 //! constraint), and places each stage on its minimum-makespan subset.
+//! When a stream's tables overflow *every* GPU, the optimizer can flip
+//! the stage's probe execution mode ([`plan::ProbeExec`]) to the §5
+//! intra-operator co-processing join — CPU co-partitioning feeding
+//! single-pass per-GPU radix joins ([`place::PlacedStage::CoProcess`]) —
+//! instead of retreating to CPU-only execution.
 //!
 //! ## Quickstart: lower → optimize → place → run
 //!
@@ -97,13 +102,13 @@ pub mod session;
 pub mod traits;
 
 pub use catalog::Catalog;
-pub use cost::{CostModel, PlanCost, StageCost};
+pub use cost::{CoprocessCost, CostModel, PlanCost, StageCost};
 pub use engine::{Engine, ExecConfig, ParsePlacementError, Placement, QueryReport};
 pub use error::{EngineError, HapeError, PlanError};
 pub use exchange::{Exchange, RoutingPolicy, WorkerId};
 pub use optimize::optimize;
 pub use place::{place, place_on, PlacedPlan, PlacedStage, Segment};
-pub use plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};
+pub use plan::{JoinAlgo, PipeOp, Pipeline, ProbeExec, QueryPlan, Stage};
 pub use provider::DeviceProvider;
 pub use query::{LoweredMaterialize, LoweredQuery, Query};
 pub use session::Session;

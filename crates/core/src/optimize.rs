@@ -101,6 +101,12 @@ pub fn optimize(
     let mut hts = HtEstimates::new();
     let mut subsets: Vec<Vec<DeviceId>> = Vec::with_capacity(plan.stages.len());
     let mut costs: Vec<StageCost> = Vec::with_capacity(plan.stages.len());
+    // Per-stage co-processing decision: `Some((ht, gpus))` when the stage
+    // places as a `PlacedStage::CoProcess` after the trait pass runs.
+    let mut coprocess: Vec<Option<(String, Vec<DeviceId>)>> =
+        Vec::with_capacity(plan.stages.len());
+    let cpus: Vec<DeviceId> = pool.iter().copied().filter(|d| !d.is_gpu()).collect();
+    let gpus: Vec<DeviceId> = pool.iter().copied().filter(|d| d.is_gpu()).collect();
     for stage in &plan.stages {
         let (pipeline, is_build) = match stage {
             Stage::Build { pipeline, .. } => (pipeline, true),
@@ -111,6 +117,7 @@ pub fn optimize(
         let est = model.estimate_pipeline(pipeline, &hts)?;
         let mut best: Option<StageCost> = None;
         let mut over_capacity: Option<(u64, u64)> = None;
+        let mut gpu_subset_fits = false;
         for subset in &candidates {
             let cost = model.stage_cost(&est, subset, is_build)?;
             if !cost.fits_gpu_memory() {
@@ -120,8 +127,21 @@ pub fn optimize(
                 }
                 continue;
             }
+            gpu_subset_fits |= subset.iter().any(|d| d.is_gpu());
             if best.as_ref().is_none_or(|b| cost.total_seconds() < b.total_seconds()) {
                 best = Some(cost);
+            }
+        }
+        // The §5 co-processing arm: when the stream's probed tables
+        // overflow *every* GPU (all GPU-bearing subsets were pruned), the
+        // choice is no longer "CPUs or nothing" — CPU-side co-partitioning
+        // can feed single-pass GPU joins of the stage's final probe.
+        // Priced like any other candidate; the cheaper mode wins.
+        if !is_build && !gpu_subset_fits && over_capacity.is_some() {
+            if let Some(cost) = model.coprocess_cost(&est, &cpus, &gpus)? {
+                if best.as_ref().is_none_or(|b| cost.total_seconds() < b.total_seconds()) {
+                    best = Some(cost);
+                }
             }
         }
         let chosen = match best {
@@ -135,10 +155,27 @@ pub fn optimize(
         if let Stage::Build { name, .. } = stage {
             hts.insert(name.clone(), est.table_estimate());
         }
-        subsets.push(chosen.devices.clone());
+        match &chosen.coprocess {
+            Some(cp) => {
+                // The trait pass places the CPU side; the GPU lanes ride
+                // the stage rewrite below.
+                subsets.push(cpus.clone());
+                coprocess.push(Some((cp.ht.clone(), gpus.clone())));
+            }
+            None => {
+                subsets.push(chosen.devices.clone());
+                coprocess.push(None);
+            }
+        }
         costs.push(chosen);
     }
     let mut placed = place_on(plan, cfg, server, &subsets)?;
+    for (i, cp) in coprocess.into_iter().enumerate() {
+        if let Some((ht, lanes)) = cp {
+            let stage = placed.stages[i].clone();
+            placed.stages[i] = crate::place::into_coprocess_stage(stage, ht, lanes)?;
+        }
+    }
     placed.costs = Some(PlanCost { stages: costs });
     Ok(placed)
 }

@@ -20,7 +20,7 @@ use crate::cost::PlanCost;
 use crate::engine::{ExecConfig, Placement};
 use crate::error::EngineError;
 use crate::exchange::{Exchange, RoutingPolicy};
-use crate::plan::{PipeOp, Pipeline, QueryPlan, Stage};
+use crate::plan::{PipeOp, Pipeline, ProbeExec, QueryPlan, Stage};
 use crate::traits::{DeviceType, HetTraits, Packing};
 
 /// One pipeline segment placed on a concrete device.
@@ -81,24 +81,44 @@ pub enum PlacedStage {
         /// The placed segments, in router candidate order.
         segments: Vec<Segment>,
     },
+    /// Run the pipeline as an intra-operator co-processing stage (§5,
+    /// [`ProbeExec::CoProcess`]): the CPU segments execute the pipeline
+    /// prefix and co-partition the stream against the final probe's
+    /// oversized hash table; every co-partition pair makes a single PCIe
+    /// pass and joins on one of `gpus` — each priced and capacity-checked
+    /// against its own spec. The chosen aggregation then folds CPU-side.
+    CoProcess {
+        /// The aggregating pipeline (its final probe is co-processed).
+        pipeline: Pipeline,
+        /// The oversized hash table the co-processing join probes.
+        ht: String,
+        /// The stage-level router for the CPU prefix (absent when no
+        /// parallelism conversion is needed).
+        router: Option<Exchange>,
+        /// The CPU segments running the prefix and the co-partitioning.
+        segments: Vec<Segment>,
+        /// The GPUs receiving co-partition pairs for single-pass joins.
+        gpus: Vec<DeviceId>,
+    },
 }
 
 impl PlacedStage {
     /// The stage's pipeline.
     pub fn pipeline(&self) -> &Pipeline {
         match self {
-            PlacedStage::Build { pipeline, .. } | PlacedStage::Stream { pipeline, .. } => {
-                pipeline
-            }
+            PlacedStage::Build { pipeline, .. }
+            | PlacedStage::Stream { pipeline, .. }
+            | PlacedStage::CoProcess { pipeline, .. } => pipeline,
         }
     }
 
-    /// The stage's placed segments.
+    /// The stage's placed segments (for co-processing stages: the CPU
+    /// segments running the prefix; the GPU lanes are listed separately).
     pub fn segments(&self) -> &[Segment] {
         match self {
-            PlacedStage::Build { segments, .. } | PlacedStage::Stream { segments, .. } => {
-                segments
-            }
+            PlacedStage::Build { segments, .. }
+            | PlacedStage::Stream { segments, .. }
+            | PlacedStage::CoProcess { segments, .. } => segments,
         }
     }
 
@@ -106,9 +126,17 @@ impl PlacedStage {
     /// needed.
     pub fn router(&self) -> Option<&Exchange> {
         match self {
-            PlacedStage::Build { router, .. } | PlacedStage::Stream { router, .. } => {
-                router.as_ref()
-            }
+            PlacedStage::Build { router, .. }
+            | PlacedStage::Stream { router, .. }
+            | PlacedStage::CoProcess { router, .. } => router.as_ref(),
+        }
+    }
+
+    /// The probe execution mode this stage was placed under.
+    pub fn exec(&self) -> ProbeExec {
+        match self {
+            PlacedStage::CoProcess { ht, .. } => ProbeExec::CoProcess { ht: ht.clone() },
+            _ => ProbeExec::Broadcast,
         }
     }
 
@@ -277,6 +305,30 @@ pub fn place(
     place_on(plan, cfg, server, &subsets)
 }
 
+/// Rewrite a placed *stream* stage into a co-processing stage
+/// ([`PlacedStage::CoProcess`]): the existing (CPU) segments keep running
+/// the pipeline prefix, while `gpus` become the single-pass join lanes for
+/// the final probe of `ht`. This is the entry point the cost-based
+/// optimizer uses after [`place_on`] placed the stage's CPU side.
+///
+/// The stage must be a stream whose final probe targets `ht`, and its
+/// segments must all be CPU-side (the co-partitioning is CPU work);
+/// anything else is the typed [`EngineError::InvalidCoProcessStage`].
+pub fn into_coprocess_stage(
+    stage: PlacedStage,
+    ht: String,
+    gpus: Vec<DeviceId>,
+) -> Result<PlacedStage, EngineError> {
+    let PlacedStage::Stream { pipeline, router, segments } = stage else {
+        return Err(EngineError::InvalidCoProcessStage { table: ht });
+    };
+    let last_probes_ht = pipeline.last_probe().is_some_and(|(_, t)| t == ht);
+    if !last_probes_ht || segments.iter().any(|s| s.target.is_gpu()) || gpus.is_empty() {
+        return Err(EngineError::InvalidCoProcessStage { table: ht });
+    }
+    Ok(PlacedStage::CoProcess { pipeline, ht, router, segments, gpus })
+}
+
 /// Place each stage of `plan` on an explicit device subset — the entry
 /// point the cost-based optimizer drives, one subset per stage in stage
 /// order. A stage handed an empty subset is the typed
@@ -353,6 +405,9 @@ impl PlacedPlan {
                 PlacedStage::Stream { .. } => {
                     let _ = writeln!(out, "stage {i}: stream");
                 }
+                PlacedStage::CoProcess { .. } => {
+                    let _ = writeln!(out, "stage {i}: stream ({})", stage.exec());
+                }
             }
             let _ = writeln!(out, "  pipeline: {}", render_pipeline(pipeline));
             if let Some(router) = stage.router() {
@@ -369,6 +424,14 @@ impl PlacedPlan {
                     let _ = writeln!(out, "    {x}");
                 }
             }
+            if let PlacedStage::CoProcess { ht, gpus, .. } = stage {
+                let lanes: Vec<String> = gpus.iter().map(|g| g.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "  co-process: cpu co-partition {ht:?} -> single-pass join on {}",
+                    lanes.join(", "),
+                );
+            }
             if let Some(cost) = self.costs.as_ref().and_then(|c| c.stages.get(i)) {
                 let _ = writeln!(
                     out,
@@ -378,7 +441,21 @@ impl PlacedPlan {
                     fmt_ms(cost.broadcast_seconds),
                     fmt_ms(cost.d2h_seconds),
                 );
-                if let Some(cap) = cost.gpu_capacity {
+                if let Some(cp) = &cost.coprocess {
+                    let _ = writeln!(
+                        out,
+                        "  est: co-process cpu-partition {} (2^{} fanout) + gpu pass {}",
+                        fmt_ms(cp.cpu_partition_seconds),
+                        cp.cpu_bits,
+                        fmt_ms(cp.gpu_pass_seconds),
+                    );
+                    let _ = writeln!(
+                        out,
+                        "  est: co-partition pair {} B of {} B gpu budget",
+                        cp.per_partition_bytes,
+                        cost.gpu_capacity.unwrap_or(0),
+                    );
+                } else if let Some(cap) = cost.gpu_capacity {
                     let _ = writeln!(
                         out,
                         "  est: gpu hash tables {} B ({} B with working space) of {cap} B",
@@ -581,6 +658,43 @@ mod tests {
         for seg in placed.stages.last().unwrap().segments() {
             assert_eq!(seg.broadcast_moves().count(), 1, "{}", seg.target);
         }
+    }
+
+    #[test]
+    fn into_coprocess_rewrites_streams_and_rejects_everything_else() {
+        let plan = join_plan();
+        let server = Server::paper_testbed();
+        let placed = place(&plan, &ExecConfig::new(Placement::CpuOnly), &server).unwrap();
+        assert_eq!(placed.stages[0].exec(), ProbeExec::Broadcast);
+        // A build stage cannot co-process.
+        let err = into_coprocess_stage(
+            placed.stages[0].clone(),
+            "dim_ht".into(),
+            vec![DeviceId::Gpu(0)],
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidCoProcessStage { .. }), "{err}");
+        let stream = placed.stages[1].clone();
+        // The named table must be the stream's *final* probe.
+        let err = into_coprocess_stage(stream.clone(), "ghost".into(), vec![DeviceId::Gpu(0)])
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidCoProcessStage { .. }), "{err}");
+        // At least one GPU lane is required.
+        let err =
+            into_coprocess_stage(stream.clone(), "dim_ht".into(), Vec::new()).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidCoProcessStage { .. }), "{err}");
+        let cp = into_coprocess_stage(
+            stream,
+            "dim_ht".into(),
+            vec![DeviceId::Gpu(0), DeviceId::Gpu(1)],
+        )
+        .unwrap();
+        assert_eq!(cp.exec(), ProbeExec::CoProcess { ht: "dim_ht".into() });
+        assert!(cp.segments().iter().all(|s| !s.target.is_gpu()));
+        let PlacedStage::CoProcess { gpus, .. } = &cp else {
+            panic!("rewrite must produce a co-process stage")
+        };
+        assert_eq!(gpus.len(), 2);
     }
 
     #[test]

@@ -23,6 +23,40 @@ pub enum JoinAlgo {
     Partitioned,
 }
 
+/// How a stage executes its hash-table probes — the execution-mode
+/// vocabulary the cost-based optimizer chooses from and the placement
+/// layer renders. This is what turns the §5 co-processing join from a
+/// hand-written escape hatch into plan vocabulary: when a probed table
+/// exceeds every GPU's memory, the optimizer may flip the stage from
+/// [`ProbeExec::Broadcast`] to [`ProbeExec::CoProcess`] instead of
+/// silently degrading to CPU-only execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProbeExec {
+    /// Broadcast every probed table into each executing device's local
+    /// memory ahead of the stream (the default; requires the tables to
+    /// fit the device, §6.4).
+    Broadcast,
+    /// Intra-operator co-processing of the stage's *final* probe (§5):
+    /// the CPUs run the pipeline prefix, then co-partition the stream
+    /// against the named oversized table with a fanout just large enough
+    /// that each co-partition pair fits GPU memory; every pair makes a
+    /// single pass over PCIe and joins on a GPU with the
+    /// hardware-conscious radix join.
+    CoProcess {
+        /// The oversized probed hash table.
+        ht: String,
+    },
+}
+
+impl std::fmt::Display for ProbeExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeExec::Broadcast => write!(f, "broadcast"),
+            ProbeExec::CoProcess { ht } => write!(f, "co-process {ht:?}"),
+        }
+    }
+}
+
 /// One fused operator inside a pipeline.
 #[derive(Debug, Clone)]
 pub enum PipeOp {
@@ -102,6 +136,17 @@ impl Pipeline {
                 _ => None,
             })
             .collect()
+    }
+
+    /// The pipeline's final hash-table probe, as `(op index, table name)` —
+    /// the probe a [`ProbeExec::CoProcess`] stage executes as the §5
+    /// co-processing join (the preceding operators form the CPU-side
+    /// prefix).
+    pub fn last_probe(&self) -> Option<(usize, &str)> {
+        self.ops.iter().enumerate().rev().find_map(|(i, op)| match op {
+            PipeOp::JoinProbe { ht, .. } => Some((i, ht.as_str())),
+            _ => None,
+        })
     }
 }
 
@@ -308,6 +353,18 @@ mod tests {
         )
         .unwrap_err();
         assert_eq!(err, PlanError::NotExactlyOneStream { plan: "bad".into(), streams: 2 });
+    }
+
+    #[test]
+    fn last_probe_finds_the_final_join_and_probe_exec_displays() {
+        let p = Pipeline::scan("fact")
+            .filter(Expr::lt(Expr::col(0), Expr::LitI32(5)))
+            .join("a", 0, vec![], JoinAlgo::NonPartitioned)
+            .join("b", 0, vec![], JoinAlgo::NonPartitioned);
+        assert_eq!(p.last_probe(), Some((2, "b")));
+        assert_eq!(Pipeline::scan("t").last_probe(), None);
+        assert_eq!(ProbeExec::Broadcast.to_string(), "broadcast");
+        assert_eq!(ProbeExec::CoProcess { ht: "b".into() }.to_string(), "co-process \"b\"");
     }
 
     #[test]

@@ -164,6 +164,26 @@ pub fn probe_join(
     (out, avg_chain)
 }
 
+/// Assemble the joined batch from co-processing match pairs: the probe
+/// side's columns gathered by `probe_sel`, followed by the selected build
+/// payload columns gathered by `build_sel` — exactly the shape
+/// [`probe_join`] produces, so the pipeline operators downstream of a
+/// co-processed probe ([`crate::plan::ProbeExec::CoProcess`]) see the same
+/// physical layout either way.
+pub fn gather_matches(
+    probe: &Batch,
+    jt: &JoinTable,
+    probe_sel: &[u32],
+    build_sel: &[u32],
+    build_payload_cols: &[usize],
+) -> Batch {
+    let mut cols: Vec<Column> = probe.columns.iter().map(|c| c.take(probe_sel)).collect();
+    for &b in build_payload_cols {
+        cols.push(jt.batch.col(b).take(build_sel));
+    }
+    Batch { columns: cols, partition: probe.partition }
+}
+
 fn lookup_ht<'a>(tables: &'a TableStore, ht: &str) -> Result<&'a Arc<JoinTable>, EngineError> {
     tables.get(ht).ok_or_else(|| EngineError::HashTableNotBuilt { table: ht.to_string() })
 }

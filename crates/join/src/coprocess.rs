@@ -8,9 +8,15 @@
 //! hardware-conscious radix join, whose radix continues where the CPU's
 //! stopped. With several GPUs on dedicated links, co-partitions are
 //! load-balanced across them (Fig. 7's 1.7× scaling from a second GPU).
+//!
+//! The join is **heterogeneity-aware**: every selected GPU is priced and
+//! capacity-checked against *its own* spec, budget, link and kernel
+//! simulator ([`coprocess_join_on`]), so a server mixing GPU models (or
+//! links of different widths) schedules each co-partition onto the device
+//! where it finishes earliest — and never onto one it does not fit.
 
 use hape_sim::des::Resource;
-use hape_sim::spec::GpuSpec;
+use hape_sim::spec::CpuSpec;
 use hape_sim::topology::Server;
 use hape_sim::{Fidelity, GpuSim, SimTime};
 
@@ -19,6 +25,12 @@ use crate::cpu_radix::RadixPlan;
 use crate::gpu_radix::{gpu_radix_with_shift, BuildProbeVariant};
 use crate::partition::radix_partition;
 use hape_sim::CpuCostModel;
+
+/// Maximum CPU-side partition passes the co-partitioning may take. Each
+/// pass streams both inputs at near-DRAM bandwidth (§5's low-fanout
+/// argument); together with [`CpuSpec::max_partition_fanout`] this bounds
+/// the total fanout the planner may request.
+pub const COPROCESS_MAX_PASSES: u32 = 3;
 
 /// Configuration of a co-processing run.
 #[derive(Debug, Clone, Copy)]
@@ -50,18 +62,42 @@ impl Default for CoprocessConfig {
 /// Errors of the co-processing join.
 #[derive(Debug)]
 pub enum CoprocessError {
-    /// A single co-partition exceeds GPU memory even at maximum fanout —
-    /// the skew case the paper's single-pass guarantee excludes (§5).
+    /// A single co-partition exceeds every selected GPU's memory even at
+    /// maximum fanout — the skew case the paper's single-pass guarantee
+    /// excludes (§5).
     OversizedCoPartition {
         /// The offending partition index.
         partition: usize,
         /// Its size in bytes (both sides + working space).
         bytes: u64,
-        /// The GPU budget it had to fit in.
+        /// The largest GPU budget it had to fit in.
         budget: u64,
     },
-    /// No GPUs configured.
+    /// No GPUs configured (or none of the requested ids exist).
     NoGpus,
+    /// The co-partitioning needs CPUs, but the server has none.
+    NoCpus,
+    /// A selected GPU id is beyond the server's GPU list.
+    UnknownGpu {
+        /// The requested GPU index.
+        gpu: usize,
+    },
+    /// A selected GPU has no PCIe link in the server topology (the
+    /// topology lists fewer links than GPUs) — co-partitions could never
+    /// reach it.
+    MissingLink {
+        /// The link-less GPU index.
+        gpu: usize,
+    },
+    /// The inputs need a higher co-partitioning fanout than the CPU can
+    /// produce in [`COPROCESS_MAX_PASSES`] passes (each bounded by
+    /// [`CpuSpec::max_partition_fanout`]).
+    FanoutExceeded {
+        /// Radix bits the GPU budget demands.
+        required_bits: u32,
+        /// Radix bits the CPU can produce.
+        max_bits: u32,
+    },
 }
 
 impl std::fmt::Display for CoprocessError {
@@ -73,6 +109,20 @@ impl std::fmt::Display for CoprocessError {
                  (skewed key?)"
             ),
             CoprocessError::NoGpus => write!(f, "co-processing requires at least one GPU"),
+            CoprocessError::NoCpus => {
+                write!(f, "co-processing requires CPUs for the co-partitioning")
+            }
+            CoprocessError::UnknownGpu { gpu } => {
+                write!(f, "selected gpu{gpu} does not exist on this server")
+            }
+            CoprocessError::MissingLink { gpu } => {
+                write!(f, "selected gpu{gpu} has no PCIe link in the topology")
+            }
+            CoprocessError::FanoutExceeded { required_bits, max_bits } => write!(
+                f,
+                "co-partitioning needs 2^{required_bits} fanout but the CPU tops out at \
+                 2^{max_bits} in {COPROCESS_MAX_PASSES} passes"
+            ),
         }
     }
 }
@@ -90,51 +140,142 @@ pub struct CoprocessReport {
     pub transfer_busy: SimTime,
     /// Aggregate GPU busy time.
     pub gpu_busy: SimTime,
+    /// Host-to-device bytes moved (every co-partition pair crosses its
+    /// GPU's link exactly once — the single-pass guarantee).
+    pub h2d_bytes: u64,
+    /// When the *first* co-partition's join completed — the earliest
+    /// moment any match pairs exist (consumers overlapping with the join
+    /// cannot start before this).
+    pub first_join_done: SimTime,
     /// Number of co-partitions.
     pub co_partitions: usize,
     /// CPU-side radix bits.
     pub cpu_bits: u32,
-    /// Per-GPU co-partition assignment counts.
+    /// Per-GPU co-partition assignment counts (indexed like the selected
+    /// GPU ids).
     pub per_gpu_assignments: Vec<usize>,
+}
+
+/// The fraction of a GPU's device memory the co-partitioning may plan
+/// against (the rest is working-space slack for tails/bookkeeping).
+const GPU_BUDGET_FRACTION: f64 = 0.9;
+
+/// A GPU's co-partition budget: the device memory available to one
+/// resident co-partition pair plus the join's double buffers.
+pub fn gpu_budget(dram_capacity: usize) -> u64 {
+    (dram_capacity as f64 * GPU_BUDGET_FRACTION) as u64
 }
 
 /// Pick the CPU-side fanout: the smallest power of two such that one
 /// co-partition pair plus the GPU join's double-buffered working space fits
-/// in GPU memory (§5: partitions "just small enough to fit in GPU-memory").
-pub fn plan_cpu_bits(r_bytes: u64, s_bytes: u64, gpu: &GpuSpec) -> u32 {
+/// in `budget` bytes of GPU memory (§5: partitions "just small enough to
+/// fit in GPU-memory").
+///
+/// The fanout is bounded by what `cpu` can produce in
+/// [`COPROCESS_MAX_PASSES`] passes of at most
+/// [`CpuSpec::max_partition_fanout`] each; inputs that would need more are
+/// the typed [`CoprocessError::FanoutExceeded`], surfaced at *planning*
+/// time instead of silently under-partitioning and failing later with a
+/// misleading skew error.
+pub fn plan_cpu_bits(
+    r_bytes: u64,
+    s_bytes: u64,
+    budget: u64,
+    cpu: &CpuSpec,
+) -> Result<u32, CoprocessError> {
     // gpu_radix allocates in+out buffers for both sides: 2×(r+s) per
     // co-partition, plus slack for tails/bookkeeping.
-    let budget = (gpu.dram_capacity as f64 * 0.9) as u64;
+    let max_pass_bits = cpu.max_partition_fanout().trailing_zeros().max(1);
+    let max_bits = max_pass_bits * COPROCESS_MAX_PASSES;
     let mut bits = 0u32;
-    while (2 * (r_bytes + s_bytes)) >> bits > budget {
+    while (2 * (r_bytes + s_bytes)) >> bits > budget.max(1) {
         bits += 1;
-        if bits >= 16 {
-            break;
+        if bits > max_bits {
+            return Err(CoprocessError::FanoutExceeded { required_bits: bits, max_bits });
         }
     }
     // At least 8 co-partitions: enough packets to pipeline transfers with
     // GPU execution and to load-balance across GPUs, while the fanout stays
     // far below the TLB bound (so the CPU side keeps its near-DRAM
     // throughput, §5).
-    bits.max(3)
+    Ok(bits.max(3))
 }
 
-/// Run the co-processing join on `server` (CPU-resident inputs).
+/// Run the co-processing join on `server` (CPU-resident inputs), using the
+/// first `cfg.n_gpus` GPUs. See [`coprocess_join_on`] for explicit device
+/// selection.
 pub fn coprocess_join(
     server: &Server,
     r: JoinInput<'_>,
     s: JoinInput<'_>,
     cfg: &CoprocessConfig,
 ) -> Result<CoprocessReport, CoprocessError> {
-    if cfg.n_gpus == 0 || server.gpus.is_empty() {
+    let ids: Vec<usize> = (0..cfg.n_gpus.min(server.gpus.len())).collect();
+    coprocess_join_on(server, &ids, r, s, cfg)
+}
+
+/// One selected GPU with its own spec-derived state: budget, link, kernel
+/// simulator and clocked resources — no device borrows another's spec.
+struct GpuLane {
+    budget: u64,
+    link: hape_sim::interconnect::Link,
+    gpu: Resource,
+    /// Index into the distinct-spec simulator list (GPUs sharing a spec
+    /// share per-partition join pricing, computed once).
+    sim_group: usize,
+}
+
+/// Run the co-processing join on an explicit GPU subset (`gpu_ids` index
+/// into `server.gpus`). Every GPU is validated, priced and
+/// capacity-checked against its own spec, budget and PCIe link.
+pub fn coprocess_join_on(
+    server: &Server,
+    gpu_ids: &[usize],
+    r: JoinInput<'_>,
+    s: JoinInput<'_>,
+    cfg: &CoprocessConfig,
+) -> Result<CoprocessReport, CoprocessError> {
+    if gpu_ids.is_empty() || server.gpus.is_empty() {
         return Err(CoprocessError::NoGpus);
     }
-    let n_gpus = cfg.n_gpus.min(server.gpus.len());
-    let gpu_spec = &server.gpus[0];
+    if server.cpus.is_empty() {
+        return Err(CoprocessError::NoCpus);
+    }
+    // ---- Validate the subset up front: every GPU must exist *and* have a
+    // PCIe link (a topology listing fewer links than GPUs is a typed
+    // error, not an out-of-bounds panic).
+    let mut sims: Vec<GpuSim> = Vec::new();
+    let mut lanes: Vec<GpuLane> = Vec::with_capacity(gpu_ids.len());
+    for &g in gpu_ids {
+        let spec = server.gpus.get(g).ok_or(CoprocessError::UnknownGpu { gpu: g })?;
+        let link = server.pcie.get(g).ok_or(CoprocessError::MissingLink { gpu: g })?;
+        let sim_group = match sims.iter().position(|s| s.spec() == spec) {
+            Some(i) => i,
+            None => {
+                sims.push(GpuSim::new(spec.clone(), cfg.fidelity));
+                sims.len() - 1
+            }
+        };
+        let mut link = link.clone();
+        link.reset();
+        lanes.push(GpuLane {
+            budget: gpu_budget(spec.dram_capacity),
+            link,
+            gpu: Resource::new(format!("gpu{g}")),
+            sim_group,
+        });
+    }
+    let min_budget = lanes.iter().map(|l| l.budget).min().unwrap_or(0);
+    let max_budget = lanes.iter().map(|l| l.budget).max().unwrap_or(0);
     let cpu_spec = &server.cpus[0];
 
-    // ---- Plan and execute the CPU-side co-partitioning.
-    let cpu_bits = plan_cpu_bits(r.bytes(), s.bytes(), gpu_spec);
+    // ---- Plan and execute the CPU-side co-partitioning. Prefer the
+    // fanout at which a co-partition fits *every* selected GPU (best load
+    // balance); if only a larger budget is reachable within the fanout
+    // bound, plan for it and let the per-partition routing skip the
+    // smaller devices.
+    let cpu_bits = plan_cpu_bits(r.bytes(), s.bytes(), min_budget, cpu_spec)
+        .or_else(|_| plan_cpu_bits(r.bytes(), s.bytes(), max_budget, cpu_spec))?;
     let max_pass_bits = cpu_spec.max_partition_fanout().trailing_zeros().max(1);
     let plan = {
         let mut pass_bits = Vec::new();
@@ -159,32 +300,27 @@ pub fn coprocess_join(
         t_cpu += model.partition_pass(r.len() as u64, 8, 1 << bits);
         t_cpu += model.partition_pass(s.len() as u64, 8, 1 << bits);
     }
-    let t_cpu = t_cpu / (cfg.cpu_workers as f64 * 0.92);
+    let t_cpu = t_cpu / (cfg.cpu_workers.max(1) as f64 * 0.92);
 
     // ---- Schedule co-partitions over GPUs (load-aware routing).
-    let budget = (gpu_spec.dram_capacity as f64 * 0.9) as u64;
-    let sim = GpuSim::new(gpu_spec.clone(), cfg.fidelity);
-    let mut links: Vec<_> = server
-        .pcie
-        .iter()
-        .take(n_gpus)
-        .map(|l| {
-            let mut l = l.clone();
-            l.reset();
-            l
-        })
-        .collect();
-    let mut gpus: Vec<Resource> =
-        (0..n_gpus).map(|g| Resource::new(format!("gpu{g}"))).collect();
-    let mut assignments = vec![0usize; n_gpus];
-
+    let mut assignments = vec![0usize; lanes.len()];
     let mut stats = JoinStats::default();
     let mut pairs = match cfg.mode {
         OutputMode::MatchIndices => Some((Vec::new(), Vec::new())),
         OutputMode::AggregateOnly => None,
     };
     let mut makespan = SimTime::ZERO;
-    let mut transfer_busy = SimTime::ZERO;
+    let mut first_join_done: Option<SimTime> = None;
+    let mut h2d_bytes = 0u64;
+    // Per-spec-group join-time estimate for the load-aware pick, seeded
+    // from the spec (single-pass radix join ≈ a few device-memory trips
+    // plus the launch overhead) and replaced by each observed join time —
+    // so the real join executes exactly once per co-partition, on the
+    // chosen lane's own simulator. Co-partitions are near-equal sized, so
+    // the previous partition's time is an accurate predictor; with
+    // homogeneous GPUs (one group) the estimate is identical for every
+    // lane and the pick reduces to the link/queue comparison.
+    let mut group_est: Vec<Option<SimTime>> = vec![None; sims.len()];
 
     for p in 0..fanout {
         let rpart = rp.part(p);
@@ -193,55 +329,80 @@ pub fn coprocess_join(
             continue;
         }
         let pair_bytes = rpart.bytes() + spart.bytes();
-        if 2 * pair_bytes > budget {
+        if 2 * pair_bytes > max_budget {
             return Err(CoprocessError::OversizedCoPartition {
                 partition: p,
                 bytes: 2 * pair_bytes,
-                budget,
+                budget: max_budget,
             });
         }
         // The co-partition becomes available as the CPU pass streams through
         // the data (pipelined production).
         let ready = t_cpu * ((p + 1) as f64 / fanout as f64);
 
-        // The in-GPU join (real work + simulated kernel time).
-        let join = gpu_radix_with_shift(&sim, rpart, spart, cpu_bits, cfg.variant, cfg.mode)
-            .map_err(|e| CoprocessError::OversizedCoPartition {
+        // Load-aware GPU choice among the devices the co-partition fits:
+        // earliest estimated completion wins, each lane priced with its
+        // own link and its own spec group's join-time estimate.
+        let mut best: Option<usize> = None;
+        let mut best_end: Option<SimTime> = None;
+        for (i, lane) in lanes.iter().enumerate() {
+            if 2 * pair_bytes > lane.budget {
+                continue;
+            }
+            let join_time = group_est[lane.sim_group].unwrap_or_else(|| {
+                let spec = sims[lane.sim_group].spec();
+                SimTime::from_ns(
+                    4.0 * pair_bytes as f64 / spec.dram_bw * 1e9 + spec.launch_overhead_ns,
+                )
+            });
+            let t_start = lane.link.free_at().max(ready);
+            let t_arrive = t_start + lane.link.duration(pair_bytes);
+            let end = lane.gpu.free_at().max(t_arrive) + join_time;
+            if best_end.is_none_or(|b| end < b) {
+                best_end = Some(end);
+                best = Some(i);
+            }
+        }
+        let Some(best) = best else {
+            return Err(CoprocessError::OversizedCoPartition {
+                partition: p,
+                bytes: 2 * pair_bytes,
+                budget: max_budget,
+            });
+        };
+        // The in-GPU join, once, on the chosen lane's own simulator.
+        let group = lanes[best].sim_group;
+        let join =
+            gpu_radix_with_shift(&sims[group], rpart, spart, cpu_bits, cfg.variant, cfg.mode)
+                .map_err(|e| CoprocessError::OversizedCoPartition {
                 partition: p,
                 bytes: e.requested,
                 budget: e.available,
             })?;
+        group_est[group] = Some(join.time);
         stats.merge(&join.stats);
         if let (Some((pr, ps)), Some((jr, js))) = (pairs.as_mut(), join.pairs.as_ref()) {
             pr.extend_from_slice(jr);
             ps.extend_from_slice(js);
         }
-
-        // Load-aware GPU choice: earliest completion wins.
-        let mut best = 0usize;
-        let mut best_end: Option<SimTime> = None;
-        for g in 0..n_gpus {
-            let t_start = links[g].free_at().max(ready);
-            let t_arrive = t_start + links[g].duration(pair_bytes);
-            let end = gpus[g].free_at().max(t_arrive) + join.time;
-            if best_end.is_none_or(|b| end < b) {
-                best_end = Some(end);
-                best = g;
-            }
-        }
-        let (_, arrived) = links[best].transfer(ready, pair_bytes);
-        let (_, done) = gpus[best].acquire(arrived, join.time);
+        let lane = &mut lanes[best];
+        let (_, arrived) = lane.link.transfer(ready, pair_bytes);
+        let (_, done) = lane.gpu.acquire(arrived, join.time);
         assignments[best] += 1;
+        h2d_bytes += pair_bytes;
         makespan = makespan.max(done);
+        first_join_done = Some(first_join_done.map_or(done, |f| f.min(done)));
     }
-    transfer_busy += links.iter().map(|l| l.busy_time()).sum::<SimTime>();
-    let gpu_busy = gpus.iter().map(|g| g.busy_time()).sum::<SimTime>();
+    let transfer_busy = lanes.iter().map(|l| l.link.busy_time()).sum::<SimTime>();
+    let gpu_busy = lanes.iter().map(|l| l.gpu.busy_time()).sum::<SimTime>();
 
     Ok(CoprocessReport {
         outcome: JoinOutcome { stats, pairs, time: makespan },
         cpu_partition_time: t_cpu,
         transfer_busy,
         gpu_busy,
+        h2d_bytes,
+        first_join_done: first_join_done.unwrap_or(SimTime::ZERO),
         co_partitions: fanout,
         cpu_bits,
         per_gpu_assignments: assignments,
@@ -252,6 +413,7 @@ pub fn coprocess_join(
 mod tests {
     use super::*;
     use crate::common::reference_join;
+    use hape_sim::spec::GpuSpec;
     use hape_storage::datagen::{gen_unique_keys, gen_zipf_i32};
 
     fn small_gpu_server(capacity_factor: f64) -> Server {
@@ -275,6 +437,7 @@ mod tests {
         assert_eq!(rep.outcome.stats, reference.stats);
         assert_eq!(rep.outcome.sorted_pairs(), reference.sorted_pairs());
         assert!(rep.co_partitions > 1, "expected real co-partitioning");
+        assert!(rep.h2d_bytes > 0, "co-partitions must cross PCIe");
     }
 
     #[test]
@@ -327,9 +490,120 @@ mod tests {
     #[test]
     fn fanout_planning_fits_budget() {
         let gpu = GpuSpec::gtx_1080();
-        let bits = plan_cpu_bits(16 << 30, 16 << 30, &gpu);
+        let cpu = CpuSpec::xeon_e5_2650l_v3();
+        let budget = gpu_budget(gpu.dram_capacity);
+        let bits = plan_cpu_bits(16 << 30, 16 << 30, budget, &cpu).unwrap();
         // 2*(32GB) >> bits <= 0.9*8GB  →  bits >= 4.
         assert!(bits >= 4);
-        assert!(((2u64 * 32) << 30) >> bits <= (gpu.dram_capacity as f64 * 0.9) as u64);
+        assert!(((2u64 * 32) << 30) >> bits <= budget);
+    }
+
+    #[test]
+    fn fanout_planning_goes_beyond_the_old_16_bit_break() {
+        // A budget small enough to need a ~18-bit fanout: the old code
+        // silently broke out at 16 bits, under-partitioned, and failed
+        // later with a skew error; the fanout now follows the CPU spec.
+        let cpu = CpuSpec::xeon_e5_2650l_v3();
+        let max_pass_bits = cpu.max_partition_fanout().trailing_zeros().max(1);
+        assert!(
+            max_pass_bits * COPROCESS_MAX_PASSES > 16,
+            "spec-derived bound must exceed the old hard-coded 16"
+        );
+        let total: u64 = 1 << 40; // 1 TiB of input
+        let budget: u64 = 8 << 20; // 8 MiB per co-partition
+        let bits = plan_cpu_bits(total / 2, total / 2, budget, &cpu).unwrap();
+        assert!(bits > 16, "needed {bits} bits");
+        assert!((2 * total) >> bits <= budget);
+        // Past the spec bound the planner errs out, typed.
+        let err = plan_cpu_bits(total / 2, total / 2, 16, &cpu).unwrap_err();
+        assert!(matches!(err, CoprocessError::FanoutExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn missing_pcie_link_is_a_typed_error_not_a_panic() {
+        let n = 1 << 12;
+        let rk = gen_unique_keys(n, 77);
+        let rv = vec![1u32; n];
+        let r = JoinInput::new(&rk, &rv);
+        // Two GPUs, one PCIe link: the old code indexed links[1] out of
+        // bounds mid-schedule.
+        let mut server = small_gpu_server(1.0 / 65536.0);
+        server.pcie.truncate(1);
+        let err =
+            coprocess_join(&server, r, r, &CoprocessConfig { n_gpus: 2, ..Default::default() })
+                .unwrap_err();
+        assert!(matches!(err, CoprocessError::MissingLink { gpu: 1 }), "{err}");
+    }
+
+    #[test]
+    fn unknown_gpu_and_empty_servers_are_typed() {
+        let n = 1 << 10;
+        let rk = gen_unique_keys(n, 78);
+        let rv = vec![1u32; n];
+        let r = JoinInput::new(&rk, &rv);
+        let server = small_gpu_server(1.0 / 65536.0);
+        let err =
+            coprocess_join_on(&server, &[7], r, r, &CoprocessConfig::default()).unwrap_err();
+        assert!(matches!(err, CoprocessError::UnknownGpu { gpu: 7 }), "{err}");
+        let mut no_cpus = small_gpu_server(1.0 / 65536.0);
+        no_cpus.cpus.clear();
+        let err = coprocess_join(&no_cpus, r, r, &CoprocessConfig::default()).unwrap_err();
+        assert!(matches!(err, CoprocessError::NoCpus), "{err}");
+        let err =
+            coprocess_join_on(&server, &[], r, r, &CoprocessConfig::default()).unwrap_err();
+        assert!(matches!(err, CoprocessError::NoGpus), "{err}");
+    }
+
+    #[test]
+    fn heterogeneous_gpus_match_reference_and_respect_budgets() {
+        let n = 1 << 14;
+        let rk = gen_unique_keys(n, 81);
+        let sk = gen_unique_keys(n, 82);
+        let rv: Vec<u32> = (0..n as u32).collect();
+        let sv: Vec<u32> = (0..n as u32).map(|i| i + 9).collect();
+        let r = JoinInput::new(&rk, &rv);
+        let s = JoinInput::new(&sk, &sv);
+        // GPU 1 has half GPU 0's memory and a slower link.
+        let mut server = small_gpu_server(1.0 / 8192.0);
+        server.gpus[1].dram_capacity /= 2;
+        server.pcie[1].bw /= 4.0;
+        let cfg =
+            CoprocessConfig { n_gpus: 2, mode: OutputMode::MatchIndices, ..Default::default() };
+        let rep = coprocess_join(&server, r, s, &cfg).unwrap();
+        let reference = reference_join(r, s);
+        assert_eq!(rep.outcome.stats, reference.stats);
+        assert_eq!(rep.outcome.sorted_pairs(), reference.sorted_pairs());
+        // Planned for the *smaller* budget, so both devices stay usable —
+        // and the faster link still attracts more co-partitions.
+        let small_budget = gpu_budget(server.gpus[1].dram_capacity);
+        let max_pair = (2 * (r.bytes() + s.bytes())) >> rep.cpu_bits;
+        assert!(
+            max_pair <= small_budget,
+            "per-partition {max_pair} B exceeds the small GPU's {small_budget} B"
+        );
+        assert!(
+            rep.per_gpu_assignments.iter().all(|&a| a > 0),
+            "{:?}",
+            rep.per_gpu_assignments
+        );
+    }
+
+    #[test]
+    fn tiny_second_gpu_is_skipped_not_overcommitted() {
+        let n = 1 << 14;
+        let rk = gen_unique_keys(n, 83);
+        let rv = vec![1u32; n];
+        let r = JoinInput::new(&rk, &rv);
+        // GPU 1 is so small that min-budget planning would exceed the
+        // fanout bound; the planner falls back to GPU 0's budget and the
+        // routing never assigns GPU 1 a partition it cannot hold.
+        let mut server = small_gpu_server(1.0 / 65536.0);
+        server.gpus[1].dram_capacity = 16;
+        let cfg = CoprocessConfig { n_gpus: 2, ..Default::default() };
+        let rep = coprocess_join(&server, r, r, &cfg).unwrap();
+        let reference = reference_join(r, r);
+        assert_eq!(rep.outcome.stats, reference.stats);
+        assert_eq!(rep.per_gpu_assignments[1], 0, "{:?}", rep.per_gpu_assignments);
+        assert!(rep.per_gpu_assignments[0] > 0);
     }
 }

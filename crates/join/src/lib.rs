@@ -33,7 +33,10 @@ pub mod gpu_radix;
 pub mod partition;
 
 pub use common::{hash32, reference_join, JoinInput, JoinOutcome, JoinStats, OutputMode};
-pub use coprocess::{coprocess_join, CoprocessConfig, CoprocessReport};
+pub use coprocess::{
+    coprocess_join, coprocess_join_on, gpu_budget, plan_cpu_bits, CoprocessConfig,
+    CoprocessError, CoprocessReport,
+};
 pub use cpu_npj::cpu_npj;
 pub use cpu_radix::{cpu_radix, plan_radix_cpu, RadixPlan};
 pub use gpu_npj::gpu_npj;

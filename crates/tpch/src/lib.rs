@@ -16,9 +16,7 @@ pub mod reference;
 
 pub use dates::{date, Date};
 pub use gen::{generate, TpchData};
-pub use queries::{
-    base_catalog, q1_query, q5_query, q6_query, q9_query, run_q9_hybrid, Q9HybridReport,
-};
+pub use queries::{base_catalog, q1_query, q5_query, q6_query, q9_query};
 pub use reference::{q1_reference, q5_reference, q6_reference, q9_reference};
 
 /// Commonly used items.

@@ -10,18 +10,17 @@
 //! and transfer costs are charged on exactly the touched bytes — what the
 //! old hand-maintained `prepare_catalog` projections did manually).
 //!
-//! [`run_q9_hybrid`] implements the paper's hybrid Q9: the plan's hash
-//! tables exceed GPU memory, so the heavy lineitem⋈orders join runs as the
-//! §5 co-processing join while the CPU materialises the lineitem-side
-//! intermediate — "the cornerstone for evaluating Q9".
+//! The paper's hybrid Q9 — hash tables exceed GPU memory, so the heavy
+//! lineitem⋈orders join runs as the §5 co-processing join while the CPU
+//! materialises the lineitem-side intermediate ("the cornerstone for
+//! evaluating Q9") — no longer needs a hand-written runner: the cost-based
+//! optimizer plans it as a first-class co-processing stage. Execute
+//! [`q9_query`] under `Placement::Auto` and the placed plan carries a
+//! `PlacedStage::CoProcess` the engine drives through its device
+//! providers.
 
-use hape_core::error::HapeError;
-use hape_core::plan::Stage;
-use hape_core::provider::TableStore;
-use hape_core::{Catalog, Engine, JoinAlgo, Query};
-use hape_join::{coprocess_join, CoprocessConfig, JoinInput, OutputMode};
-use hape_ops::{col, lit, AggFunc, GroupKey};
-use hape_sim::{CpuCostModel, SimTime};
+use hape_core::{Catalog, JoinAlgo, Query};
+use hape_ops::{col, lit, AggFunc};
 
 use crate::dates::date;
 use crate::gen::TpchData;
@@ -125,120 +124,9 @@ pub fn q9_query(algo: JoinAlgo) -> Query {
         )])
 }
 
-/// Suppliers with their nation name attached — shared by Q9 and its hybrid
-/// runner.
+/// Suppliers with their nation name attached — Q9's build side.
 fn q9_suppliers(algo: JoinAlgo) -> Query {
     Query::scan("supplier").join(Query::scan("nation"), "s_nationkey", "n_nationkey", algo)
-}
-
-/// Result of the hybrid Q9 run.
-#[derive(Debug, Clone)]
-pub struct Q9HybridReport {
-    /// Aggregated rows, same shape as the engine's Q9 output.
-    pub rows: Vec<(GroupKey, Vec<f64>)>,
-    /// End-to-end simulated time.
-    pub time: SimTime,
-    /// Time of the CPU-side intermediate materialisation.
-    pub intermediate_time: SimTime,
-    /// Time of the co-processed lineitem⋈orders join.
-    pub coprocess_time: SimTime,
-}
-
-/// Run Q9 in hybrid mode: the plan's hash tables exceed GPU memory
-/// (GPU-only fails — §6.4), so the engine materialises the lineitem-side
-/// intermediate on the CPUs and runs the big intermediate⋈orders join as
-/// the §5 co-processing join across all GPUs.
-pub fn run_q9_hybrid(
-    engine: &Engine,
-    catalog: &Catalog,
-    data: &TpchData,
-) -> Result<Q9HybridReport, HapeError> {
-    // Materialise lineitem ⋈ partsupp ⋈ (supplier ⋈ nation) on the CPUs,
-    // keeping the columns the final aggregation and the co-processed join
-    // consume.
-    let algo = JoinAlgo::NonPartitioned;
-    let inter_query = Query::new("Q9.intermediate")
-        .from_table("lineitem")
-        .join(Query::scan("partsupp"), "l_pskey", "ps_pskey", algo)
-        .join(q9_suppliers(algo), "l_suppkey", "s_suppkey", algo);
-    let lowered = inter_query.lower_materialize(
-        catalog,
-        &[
-            "l_orderkey",
-            "l_quantity",
-            "l_extendedprice",
-            "l_discount",
-            "ps_supplycost",
-            "n_name",
-        ],
-    )?;
-
-    // CPU-side builds for the small hash tables, in dependency order.
-    let mut tables = TableStore::new();
-    let mut clock = SimTime::ZERO;
-    for stage in &lowered.builds {
-        let Stage::Build { name, key_col, pipeline } = stage else {
-            continue;
-        };
-        let (jt, end, _) =
-            engine.build_join_table(&lowered.catalog, pipeline, *key_col, &tables, clock)?;
-        tables.insert(name.clone(), jt);
-        clock = end;
-    }
-    let (inter, inter_end, _) =
-        engine.materialize_cpu(&lowered.catalog, &lowered.pipeline, &tables, clock)?;
-    let intermediate_time = inter_end;
-
-    // Co-processed join: intermediate ⋈ orders on o_orderkey.
-    let inter_keys: Vec<i32> = inter.col(lowered.index_of("l_orderkey")?).as_i32().to_vec();
-    let inter_vals: Vec<u32> = (0..inter.rows() as u32).collect();
-    let order_keys: Vec<i32> = data.orders.column("o_orderkey").as_i32().to_vec();
-    let order_vals: Vec<u32> = (0..order_keys.len() as u32).collect();
-    let cfg = CoprocessConfig {
-        n_gpus: engine.server.gpus.len().max(1),
-        cpu_workers: engine.server.total_cpu_cores(),
-        mode: OutputMode::MatchIndices,
-        ..Default::default()
-    };
-    let cop = coprocess_join(
-        &engine.server,
-        JoinInput::new(&order_keys, &order_vals),
-        JoinInput::new(&inter_keys, &inter_vals),
-        &cfg,
-    )
-    // TPC-H order keys are near-unique: the skew guard cannot trip.
-    .expect("co-processing join failed");
-    let coprocess_time = cop.outcome.time;
-
-    // Final aggregation over the match pairs (CPU side, trivially cheap
-    // relative to the join), addressing the intermediate by column name.
-    let (order_rows, inter_rows) = cop.outcome.pairs.as_ref().expect("match indices");
-    let o_year = data.orders.column("o_year").as_i32();
-    let qty = inter.col(lowered.index_of("l_quantity")?).as_i32();
-    let price = inter.col(lowered.index_of("l_extendedprice")?).as_f64();
-    let disc = inter.col(lowered.index_of("l_discount")?).as_f64();
-    let cost = inter.col(lowered.index_of("ps_supplycost")?).as_f64();
-    let names = inter.col(lowered.index_of("n_name")?).as_codes();
-    let mut groups: std::collections::HashMap<GroupKey, f64> = std::collections::HashMap::new();
-    for (&o, &i) in order_rows.iter().zip(inter_rows) {
-        let (o, i) = (o as usize, i as usize);
-        let amount = price[i] * (1.0 - disc[i]) - cost[i] * qty[i] as f64;
-        let key: GroupKey = [names[i] as i64, o_year[o] as i64, 0, 0];
-        *groups.entry(key).or_insert(0.0) += amount;
-    }
-    let mut rows: Vec<(GroupKey, Vec<f64>)> =
-        groups.into_iter().map(|(k, v)| (k, vec![v])).collect();
-    rows.sort_by_key(|a| a.0);
-    let model = CpuCostModel::new(engine.server.cpus[0].clone(), engine.server.cpus[0].cores);
-    let agg_time = model.random_accesses(order_rows.len() as u64, 1 << 16)
-        / (engine.server.total_cpu_cores() as f64 * 0.9);
-
-    Ok(Q9HybridReport {
-        rows,
-        time: inter_end + coprocess_time + agg_time,
-        intermediate_time,
-        coprocess_time,
-    })
 }
 
 #[cfg(test)]
@@ -246,7 +134,7 @@ mod tests {
     use super::*;
     use crate::gen::generate;
     use crate::reference;
-    use hape_core::{ExecConfig, Placement};
+    use hape_core::{Engine, ExecConfig, Placement};
     use hape_sim::topology::Server;
 
     #[test]
@@ -373,7 +261,7 @@ mod tests {
     }
 
     #[test]
-    fn q9_matches_reference_and_hybrid_agrees() {
+    fn q9_matches_reference_on_cpu_and_under_auto() {
         let data = generate(0.002, 14);
         let catalog = base_catalog(&data);
         let engine = Engine::new(Server::paper_testbed());
@@ -382,11 +270,14 @@ mod tests {
         let rep =
             engine.run(&q9.catalog, &q9.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
         assert!(reference::rows_approx_eq(&rep.rows, &reference));
-        let hybrid = run_q9_hybrid(&engine, &catalog, &data).unwrap();
+        // Auto replaces the old hand-written hybrid runner: whatever mode
+        // the optimizer picks on this (full-memory) server must agree.
+        let auto =
+            engine.run(&q9.catalog, &q9.plan, &ExecConfig::new(Placement::Auto)).unwrap();
         assert!(
-            reference::rows_approx_eq(&hybrid.rows, &reference),
+            reference::rows_approx_eq(&auto.rows, &reference),
             "{:?} vs {reference:?}",
-            hybrid.rows
+            auto.rows
         );
     }
 }

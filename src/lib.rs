@@ -80,6 +80,39 @@
 //! assert!(session.execute(&bad).is_err());
 //! ```
 //!
+//! ## Q9 under plain `Placement::Auto`
+//!
+//! The paper's hardest case — TPC-H Q9, whose hash tables exceed GPU
+//! memory (§6.4) — needs no special treatment: the manual GPU placements
+//! report the typed out-of-memory error, while the optimizer plans the
+//! stream as a first-class §5 **co-processing stage** (CPU co-partitioning
+//! feeding single-pass per-GPU radix joins) and the engine runs it to
+//! completion, faster than retreating to the CPUs:
+//!
+//! ```
+//! use hape::core::{ExecConfig, JoinAlgo, PlacedStage, Placement, Session};
+//! use hape::sim::topology::Server;
+//! use hape::tpch::queries::q9_query;
+//!
+//! let sf = 0.01; // GPU memory scales with SF: the capacity cliff holds
+//! let data = hape::tpch::generate(sf, 42);
+//! let mut session = Session::new(Server::tpch_scaled(sf));
+//! for t in [&data.lineitem, &data.orders, &data.customer, &data.supplier,
+//!           &data.partsupp, &data.nation, &data.region] {
+//!     session.register(t.clone());
+//! }
+//! let q9 = q9_query(JoinAlgo::NonPartitioned);
+//! let gpu_cfg = ExecConfig::new(Placement::GpuOnly);
+//! assert!(session.execute_with(&q9, &gpu_cfg).is_err(), "the §6.4 OOM");
+//!
+//! let auto_cfg = ExecConfig::new(Placement::Auto);
+//! let placed = session.place_with(&q9, &auto_cfg).unwrap();
+//! assert!(matches!(placed.stages.last(), Some(PlacedStage::CoProcess { .. })));
+//! let auto = session.execute_with(&q9, &auto_cfg).unwrap();
+//! let cpu = session.execute_with(&q9, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+//! assert!(auto.time < cpu.time, "co-processing beats the CPU retreat");
+//! ```
+//!
 //! The physical [`core::QueryPlan`]/[`core::Stage`]/[`core::Pipeline`]
 //! layer the session lowers into remains public — benchmarks and the
 //! baseline systems execute it directly under their own cost models — and

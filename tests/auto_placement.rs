@@ -12,11 +12,19 @@
 //!    worse than the best of the three manual placements.
 //! 4. **Explain snapshot**: Q5 under `Auto` renders the chosen subsets
 //!    with per-stage cost estimates.
+//! 5. **Co-processing regression** (the tentpole): Auto plans Q9's stream
+//!    as a first-class `PlacedStage::CoProcess`, beats the CPU-routed
+//!    placement, and is no slower than the deleted hand-written
+//!    `run_q9_hybrid` path (reconstructed here from the same public
+//!    pieces it was built on).
 
 use hape::core::engine::EngineError;
-use hape::core::{ExecConfig, HapeError, JoinAlgo, Placement, Query, Session};
+use hape::core::provider::TableStore;
+use hape::core::{ExecConfig, HapeError, JoinAlgo, PlacedStage, Placement, Query, Session};
+use hape::join::{coprocess_join, CoprocessConfig, JoinInput, OutputMode};
 use hape::ops::{col, AggFunc};
 use hape::sim::topology::Server;
+use hape::sim::SimTime;
 use hape::storage::datagen::gen_key_fk_table;
 use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query};
 use hape::tpch::reference::rows_approx_eq;
@@ -73,10 +81,19 @@ fn auto_never_overcommits_gpu_memory() {
                     cost.gpu_required,
                     cost.gpu_capacity
                 );
-                // The estimate is attached to the stage that actually
-                // placed on GPUs; CPU-only stages have no capacity bound.
-                let has_gpu = placed.stages[i].segments().iter().any(|s| s.target.is_gpu());
-                assert_eq!(cost.gpu_capacity.is_some(), has_gpu, "{ctx}: stage {i}");
+                // The estimate is attached to the stage that actually uses
+                // GPUs — broadcast segments or co-processing lanes; pure
+                // CPU stages have no capacity bound.
+                let uses_gpu = placed.stages[i].segments().iter().any(|s| s.target.is_gpu())
+                    || matches!(&placed.stages[i], PlacedStage::CoProcess { gpus, .. } if !gpus.is_empty());
+                assert_eq!(cost.gpu_capacity.is_some(), uses_gpu, "{ctx}: stage {i}");
+                // A co-processing stage co-partitions on the CPUs only.
+                if let PlacedStage::CoProcess { segments, .. } = &placed.stages[i] {
+                    assert!(
+                        segments.iter().all(|s| !s.target.is_gpu()),
+                        "{ctx}: stage {i} co-partitions on GPUs"
+                    );
+                }
             }
             let auto = session.execute(&q).unwrap_or_else(|e| panic!("{ctx}: {e}"));
             let cpu = session
@@ -109,7 +126,7 @@ fn auto_is_row_identical_to_cpu_reference_across_tpch() {
 }
 
 #[test]
-fn auto_completes_q9_where_manual_gpu_placements_oom() {
+fn auto_completes_q9_through_a_coprocess_stage() {
     let session = tpch_session();
     let q9 = q9_query(JoinAlgo::NonPartitioned);
     // The manual GPU placements reproduce the §6.4 failure…
@@ -121,17 +138,130 @@ fn auto_completes_q9_where_manual_gpu_placements_oom() {
             e => panic!("{placement:?}: unexpected error {e}"),
         }
     }
-    // …while the optimizer routes the stream stage onto the CPUs.
+    // …while the optimizer plans the §5 intra-operator co-processing
+    // stage: CPU segments co-partition the stream against the oversized
+    // orders table, the GPUs run single-pass joins.
     let placed = session.place_with(&q9, &ExecConfig::new(Placement::Auto)).unwrap();
     let stream = placed.stages.last().unwrap();
-    assert!(
-        stream.segments().iter().all(|s| !s.target.is_gpu()),
-        "Q9's stream must stay off the GPUs"
-    );
+    let PlacedStage::CoProcess { ht, segments, gpus, .. } = stream else {
+        panic!("Q9's stream must place as a co-process stage:\n{}", placed.render());
+    };
+    assert_eq!(ht, "Q9*.orders", "the oversized final probe is co-processed");
+    assert!(segments.iter().all(|s| !s.target.is_gpu()), "co-partitioning is CPU work");
+    assert_eq!(gpus.len(), 2, "both GPUs serve as single-pass join lanes");
+    let cost = &placed.costs.as_ref().unwrap().stages.last().unwrap();
+    let cp = cost.coprocess.as_ref().expect("co-process stages carry the §5 decomposition");
+    assert_eq!(cp.ht, "Q9*.orders");
+    assert!(cp.cpu_partition_seconds > 0.0 && cp.gpu_pass_seconds > 0.0);
+    // Explain renders the decision and its cost decomposition.
+    let text = session.explain_with(&q9, &ExecConfig::new(Placement::Auto)).unwrap();
+    assert!(text.contains("stream (co-process \"Q9*.orders\")"), "{text}");
+    assert!(text.contains("co-process: cpu co-partition \"Q9*.orders\""), "{text}");
+    assert!(text.contains("est: co-process cpu-partition"), "{text}");
+    // The co-processed run matches the CPU reference rows and beats the
+    // CPU-routed stream placement the old optimizer fell back to.
     let auto = session.execute_with(&q9, &ExecConfig::new(Placement::Auto)).unwrap();
     let cpu = session.execute_with(&q9, &ExecConfig::new(Placement::CpuOnly)).unwrap();
     assert!(rows_approx_eq(&auto.rows, &cpu.rows));
-    assert_eq!(auto.time, cpu.time, "Q9 Auto degenerates to the CPU placement");
+    assert!(
+        auto.time < cpu.time,
+        "co-processing {} must beat the CPU-routed stream {}",
+        auto.time,
+        cpu.time
+    );
+    assert!(auto.packets_gpu > 0, "co-partitions must reach the GPUs");
+    assert!(auto.h2d_bytes > 0, "co-partitions must cross PCIe");
+}
+
+/// The deleted `run_q9_hybrid` path, reconstructed from the same public
+/// pieces it was built on (explicit CPU materialisation + direct
+/// `coprocess_join`), as the makespan yardstick: the optimizer-planned
+/// co-processing stage must be no slower than the hand-written escape
+/// hatch it replaces.
+#[test]
+fn auto_q9_is_no_slower_than_the_old_hand_written_hybrid() {
+    use hape::core::plan::Stage;
+    use hape::sim::CpuCostModel;
+
+    let data = hape::tpch::generate(SF, 31337);
+    let catalog = hape::tpch::queries::base_catalog(&data);
+    let engine = hape::core::Engine::new(Server::tpch_scaled(SF));
+    let algo = JoinAlgo::NonPartitioned;
+
+    // ---- The pre-PR hand-written hybrid, verbatim: materialise the
+    // lineitem-side intermediate on the CPUs, co-process the big
+    // intermediate⋈orders join, charge the final fold analytically.
+    let inter_query = Query::new("Q9.intermediate")
+        .from_table("lineitem")
+        .join(Query::scan("partsupp"), "l_pskey", "ps_pskey", algo)
+        .join(
+            Query::scan("supplier").join(
+                Query::scan("nation"),
+                "s_nationkey",
+                "n_nationkey",
+                algo,
+            ),
+            "l_suppkey",
+            "s_suppkey",
+            algo,
+        );
+    let lowered = inter_query
+        .lower_materialize(
+            &catalog,
+            &[
+                "l_orderkey",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "ps_supplycost",
+                "n_name",
+            ],
+        )
+        .unwrap();
+    let mut tables = TableStore::new();
+    let mut clock = SimTime::ZERO;
+    for stage in &lowered.builds {
+        let Stage::Build { name, key_col, pipeline } = stage else { continue };
+        let (jt, end, _) = engine
+            .build_join_table(&lowered.catalog, pipeline, *key_col, &tables, clock)
+            .unwrap();
+        tables.insert(name.clone(), jt);
+        clock = end;
+    }
+    let (inter, inter_end, _) =
+        engine.materialize_cpu(&lowered.catalog, &lowered.pipeline, &tables, clock).unwrap();
+    let inter_keys: Vec<i32> =
+        inter.col(lowered.index_of("l_orderkey").unwrap()).as_i32().to_vec();
+    let inter_vals: Vec<u32> = (0..inter.rows() as u32).collect();
+    let order_keys: Vec<i32> = data.orders.column("o_orderkey").as_i32().to_vec();
+    let order_vals: Vec<u32> = (0..order_keys.len() as u32).collect();
+    let cfg = CoprocessConfig {
+        n_gpus: engine.server.gpus.len(),
+        cpu_workers: engine.server.total_cpu_cores(),
+        mode: OutputMode::MatchIndices,
+        ..Default::default()
+    };
+    let cop = coprocess_join(
+        &engine.server,
+        JoinInput::new(&order_keys, &order_vals),
+        JoinInput::new(&inter_keys, &inter_vals),
+        &cfg,
+    )
+    .unwrap();
+    let model = CpuCostModel::new(engine.server.cpus[0].clone(), engine.server.cpus[0].cores);
+    let agg_time = model.random_accesses(cop.outcome.stats.matches, 1 << 16)
+        / (engine.server.total_cpu_cores() as f64 * 0.9);
+    let old_hybrid = inter_end + cop.outcome.time + agg_time;
+
+    // ---- The optimizer-planned co-processing stage.
+    let q9 = q9_query(algo).lower(&catalog).unwrap();
+    let auto = engine.run(&q9.catalog, &q9.plan, &ExecConfig::new(Placement::Auto)).unwrap();
+    assert!(
+        auto.time <= old_hybrid,
+        "Auto Q9 {} must be no slower than the old hand-written hybrid {}",
+        auto.time,
+        old_hybrid
+    );
 }
 
 #[test]

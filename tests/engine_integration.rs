@@ -7,9 +7,7 @@ use hape::baselines::{DbmsC, DbmsG};
 use hape::core::engine::EngineError;
 use hape::core::{Engine, ExecConfig, JoinAlgo, LoweredQuery, Placement};
 use hape::sim::topology::Server;
-use hape::tpch::queries::{
-    base_catalog, q1_query, q5_query, q6_query, q9_query, run_q9_hybrid,
-};
+use hape::tpch::queries::{base_catalog, q1_query, q5_query, q6_query, q9_query};
 use hape::tpch::reference::{
     q1_reference, q5_reference, q6_reference, q9_reference, rows_approx_eq,
 };
@@ -64,7 +62,7 @@ fn q5_partitioned_and_non_partitioned_agree() {
 }
 
 #[test]
-fn q9_gpu_only_oom_but_hybrid_coprocessing_succeeds() {
+fn q9_gpu_only_oom_but_auto_coprocessing_succeeds() {
     let (data, catalog, engine) = setup();
     let reference = q9_reference(&data);
     // GPU-only must fail with the capacity error (the paper's §6.4).
@@ -76,15 +74,18 @@ fn q9_gpu_only_oom_but_hybrid_coprocessing_succeeds() {
     let q9 = lower(q9_query(JoinAlgo::NonPartitioned), &catalog);
     let cpu = engine.run(&q9.catalog, &q9.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
     assert!(rows_approx_eq(&cpu.rows, &reference));
-    // Hybrid via intra-operator co-processing matches and beats CPU-only.
-    let hybrid = run_q9_hybrid(&engine, &catalog, &data).unwrap();
-    assert!(rows_approx_eq(&hybrid.rows, &reference));
+    // Auto plans the intra-operator co-processing stage (§5): it matches
+    // the reference and beats the CPU-routed stream — the old hand-written
+    // hybrid runner with no hand-writing left.
+    let auto = engine.run(&q9.catalog, &q9.plan, &ExecConfig::new(Placement::Auto)).unwrap();
+    assert!(rows_approx_eq(&auto.rows, &reference));
     assert!(
-        hybrid.time.as_secs() < cpu.time.as_secs(),
-        "hybrid {} !< cpu {}",
-        hybrid.time,
+        auto.time.as_secs() < cpu.time.as_secs(),
+        "co-processed auto {} !< cpu {}",
+        auto.time,
         cpu.time
     );
+    assert!(auto.packets_gpu > 0, "the co-processing stage must use the GPUs");
 }
 
 #[test]

@@ -6,7 +6,7 @@ use hape::core::error::{HapeError, PlanError};
 use hape::core::{ExecConfig, JoinAlgo, Placement, Query, Session};
 use hape::ops::{col, lit, AggFunc};
 use hape::sim::topology::Server;
-use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query, run_q9_hybrid};
+use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query};
 use hape::tpch::reference::{
     q1_reference, q5_reference, q6_reference, q9_reference, rows_approx_eq,
 };
@@ -47,8 +47,9 @@ fn tpch_queries_match_oracles_on_every_placement() {
             );
         }
     }
-    // Q9: CPU-only matches; GPU-only is the paper's documented OOM; hybrid
-    // goes through the co-processing fallback and matches too.
+    // Q9: CPU-only matches; GPU-only is the paper's documented OOM; Auto
+    // plans the §5 co-processing stage through the same front door and
+    // matches too — no hand-written fallback.
     let q9 = q9_query(JoinAlgo::NonPartitioned);
     let reference = q9_reference(&data);
     let cpu = session.execute_with(&q9, &ExecConfig::new(Placement::CpuOnly)).unwrap();
@@ -57,8 +58,8 @@ fn tpch_queries_match_oracles_on_every_placement() {
         session.execute_with(&q9, &ExecConfig::new(Placement::GpuOnly)),
         Err(HapeError::Engine(_))
     ));
-    let hybrid = run_q9_hybrid(session.engine(), session.catalog(), &data).unwrap();
-    assert!(rows_approx_eq(&hybrid.rows, &reference));
+    let auto = session.execute_with(&q9, &ExecConfig::new(Placement::Auto)).unwrap();
+    assert!(rows_approx_eq(&auto.rows, &reference));
 }
 
 #[test]
