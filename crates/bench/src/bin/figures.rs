@@ -1,8 +1,9 @@
-//! Regenerate the paper's figures.
+//! Regenerate the paper's figures and the wall-clock benchmark.
 //!
 //! ```text
 //! figures [fig5|fig6|fig7|fig8|fig9|all] [--full] [--smoke] [--sf <f64>]
-//!         [--placements <p,p,...>]
+//!         [--placements <p,p,...>] [--packet-rows <n>] [--threads <n,n,...>]
+//!         [--wall [--out <path>]]
 //! ```
 //!
 //! Default sizes are scaled down (see EXPERIMENTS.md); `--full` uses
@@ -12,9 +13,18 @@
 //!
 //! `--placements` selects the Proteus series of fig8 by name (`cpu`,
 //! `gpu`, `hybrid`, `auto` — `Placement`'s `FromStr`); `auto` plots the
-//! cost-based optimizer against the manual placements.
+//! cost-based optimizer against the manual placements. `--packet-rows`
+//! overrides the auto packet-sizing heuristic for sweeps; `--threads`
+//! pins the data-plane pool size (fig8 uses the first value).
+//!
+//! `--wall` runs the wall-clock TPC-H sweep instead of the figures: real
+//! `Instant`-measured elapsed per `(query, placement, threads)` next to
+//! the (thread-count-invariant) simulated makespan, written to
+//! `BENCH_tpch.json` (`--out` overrides the path). CI smoke invokes it so
+//! the perf trajectory has data points.
 
-use hape_bench::figures::{fig5, fig6, fig7, fig8_with, fig9, print_figure};
+use hape_bench::figures::{fig5, fig6, fig7, fig8_opts, fig9, print_figure};
+use hape_bench::wall::{bench_tpch, print_wall, write_json};
 use hape_core::Placement;
 
 /// The first positional argument, skipping flags *and their values*
@@ -26,7 +36,12 @@ fn positional(args: &[String]) -> Option<&String> {
             skip_value = false;
             continue;
         }
-        if a == "--sf" || a == "--placements" {
+        if a == "--sf"
+            || a == "--placements"
+            || a == "--packet-rows"
+            || a == "--threads"
+            || a == "--out"
+        {
             skip_value = true;
             continue;
         }
@@ -38,27 +53,24 @@ fn positional(args: &[String]) -> Option<&String> {
     None
 }
 
+/// The value following `flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let which = positional(&args).map(String::as_str).unwrap_or("all").to_string();
     let full = args.iter().any(|a| a == "--full");
     let smoke = args.iter().any(|a| a == "--smoke");
-    let sf = args
-        .iter()
-        .position(|a| a == "--sf")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(if full {
-            1.0
-        } else if smoke {
-            0.01
-        } else {
-            0.05
-        });
-    let placements: Vec<Placement> = args
-        .iter()
-        .position(|a| a == "--placements")
-        .and_then(|i| args.get(i + 1))
+    let sf = flag_value(&args, "--sf").and_then(|v| v.parse::<f64>().ok()).unwrap_or(if full {
+        1.0
+    } else if smoke {
+        0.01
+    } else {
+        0.05
+    });
+    let placements: Vec<Placement> = flag_value(&args, "--placements")
         .map(|list| {
             list.split(',')
                 .map(|p| p.parse::<Placement>().unwrap_or_else(|e| panic!("{e}")))
@@ -67,6 +79,37 @@ fn main() {
         .unwrap_or_else(|| {
             vec![Placement::CpuOnly, Placement::Hybrid, Placement::GpuOnly, Placement::Auto]
         });
+    let packet_rows = flag_value(&args, "--packet-rows").map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| panic!("--packet-rows expects a row count"))
+    });
+    // `--threads` as given; absent means "engine default" for the figure
+    // runs and the [1, max] comparison sweep for `--wall`.
+    let threads_flag: Option<Vec<usize>> = flag_value(&args, "--threads").map(|list| {
+        list.split(',')
+            .map(|t| {
+                t.parse::<usize>()
+                    .unwrap_or_else(|_| panic!("--threads expects a list like 1,8"))
+                    .max(1)
+            })
+            .collect()
+    });
+
+    if args.iter().any(|a| a == "--wall") {
+        let threads = threads_flag.unwrap_or_else(|| {
+            let max = std::thread::available_parallelism().map_or(1, |n| n.get());
+            if max > 1 {
+                vec![1, max]
+            } else {
+                vec![1]
+            }
+        });
+        let out = flag_value(&args, "--out").map(String::as_str).unwrap_or("BENCH_tpch.json");
+        let points = bench_tpch(sf, &placements, &threads, packet_rows);
+        print_wall(&points);
+        write_json(sf, &points, out).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        println!("wrote {out}");
+        return;
+    }
 
     let run = |id: &str| which == "all" || which == id;
 
@@ -103,7 +146,8 @@ fn main() {
         print_figure(&fig7(&sizes));
     }
     if run("fig8") {
-        print_figure(&fig8_with(sf, &placements));
+        let fig8_threads = threads_flag.as_ref().and_then(|t| t.first().copied());
+        print_figure(&fig8_opts(sf, &placements, packet_rows, fig8_threads));
     }
     if run("fig9") {
         print_figure(&fig9(sf));

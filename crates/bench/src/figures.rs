@@ -234,6 +234,21 @@ pub fn fig8(sf: f64) -> Figure {
 /// (§5) instead of retreating to the CPUs, with no hand-written fallback
 /// anywhere in the harness.
 pub fn fig8_with(sf: f64, placements: &[Placement]) -> Figure {
+    fig8_opts(sf, placements, None, None)
+}
+
+/// [`fig8_with`] with the execution knobs the CLI sweeps: an explicit
+/// packet size (`--packet-rows`, `None` = the auto heuristic in
+/// [`ExecConfig::auto_packet_rows`]) and a data-plane thread count
+/// (`--threads`, `None` = environment/host default). Both are wall-clock
+/// knobs for the Proteus series; simulated packet routing changes with
+/// packet size but never with threads.
+pub fn fig8_opts(
+    sf: f64,
+    placements: &[Placement],
+    packet_rows: Option<usize>,
+    threads: Option<usize>,
+) -> Figure {
     let data = hape_tpch::generate(sf, 420);
     let catalog = base_catalog(&data);
     let server = Server::tpch_scaled(sf);
@@ -261,10 +276,10 @@ pub fn fig8_with(sf: f64, placements: &[Placement]) -> Figure {
             // placements are missing bars, while Auto completes it through
             // the optimizer-planned co-processing stage — no special-cased
             // fallback here.
-            let t = engine
-                .run(&q.catalog, &q.plan, &ExecConfig::new(placement))
-                .ok()
-                .map(|rep| rep.time.as_secs());
+            let mut cfg = ExecConfig::new(placement);
+            cfg.packet_rows = packet_rows;
+            cfg.threads = threads;
+            let t = engine.run(&q.catalog, &q.plan, &cfg).ok().map(|rep| rep.time.as_secs());
             series[1 + si].points.push((x, t));
         }
         let last = series.len() - 1;

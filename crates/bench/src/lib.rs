@@ -7,13 +7,16 @@
 //! variants run at paper scale where memory permits.
 
 pub mod figures;
+pub mod wall;
 
 pub use figures::{
     fig5, fig6, fig7, fig8, fig9, print_figure, Figure, Series, FIG6_DEFAULT_SIZES,
     FIG7_DEFAULT_SIZES,
 };
+pub use wall::{bench_tpch, print_wall, write_json, WallPoint};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::figures::{fig5, fig6, fig7, fig8, fig9, print_figure};
+    pub use crate::wall::{bench_tpch, print_wall, write_json};
 }

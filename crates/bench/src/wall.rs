@@ -1,0 +1,286 @@
+//! Wall-clock measurement of the parallel data-plane runtime.
+//!
+//! The figure harness reports *simulated* time; this module measures the
+//! engine's *real* elapsed time per `(query, placement, threads)` cell with
+//! [`std::time::Instant`] — the repo's first actual performance trajectory.
+//! Each cell runs the same TPC-H plan under an [`ExecConfig`] whose
+//! `threads` pins the data-plane pool size; the control plane guarantees
+//! the simulated makespan and result rows are bit-identical across cells of
+//! the same `(query, placement)`, which [`bench_tpch`] asserts as it
+//! measures.
+//!
+//! [`write_json`] serialises the points (hand-rolled — no serde in the
+//! offline workspace) to `BENCH_tpch.json`, which CI smoke regenerates on
+//! every run.
+
+use std::time::Instant;
+
+use hape_core::{Engine, ExecConfig, JoinAlgo, Placement};
+use hape_sim::topology::Server;
+use hape_tpch::queries::{base_catalog, q1_query, q5_query, q6_query, q9_query};
+
+/// One measured `(query, placement, threads)` cell.
+#[derive(Debug, Clone)]
+pub struct WallPoint {
+    /// Query label (`Q1`, `Q5`, `Q6`, `Q9*`).
+    pub query: String,
+    /// Device placement.
+    pub placement: Placement,
+    /// Data-plane threads the cell ran with.
+    pub threads: usize,
+    /// Real elapsed seconds of `Engine::run` (lower → place → interpret).
+    pub wall_seconds: f64,
+    /// Simulated makespan in seconds (thread-count-invariant).
+    pub sim_seconds: f64,
+    /// False when the engine reported a typed failure (e.g. Q9's §6.4
+    /// GPU out-of-memory under a manual GPU placement) — the paper's
+    /// missing bar; `wall_seconds`/`sim_seconds` are 0.
+    pub completed: bool,
+}
+
+/// The wall-clock TPC-H sweep: every query × placement × thread count.
+///
+/// Panics if a `(query, placement)` pair reports different simulated
+/// makespans or result rows across thread counts — the determinism
+/// guarantee this PR's control plane exists to keep.
+pub fn bench_tpch(
+    sf: f64,
+    placements: &[Placement],
+    thread_counts: &[usize],
+    packet_rows: Option<usize>,
+) -> Vec<WallPoint> {
+    let data = hape_tpch::generate(sf, 420);
+    let catalog = base_catalog(&data);
+    let server = Server::tpch_scaled(sf);
+    let engine = Engine::new(server);
+    let queries: Vec<(&str, hape_core::LoweredQuery)> = vec![
+        ("Q1", q1_query().lower(&catalog).expect("Q1 lowers")),
+        ("Q5", q5_query(JoinAlgo::Partitioned).lower(&catalog).expect("Q5 lowers")),
+        ("Q6", q6_query().lower(&catalog).expect("Q6 lowers")),
+        ("Q9*", q9_query(JoinAlgo::Partitioned).lower(&catalog).expect("Q9 lowers")),
+    ];
+    let mut points = Vec::new();
+    for (name, q) in &queries {
+        for &placement in placements {
+            // The determinism tripwire: identical simulated results — and
+            // identical success/failure — at every thread count. Inner
+            // `None` records a typed failure (e.g. Q9's GPU OOM).
+            type SimRef = Option<(hape_sim::SimTime, Vec<(hape_ops::GroupKey, Vec<f64>)>)>;
+            let mut reference: Option<SimRef> = None;
+            for &threads in thread_counts {
+                let mut cfg = ExecConfig::new(placement).with_threads(threads);
+                cfg.packet_rows = packet_rows;
+                let started = Instant::now();
+                let outcome = engine.run(&q.catalog, &q.plan, &cfg);
+                let wall = started.elapsed().as_secs_f64();
+                let observed: SimRef =
+                    outcome.as_ref().ok().map(|rep| (rep.time, rep.rows.clone()));
+                match &reference {
+                    None => reference = Some(observed.clone()),
+                    Some(want) => {
+                        assert_eq!(
+                            want.is_some(),
+                            observed.is_some(),
+                            "{name}/{placement}: success/failure flipped at threads={threads}"
+                        );
+                        if let (Some((t, rows)), Some((got_t, got_rows))) = (want, &observed) {
+                            assert_eq!(
+                                t, got_t,
+                                "{name}/{placement}: makespan diverged at threads={threads}"
+                            );
+                            assert_eq!(
+                                rows, got_rows,
+                                "{name}/{placement}: rows diverged at threads={threads}"
+                            );
+                        }
+                    }
+                }
+                let point = match observed {
+                    Some((time, _)) => WallPoint {
+                        query: name.to_string(),
+                        placement,
+                        threads,
+                        wall_seconds: wall,
+                        sim_seconds: time.as_secs(),
+                        completed: true,
+                    },
+                    None => WallPoint {
+                        query: name.to_string(),
+                        placement,
+                        threads,
+                        wall_seconds: 0.0,
+                        sim_seconds: 0.0,
+                        completed: false,
+                    },
+                };
+                points.push(point);
+            }
+        }
+    }
+    points
+}
+
+/// Total wall seconds per thread count, over the cells that completed at
+/// *every* measured thread count (so totals compare like with like).
+pub fn totals_by_threads(points: &[WallPoint]) -> Vec<(usize, f64)> {
+    let mut threads: Vec<usize> = points.iter().map(|p| p.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let complete_everywhere = |p: &WallPoint| {
+        points
+            .iter()
+            .filter(|o| o.query == p.query && o.placement == p.placement)
+            .all(|o| o.completed)
+    };
+    threads
+        .iter()
+        .map(|&t| {
+            let total: f64 = points
+                .iter()
+                .filter(|p| p.threads == t && complete_everywhere(p))
+                .map(|p| p.wall_seconds)
+                .sum();
+            (t, total)
+        })
+        .collect()
+}
+
+/// Render the sweep as an aligned table with a speedup summary.
+pub fn print_wall(points: &[WallPoint]) {
+    println!("== wall-clock TPC-H sweep (seconds of real time per engine run)");
+    println!("{:>6} {:>8} {:>8} {:>14} {:>14}", "query", "place", "threads", "wall_s", "sim_s");
+    for p in points {
+        if p.completed {
+            println!(
+                "{:>6} {:>8} {:>8} {:>14.6} {:>14.6}",
+                p.query,
+                p.placement.to_string(),
+                p.threads,
+                p.wall_seconds,
+                p.sim_seconds
+            );
+        } else {
+            println!(
+                "{:>6} {:>8} {:>8} {:>14} {:>14}",
+                p.query,
+                p.placement.to_string(),
+                p.threads,
+                "-",
+                "-"
+            );
+        }
+    }
+    let totals = totals_by_threads(points);
+    for (t, total) in &totals {
+        println!("total threads={t}: {total:.6}s");
+    }
+    if let (Some((tmin, base)), Some((tmax, best))) = (totals.first(), totals.last()) {
+        if *best > 0.0 && totals.len() > 1 {
+            println!("speedup threads={tmax} vs threads={tmin}: {:.2}x", base / best);
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialise the sweep to JSON (hand-rolled; the offline workspace has no
+/// serde). The shape is stable for the perf trajectory:
+/// `{sf, thread_counts, points: [{query, placement, threads, wall_seconds,
+/// sim_seconds, completed}], totals: [{threads, wall_seconds}],
+/// speedup_max_vs_min}`.
+pub fn to_json(sf: f64, points: &[WallPoint]) -> String {
+    let mut threads: Vec<usize> = points.iter().map(|p| p.threads).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"sf\": {sf},\n"));
+    out.push_str(&format!(
+        "  \"thread_counts\": [{}],\n",
+        threads.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"query\": \"{}\", \"placement\": \"{}\", \"threads\": {}, \
+             \"wall_seconds\": {}, \"sim_seconds\": {}, \"completed\": {}}}{}\n",
+            json_escape(&p.query),
+            p.placement,
+            p.threads,
+            p.wall_seconds,
+            p.sim_seconds,
+            p.completed,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let totals = totals_by_threads(points);
+    out.push_str("  \"totals\": [\n");
+    for (i, (t, total)) in totals.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {t}, \"wall_seconds\": {total}}}{}\n",
+            if i + 1 < totals.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    let speedup = match (totals.first(), totals.last()) {
+        (Some((_, base)), Some((_, best))) if *best > 0.0 => base / best,
+        _ => 1.0,
+    };
+    out.push_str(&format!("  \"speedup_max_vs_min\": {speedup}\n"));
+    out.push('}');
+    out
+}
+
+/// Write the sweep to `path` (conventionally `BENCH_tpch.json`).
+pub fn write_json(sf: f64, points: &[WallPoint], path: &str) -> std::io::Result<()> {
+    std::fs::write(path, to_json(sf, points) + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(q: &str, t: usize, wall: f64, completed: bool) -> WallPoint {
+        WallPoint {
+            query: q.into(),
+            placement: Placement::CpuOnly,
+            threads: t,
+            wall_seconds: wall,
+            sim_seconds: 0.5,
+            completed,
+        }
+    }
+
+    #[test]
+    fn totals_skip_cells_missing_at_any_thread_count() {
+        let points = vec![
+            point("Q1", 1, 2.0, true),
+            point("Q1", 8, 1.0, true),
+            point("Q9*", 1, 9.0, true),
+            point("Q9*", 8, 0.0, false), // incomplete at 8 → excluded at 1 too
+        ];
+        let totals = totals_by_threads(&points);
+        assert_eq!(totals, vec![(1, 2.0), (8, 1.0)]);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let points = vec![point("Q1", 1, 2.0, true), point("Q1", 8, 1.0, true)];
+        let json = to_json(0.01, &points);
+        assert!(json.contains("\"thread_counts\": [1, 8]"));
+        assert!(json.contains("\"speedup_max_vs_min\": 2"));
+        assert!(json.contains("\"placement\": \"cpu\""));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn smoke_sweep_is_deterministic_and_complete() {
+        let points = bench_tpch(0.01, &[Placement::CpuOnly, Placement::Auto], &[1, 2], None);
+        // 4 queries × 2 placements × 2 thread counts.
+        assert_eq!(points.len(), 16);
+        assert!(points.iter().all(|p| p.completed), "cpu/auto complete every query");
+        // bench_tpch itself asserts sim-time identity across thread counts.
+    }
+}

@@ -33,7 +33,11 @@ use crate::error::PlanError;
 use crate::exchange::{CandidateLoad, Exchange, Router, RoutingPolicy};
 use crate::place::{place, PlacedPlan, PlacedStage, Segment};
 use crate::plan::{JoinTable, PipeOp, Pipeline, QueryPlan};
-use crate::provider::{gather_matches, CpuWorker, DeviceProvider, GpuWorker, TableStore};
+use crate::provider::{
+    gather_matches, run_ops, CostClass, CpuWorker, DeviceProvider, GpuWorker, PacketWork,
+    Scratch, TableStore,
+};
+use crate::runtime;
 use crate::traits::DeviceType;
 
 pub use crate::error::EngineError;
@@ -111,14 +115,50 @@ pub struct ExecConfig {
     pub placement: Placement,
     /// Router policy for the stream stage.
     pub policy: RoutingPolicy,
-    /// Rows per packet (`None` = auto: ~4 packets per worker).
+    /// Rows per packet (`None` = auto: see
+    /// [`ExecConfig::auto_packet_rows`]).
     pub packet_rows: Option<usize>,
+    /// Data-plane threads (`None` = the `HAPE_THREADS` environment
+    /// variable, else the host's available parallelism — see
+    /// [`crate::runtime::resolve_threads`]). A pure wall-clock knob:
+    /// simulated makespans and result rows are bit-identical at any value.
+    pub threads: Option<usize>,
 }
 
 impl ExecConfig {
     /// Default config for a placement.
     pub fn new(placement: Placement) -> Self {
-        ExecConfig { placement, policy: RoutingPolicy::LoadAware, packet_rows: None }
+        ExecConfig {
+            placement,
+            policy: RoutingPolicy::LoadAware,
+            packet_rows: None,
+            threads: None,
+        }
+    }
+
+    /// Explicit packet sizing.
+    pub fn with_packet_rows(mut self, rows: usize) -> Self {
+        self.packet_rows = Some(rows);
+        self
+    }
+
+    /// Explicit data-plane thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The engine's packet-sizing rule for a stream of `rows` rows over
+    /// `shares` worker packet shares: the `explicit` override when set,
+    /// else about four packets per share, clamped to [2K, 1M] rows. The
+    /// cost model's packet-size estimate ([`crate::cost`]) mirrors this
+    /// rule, and the `figures` binary / `tpch_hybrid` example expose the
+    /// override as `--packet-rows` for sweeps.
+    pub fn auto_packet_rows(rows: usize, shares: usize, explicit: Option<usize>) -> usize {
+        if let Some(r) = explicit {
+            return r.max(1);
+        }
+        (rows / (4 * shares.max(1))).clamp(2 << 10, 1 << 20)
     }
 }
 
@@ -204,6 +244,7 @@ impl Engine {
         catalog: &Catalog,
         placed: &PlacedPlan,
     ) -> Result<QueryReport, EngineError> {
+        let threads = runtime::resolve_threads(placed.threads);
         let mut tables: TableStore = TableStore::new();
         let mut clock = SimTime::ZERO;
         let mut cpu_busy = SimTime::ZERO;
@@ -225,6 +266,7 @@ impl Engine {
                         &tables,
                         clock,
                         None,
+                        threads,
                     )?;
                     clock = out.end;
                     cpu_busy += out.cpu_busy;
@@ -248,6 +290,7 @@ impl Engine {
                         &tables,
                         clock,
                         placed.packet_rows,
+                        threads,
                     )?;
                     clock = out.end;
                     cpu_busy += out.cpu_busy;
@@ -282,6 +325,7 @@ impl Engine {
                         clock,
                         agg_spec,
                         placed.packet_rows,
+                        threads,
                     )?;
                     clock = out.end;
                     cpu_busy += out.cpu_busy;
@@ -336,6 +380,7 @@ impl Engine {
             tables,
             start,
             None,
+            runtime::resolve_threads(None),
         )?;
         Ok((concat_outputs(out.outputs), out.end, out.cpu_busy))
     }
@@ -433,9 +478,19 @@ impl Engine {
         tables: &TableStore,
         start: SimTime,
         packet_rows: Option<usize>,
+        threads: usize,
     ) -> Result<StageOutcome, EngineError> {
         let mut workers = self.workers_for(segments, agg)?;
-        self.run_workers(catalog, pipeline, &mut workers, policy, tables, start, packet_rows)
+        self.run_workers(
+            catalog,
+            pipeline,
+            &mut workers,
+            policy,
+            tables,
+            start,
+            packet_rows,
+            threads,
+        )
     }
 
     /// Run a placed co-processing stage
@@ -467,6 +522,7 @@ impl Engine {
         start: SimTime,
         agg_spec: &AggSpec,
         packet_rows: Option<usize>,
+        threads: usize,
     ) -> Result<(AggRows, StageOutcome), EngineError> {
         // ---- Split the pipeline at its final probe.
         let probe_idx = match pipeline.last_probe() {
@@ -496,6 +552,7 @@ impl Engine {
             tables,
             start,
             packet_rows,
+            threads,
         )?;
         let inter = concat_outputs(pre.outputs);
 
@@ -511,7 +568,9 @@ impl Engine {
         let mut h2d_bytes = 0u64;
         let mut packets_gpu = 0usize;
         if inter.rows() > 0 {
-            let probe_keys: Vec<i32> = inter.col(*key_col).as_i32().to_vec();
+            // Zero-copy: the co-partitioner reads the Arc-backed key
+            // column slice directly; no per-stage key vector is built.
+            let probe_keys: &[i32] = inter.col(*key_col).as_i32();
             let probe_vals: Vec<u32> = (0..inter.rows() as u32).collect();
             let build_vals: Vec<u32> = (0..jt.rows() as u32).collect();
             let gpu_ids: Vec<usize> = gpus
@@ -532,7 +591,7 @@ impl Engine {
                 &self.server,
                 &gpu_ids,
                 JoinInput::new(&jt.keys, &build_vals),
-                JoinInput::new(&probe_keys, &probe_vals),
+                JoinInput::new(probe_keys, &probe_vals),
                 &cfg,
             )?;
             if let Some((build_rows, probe_rows)) = rep.outcome.pairs.as_ref() {
@@ -573,13 +632,39 @@ impl Engine {
                 EngineError::DeviceNotPresent { device: format!("cpu{socket}") }
             })?;
             let model = CpuCostModel::new(spec.clone(), spec.cores);
+            let dop: usize = segments.iter().map(|s| s.traits.dop).sum();
+            // The fold rides the same worker pool as the packet loop:
+            // deterministic per-dop chunks folded in parallel, partial
+            // states merged in chunk order (thread-count-independent),
+            // charged exactly what the single-pass fold charges — the
+            // same expression work plus random accesses into the final
+            // group table.
             let mut state = AggState::new(agg_spec.clone());
             let fold_busy = if joined.rows() > 0 {
-                hape_ops::cpu::agg_update(&mut state, &joined, &model)
+                let chunk_rows = ExecConfig::auto_packet_rows(joined.rows(), dop, None);
+                let chunks = joined.split(chunk_rows);
+                let partials = runtime::scatter(
+                    threads,
+                    chunks.len(),
+                    || (),
+                    |i, _scratch| {
+                        let mut partial = AggState::new(agg_spec.clone());
+                        partial.update(&chunks[i]);
+                        partial
+                    },
+                );
+                for p in &partials {
+                    state.merge(p);
+                }
+                hape_ops::cpu::agg_cost(
+                    agg_spec,
+                    joined.rows() as u64,
+                    state.n_groups(),
+                    &model,
+                )
             } else {
                 SimTime::ZERO
             };
-            let dop: usize = segments.iter().map(|s| s.traits.dop).sum();
             let fold_time = fold_busy / (dop.max(1) as f64 * 0.9);
             rows = state.finish();
             end = (fold_start + fold_time).max(join_end);
@@ -598,12 +683,19 @@ impl Engine {
             let mut workers = self.workers_for(segments, Some(agg_spec))?;
             let shares: usize = workers.iter().map(|w| w.packet_share()).sum();
             let packets = if joined.rows() > 0 {
-                joined.split(auto_packet_rows(joined.rows(), shares, packet_rows))
+                joined.split(ExecConfig::auto_packet_rows(joined.rows(), shares, packet_rows))
             } else {
                 Vec::new()
             };
-            let post =
-                self.packet_loop(packets, &suffix, &mut workers, policy, tables, fold_start)?;
+            let post = self.packet_loop(
+                packets,
+                &suffix,
+                &mut workers,
+                policy,
+                tables,
+                fold_start,
+                threads,
+            )?;
             let mut merged = AggState::new(agg_spec.clone());
             for w in &workers {
                 if let Some(a) = w.agg() {
@@ -644,20 +736,39 @@ impl Engine {
         tables: &TableStore,
         start: SimTime,
         packet_rows: Option<usize>,
+        threads: usize,
     ) -> Result<StageOutcome, EngineError> {
         let table = catalog.lookup(&pipeline.source)?;
         if workers.is_empty() {
             return Err(EngineError::NoWorkers { placement: "placed stage".to_string() });
         }
         let shares: usize = workers.iter().map(|w| w.packet_share()).sum();
-        let rows_per_packet = auto_packet_rows(table.rows(), shares, packet_rows);
+        let rows_per_packet = ExecConfig::auto_packet_rows(table.rows(), shares, packet_rows);
         let packets = table.data.split(rows_per_packet);
-        self.packet_loop(packets, pipeline, workers, policy, tables, start)
+        self.packet_loop(packets, pipeline, workers, policy, tables, start, threads)
     }
 
     /// The packet loop proper, over pre-split packets — also driven
     /// directly by the co-processing stage for its post-join remainder
     /// (whose input is an in-memory batch, not a catalog table).
+    ///
+    /// Execution is split into the engine's two planes:
+    ///
+    /// 1. **Data plane (parallel)** — every packet runs the canonical
+    ///    fused-kernel pass ([`run_ops`]) exactly once on the
+    ///    [`runtime`] pool and is priced per worker *cost class*
+    ///    ([`DeviceProvider::charge`]). Results are pure per packet.
+    /// 2. **Control plane (sequential)** — the router replays today's
+    ///    exact semantics on the coordinator: per-packet candidate
+    ///    `ready_at` state, the pick, and the commit against the routed
+    ///    worker's simulated clocks ([`DeviceProvider::commit_packet`]),
+    ///    in packet order. Simulated makespans are therefore
+    ///    bit-identical at any thread count.
+    /// 3. **Data plane again** — each worker folds the packets routed to
+    ///    it into its partial aggregation state, in routed order, one
+    ///    fold job per worker on the same pool; partial states merge at
+    ///    the stage barrier in worker order as before.
+    #[allow(clippy::too_many_arguments)]
     fn packet_loop(
         &self,
         packets: Vec<Batch>,
@@ -666,6 +777,7 @@ impl Engine {
         policy: RoutingPolicy,
         tables: &TableStore,
         start: SimTime,
+        threads: usize,
     ) -> Result<StageOutcome, EngineError> {
         if workers.is_empty() {
             return Err(EngineError::NoWorkers { placement: "placed stage".to_string() });
@@ -678,14 +790,51 @@ impl Engine {
             h2d_bytes += w.install_tables(pipeline, tables, start)?;
         }
 
-        // ---- Route packets.
+        // ---- Cost classes: one charge per packet per distinct class,
+        // not per worker (all cores of a socket share a model).
+        let mut classes: Vec<CostClass> = Vec::new();
+        let mut class_of: Vec<usize> = Vec::with_capacity(workers.len());
+        let mut reps: Vec<usize> = Vec::new();
+        for (wi, w) in workers.iter().enumerate() {
+            let c = w.cost_class();
+            match classes.iter().position(|x| *x == c) {
+                Some(i) => class_of.push(i),
+                None => {
+                    classes.push(c);
+                    reps.push(wi);
+                    class_of.push(classes.len() - 1);
+                }
+            }
+        }
+
+        // ---- Phase 1, data plane: kernels once per packet, priced per
+        // class, on the worker pool.
+        let agg_spec = pipeline.agg.as_ref();
+        let shared: &[Box<dyn DeviceProvider>] = workers;
+        let charged = runtime::scatter(threads, packets.len(), Scratch::new, |i, scratch| {
+            let work = run_ops(packets[i].clone(), pipeline, tables, scratch)?;
+            let costs = reps
+                .iter()
+                .map(|&r| shared[r].charge(&work, agg_spec, tables))
+                .collect::<Result<Vec<SimTime>, EngineError>>()?;
+            Ok::<(PacketWork, Vec<SimTime>), EngineError>((work, costs))
+        });
+        // First error in packet order — the same packet the sequential
+        // loop would have tripped on.
+        let mut works: Vec<(PacketWork, Vec<SimTime>)> = Vec::with_capacity(charged.len());
+        for r in charged {
+            works.push(r?);
+        }
+
+        // ---- Phase 2, control plane: sequential routing + sim-time
+        // accounting, replaying worker `ready_at` state in packet order.
         let mut router = Router::new(policy);
         let mut end = start;
         let mut packets_cpu = 0usize;
         let mut packets_gpu = 0usize;
-        let mut outputs = Vec::new();
-        for packet in packets {
-            let bytes = packet.bytes().max(1);
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
+        for (i, (work, costs)) in works.iter().enumerate() {
+            let bytes = work.bytes.max(1);
             let candidates: Vec<CandidateLoad> = workers
                 .iter()
                 .map(|w| CandidateLoad {
@@ -693,20 +842,49 @@ impl Engine {
                     est_ns_per_byte: w.est_ns_per_byte(),
                 })
                 .collect();
-            let pick = router.pick(&packet, &candidates);
-            let w = &mut workers[pick];
-            let outcome = w.execute(packet, pipeline, tables, start)?;
+            let pick = router.pick(&packets[i], &candidates);
+            let outcome = workers[pick].commit_packet(work, costs[class_of[pick]], start);
             end = end.max(outcome.done);
             h2d_bytes += outcome.h2d_bytes;
-            match w.device() {
+            match workers[pick].device() {
                 DeviceType::Cpu => packets_cpu += 1,
                 DeviceType::Gpu => packets_gpu += 1,
             }
-            if let Some(out) = outcome.output {
-                if out.rows() > 0 {
-                    outputs.push(out);
+            assignments[pick].push(i);
+        }
+
+        // ---- Phase 3: stage outputs (build), or the per-worker fold
+        // jobs (stream) — data plane again, one job per worker, each
+        // folding its packets in routed order.
+        let mut outputs = Vec::new();
+        if agg_spec.is_none() {
+            for (work, _) in works {
+                if work.out.rows() > 0 {
+                    outputs.push(work.out);
                 }
             }
+        } else {
+            let mut batches: Vec<Option<Batch>> =
+                works.into_iter().map(|(w, _)| Some(w.out)).collect();
+            let jobs: Vec<(&mut Box<dyn DeviceProvider>, Vec<Batch>)> = workers
+                .iter_mut()
+                .zip(&assignments)
+                .filter(|(_, idxs)| !idxs.is_empty())
+                .map(|(w, idxs)| {
+                    let mine = idxs
+                        .iter()
+                        .map(|&i| batches[i].take().expect("packet routed once"))
+                        .collect();
+                    (w, mine)
+                })
+                .collect();
+            runtime::drain(threads, jobs, |(w, mine)| {
+                for b in &mine {
+                    if b.rows() > 0 {
+                        w.fold_packet(b);
+                    }
+                }
+            });
         }
 
         let busy_of = |device: DeviceType| {
@@ -722,15 +900,6 @@ impl Engine {
             packets_gpu,
         })
     }
-}
-
-/// Packet sizing: about four packets per worker share, clamped to
-/// [2K, 1M] rows.
-fn auto_packet_rows(rows: usize, shares: usize, explicit: Option<usize>) -> usize {
-    if let Some(r) = explicit {
-        return r.max(1);
-    }
-    (rows / (4 * shares.max(1))).clamp(2 << 10, 1 << 20)
 }
 
 /// Concatenate packet outputs into one batch (column-wise).

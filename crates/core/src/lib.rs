@@ -22,6 +22,19 @@
 //! data flow through compiled pipelines; CPU workers, GPUs and PCIe links
 //! are clocked resources; the reported latency is the makespan.
 //!
+//! The interpreter itself is split into two planes (the [`mod@runtime`]
+//! module): a **deterministic control plane** — routing picks and
+//! `SimTime` accounting replayed sequentially on the coordinator from
+//! worker `ready_at` state — and a **parallel data plane** — the real
+//! columnar kernel work ([`provider::run_ops`]), per-device-class cost
+//! pricing, and per-worker aggregation folds, dispatched to a scoped
+//! `std::thread` worker pool. [`engine::ExecConfig::threads`] (or the
+//! `HAPE_THREADS` environment variable) sizes the pool; it is a pure
+//! wall-clock knob — **simulated makespans and result rows are
+//! bit-identical at any thread count**, which the determinism sweep in
+//! `tests/runtime_determinism.rs` asserts across the TPC-H × placement
+//! matrix.
+//!
 //! Between lowering and placement sits the **cost-based optimizer**
 //! ([`mod@optimize`], backed by the analytic [`mod@cost`] model derived
 //! from the hardware specs): [`engine::Placement::Auto`] enumerates
@@ -98,6 +111,7 @@ pub mod place;
 pub mod plan;
 pub mod provider;
 pub mod query;
+pub mod runtime;
 pub mod session;
 pub mod traits;
 
@@ -111,6 +125,7 @@ pub use place::{place, place_on, PlacedPlan, PlacedStage, Segment};
 pub use plan::{JoinAlgo, PipeOp, Pipeline, ProbeExec, QueryPlan, Stage};
 pub use provider::DeviceProvider;
 pub use query::{LoweredMaterialize, LoweredQuery, Query};
+pub use runtime::resolve_threads;
 pub use session::Session;
 pub use traits::{DeviceType, HetTraits, Packing};
 

@@ -159,6 +159,11 @@ pub struct PlacedPlan {
     /// per worker share). Build stages always auto-size — they are
     /// plumbing, not the tunable workload.
     pub packet_rows: Option<usize>,
+    /// Data-plane threads for the interpreter's worker pool (`None` =
+    /// resolve from the environment; see
+    /// [`crate::runtime::resolve_threads`]). Purely a wall-clock knob —
+    /// simulated results are thread-count-invariant.
+    pub threads: Option<usize>,
     /// The placed stages, executed in order.
     pub stages: Vec<PlacedStage>,
     /// Per-stage cost estimates, attached when the cost-based optimizer
@@ -380,6 +385,7 @@ pub fn place_on(
     Ok(PlacedPlan {
         name: plan.name.clone(),
         packet_rows: cfg.packet_rows,
+        threads: cfg.threads,
         stages,
         costs: None,
     })

@@ -15,11 +15,11 @@
 //! on a placement enum. New device classes implement the trait and slot
 //! into the same interpreter.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use hape_ops::agg::AggState;
-use hape_ops::{cpu as cpu_ops, gpu as gpu_ops};
+use hape_ops::{cpu as cpu_ops, eval_bool, gpu as gpu_ops, AggSpec, GroupKey};
 use hape_sim::des::Resource;
 use hape_sim::interconnect::Link;
 use hape_sim::{CpuCostModel, Fidelity, GpuSim, GpuSpec, Region, SimTime};
@@ -63,32 +63,257 @@ pub struct PacketResult {
     pub time: SimTime,
 }
 
-/// What a [`DeviceProvider`] reports after executing one routed packet.
-#[derive(Debug)]
-pub struct PacketOutcome {
-    /// Output rows (for build pipelines); `None` when aggregated away.
-    pub output: Option<Batch>,
-    /// When the worker finished the packet.
+/// What a [`DeviceProvider`] reports after the control plane commits one
+/// routed packet against its clocks.
+#[derive(Debug, Clone, Copy)]
+pub struct CommitOutcome {
+    /// When the worker finishes the packet (input transfer + device time +
+    /// any device-to-host return of build output).
     pub done: SimTime,
     /// Bytes the packet moved host-to-device to reach the worker.
     pub h2d_bytes: u64,
 }
 
+/// Reusable per-thread scratch buffers for the data plane's functional
+/// kernels: selection vectors for filters and join match indices. One
+/// lives on each pool thread and is cleared (not freed) between packets,
+/// killing the per-packet allocation churn on the probe path.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Surviving-row / probe-side match indices.
+    pub sel: Vec<u32>,
+    /// Build-side match indices.
+    pub build_sel: Vec<u32>,
+}
+
+impl Scratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+/// Per-operator record of the canonical functional pass ([`run_ops`]):
+/// the statistics each device class's cost model needs to price the
+/// operator *without re-running it*. Column references are Arc-backed
+/// views — recording a trace copies no data.
+#[derive(Debug, Clone)]
+pub enum OpTrace {
+    /// A fused filter.
+    Filter {
+        /// Rows entering the filter.
+        rows_in: usize,
+        /// Predicate operations per row.
+        pred_ops: f64,
+        /// Bytes per row the predicate touches.
+        pred_row_bytes: u64,
+        /// Bytes per surviving row (all columns).
+        out_row_bytes: u64,
+        /// Survivor count per GPU thread block (see
+        /// [`hape_ops::gpu::block_survivors`]).
+        survivors: Vec<u32>,
+    },
+    /// A fused projection.
+    Project {
+        /// Rows entering the projection.
+        rows_in: usize,
+        /// Total expression operations per row.
+        ops: f64,
+        /// Batch payload bytes at this operator.
+        bytes_in: u64,
+    },
+    /// A fused hash-join probe.
+    Probe {
+        /// The probed table.
+        ht: String,
+        /// Probe algorithm.
+        algo: JoinAlgo,
+        /// Rows entering the probe.
+        rows_in: usize,
+        /// Measured average chain length.
+        avg_chain: f64,
+        /// The probe-key column (zero-copy view).
+        keys: Column,
+        /// Match rows produced.
+        rows_out: usize,
+        /// Build payload columns gathered per match.
+        payload_cols: usize,
+    },
+}
+
+/// The aggregation-relevant statistics of one packet: how many rows reach
+/// the terminal fold and which distinct group keys they contribute. The
+/// control plane accumulates the keys per worker to reproduce the
+/// cumulative group-table growth term of the CPU cost model exactly.
+#[derive(Debug, Clone)]
+pub struct PacketAgg {
+    /// Rows reaching the aggregation.
+    pub rows: u64,
+    /// Distinct group keys among them (first-seen order).
+    pub groups: Vec<GroupKey>,
+}
+
+/// Everything one packet's trip through the fused operator chain produced:
+/// the functional result plus the per-operator cost statistics. Computed
+/// once per packet on the data plane ([`run_ops`]), priced per device
+/// class ([`CpuProvider::charge`] / [`GpuProvider::charge`]), and committed
+/// against the routed worker's clocks by the control plane
+/// ([`DeviceProvider::commit_packet`]).
+#[derive(Debug, Clone)]
+pub struct PacketWork {
+    /// Input packet payload bytes.
+    pub bytes: u64,
+    /// Per-operator cost statistics, in pipeline order (truncated at the
+    /// first operator that saw zero rows).
+    pub ops: Vec<OpTrace>,
+    /// Rows leaving the operator chain: the build output, or the rows the
+    /// terminal aggregation folds.
+    pub out: Batch,
+    /// True when the pipeline ends in an aggregation (`out` feeds the
+    /// routed worker's fold instead of the stage output).
+    pub folds: bool,
+    /// Fold statistics, when `folds` and rows survived.
+    pub agg: Option<PacketAgg>,
+}
+
+/// Cost-equivalence class of a worker: workers in the same class charge
+/// identical device times for the same packet (same spec, same model), so
+/// the data plane prices each packet once per class instead of once per
+/// worker.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CostClass {
+    /// All cores of one socket (they share the per-core cost model).
+    Cpu {
+        /// Socket index.
+        socket: usize,
+    },
+    /// One GPU (each has its own spec and broadcast regions).
+    Gpu {
+        /// GPU index.
+        idx: usize,
+    },
+}
+
+/// The canonical functional pass: push one packet through the fused
+/// operator chain exactly once, recording per-operator statistics rich
+/// enough for *every* device class's cost model to replay its charge
+/// bit-exactly (the CPU model from row counts and chain lengths, the GPU
+/// simulator from per-block survivor counts and the key column itself).
+///
+/// Functional results are device-independent — this is the same
+/// heterogeneity-oblivious operator semantics both providers always
+/// shared — so the engine runs kernels once per packet on the data plane
+/// regardless of how many device classes participate in the stage.
+pub fn run_ops(
+    packet: Batch,
+    pipeline: &Pipeline,
+    tables: &TableStore,
+    scratch: &mut Scratch,
+) -> Result<PacketWork, EngineError> {
+    let bytes = packet.bytes();
+    let mut ops_trace = Vec::with_capacity(pipeline.ops.len());
+    let mut cur = packet;
+    for op in &pipeline.ops {
+        if cur.rows() == 0 {
+            break;
+        }
+        match op {
+            PipeOp::Filter(pred) => {
+                let rows_in = cur.rows();
+                let pred_row_bytes = pred
+                    .columns_used()
+                    .iter()
+                    .map(|&i| cur.col(i).data_type().width() as u64)
+                    .sum::<u64>()
+                    .max(1);
+                let out_row_bytes =
+                    cur.columns.iter().map(|c| c.data_type().width() as u64).sum();
+                let keep = eval_bool(pred, &cur);
+                scratch.sel.clear();
+                scratch
+                    .sel
+                    .extend(keep.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| i as u32));
+                let survivors = gpu_ops::block_survivors(&scratch.sel, rows_in);
+                let out = Batch {
+                    columns: cur.columns.iter().map(|c| c.take(&scratch.sel)).collect(),
+                    partition: cur.partition,
+                };
+                ops_trace.push(OpTrace::Filter {
+                    rows_in,
+                    pred_ops: pred.ops_per_row(),
+                    pred_row_bytes,
+                    out_row_bytes,
+                    survivors,
+                });
+                cur = out;
+            }
+            PipeOp::Project(exprs) => {
+                let rows_in = cur.rows();
+                let bytes_in = cur.bytes();
+                let ops: f64 = exprs.iter().map(|e| e.ops_per_row()).sum();
+                let cols = exprs.iter().map(|e| cpu_ops::project_column(e, &cur)).collect();
+                ops_trace.push(OpTrace::Project { rows_in, ops, bytes_in });
+                cur = Batch { columns: cols, partition: cur.partition };
+            }
+            PipeOp::JoinProbe { ht, key_col, build_payload_cols, algo } => {
+                let jt = lookup_ht(tables, ht)?;
+                let rows_in = cur.rows();
+                let keys = cur.col(*key_col).clone();
+                let (out, avg_chain) =
+                    probe_join_with(&cur, jt, *key_col, build_payload_cols, scratch);
+                ops_trace.push(OpTrace::Probe {
+                    ht: ht.clone(),
+                    algo: *algo,
+                    rows_in,
+                    avg_chain,
+                    keys,
+                    rows_out: out.rows(),
+                    payload_cols: build_payload_cols.len(),
+                });
+                cur = out;
+            }
+        }
+    }
+    let folds = pipeline.agg.is_some();
+    let agg = match &pipeline.agg {
+        Some(spec) if cur.rows() > 0 => Some(PacketAgg {
+            rows: cur.rows() as u64,
+            groups: hape_ops::agg::distinct_groups(spec, &cur),
+        }),
+        _ => None,
+    };
+    Ok(PacketWork { bytes, ops: ops_trace, out: cur, folds, agg })
+}
+
 /// A placed worker instance: one router consumer executing packets of a
 /// compiled pipeline on a concrete device.
 ///
-/// The trait unifies everything the engine's generic interpreter needs —
-/// a load estimate for the router's candidate list, packet execution
-/// (including any transfer the worker's placement implies), hash-table
-/// installation (the broadcast mem-move), and the worker's partial
-/// aggregation state. The interpreter holds `Box<dyn DeviceProvider>`
-/// workers and treats CPU cores and GPUs identically.
-pub trait DeviceProvider {
+/// The trait unifies everything the engine's two planes need. The **data
+/// plane** calls the `&self` methods from pool threads: [`charge`] prices
+/// a packet's recorded statistics on this worker's cost class, and the
+/// canonical kernels run through the free [`run_ops`]. The **control
+/// plane** calls the `&mut self` methods sequentially on the coordinator:
+/// [`install_tables`] executes the broadcast mem-moves,
+/// [`commit_packet`] advances the worker's simulated clocks for a routed
+/// packet, and [`fold_packet`] folds the packet's rows into the worker's
+/// partial aggregation state (invoked from the data plane's per-worker
+/// fold jobs, in routed order). The interpreter holds
+/// `Box<dyn DeviceProvider>` workers and treats CPU cores and GPUs
+/// identically.
+///
+/// [`charge`]: DeviceProvider::charge
+/// [`install_tables`]: DeviceProvider::install_tables
+/// [`commit_packet`]: DeviceProvider::commit_packet
+/// [`fold_packet`]: DeviceProvider::fold_packet
+pub trait DeviceProvider: Send + Sync {
     /// This worker's identity.
     fn id(&self) -> WorkerId;
 
     /// The device type executing the packets (the device trait).
     fn device(&self) -> DeviceType;
+
+    /// The worker's cost-equivalence class (see [`CostClass`]).
+    fn cost_class(&self) -> CostClass;
 
     /// Relative packet-sizing weight: how many packet shares this worker
     /// wants in flight (GPUs pipeline transfers against kernels, so they
@@ -103,7 +328,7 @@ pub trait DeviceProvider {
     fn ready_at(&self, start: SimTime, bytes: u64) -> SimTime;
 
     /// Calibrated processing-cost estimate (ns per byte), updated after
-    /// every executed packet — the router's tie-breaker.
+    /// every committed packet — the router's tie-breaker.
     fn est_ns_per_byte(&self) -> f64;
 
     /// Install the hash tables `pipeline` probes ahead of the stage (the
@@ -116,15 +341,36 @@ pub trait DeviceProvider {
         start: SimTime,
     ) -> Result<u64, EngineError>;
 
-    /// Execute one packet that became ready at `start`, folding aggregate
-    /// rows into the worker's partial state.
-    fn execute(
-        &mut self,
-        packet: Batch,
-        pipeline: &Pipeline,
+    /// Price one packet's recorded statistics on this worker's device:
+    /// the base device time, *excluding* transfer legs and any cost term
+    /// that depends on routing history (those are applied by
+    /// [`DeviceProvider::commit_packet`]). `agg` is the stage's
+    /// aggregation spec, when it has one. Pure w.r.t. the worker's clocks
+    /// — safe to call from pool threads.
+    fn charge(
+        &self,
+        work: &PacketWork,
+        agg: Option<&AggSpec>,
         tables: &TableStore,
+    ) -> Result<SimTime, EngineError>;
+
+    /// Account one routed packet against this worker's simulated clocks:
+    /// the input transfer on the worker's exchange path, the `base` device
+    /// time from [`DeviceProvider::charge`] plus any history-dependent
+    /// terms (the CPU model's cumulative group-table growth), the
+    /// device-to-host return of build output, and the calibrated-estimate
+    /// update. Control-plane only — called sequentially in packet order.
+    fn commit_packet(
+        &mut self,
+        work: &PacketWork,
+        base: SimTime,
         start: SimTime,
-    ) -> Result<PacketOutcome, EngineError>;
+    ) -> CommitOutcome;
+
+    /// Fold one packet's surviving rows into the worker's partial
+    /// aggregation state. Called in routed-packet order from the worker's
+    /// fold job — bitwise identical to folding inline during execution.
+    fn fold_packet(&mut self, batch: &Batch);
 
     /// The worker's partial aggregation state (stream stages).
     fn agg(&self) -> Option<&AggState>;
@@ -145,9 +391,23 @@ pub fn probe_join(
     key_col: usize,
     build_payload_cols: &[usize],
 ) -> (Batch, f64) {
+    probe_join_with(packet, jt, key_col, build_payload_cols, &mut Scratch::new())
+}
+
+/// [`probe_join`] writing its match-index selection vectors into reusable
+/// per-worker `scratch` buffers instead of allocating fresh `Vec`s every
+/// packet — the hot probe path the data plane runs.
+pub fn probe_join_with(
+    packet: &Batch,
+    jt: &JoinTable,
+    key_col: usize,
+    build_payload_cols: &[usize],
+    scratch: &mut Scratch,
+) -> (Batch, f64) {
     let keys = packet.col(key_col).as_i32();
-    let mut probe_sel: Vec<u32> = Vec::new();
-    let mut build_sel: Vec<u32> = Vec::new();
+    scratch.sel.clear();
+    scratch.build_sel.clear();
+    let (probe_sel, build_sel) = (&mut scratch.sel, &mut scratch.build_sel);
     let mut steps_total: u64 = 0;
     for (i, &k) in keys.iter().enumerate() {
         steps_total += jt.probe(k, |e| {
@@ -155,9 +415,9 @@ pub fn probe_join(
             build_sel.push(e);
         }) as u64;
     }
-    let mut cols: Vec<Column> = packet.columns.iter().map(|c| c.take(&probe_sel)).collect();
+    let mut cols: Vec<Column> = packet.columns.iter().map(|c| c.take(probe_sel)).collect();
     for &b in build_payload_cols {
-        cols.push(jt.batch.col(b).take(&build_sel));
+        cols.push(jt.batch.col(b).take(build_sel));
     }
     let out = Batch { columns: cols, partition: packet.partition };
     let avg_chain = if keys.is_empty() { 0.0 } else { steps_total as f64 / keys.len() as f64 };
@@ -196,6 +456,36 @@ pub struct CpuProvider {
 }
 
 impl CpuProvider {
+    /// Price a packet's recorded statistics on this model: source scan +
+    /// per-operator charges. Excludes the terminal aggregation entirely —
+    /// its cost depends on the routed worker's cumulative group count,
+    /// which the control plane applies at commit time
+    /// ([`hape_ops::cpu::agg_cost`]).
+    pub fn charge(
+        &self,
+        work: &PacketWork,
+        tables: &TableStore,
+    ) -> Result<SimTime, EngineError> {
+        let mut time = cpu_ops::scan_cost(work.bytes, &self.model);
+        for op in &work.ops {
+            match op {
+                OpTrace::Filter { rows_in, pred_ops, .. } => {
+                    time += cpu_ops::filter_cost(*rows_in as u64, *pred_ops, &self.model);
+                }
+                OpTrace::Project { rows_in, ops, .. } => {
+                    time += cpu_ops::project_cost(*rows_in as u64, *ops, &self.model);
+                }
+                OpTrace::Probe { ht, rows_in, avg_chain, .. } => {
+                    let jt = lookup_ht(tables, ht)?;
+                    // Fused probe: random table accesses only — the gathered
+                    // payloads ride in registers to the next operator.
+                    time += self.model.ht_probe(*rows_in as u64, *avg_chain, jt.bytes());
+                }
+            }
+        }
+        Ok(time)
+    }
+
     /// Push one packet through the fused pipeline.
     ///
     /// `agg` is this worker's partial aggregation state (for stream
@@ -208,41 +498,15 @@ impl CpuProvider {
         tables: &TableStore,
         agg: Option<&mut AggState>,
     ) -> Result<PacketResult, EngineError> {
-        let mut time = cpu_ops::scan_cost(packet.bytes(), &self.model);
-        let mut cur = packet;
-        for op in &pipeline.ops {
-            if cur.rows() == 0 {
-                break;
-            }
-            match op {
-                PipeOp::Filter(pred) => {
-                    let (out, t) = cpu_ops::filter(&cur, pred, &self.model);
-                    cur = out;
-                    time += t;
-                }
-                PipeOp::Project(exprs) => {
-                    let (out, t) = cpu_ops::project(&cur, exprs, &self.model);
-                    cur = out;
-                    time += t;
-                }
-                PipeOp::JoinProbe { ht, key_col, build_payload_cols, .. } => {
-                    let jt = lookup_ht(tables, ht)?;
-                    let n = cur.rows() as u64;
-                    let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
-                    // Fused probe: random table accesses only — the gathered
-                    // payloads ride in registers to the next operator.
-                    time += self.model.ht_probe(n, chain, jt.bytes());
-                    cur = out;
-                }
-            }
-        }
+        let work = run_ops(packet, pipeline, tables, &mut Scratch::new())?;
+        let mut time = self.charge(&work, tables)?;
         if let Some(state) = agg {
-            if cur.rows() > 0 {
-                time += cpu_ops::agg_update(state, &cur, &self.model);
+            if work.out.rows() > 0 {
+                time += cpu_ops::agg_update(state, &work.out, &self.model);
             }
             return Ok(PacketResult { output: None, time });
         }
-        Ok(PacketResult { output: Some(cur), time })
+        Ok(PacketResult { output: Some(work.out), time })
     }
 }
 
@@ -254,6 +518,67 @@ pub struct GpuProvider {
 }
 
 impl GpuProvider {
+    /// Price a packet's recorded statistics as GPU kernels against
+    /// `ht_regions` (the broadcast hash tables' device-memory residences).
+    /// The per-block survivor counts and the zero-copy key column recorded
+    /// by [`run_ops`] let the simulator replay exactly the kernels the
+    /// interleaved implementation used to launch — including the terminal
+    /// aggregation kernel, whose GPU cost is packet-local (per-block
+    /// scratchpad tables, no cumulative term).
+    pub fn charge(
+        &self,
+        work: &PacketWork,
+        agg: Option<&AggSpec>,
+        tables: &TableStore,
+        ht_regions: &HashMap<String, Region>,
+    ) -> Result<SimTime, EngineError> {
+        let mut time = SimTime::ZERO;
+        let in_region = Region::at(1 << 24, work.bytes.max(1));
+        for op in &work.ops {
+            match op {
+                OpTrace::Filter {
+                    rows_in,
+                    pred_ops,
+                    pred_row_bytes,
+                    out_row_bytes,
+                    survivors,
+                } => {
+                    time += gpu_ops::filter_cost(
+                        &self.sim,
+                        in_region,
+                        *rows_in,
+                        *pred_row_bytes,
+                        *out_row_bytes,
+                        *pred_ops,
+                        survivors,
+                    )
+                    .time;
+                }
+                OpTrace::Project { ops, bytes_in, .. } => {
+                    // Fused projection: stream + compute, outputs stay in
+                    // registers for the next fused operator.
+                    time += gpu_ops::stream_pass(&self.sim, in_region, *bytes_in, *ops);
+                }
+                OpTrace::Probe {
+                    ht, algo, avg_chain, keys, rows_out, payload_cols, ..
+                } => {
+                    let jt = lookup_ht(tables, ht)?;
+                    let region = ht_regions
+                        .get(ht)
+                        .copied()
+                        .unwrap_or_else(|| Region::at(1 << 44, jt.bytes().max(1)));
+                    time += self.charge_probe(keys.as_i32(), jt, region, *avg_chain, *algo);
+                    time += SimTime::from_ns((*rows_out * *payload_cols) as f64 * 0.05);
+                }
+            }
+        }
+        if let (Some(spec), Some(_)) = (agg, &work.agg) {
+            let region = Region::at(1 << 24, work.out.bytes().max(1));
+            time += gpu_ops::agg_cost(&self.sim, region, &work.out, spec).time;
+        }
+        Ok(time)
+    }
+
     /// Push one packet through the fused pipeline as GPU kernels.
     ///
     /// `ht_regions` maps hash-table names to their device-memory regions
@@ -266,55 +591,16 @@ impl GpuProvider {
         ht_regions: &HashMap<String, Region>,
         agg: Option<&mut AggState>,
     ) -> Result<PacketResult, EngineError> {
-        let mut time = SimTime::ZERO;
-        let mut cur = packet;
-        let in_region = Region::at(1 << 24, cur.bytes().max(1));
-        for op in &pipeline.ops {
-            if cur.rows() == 0 {
-                break;
-            }
-            match op {
-                PipeOp::Filter(pred) => {
-                    let (out, report) = gpu_ops::filter(&self.sim, in_region, &cur, pred);
-                    cur = out;
-                    time += report.time;
-                }
-                PipeOp::Project(exprs) => {
-                    // Fused projection: stream + compute, outputs stay in
-                    // registers for the next fused operator.
-                    let bytes = cur.bytes();
-                    let ops: f64 = exprs.iter().map(|e| e.ops_per_row()).sum();
-                    time += gpu_ops::stream_pass(&self.sim, in_region, bytes, ops);
-                    let mut cols = Vec::with_capacity(exprs.len());
-                    for e in exprs {
-                        cols.push(Column::from_f64(hape_ops::eval(e, &cur).as_f64().to_vec()));
-                    }
-                    cur = Batch { columns: cols, partition: cur.partition };
-                }
-                PipeOp::JoinProbe { ht, key_col, build_payload_cols, algo } => {
-                    let jt = lookup_ht(tables, ht)?;
-                    let region = ht_regions
-                        .get(ht)
-                        .copied()
-                        .unwrap_or_else(|| Region::at(1 << 44, jt.bytes().max(1)));
-                    let keys: Vec<i32> = cur.col(*key_col).as_i32().to_vec();
-                    let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
-                    time += self.charge_probe(&keys, jt, region, chain, *algo);
-                    time +=
-                        SimTime::from_ns((out.rows() * build_payload_cols.len()) as f64 * 0.05);
-                    cur = out;
-                }
-            }
-        }
+        let work = run_ops(packet, pipeline, tables, &mut Scratch::new())?;
+        let spec = agg.as_ref().map(|s| s.spec().clone());
+        let time = self.charge(&work, spec.as_ref(), tables, ht_regions)?;
         if let Some(state) = agg {
-            if cur.rows() > 0 {
-                let region = Region::at(1 << 24, cur.bytes().max(1));
-                let report = gpu_ops::agg_update(&self.sim, region, &cur, state);
-                time += report.time;
+            if work.out.rows() > 0 {
+                state.update(&work.out);
             }
             return Ok(PacketResult { output: None, time });
         }
-        Ok(PacketResult { output: Some(cur), time })
+        Ok(PacketResult { output: Some(work.out), time })
     }
 
     /// Charge a GPU join probe of `keys` against a device-resident table.
@@ -397,6 +683,11 @@ pub struct CpuWorker {
     res: Resource,
     provider: CpuProvider,
     agg: Option<AggState>,
+    /// Distinct group keys of the packets committed so far — the control
+    /// plane's mirror of the fold state's group count, used to price the
+    /// cumulative group-table random-access term before the actual fold
+    /// (which runs later, on the data plane, in this same commit order).
+    groups_seen: HashSet<GroupKey>,
     est: f64,
 }
 
@@ -410,6 +701,7 @@ impl CpuWorker {
             res: Resource::new(format!("cpu{socket}.{core}")),
             provider: CpuProvider { model },
             agg,
+            groups_seen: HashSet::new(),
             est: CPU_WORKER_SEED_NS_PER_BYTE,
         }
     }
@@ -422,6 +714,10 @@ impl DeviceProvider for CpuWorker {
 
     fn device(&self) -> DeviceType {
         DeviceType::Cpu
+    }
+
+    fn cost_class(&self) -> CostClass {
+        CostClass::Cpu { socket: self.socket }
     }
 
     fn ready_at(&self, start: SimTime, _bytes: u64) -> SimTime {
@@ -442,18 +738,45 @@ impl DeviceProvider for CpuWorker {
         Ok(0)
     }
 
-    fn execute(
-        &mut self,
-        packet: Batch,
-        pipeline: &Pipeline,
+    fn charge(
+        &self,
+        work: &PacketWork,
+        _agg: Option<&AggSpec>,
         tables: &TableStore,
+    ) -> Result<SimTime, EngineError> {
+        // The aggregation term is history-dependent on the CPU model
+        // (cumulative group-table growth): commit_packet applies it.
+        self.provider.charge(work, tables)
+    }
+
+    fn commit_packet(
+        &mut self,
+        work: &PacketWork,
+        base: SimTime,
         start: SimTime,
-    ) -> Result<PacketOutcome, EngineError> {
-        let bytes = packet.bytes().max(1);
-        let result = self.provider.run_packet(packet, pipeline, tables, self.agg.as_mut())?;
-        let (_, done) = self.res.acquire(start, result.time);
-        update_estimate(&mut self.est, result.time, bytes);
-        Ok(PacketOutcome { output: result.output, done, h2d_bytes: 0 })
+    ) -> CommitOutcome {
+        let bytes = work.bytes.max(1);
+        let mut time = base;
+        if let (Some(state), Some(info)) = (&self.agg, &work.agg) {
+            for k in &info.groups {
+                self.groups_seen.insert(*k);
+            }
+            time += cpu_ops::agg_cost(
+                state.spec(),
+                info.rows,
+                self.groups_seen.len(),
+                &self.provider.model,
+            );
+        }
+        let (_, done) = self.res.acquire(start, time);
+        update_estimate(&mut self.est, time, bytes);
+        CommitOutcome { done, h2d_bytes: 0 }
+    }
+
+    fn fold_packet(&mut self, batch: &Batch) {
+        if let Some(state) = &mut self.agg {
+            state.update(batch);
+        }
     }
 
     fn agg(&self) -> Option<&AggState> {
@@ -521,6 +844,10 @@ impl DeviceProvider for GpuWorker {
 
     fn device(&self) -> DeviceType {
         DeviceType::Gpu
+    }
+
+    fn cost_class(&self) -> CostClass {
+        CostClass::Gpu { idx: self.idx }
     }
 
     fn packet_share(&self) -> usize {
@@ -594,32 +921,40 @@ impl DeviceProvider for GpuWorker {
         Ok(total)
     }
 
-    fn execute(
-        &mut self,
-        packet: Batch,
-        pipeline: &Pipeline,
+    fn charge(
+        &self,
+        work: &PacketWork,
+        agg: Option<&AggSpec>,
         tables: &TableStore,
+    ) -> Result<SimTime, EngineError> {
+        self.provider.charge(work, agg, tables, &self.ht_regions)
+    }
+
+    fn commit_packet(
+        &mut self,
+        work: &PacketWork,
+        base: SimTime,
         start: SimTime,
-    ) -> Result<PacketOutcome, EngineError> {
-        let bytes = packet.bytes().max(1);
+    ) -> CommitOutcome {
+        let bytes = work.bytes.max(1);
         let (_, arrived) = self.link.transfer(start, bytes);
-        let result = self.provider.run_packet(
-            packet,
-            pipeline,
-            tables,
-            &self.ht_regions,
-            self.agg.as_mut(),
-        )?;
-        let (_, done) = self.res.acquire(arrived, result.time);
+        let (_, done) = self.res.acquire(arrived, base);
         // A build pipeline's output is consumed host-side (the hash table
         // is built in host memory for broadcasting): it rides the link
         // back, and the packet is not finished until the return lands.
-        let done = match &result.output {
-            Some(out) if out.rows() > 0 => self.link.transfer(done, out.bytes().max(1)).1,
-            _ => done,
+        let done = if !work.folds && work.out.rows() > 0 {
+            self.link.transfer(done, work.out.bytes().max(1)).1
+        } else {
+            done
         };
-        update_estimate(&mut self.est, result.time, bytes);
-        Ok(PacketOutcome { output: result.output, done, h2d_bytes: bytes })
+        update_estimate(&mut self.est, base, bytes);
+        CommitOutcome { done, h2d_bytes: bytes }
+    }
+
+    fn fold_packet(&mut self, batch: &Batch) {
+        if let Some(state) = &mut self.agg {
+            state.update(batch);
+        }
     }
 
     fn agg(&self) -> Option<&AggState> {
@@ -771,19 +1106,48 @@ mod tests {
                 vec!["d".into()],
             )),
         ];
-        let mut merged = AggState::new(agg);
+        let mut merged = AggState::new(agg.clone());
+        let mut scratch = Scratch::new();
         for w in &mut workers {
             let h2d = w.install_tables(&p, &tables, SimTime::ZERO).unwrap();
             // Only the GPU worker needs the broadcast mem-move.
             assert_eq!(h2d > 0, w.device() == DeviceType::Gpu, "{:?}", w.id());
-            let out = w.execute(packet(1000), &p, &tables, SimTime::ZERO).unwrap();
-            assert!(out.output.is_none());
+            // Data plane: kernels + class pricing; control plane: commit;
+            // data plane again: the fold — the engine's three beats.
+            let work = run_ops(packet(1000), &p, &tables, &mut scratch).unwrap();
+            assert!(work.folds);
+            let base = w.charge(&work, Some(&agg), &tables).unwrap();
+            assert!(base.as_ns() > 0.0, "{:?}", w.id());
+            let out = w.commit_packet(&work, base, SimTime::ZERO);
             assert!(out.done.as_ns() > 0.0);
+            w.fold_packet(&work.out);
             assert!(w.busy().as_ns() > 0.0);
             merged.merge(w.agg().unwrap());
         }
         let rows = merged.finish();
         assert_eq!(rows[0].1[0], 100.0); // both workers saw 50 matches
+    }
+
+    #[test]
+    fn run_packet_equals_split_charge_plus_commit() {
+        // The compatibility wrapper and the split planes must price a
+        // packet identically — the bit-identity the control plane's replay
+        // rests on.
+        let mut tables = TableStore::new();
+        tables.insert("d".into(), dim_table());
+        let p = pipeline();
+        let agg = p.agg.clone().unwrap();
+        let model = CpuCostModel::new(CpuSpec::xeon_e5_2650l_v3(), 12);
+        let cpu = CpuProvider { model: model.clone() };
+        let mut state = AggState::new(agg.clone());
+        let whole = cpu.run_packet(packet(1000), &p, &tables, Some(&mut state)).unwrap().time;
+
+        let mut worker = CpuWorker::new(0, 0, model, Some(AggState::new(agg.clone())));
+        let work = run_ops(packet(1000), &p, &tables, &mut Scratch::new()).unwrap();
+        let base = worker.charge(&work, Some(&agg), &tables).unwrap();
+        let out = worker.commit_packet(&work, base, SimTime::ZERO);
+        assert_eq!(out.done, whole, "split planes diverge from the fused path");
+        assert_eq!(worker.busy(), whole);
     }
 
     #[test]
@@ -833,9 +1197,12 @@ mod tests {
         );
         let pkt = packet(100_000);
         let bytes = pkt.bytes();
-        let out =
-            w.execute(pkt, &Pipeline::scan("t"), &TableStore::new(), SimTime::ZERO).unwrap();
-        assert!(out.output.is_some());
+        let tables = TableStore::new();
+        let p = Pipeline::scan("t");
+        let work = run_ops(pkt, &p, &tables, &mut Scratch::new()).unwrap();
+        assert!(!work.folds && work.out.rows() > 0);
+        let base = w.charge(&work, None, &tables).unwrap();
+        let out = w.commit_packet(&work, base, SimTime::ZERO);
         let two_trips = Link::pcie3_x16("x").duration(bytes) * 2.0;
         assert!(out.done >= two_trips, "{} < {}", out.done, two_trips);
     }

@@ -118,6 +118,31 @@ fn group_value(col: &Column, row: usize) -> i64 {
     }
 }
 
+/// Distinct group keys `batch` contributes under `spec`, in first-seen row
+/// order. This is the statistic the engine's control plane uses to price
+/// cumulative group-table growth per worker (the fused-aggregation
+/// random-access term) without folding the actual [`AggState`], which the
+/// data plane does later in routed packet order.
+pub fn distinct_groups(spec: &AggSpec, batch: &Batch) -> Vec<GroupKey> {
+    let n = batch.rows();
+    if n == 0 {
+        return Vec::new();
+    }
+    let group_cols: Vec<&Column> = spec.group_by.iter().map(|&i| batch.col(i)).collect();
+    let mut seen: std::collections::HashSet<GroupKey> = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for row in 0..n {
+        let mut key: GroupKey = [0; 4];
+        for (slot, col) in key.iter_mut().zip(&group_cols) {
+            *slot = group_value(col, row);
+        }
+        if seen.insert(key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
 /// A mergeable (partial) aggregation state.
 #[derive(Debug, Clone)]
 pub struct AggState {
@@ -150,16 +175,17 @@ impl AggState {
             return;
         }
         self.rows_seen += n as u64;
-        // Evaluate aggregate arguments once, vectorised.
-        let args: Vec<Vec<f64>> = self
+        // Evaluate aggregate arguments once, vectorised. Bare column
+        // references borrow the packet's Arc-backed storage — no copy.
+        let args: Vec<std::borrow::Cow<'_, [f64]>> = self
             .spec
             .aggs
             .iter()
             .map(|(f, e)| {
                 if *f == AggFunc::Count {
-                    Vec::new() // count ignores its argument
+                    std::borrow::Cow::Owned(Vec::new()) // count ignores its argument
                 } else {
-                    eval(e, batch).as_f64().to_vec()
+                    eval(e, batch).into_f64()
                 }
             })
             .collect();

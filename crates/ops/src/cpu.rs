@@ -9,17 +9,35 @@
 use hape_sim::{CpuCostModel, SimTime};
 use hape_storage::Batch;
 
-use crate::agg::AggState;
+use crate::agg::{AggSpec, AggState};
 use crate::expr::{eval, eval_bool, Expr};
-
-/// Bytes per row the expression touches in this batch.
-fn bytes_used_per_row(e: &Expr, batch: &Batch) -> u64 {
-    e.columns_used().iter().map(|&i| batch.col(i).data_type().width() as u64).sum()
-}
 
 /// Cost of a source scan delivering `bytes` from local memory.
 pub fn scan_cost(bytes: u64, model: &CpuCostModel) -> SimTime {
     model.seq_read(bytes)
+}
+
+/// Cost of a fused filter over `rows` input rows at `pred_ops` predicate
+/// operations per row (see [`filter`]): the predicate evaluation only —
+/// survivors stay in selection vectors.
+pub fn filter_cost(rows: u64, pred_ops: f64, model: &CpuCostModel) -> SimTime {
+    model.compute_simd(rows, pred_ops + 1.0)
+}
+
+/// Cost of a fused projection of `rows` rows at `ops` expression operations
+/// per row (see [`project`]).
+pub fn project_cost(rows: u64, ops: f64, model: &CpuCostModel) -> SimTime {
+    model.compute_simd(rows, ops + 0.5)
+}
+
+/// Cost of folding `rows` input rows into an aggregation whose group table
+/// holds `n_groups` groups *after* the fold (see [`agg_update`]): expression
+/// evaluation plus random accesses into the group hash table. Split out so
+/// the control plane can price a packet's fold from recorded statistics
+/// while the actual fold runs on the data plane.
+pub fn agg_cost(spec: &AggSpec, rows: u64, n_groups: usize, model: &CpuCostModel) -> SimTime {
+    let table_bytes = (n_groups.max(1) * 64) as u64;
+    model.compute_simd(rows, spec.ops_per_row()) + model.random_accesses(rows, table_bytes)
 }
 
 /// Filter: keep rows where `pred` holds. Returns the surviving batch.
@@ -38,8 +56,21 @@ pub fn filter(batch: &Batch, pred: &Expr, model: &CpuCostModel) -> (Batch, SimTi
         columns: batch.columns.iter().map(|c| c.take(&sel)).collect(),
         partition: batch.partition,
     };
-    let compute = model.compute_simd(n, pred.ops_per_row() + 1.0);
+    let compute = filter_cost(n, pred.ops_per_row(), model);
     (out, compute)
+}
+
+/// Materialise one projection expression over a batch. A bare reference to
+/// an `f64` column is a zero-copy view of the Arc-backed storage; everything
+/// else evaluates into a fresh `f64` column.
+pub fn project_column(e: &Expr, batch: &Batch) -> hape_storage::Column {
+    if let Expr::Col(i) = e {
+        let c = batch.col(*i);
+        if c.data_type() == hape_storage::table::DataType::F64 {
+            return c.clone();
+        }
+    }
+    hape_storage::Column::from_f64(eval(e, batch).into_f64().into_owned())
 }
 
 /// Project: produce one `f64` column per expression.
@@ -47,17 +78,14 @@ pub fn project(batch: &Batch, exprs: &[Expr], model: &CpuCostModel) -> (Batch, S
     let n = batch.rows() as u64;
     let mut cols = Vec::with_capacity(exprs.len());
     let mut ops = 0.0;
-    let mut bytes_in = 0u64;
     for e in exprs {
         ops += e.ops_per_row();
-        bytes_in += bytes_used_per_row(e, batch);
-        cols.push(hape_storage::Column::from_f64(eval(e, batch).as_f64().to_vec()));
+        cols.push(project_column(e, batch));
     }
-    let _ = bytes_in;
     let out = Batch { columns: cols, partition: batch.partition };
     // Fused projection: inputs were streamed by the scan, outputs stay in
     // registers for the next fused operator.
-    let t = model.compute_simd(n, ops + 0.5);
+    let t = project_cost(n, ops, model);
     (out, t)
 }
 
@@ -65,26 +93,17 @@ pub fn project(batch: &Batch, exprs: &[Expr], model: &CpuCostModel) -> (Batch, S
 pub fn agg_update(state: &mut AggState, batch: &Batch, model: &CpuCostModel) -> SimTime {
     let n = batch.rows() as u64;
     let spec = state.spec().clone();
-    let mut bytes = 0u64;
-    for (_, e) in &spec.aggs {
-        bytes += bytes_used_per_row(e, batch);
-    }
-    for &g in &spec.group_by {
-        bytes += batch.col(g).data_type().width() as u64;
-    }
-    let _ = bytes;
     state.update(batch);
     // Fused aggregation: the argument columns were streamed by the scan;
     // what remains is expression evaluation plus random accesses into the
     // (usually tiny) group hash table.
-    let table_bytes = (state.n_groups().max(1) * 64) as u64;
-    model.compute_simd(n, spec.ops_per_row()) + model.random_accesses(n, table_bytes)
+    agg_cost(&spec, n, state.n_groups(), model)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::agg::{AggFunc, AggSpec};
+    use crate::agg::AggFunc;
     use hape_sim::CpuSpec;
     use hape_storage::Column;
 

@@ -396,17 +396,23 @@ pub enum ResolveError {
 }
 
 /// Result of evaluating an expression over a batch.
+///
+/// The numeric arm borrows the Arc-backed column storage whenever the
+/// expression is a direct reference to an `f64` column — the hot
+/// aggregate-argument and projection paths never copy those values; only
+/// genuinely computed results own their vector.
 #[derive(Debug, Clone)]
-pub enum ExprValue {
-    /// Numeric vector (all arithmetic is carried out in `f64`; exact-integer
+pub enum ExprValue<'a> {
+    /// Numeric values (all arithmetic is carried out in `f64`; exact-integer
     /// paths matter only for key columns, which operators read directly).
-    F64(Vec<f64>),
+    /// Borrowed when the expression is a bare `f64` column reference.
+    F64(std::borrow::Cow<'a, [f64]>),
     /// Boolean vector (predicates).
     Bool(Vec<bool>),
 }
 
-impl ExprValue {
-    /// The numeric vector; panics on booleans.
+impl<'a> ExprValue<'a> {
+    /// The numeric values; panics on booleans.
     pub fn as_f64(&self) -> &[f64] {
         match self {
             ExprValue::F64(v) => v,
@@ -421,26 +427,37 @@ impl ExprValue {
             ExprValue::F64(_) => panic!("expected boolean expression, got numeric"),
         }
     }
+
+    /// The numeric values as a possibly-borrowed slice; panics on booleans.
+    pub fn into_f64(self) -> std::borrow::Cow<'a, [f64]> {
+        match self {
+            ExprValue::F64(v) => v,
+            ExprValue::Bool(_) => panic!("expected numeric expression, got boolean"),
+        }
+    }
 }
 
-fn column_as_f64(batch: &Batch, i: usize) -> Vec<f64> {
+fn column_as_f64(batch: &Batch, i: usize) -> std::borrow::Cow<'_, [f64]> {
+    use std::borrow::Cow;
     let c = batch.col(i);
     match c.data_type() {
-        DataType::I32 | DataType::Date => c.as_i32().iter().map(|&v| v as f64).collect(),
-        DataType::I64 => c.as_i64().iter().map(|&v| v as f64).collect(),
-        DataType::F64 => c.as_f64().to_vec(),
-        DataType::Str => c.as_codes().iter().map(|&v| v as f64).collect(),
+        DataType::I32 | DataType::Date => {
+            Cow::Owned(c.as_i32().iter().map(|&v| v as f64).collect())
+        }
+        DataType::I64 => Cow::Owned(c.as_i64().iter().map(|&v| v as f64).collect()),
+        DataType::F64 => Cow::Borrowed(c.as_f64()),
+        DataType::Str => Cow::Owned(c.as_codes().iter().map(|&v| v as f64).collect()),
     }
 }
 
 /// Evaluate `expr` over `batch`.
-pub fn eval(expr: &Expr, batch: &Batch) -> ExprValue {
+pub fn eval<'a>(expr: &Expr, batch: &'a Batch) -> ExprValue<'a> {
     let n = batch.rows();
     match expr {
         Expr::Col(i) => ExprValue::F64(column_as_f64(batch, *i)),
-        Expr::LitI32(v) => ExprValue::F64(vec![*v as f64; n]),
-        Expr::LitI64(v) => ExprValue::F64(vec![*v as f64; n]),
-        Expr::LitF64(v) => ExprValue::F64(vec![*v; n]),
+        Expr::LitI32(v) => ExprValue::F64(std::borrow::Cow::Owned(vec![*v as f64; n])),
+        Expr::LitI64(v) => ExprValue::F64(std::borrow::Cow::Owned(vec![*v as f64; n])),
+        Expr::LitF64(v) => ExprValue::F64(std::borrow::Cow::Owned(vec![*v; n])),
         Expr::Add(a, b) => binary_num(a, b, batch, |x, y| x + y),
         Expr::Sub(a, b) => binary_num(a, b, batch, |x, y| x - y),
         Expr::Mul(a, b) => binary_num(a, b, batch, |x, y| x * y),
@@ -454,21 +471,36 @@ pub fn eval(expr: &Expr, batch: &Batch) -> ExprValue {
     }
 }
 
-fn binary_num(a: &Expr, b: &Expr, batch: &Batch, f: impl Fn(f64, f64) -> f64) -> ExprValue {
+fn binary_num<'a>(
+    a: &Expr,
+    b: &Expr,
+    batch: &'a Batch,
+    f: impl Fn(f64, f64) -> f64,
+) -> ExprValue<'a> {
     let va = eval(a, batch);
     let vb = eval(b, batch);
     let (va, vb) = (va.as_f64(), vb.as_f64());
-    ExprValue::F64(va.iter().zip(vb).map(|(&x, &y)| f(x, y)).collect())
+    ExprValue::F64(std::borrow::Cow::Owned(va.iter().zip(vb).map(|(&x, &y)| f(x, y)).collect()))
 }
 
-fn binary_cmp(a: &Expr, b: &Expr, batch: &Batch, f: impl Fn(f64, f64) -> bool) -> ExprValue {
+fn binary_cmp<'a>(
+    a: &Expr,
+    b: &Expr,
+    batch: &'a Batch,
+    f: impl Fn(f64, f64) -> bool,
+) -> ExprValue<'a> {
     let va = eval(a, batch);
     let vb = eval(b, batch);
     let (va, vb) = (va.as_f64(), vb.as_f64());
     ExprValue::Bool(va.iter().zip(vb).map(|(&x, &y)| f(x, y)).collect())
 }
 
-fn binary_bool(a: &Expr, b: &Expr, batch: &Batch, f: impl Fn(bool, bool) -> bool) -> ExprValue {
+fn binary_bool<'a>(
+    a: &Expr,
+    b: &Expr,
+    batch: &'a Batch,
+    f: impl Fn(bool, bool) -> bool,
+) -> ExprValue<'a> {
     let va = eval(a, batch);
     let vb = eval(b, batch);
     let (va, vb) = (va.as_bool(), vb.as_bool());
@@ -499,7 +531,8 @@ mod tests {
     fn arithmetic() {
         // col1 * (1 - col0) — the Q1 `extendedprice * (1 - discount)` shape.
         let e = Expr::mul(Expr::col(1), Expr::sub(Expr::LitF64(1.0), Expr::col(0)));
-        let v = eval(&e, &batch());
+        let b = batch();
+        let v = eval(&e, &b);
         assert_eq!(v.as_f64(), &[0.0, -20.0, -60.0, -120.0]);
     }
 
@@ -517,6 +550,24 @@ mod tests {
         let e = Expr::mul(Expr::col(1), Expr::sub(Expr::LitF64(1.0), Expr::col(0)));
         assert!(e.ops_per_row() > 2.0);
         assert!(Expr::col(0).ops_per_row() < 1.0);
+    }
+
+    #[test]
+    fn f64_column_reference_borrows_the_storage() {
+        // The hot aggregate-argument path: a bare `f64` column reference
+        // must evaluate to a borrow of the Arc-backed slice, not a copy.
+        let b = batch();
+        match eval(&Expr::col(1), &b) {
+            ExprValue::F64(std::borrow::Cow::Borrowed(s)) => {
+                assert_eq!(s.as_ptr(), b.col(1).as_f64().as_ptr());
+            }
+            other => panic!("expected a borrowed slice, got {other:?}"),
+        }
+        // Computed expressions still own their result.
+        match eval(&Expr::add(Expr::col(1), Expr::LitF64(0.0)), &b) {
+            ExprValue::F64(std::borrow::Cow::Owned(_)) => {}
+            other => panic!("expected an owned vector, got {other:?}"),
+        }
     }
 
     #[test]
@@ -558,7 +609,8 @@ mod tests {
     #[test]
     fn named_exprs_resolve_to_positions() {
         let e = col("a").mul(lit(2.0)).resolve(&ToyScope).unwrap();
-        let v = eval(&e, &batch());
+        let b = batch();
+        let v = eval(&e, &b);
         assert_eq!(v.as_f64(), &[2.0, 4.0, 6.0, 8.0]);
     }
 

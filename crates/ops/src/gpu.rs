@@ -9,7 +9,7 @@
 use hape_sim::{BlockCtx, GpuSim, KernelReport, LaunchConfig, Region, SimTime};
 use hape_storage::Batch;
 
-use crate::agg::AggState;
+use crate::agg::{AggSpec, AggState};
 use crate::expr::{eval_bool, Expr};
 
 /// Rows each thread block processes.
@@ -33,6 +33,47 @@ fn block_range(blk: &BlockCtx<'_>, rows: usize) -> (usize, usize) {
     (start, end.max(start))
 }
 
+/// Per-block survivor counts of a filter's selection vector — the
+/// statistic [`filter_cost`] replays instead of re-evaluating the
+/// predicate. `sel` holds the surviving row indices in ascending order.
+pub fn block_survivors(sel: &[u32], rows: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; rows.div_ceil(ITEMS_PER_BLOCK).max(1)];
+    for &i in sel {
+        counts[i as usize / ITEMS_PER_BLOCK] += 1;
+    }
+    counts
+}
+
+/// Cost-only replay of [`filter`] from recorded statistics: `rows` input
+/// rows whose predicate touches `row_bytes` per row, `out_row_bytes` per
+/// surviving row, and the per-block survivor counts the functional pass
+/// observed (see [`block_survivors`]). Charges exactly what [`filter`]
+/// charges, without re-running the predicate — this is what lets the
+/// data plane evaluate a packet once and price it for every device class.
+pub fn filter_cost(
+    sim: &GpuSim,
+    region: Region,
+    rows: usize,
+    row_bytes: u64,
+    out_row_bytes: u64,
+    pred_ops: f64,
+    survivors: &[u32],
+) -> KernelReport {
+    sim.launch(&grid_for(rows), |blk| {
+        let (start, end) = block_range(blk, rows);
+        if start >= end {
+            return;
+        }
+        let n = end - start;
+        let selected = survivors.get(blk.block_idx).copied().unwrap_or(0);
+        // Coalesced read of referenced columns, register compute, warp-level
+        // compaction, coalesced write of survivors.
+        blk.global_read_stream(&region, start as u64 * row_bytes, n as u64 * row_bytes);
+        blk.compute(n as u64, pred_ops + 2.0);
+        blk.global_write_stream(selected as u64 * out_row_bytes);
+    })
+}
+
 /// GPU filter: evaluates `pred` per block and compacts survivors.
 ///
 /// `region` is the device-memory residence of the input batch.
@@ -45,25 +86,18 @@ pub fn filter(
     let rows = batch.rows();
     let row_bytes = bytes_used_per_row(pred, batch).max(1);
     let out_row_bytes: u64 = batch.columns.iter().map(|c| c.data_type().width() as u64).sum();
-    let mut sel: Vec<u32> = Vec::new();
-    let report = sim.launch(&grid_for(rows), |blk| {
-        let (start, end) = block_range(blk, rows);
-        if start >= end {
-            return;
-        }
-        let n = end - start;
-        let slice = batch.slice(start, n);
-        let keep = eval_bool(pred, &slice);
-        let selected = keep.iter().filter(|&&k| k).count();
-        sel.extend(
-            keep.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| (start + i) as u32),
-        );
-        // Coalesced read of referenced columns, register compute, warp-level
-        // compaction, coalesced write of survivors.
-        blk.global_read_stream(&region, start as u64 * row_bytes, n as u64 * row_bytes);
-        blk.compute(n as u64, pred.ops_per_row() + 2.0);
-        blk.global_write_stream(selected as u64 * out_row_bytes);
-    });
+    let keep = eval_bool(pred, batch);
+    let sel: Vec<u32> =
+        keep.iter().enumerate().filter(|(_, &k)| k).map(|(i, _)| i as u32).collect();
+    let report = filter_cost(
+        sim,
+        region,
+        rows,
+        row_bytes,
+        out_row_bytes,
+        pred.ops_per_row(),
+        &block_survivors(&sel, rows),
+    );
     let out = Batch {
         columns: batch.columns.iter().map(|c| c.take(&sel)).collect(),
         partition: batch.partition,
@@ -71,17 +105,11 @@ pub fn filter(
     (out, report)
 }
 
-/// GPU aggregation: per-block partial aggregates in the scratchpad, folded
-/// into the host-side [`AggState`] (the cross-device merge the router
-/// performs in plan-level co-processing).
-pub fn agg_update(
-    sim: &GpuSim,
-    region: Region,
-    batch: &Batch,
-    state: &mut AggState,
-) -> KernelReport {
+/// Cost-only replay of [`agg_update`]: charges the fused-aggregation
+/// kernel for `batch` under `spec` without folding any state — the fold
+/// itself runs on the data plane, in routed packet order.
+pub fn agg_cost(sim: &GpuSim, region: Region, batch: &Batch, spec: &AggSpec) -> KernelReport {
     let rows = batch.rows();
-    let spec = state.spec().clone();
     let mut row_bytes = 0u64;
     for (_, e) in &spec.aggs {
         row_bytes += bytes_used_per_row(e, batch);
@@ -101,8 +129,6 @@ pub fn agg_update(
             return;
         }
         let n = end - start;
-        let slice = batch.slice(start, n);
-        state.update(&slice);
         blk.global_read_stream(&region, start as u64 * row_bytes, n as u64 * row_bytes);
         blk.compute(n as u64, spec.ops_per_row());
         // One scratchpad atomic per row per aggregate; group keys map to
@@ -116,6 +142,20 @@ pub fn agg_update(
             blk.smem_atomic(&warp_atomics);
         }
     })
+}
+
+/// GPU aggregation: per-block partial aggregates in the scratchpad, folded
+/// into the host-side [`AggState`] (the cross-device merge the router
+/// performs in plan-level co-processing).
+pub fn agg_update(
+    sim: &GpuSim,
+    region: Region,
+    batch: &Batch,
+    state: &mut AggState,
+) -> KernelReport {
+    let spec = state.spec().clone();
+    state.update(batch);
+    agg_cost(sim, region, batch, &spec)
 }
 
 /// Cost-only helper: a fused streaming pass of `bytes` through a GPU
@@ -138,7 +178,7 @@ pub fn stream_pass(sim: &GpuSim, region: Region, bytes: u64, ops_per_item: f64) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::agg::{AggFunc, AggSpec};
+    use crate::agg::AggFunc;
     use hape_sim::{Fidelity, GpuSpec};
     use hape_storage::Column;
 

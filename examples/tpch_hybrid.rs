@@ -14,8 +14,13 @@
 //!
 //! ```text
 //! cargo run --release --example tpch_hybrid [sf] [--explain]
-//!     [--placements cpu,gpu,hybrid,auto]
+//!     [--placements cpu,gpu,hybrid,auto] [--packet-rows <n>] [--threads <n>]
 //! ```
+//!
+//! `--packet-rows` overrides the engine's auto packet-sizing heuristic
+//! (`ExecConfig::auto_packet_rows`) and `--threads` pins the data-plane
+//! worker pool — both sweepable without recompiling. Simulated times are
+//! thread-count-invariant; packet size genuinely changes the routing.
 
 use hape::core::{ExecConfig, JoinAlgo, PlacedStage, Placement, Session};
 use hape::sim::topology::Server;
@@ -23,17 +28,24 @@ use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let placements_at = args.iter().position(|a| a == "--placements");
+    let value_flags = ["--placements", "--packet-rows", "--threads"];
+    let value_at: Vec<usize> = args
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| value_flags.contains(&a.as_str()))
+        .map(|(i, _)| i + 1)
+        .collect();
     // The scale factor is the first positional argument — skipping flags
-    // and the `--placements` value.
+    // and their values.
     let sf: f64 = args
         .iter()
         .enumerate()
-        .find(|(i, a)| !a.starts_with("--") && placements_at.is_none_or(|p| *i != p + 1))
+        .find(|(i, a)| !a.starts_with("--") && !value_at.contains(i))
         .and_then(|(_, a)| a.parse().ok())
         .unwrap_or(0.05);
-    let placements: Vec<Placement> = placements_at
-        .and_then(|i| args.get(i + 1))
+    let flag_value =
+        |flag: &str| args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1));
+    let placements: Vec<Placement> = flag_value("--placements")
         .map(|list| {
             list.split(',')
                 .map(|p| p.parse::<Placement>().unwrap_or_else(|e| panic!("{e}")))
@@ -42,6 +54,10 @@ fn main() {
         .unwrap_or_else(|| {
             vec![Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid, Placement::Auto]
         });
+    let packet_rows: Option<usize> = flag_value("--packet-rows")
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("--packet-rows expects a row count")));
+    let threads: Option<usize> = flag_value("--threads")
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("--threads expects a thread count")));
     println!("generating TPC-H at SF {sf} …");
     let data = hape::tpch::generate(sf, 42);
     // GPU memory scales with SF so the paper's SF-100 capacity effects hold.
@@ -54,12 +70,19 @@ fn main() {
     session.register(data.nation.clone());
     session.register(data.region.clone());
 
+    let mk_cfg = |placement: Placement| {
+        let mut cfg = ExecConfig::new(placement);
+        cfg.packet_rows = packet_rows;
+        cfg.threads = threads;
+        cfg
+    };
+
     if args.iter().any(|a| a == "--explain") {
         // Q9 under Auto renders the optimizer's headline decision: the
         // stream stage becomes a co-processing stage (CPU co-partition →
         // per-GPU single-pass joins) with its cost decomposition.
         let q9 = q9_query(JoinAlgo::Partitioned);
-        let cfg = ExecConfig::new(*placements.last().unwrap_or(&Placement::Auto));
+        let cfg = mk_cfg(*placements.last().unwrap_or(&Placement::Auto));
         println!("{}", session.explain_with(&q9, &cfg).expect("Q9 places"));
     }
 
@@ -77,7 +100,7 @@ fn main() {
     for (name, query) in &queries {
         print!("{name:<5}");
         for &placement in &placements {
-            let cfg = ExecConfig::new(placement);
+            let cfg = mk_cfg(placement);
             // Q9's hash tables exceed GPU memory (§6.4): the manual GPU
             // placements report the OOM, while `auto` plans the §5
             // co-processing stage and completes — flagged in the cell.

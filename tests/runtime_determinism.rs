@@ -1,0 +1,166 @@
+//! Determinism of the two-plane runtime across data-plane thread counts.
+//!
+//! The engine's control plane (router + sim-time accounting) runs
+//! sequentially on the coordinator while the data plane (kernels, per-class
+//! pricing, per-worker aggregation folds) fans out over the `runtime` pool.
+//! The guarantee under test: **`ExecConfig::threads` is a pure wall-clock
+//! knob** — result rows, simulated makespans, packet routing counts and
+//! h2d traffic are bit-identical for threads ∈ {1, 2, 8} across the TPC-H
+//! × placement matrix, including Q9's optimizer-planned co-processing
+//! stage, and typed failures (Q9's §6.4 GPU OOM) reproduce identically
+//! too. A tiny-packet stress run hammers the pool with thousands of
+//! packets per stage to shake out ordering bugs.
+
+use hape::core::{ExecConfig, JoinAlgo, Placement, Query, QueryReport, Session};
+use hape::ops::{col, AggFunc};
+use hape::sim::topology::Server;
+use hape::storage::datagen::gen_key_fk_table;
+use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query};
+
+const SF: f64 = 0.01;
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn tpch_session() -> Session {
+    let data = hape::tpch::generate(SF, 7170);
+    let mut session = Session::new(Server::tpch_scaled(SF));
+    session.register(data.lineitem.clone());
+    session.register(data.orders.clone());
+    session.register(data.customer.clone());
+    session.register(data.supplier.clone());
+    session.register(data.partsupp.clone());
+    session.register(data.nation.clone());
+    session.register(data.region.clone());
+    session
+}
+
+/// Assert everything a report exposes is independent of the thread count.
+fn assert_reports_identical(got: &QueryReport, want: &QueryReport, ctx: &str) {
+    assert_eq!(got.rows, want.rows, "{ctx}: rows");
+    assert_eq!(got.time, want.time, "{ctx}: makespan");
+    assert_eq!(got.cpu_busy, want.cpu_busy, "{ctx}: cpu busy");
+    assert_eq!(got.gpu_busy, want.gpu_busy, "{ctx}: gpu busy");
+    assert_eq!(got.h2d_bytes, want.h2d_bytes, "{ctx}: h2d bytes");
+    assert_eq!(got.packets_cpu, want.packets_cpu, "{ctx}: cpu packets");
+    assert_eq!(got.packets_gpu, want.packets_gpu, "{ctx}: gpu packets");
+}
+
+#[test]
+fn simulated_results_are_bit_identical_across_thread_counts() {
+    let session = tpch_session();
+    let queries: Vec<Query> = vec![
+        q1_query(),
+        q5_query(JoinAlgo::NonPartitioned),
+        q5_query(JoinAlgo::Partitioned),
+        q6_query(),
+        q9_query(JoinAlgo::NonPartitioned),
+    ];
+    let placements =
+        [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid, Placement::Auto];
+    for query in &queries {
+        for placement in placements {
+            let mut reference: Option<Result<QueryReport, String>> = None;
+            for threads in THREADS {
+                let cfg = ExecConfig::new(placement).with_threads(threads);
+                let outcome = session.execute_with(query, &cfg).map_err(|e| format!("{e}"));
+                match (&reference, &outcome) {
+                    (None, _) => reference = Some(outcome),
+                    (Some(Ok(want)), Ok(got)) => {
+                        let ctx = format!("{}/{placement:?} threads={threads}", query.name);
+                        assert_reports_identical(got, want, &ctx);
+                    }
+                    (Some(Err(want)), Err(got)) => {
+                        assert_eq!(
+                            got, want,
+                            "{}/{placement:?}: error diverged at threads={threads}",
+                            query.name
+                        );
+                    }
+                    (Some(want), got) => panic!(
+                        "{}/{placement:?}: success/failure flipped at threads={threads}: \
+                         {want:?} vs {got:?}",
+                        query.name
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn q9_coprocess_stage_is_thread_count_invariant() {
+    // Q9 under Auto exercises every runtime path at once: parallel build
+    // stages, the CPU prefix through the packet loop, the co-processing
+    // join, and the chunked parallel fold.
+    let session = tpch_session();
+    let q9 = q9_query(JoinAlgo::NonPartitioned);
+    let mut reports = Vec::new();
+    for threads in THREADS {
+        let cfg = ExecConfig::new(Placement::Auto).with_threads(threads);
+        reports.push(session.execute_with(&q9, &cfg).expect("Q9 Auto completes"));
+    }
+    assert!(reports[0].packets_gpu > 0, "co-partitions must reach the GPUs");
+    for rep in &reports[1..] {
+        assert_eq!(rep.rows, reports[0].rows);
+        assert_eq!(rep.time, reports[0].time);
+        assert_eq!(rep.h2d_bytes, reports[0].h2d_bytes);
+        assert_eq!(rep.packets_gpu, reports[0].packets_gpu);
+    }
+}
+
+#[test]
+fn tiny_packet_stress_hammers_the_pool_deterministically() {
+    // 2^17 rows at 64 rows/packet = 2048 stream packets (plus the build's
+    // auto-sized ones) per run — thousands of scatter jobs and fold
+    // batches racing through the pool, same answer every time.
+    let mut session = Session::new(Server::paper_testbed());
+    session.register_as("fact", gen_key_fk_table(1 << 17, 1 << 17, 91));
+    session.register_as("dim", gen_key_fk_table(1 << 12, 1 << 12, 92));
+    let q = session
+        .query("stress")
+        .from_table("fact")
+        .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+        .agg(vec![(AggFunc::Count, col("k")), (AggFunc::Sum, col("v"))]);
+    let mut reference: Option<QueryReport> = None;
+    for threads in [1, 2, 8, 32] {
+        let mut cfg = ExecConfig::new(Placement::Hybrid).with_threads(threads);
+        cfg.packet_rows = Some(64);
+        let rep = session.execute_with(&q, &cfg).unwrap();
+        assert_eq!(rep.rows[0].1[0], (1 << 12) as f64, "every dim key matches once");
+        assert!(rep.packets_cpu + rep.packets_gpu >= 2048, "tiny packets routed");
+        match &reference {
+            None => reference = Some(rep),
+            Some(want) => {
+                assert_eq!(rep.rows, want.rows, "threads={threads}");
+                assert_eq!(rep.time, want.time, "threads={threads}");
+                assert_eq!(rep.packets_cpu, want.packets_cpu, "threads={threads}");
+                assert_eq!(rep.packets_gpu, want.packets_gpu, "threads={threads}");
+            }
+        }
+    }
+}
+
+#[test]
+fn explicit_packet_rows_rides_the_config_into_the_stream_stage() {
+    let mut session = Session::new(Server::paper_testbed());
+    session.register_as("fact", gen_key_fk_table(1 << 16, 1 << 16, 3));
+    session.register_as("dim", gen_key_fk_table(1 << 10, 1 << 10, 4));
+    let q = session
+        .query("sized")
+        .from_table("fact")
+        .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+        .agg(vec![(AggFunc::Count, col("k"))]);
+    // Auto sizing clamps to >= 2K rows per packet; explicit 256-row
+    // packets must multiply the routed stream-packet count accordingly.
+    let auto = session.execute_with(&q, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+    let tiny = session
+        .execute_with(&q, &ExecConfig::new(Placement::CpuOnly).with_packet_rows(256))
+        .unwrap();
+    assert_eq!(auto.rows, tiny.rows);
+    assert!(
+        tiny.packets_cpu > auto.packets_cpu,
+        "explicit packet_rows must shrink packets: {} !> {}",
+        tiny.packets_cpu,
+        auto.packets_cpu
+    );
+    assert_eq!(tiny.packets_cpu, (1 << 16) / 256);
+}
