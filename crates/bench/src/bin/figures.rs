@@ -3,7 +3,7 @@
 //! ```text
 //! figures [fig5|fig6|fig7|fig8|fig9|all] [--full] [--smoke] [--sf <f64>]
 //!         [--placements <p,p,...>] [--packet-rows <n>] [--threads <n,n,...>]
-//!         [--wall [--out <path>]]
+//!         [--wall [--out <path>]] [--serve [--out <path>]]
 //! ```
 //!
 //! Default sizes are scaled down (see EXPERIMENTS.md); `--full` uses
@@ -22,8 +22,17 @@
 //! the (thread-count-invariant) simulated makespan, written to
 //! `BENCH_tpch.json` (`--out` overrides the path). CI smoke invokes it so
 //! the perf trajectory has data points.
+//!
+//! `--serve` runs the concurrent-admission smoke instead: a
+//! mixed-placement TPC-H workload submitted to a `SessionServer` twice
+//! (cold, then warm against the cross-query build cache), reporting
+//! queries/sec, admission waits and cache-served builds per batch, written
+//! to `BENCH_serve.json` (`--out` overrides; `--threads` pins the
+//! data-plane pool with its first value). CI uploads it next to
+//! `BENCH_tpch.json`.
 
 use hape_bench::figures::{fig5, fig6, fig7, fig8_opts, fig9, print_figure};
+use hape_bench::serve::{bench_serve, print_serve};
 use hape_bench::wall::{bench_tpch, print_wall, write_json};
 use hape_core::Placement;
 
@@ -93,6 +102,17 @@ fn main() {
             })
             .collect()
     });
+
+    if args.iter().any(|a| a == "--serve") {
+        let out = flag_value(&args, "--out").map(String::as_str).unwrap_or("BENCH_serve.json");
+        let threads = threads_flag.as_ref().and_then(|t| t.first().copied());
+        let bench = bench_serve(sf, threads);
+        print_serve(&bench);
+        hape_bench::serve::write_json(&bench, out)
+            .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        println!("wrote {out}");
+        return;
+    }
 
     if args.iter().any(|a| a == "--wall") {
         let threads = threads_flag.unwrap_or_else(|| {

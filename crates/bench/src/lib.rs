@@ -7,16 +7,19 @@
 //! variants run at paper scale where memory permits.
 
 pub mod figures;
+pub mod serve;
 pub mod wall;
 
 pub use figures::{
     fig5, fig6, fig7, fig8, fig9, print_figure, Figure, Series, FIG6_DEFAULT_SIZES,
     FIG7_DEFAULT_SIZES,
 };
+pub use serve::{bench_serve, print_serve, ServeBatch, ServeBench};
 pub use wall::{bench_tpch, print_wall, write_json, WallPoint};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::figures::{fig5, fig6, fig7, fig8, fig9, print_figure};
+    pub use crate::serve::{bench_serve, print_serve};
     pub use crate::wall::{bench_tpch, print_wall, write_json};
 }

@@ -1,0 +1,220 @@
+//! Throughput measurement of the concurrent serving layer.
+//!
+//! [`bench_serve`] drives a mixed-placement TPC-H workload through
+//! `SessionServer::run_all` twice on the same server — a **cold** batch
+//! that builds every hash table, then a **warm** batch that re-submits the
+//! identical workload and hits the cross-query build cache — and measures
+//! real elapsed time (queries/sec), total simulated time, admission waits
+//! and cache-served builds per batch. The simulated totals are
+//! deterministic, so the warm-beats-cold comparison is asserted, not just
+//! reported.
+//!
+//! [`write_json`] serialises to `BENCH_serve.json` (hand-rolled — no serde
+//! in the offline workspace), uploaded by CI next to `BENCH_tpch.json`.
+
+use std::time::Instant;
+
+use hape_core::serve::SessionServer;
+use hape_core::{ExecConfig, JoinAlgo, Placement, Session};
+use hape_sim::topology::Server;
+use hape_tpch::queries::{q1_query, q5_query, q6_query, q9_query};
+
+/// Aggregate measurements of one `run_all` batch.
+#[derive(Debug, Clone)]
+pub struct ServeBatch {
+    /// Submitted queries.
+    pub queries: usize,
+    /// Queries that completed (the workload is chosen so all do).
+    pub completed: usize,
+    /// Real elapsed seconds of the whole batch.
+    pub wall_seconds: f64,
+    /// Completed queries per real second.
+    pub qps: f64,
+    /// Total simulated seconds across completed queries (deterministic).
+    pub sim_seconds_total: f64,
+    /// Scheduler rounds queries spent queued on the GPU admission gate.
+    pub admission_waits: usize,
+    /// Build stages served from the cross-query cache.
+    pub builds_cached: usize,
+}
+
+/// The cold/warm serving benchmark result.
+#[derive(Debug, Clone)]
+pub struct ServeBench {
+    /// TPC-H scale factor.
+    pub sf: f64,
+    /// The GPU admission budget in bytes (smallest GPU's memory).
+    pub gpu_budget: u64,
+    /// First batch: builds execute (repeated structures *within* the
+    /// batch — the same query under two placements — already share).
+    pub cold: ServeBatch,
+    /// Second identical batch: every memoised build side hits the cache.
+    pub warm: ServeBatch,
+}
+
+impl ServeBench {
+    /// Simulated-time speedup of the warm batch over the cold one.
+    pub fn warm_speedup_sim(&self) -> f64 {
+        if self.warm.sim_seconds_total > 0.0 {
+            self.cold.sim_seconds_total / self.warm.sim_seconds_total
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The mixed-placement workload: every TPC-H query under placements that
+/// complete at this scale (Q9's broadcast doesn't fit a manual GPU
+/// placement — it rides the optimizer's co-processing plan instead).
+fn workload() -> Vec<(hape_core::Query, Placement)> {
+    vec![
+        (q1_query(), Placement::CpuOnly),
+        (q1_query(), Placement::Hybrid),
+        (q5_query(JoinAlgo::Partitioned), Placement::Hybrid),
+        (q5_query(JoinAlgo::Partitioned), Placement::Auto),
+        (q6_query(), Placement::GpuOnly),
+        (q6_query(), Placement::Hybrid),
+        (q9_query(JoinAlgo::Partitioned), Placement::CpuOnly),
+        (q9_query(JoinAlgo::Partitioned), Placement::Auto),
+    ]
+}
+
+fn run_batch(server: &mut SessionServer, threads: Option<usize>) -> ServeBatch {
+    let jobs = workload();
+    let queries = jobs.len();
+    let mut handles = Vec::with_capacity(queries);
+    for (query, placement) in &jobs {
+        let mut cfg = ExecConfig::new(*placement);
+        cfg.threads = threads;
+        handles.push(server.submit_with(query, &cfg));
+    }
+    let started = Instant::now();
+    let batch = server.run_all();
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let mut completed = 0usize;
+    let mut sim_seconds_total = 0.0f64;
+    for &h in &handles {
+        if let Ok(rep) = batch.report(h) {
+            completed += 1;
+            sim_seconds_total += rep.time.as_secs();
+        }
+    }
+    ServeBatch {
+        queries,
+        completed,
+        wall_seconds,
+        qps: if wall_seconds > 0.0 { completed as f64 / wall_seconds } else { 0.0 },
+        sim_seconds_total,
+        admission_waits: batch.total_admission_waits(),
+        builds_cached: batch.total_builds_cached(),
+    }
+}
+
+/// Run the cold/warm concurrent-serving benchmark at scale factor `sf`.
+///
+/// Panics if the warm batch fails to hit the cache or to beat the cold
+/// batch's (deterministic) total simulated time — the regression tripwire
+/// for the serving layer.
+pub fn bench_serve(sf: f64, threads: Option<usize>) -> ServeBench {
+    let data = hape_tpch::generate(sf, 420);
+    let mut session = Session::new(Server::tpch_scaled(sf));
+    session.register(data.lineitem);
+    session.register(data.orders);
+    session.register(data.customer);
+    session.register(data.supplier);
+    session.register(data.partsupp);
+    session.register(data.nation);
+    session.register(data.region);
+    let mut server = SessionServer::new(session);
+    let gpu_budget = server.gpu_budget().unwrap_or(0);
+
+    let cold = run_batch(&mut server, threads);
+    let warm = run_batch(&mut server, threads);
+    assert_eq!(cold.completed, cold.queries, "workload must complete cold");
+    assert_eq!(warm.completed, warm.queries, "workload must complete warm");
+    assert!(
+        warm.builds_cached > cold.builds_cached,
+        "warm batch must hit the cache beyond intra-batch sharing: {} !> {}",
+        warm.builds_cached,
+        cold.builds_cached
+    );
+    assert!(
+        warm.sim_seconds_total < cold.sim_seconds_total,
+        "cache-served builds must shorten total simulated time: {} !< {}",
+        warm.sim_seconds_total,
+        cold.sim_seconds_total
+    );
+    ServeBench { sf, gpu_budget, cold, warm }
+}
+
+/// Render the benchmark as an aligned table.
+pub fn print_serve(bench: &ServeBench) {
+    println!("== concurrent serving benchmark (cold vs warm batch, sf={})", bench.sf);
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>12} {:>8} {:>8}",
+        "batch", "queries", "wall_s", "qps", "sim_total_s", "waits", "cached"
+    );
+    for (name, b) in [("cold", &bench.cold), ("warm", &bench.warm)] {
+        println!(
+            "{:>6} {:>8} {:>12.6} {:>10.2} {:>12.6} {:>8} {:>8}",
+            name,
+            b.queries,
+            b.wall_seconds,
+            b.qps,
+            b.sim_seconds_total,
+            b.admission_waits,
+            b.builds_cached
+        );
+    }
+    println!("warm speedup (simulated): {:.2}x", bench.warm_speedup_sim());
+}
+
+fn batch_json(b: &ServeBatch) -> String {
+    format!(
+        "{{\"queries\": {}, \"completed\": {}, \"wall_seconds\": {}, \"qps\": {}, \
+         \"sim_seconds_total\": {}, \"admission_waits\": {}, \"builds_cached\": {}}}",
+        b.queries,
+        b.completed,
+        b.wall_seconds,
+        b.qps,
+        b.sim_seconds_total,
+        b.admission_waits,
+        b.builds_cached
+    )
+}
+
+/// Serialise to JSON (hand-rolled; no serde in the offline workspace).
+/// Stable shape: `{sf, gpu_budget_bytes, cold: {...}, warm: {...},
+/// warm_speedup_sim}`.
+pub fn to_json(bench: &ServeBench) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"sf\": {},\n", bench.sf));
+    out.push_str(&format!("  \"gpu_budget_bytes\": {},\n", bench.gpu_budget));
+    out.push_str(&format!("  \"cold\": {},\n", batch_json(&bench.cold)));
+    out.push_str(&format!("  \"warm\": {},\n", batch_json(&bench.warm)));
+    out.push_str(&format!("  \"warm_speedup_sim\": {}\n", bench.warm_speedup_sim()));
+    out.push('}');
+    out
+}
+
+/// Write the benchmark to `path` (conventionally `BENCH_serve.json`).
+pub fn write_json(bench: &ServeBench, path: &str) -> std::io::Result<()> {
+    std::fs::write(path, to_json(bench) + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_warm_beats_cold_and_json_is_stable() {
+        let bench = bench_serve(0.01, Some(2));
+        assert_eq!(bench.cold.queries, 8);
+        assert!(bench.warm.builds_cached > 0);
+        assert!(bench.warm_speedup_sim() > 1.0);
+        let json = to_json(&bench);
+        assert!(json.contains("\"cold\": {\"queries\": 8"));
+        assert!(json.contains("\"warm_speedup_sim\": "));
+        assert!(json.ends_with('}'));
+    }
+}

@@ -6,14 +6,57 @@ use hape_storage::Table;
 
 use crate::engine::EngineError;
 
+/// Outcome of a typed registration ([`Catalog::register_table`] /
+/// `Session::register_table`): whether the name was fresh or silently
+/// replaced an existing table, plus the catalog version after the
+/// registration — the invalidation key consumed by the cross-query build
+/// cache (`hape_core::serve`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableRegistration {
+    /// The name was previously unbound.
+    Fresh {
+        /// Catalog version after this registration.
+        version: u64,
+    },
+    /// An existing table of the same name was replaced — any state derived
+    /// from the old contents (cached hash tables, lowered plans) is stale.
+    Replaced {
+        /// Catalog version after this registration.
+        version: u64,
+    },
+}
+
+impl TableRegistration {
+    /// The catalog version after the registration.
+    pub fn version(&self) -> u64 {
+        match self {
+            TableRegistration::Fresh { version } | TableRegistration::Replaced { version } => {
+                *version
+            }
+        }
+    }
+
+    /// True when the registration replaced an existing table.
+    pub fn replaced(&self) -> bool {
+        matches!(self, TableRegistration::Replaced { .. })
+    }
+}
+
 /// A named collection of tables the engine can scan.
 ///
 /// Cloning is cheap: table columns are `Arc`-backed views, so a clone
 /// shares all data. Query lowering uses this to derive per-query catalogs
 /// that add projected scan views without copying any column payload.
+///
+/// Every registration bumps a monotonically increasing [`Catalog::version`]
+/// counter; consumers that cache state derived from table *contents* (the
+/// serving layer's cross-query build cache) key their entries on it, so
+/// re-registering a table mid-session invalidates instead of silently
+/// serving stale data.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: HashMap<String, Table>,
+    version: u64,
 }
 
 impl Catalog {
@@ -24,14 +67,38 @@ impl Catalog {
 
     /// Register (or replace) a table under its own name.
     pub fn register(&mut self, table: Table) {
-        self.tables.insert(table.name.clone(), table);
+        let name = table.name.clone();
+        self.register_table(name, table);
     }
 
     /// Register under an explicit name.
-    pub fn register_as(&mut self, name: impl Into<String>, mut table: Table) {
+    pub fn register_as(&mut self, name: impl Into<String>, table: Table) {
+        self.register_table(name, table);
+    }
+
+    /// Register under an explicit name, reporting whether the name was
+    /// fresh or an existing table was replaced — the typed registration
+    /// path callers use when replacement must be observable.
+    pub fn register_table(
+        &mut self,
+        name: impl Into<String>,
+        mut table: Table,
+    ) -> TableRegistration {
         let name = name.into();
         table.name = name.clone();
-        self.tables.insert(name, table);
+        let prior = self.tables.insert(name, table);
+        self.version += 1;
+        match prior {
+            Some(_) => TableRegistration::Replaced { version: self.version },
+            None => TableRegistration::Fresh { version: self.version },
+        }
+    }
+
+    /// The catalog's registration counter: bumped by every
+    /// register call, never reset. Cached derivations of table contents
+    /// compare against it to detect staleness.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Look up a table.
@@ -86,5 +153,22 @@ mod tests {
     #[should_panic(expected = "no table named")]
     fn expect_panics_on_missing() {
         Catalog::new().expect("nope");
+    }
+
+    #[test]
+    fn version_counts_registrations_and_replacement_is_typed() {
+        let mut c = Catalog::new();
+        assert_eq!(c.version(), 0);
+        let first = c.register_table("r", gen_key_fk_table(64, 64, 1));
+        assert_eq!(first, TableRegistration::Fresh { version: 1 });
+        let second = c.register_table("r", gen_key_fk_table(64, 64, 2));
+        assert_eq!(second, TableRegistration::Replaced { version: 2 });
+        assert!(second.replaced());
+        assert_eq!(second.version(), 2);
+        // The untyped paths bump the version too.
+        c.register_as("s", gen_key_fk_table(64, 64, 3));
+        assert_eq!(c.version(), 3);
+        // Clones inherit the counter (derived per-query catalogs).
+        assert_eq!(c.clone().version(), 3);
     }
 }

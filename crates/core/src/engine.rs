@@ -18,6 +18,7 @@
 //! The interpreter never branches on [`Placement`]: placement decisions
 //! are made once by [`crate::place::place`] and read back from the IR.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use hape_ops::agg::AggState;
@@ -181,6 +182,10 @@ pub struct QueryReport {
     pub packets_cpu: usize,
     /// *Stream-stage* packets routed to GPUs.
     pub packets_gpu: usize,
+    /// Build stages served from the serving layer's cross-query build
+    /// cache instead of executing (always 0 for solo [`Engine::run`] /
+    /// [`Engine::run_placed`] runs, which start cold).
+    pub builds_cached: usize,
 }
 
 /// The engine.
@@ -238,115 +243,48 @@ impl Engine {
     }
 
     /// Interpret a placed plan: stages in order, each over the workers its
-    /// segments instantiate.
+    /// segments instantiate. Sugar for driving a [`QueryExec`] to
+    /// completion — the serving layer ([`crate::serve::SessionServer`])
+    /// instead steps many `QueryExec`s round-robin over the shared fleet.
     pub fn run_placed(
         &self,
         catalog: &Catalog,
         placed: &PlacedPlan,
     ) -> Result<QueryReport, EngineError> {
-        let threads = runtime::resolve_threads(placed.threads);
-        let mut tables: TableStore = TableStore::new();
-        let mut clock = SimTime::ZERO;
-        let mut cpu_busy = SimTime::ZERO;
-        let mut gpu_busy = SimTime::ZERO;
-        let mut h2d_bytes = 0u64;
-        let mut packets_cpu = 0usize;
-        let mut packets_gpu = 0usize;
-        let mut rows = Vec::new();
-
-        for stage in &placed.stages {
-            match stage {
-                PlacedStage::Build { name, key_col, pipeline, segments, .. } => {
-                    let out = self.run_stage(
-                        catalog,
-                        pipeline,
-                        segments,
-                        stage.policy(),
-                        None,
-                        &tables,
-                        clock,
-                        None,
-                        threads,
-                    )?;
-                    clock = out.end;
-                    cpu_busy += out.cpu_busy;
-                    gpu_busy += out.gpu_busy;
-                    h2d_bytes += out.h2d_bytes;
-                    let batch = concat_outputs(out.outputs);
-                    tables.insert(name.clone(), Arc::new(JoinTable::build(batch, *key_col)));
-                }
-                PlacedStage::Stream { pipeline, segments, .. } => {
-                    let agg_spec = pipeline.agg.as_ref().ok_or_else(|| {
-                        EngineError::InvalidPlan(PlanError::StreamWithoutAggregate {
-                            name: pipeline.source.clone(),
-                        })
-                    })?;
-                    let mut workers = self.workers_for(segments, Some(agg_spec))?;
-                    let out = self.run_workers(
-                        catalog,
-                        pipeline,
-                        &mut workers,
-                        stage.policy(),
-                        &tables,
-                        clock,
-                        placed.packet_rows,
-                        threads,
-                    )?;
-                    clock = out.end;
-                    cpu_busy += out.cpu_busy;
-                    gpu_busy += out.gpu_busy;
-                    h2d_bytes += out.h2d_bytes;
-                    packets_cpu += out.packets_cpu;
-                    packets_gpu += out.packets_gpu;
-                    // ---- Merge partial aggregates (cheap: group counts
-                    // are small), in worker order for determinism.
-                    let mut merged = AggState::new(agg_spec.clone());
-                    for w in &workers {
-                        if let Some(a) = w.agg() {
-                            merged.merge(a);
-                        }
-                    }
-                    rows = merged.finish();
-                }
-                PlacedStage::CoProcess { pipeline, ht, segments, gpus, .. } => {
-                    let agg_spec = pipeline.agg.as_ref().ok_or_else(|| {
-                        EngineError::InvalidPlan(PlanError::StreamWithoutAggregate {
-                            name: pipeline.source.clone(),
-                        })
-                    })?;
-                    let (merged_rows, out) = self.run_coprocess_stage(
-                        catalog,
-                        pipeline,
-                        ht,
-                        segments,
-                        stage.policy(),
-                        gpus,
-                        &tables,
-                        clock,
-                        agg_spec,
-                        placed.packet_rows,
-                        threads,
-                    )?;
-                    clock = out.end;
-                    cpu_busy += out.cpu_busy;
-                    gpu_busy += out.gpu_busy;
-                    h2d_bytes += out.h2d_bytes;
-                    packets_cpu += out.packets_cpu;
-                    packets_gpu += out.packets_gpu;
-                    rows = merged_rows;
-                }
-            }
+        let mut exec = self.begin(catalog, placed);
+        while !exec.is_done() {
+            exec.step()?;
         }
+        Ok(exec.finish())
+    }
 
-        Ok(QueryReport {
-            rows,
-            time: clock,
-            cpu_busy,
-            gpu_busy,
-            h2d_bytes,
-            packets_cpu,
-            packets_gpu,
-        })
+    /// Start interpreting a placed plan without driving it to completion:
+    /// the returned [`QueryExec`] owns every piece of per-query execution
+    /// state (the run's table store, its simulated clock, busy/packet
+    /// counters, partial results) and advances one stage per
+    /// [`QueryExec::step`]. The engine itself stays stateless across
+    /// queries — workers (and their clocks, aggregation states and
+    /// calibrated estimates) are instantiated per stage inside the step —
+    /// so one engine (one simulated fleet) serves any number of
+    /// interleaved `QueryExec`s re-entrantly.
+    pub fn begin<'a>(&'a self, catalog: &'a Catalog, placed: &'a PlacedPlan) -> QueryExec<'a> {
+        QueryExec {
+            engine: self,
+            catalog,
+            placed,
+            threads: runtime::resolve_threads(placed.threads),
+            tables: TableStore::new(),
+            resident: HashSet::new(),
+            clock: SimTime::ZERO,
+            cpu_busy: SimTime::ZERO,
+            gpu_busy: SimTime::ZERO,
+            h2d_bytes: 0,
+            packets_cpu: 0,
+            packets_gpu: 0,
+            builds_cached: 0,
+            rows: Vec::new(),
+            next_stage: 0,
+        }
     }
 
     /// Materialise a (non-aggregating) pipeline on the CPU workers against
@@ -378,6 +316,7 @@ impl Engine {
             RoutingPolicy::LoadAware,
             None,
             tables,
+            &HashSet::new(),
             start,
             None,
             runtime::resolve_threads(None),
@@ -414,11 +353,15 @@ impl Engine {
     /// Instantiate the workers a segment list describes: one
     /// [`CpuWorker`] per core of a CPU segment, one [`GpuWorker`] per GPU
     /// segment. A segment targeting a device this server lacks is the
-    /// typed [`EngineError::DeviceNotPresent`].
+    /// typed [`EngineError::DeviceNotPresent`]. Tables named in `resident`
+    /// are already in device memory (the serving layer's cross-query
+    /// cache installed them): GPU workers still account their footprint
+    /// but skip the broadcast transfer and partition prep.
     fn workers_for(
         &self,
         segments: &[Segment],
         agg: Option<&AggSpec>,
+        resident: &HashSet<String>,
     ) -> Result<Vec<Box<dyn DeviceProvider>>, EngineError> {
         let mut workers: Vec<Box<dyn DeviceProvider>> = Vec::new();
         for seg in segments {
@@ -451,14 +394,17 @@ impl Engine {
                             _ => None,
                         })
                         .collect();
-                    workers.push(Box::new(GpuWorker::new(
-                        idx,
-                        spec.clone(),
-                        link.clone(),
-                        self.fidelity,
-                        agg.map(|a| AggState::new(a.clone())),
-                        broadcast,
-                    )));
+                    workers.push(Box::new(
+                        GpuWorker::new(
+                            idx,
+                            spec.clone(),
+                            link.clone(),
+                            self.fidelity,
+                            agg.map(|a| AggState::new(a.clone())),
+                            broadcast,
+                        )
+                        .with_resident(resident.clone()),
+                    ));
                 }
             }
         }
@@ -476,11 +422,12 @@ impl Engine {
         policy: RoutingPolicy,
         agg: Option<&AggSpec>,
         tables: &TableStore,
+        resident: &HashSet<String>,
         start: SimTime,
         packet_rows: Option<usize>,
         threads: usize,
     ) -> Result<StageOutcome, EngineError> {
-        let mut workers = self.workers_for(segments, agg)?;
+        let mut workers = self.workers_for(segments, agg, resident)?;
         self.run_workers(
             catalog,
             pipeline,
@@ -519,6 +466,7 @@ impl Engine {
         policy: RoutingPolicy,
         gpus: &[DeviceId],
         tables: &TableStore,
+        resident: &HashSet<String>,
         start: SimTime,
         agg_spec: &AggSpec,
         packet_rows: Option<usize>,
@@ -550,6 +498,7 @@ impl Engine {
             policy,
             None,
             tables,
+            resident,
             start,
             packet_rows,
             threads,
@@ -680,7 +629,7 @@ impl Engine {
                 ops: suffix_ops.to_vec(),
                 agg: pipeline.agg.clone(),
             };
-            let mut workers = self.workers_for(segments, Some(agg_spec))?;
+            let mut workers = self.workers_for(segments, Some(agg_spec), resident)?;
             let shares: usize = workers.iter().map(|w| w.packet_share()).sum();
             let packets = if joined.rows() > 0 {
                 joined.split(ExecConfig::auto_packet_rows(joined.rows(), shares, packet_rows))
@@ -899,6 +848,198 @@ impl Engine {
             packets_cpu,
             packets_gpu,
         })
+    }
+}
+
+/// The per-query execution state of one in-flight placed plan: the table
+/// store accumulating built hash tables, the query's private simulated
+/// clock (always starting at [`SimTime::ZERO`], regardless of what else
+/// the fleet is serving), busy/packet counters and partial results.
+///
+/// Created by [`Engine::begin`]; advanced one placed stage at a time by
+/// [`QueryExec::step`]; consumed by [`QueryExec::finish`]. Because all
+/// worker state (clocks, aggregation states, calibrated estimates) is
+/// instantiated per stage *inside* the step, interleaving steps of many
+/// `QueryExec`s over the same engine — as the serving layer's scheduler
+/// does — leaves every query's simulated makespan and result rows
+/// bit-identical to running it solo.
+pub struct QueryExec<'a> {
+    engine: &'a Engine,
+    catalog: &'a Catalog,
+    placed: &'a PlacedPlan,
+    threads: usize,
+    tables: TableStore,
+    resident: HashSet<String>,
+    clock: SimTime,
+    cpu_busy: SimTime,
+    gpu_busy: SimTime,
+    h2d_bytes: u64,
+    packets_cpu: usize,
+    packets_gpu: usize,
+    builds_cached: usize,
+    rows: AggRows,
+    next_stage: usize,
+}
+
+impl<'a> QueryExec<'a> {
+    /// True once every placed stage has run (or been served from cache).
+    pub fn is_done(&self) -> bool {
+        self.next_stage >= self.placed.stages.len()
+    }
+
+    /// Index of the next stage [`QueryExec::step`] would run.
+    pub fn stage_index(&self) -> usize {
+        self.next_stage
+    }
+
+    /// The placed plan this execution interprets.
+    pub fn placed(&self) -> &'a PlacedPlan {
+        self.placed
+    }
+
+    /// Pre-install a built hash table under `name`, as the serving
+    /// layer's cross-query cache does at admission: the matching
+    /// [`PlacedStage::Build`] stage is then skipped entirely — no build
+    /// work, no clock advance — and counted in
+    /// [`QueryReport::builds_cached`]. With `device_resident`, GPU
+    /// workers additionally treat the table as already broadcast: its
+    /// footprint still counts against device memory, but the PCIe
+    /// transfer and partition prep are skipped.
+    pub fn install_cached_build(
+        &mut self,
+        name: &str,
+        table: Arc<JoinTable>,
+        device_resident: bool,
+    ) {
+        if self.tables.insert(name.to_string(), table).is_none() {
+            self.builds_cached += 1;
+        }
+        if device_resident {
+            self.resident.insert(name.to_string());
+        }
+    }
+
+    /// A hash table built (or cache-installed) so far, by name — how the
+    /// serving layer harvests freshly built tables into its cache.
+    pub fn built_table(&self, name: &str) -> Option<Arc<JoinTable>> {
+        self.tables.get(name).cloned()
+    }
+
+    /// Run the next placed stage to completion. A no-op once
+    /// [`QueryExec::is_done`]; errors leave the execution positioned
+    /// after the failed stage (per-query failure isolation: other
+    /// in-flight queries are unaffected).
+    pub fn step(&mut self) -> Result<(), EngineError> {
+        let Some(stage) = self.placed.stages.get(self.next_stage) else {
+            return Ok(());
+        };
+        self.next_stage += 1;
+        let engine = self.engine;
+        let catalog = self.catalog;
+        match stage {
+            PlacedStage::Build { name, key_col, pipeline, segments, .. } => {
+                if self.tables.contains_key(name) {
+                    // Served from the cross-query cache at admission:
+                    // nothing to build, no simulated time passes.
+                    return Ok(());
+                }
+                let out = engine.run_stage(
+                    catalog,
+                    pipeline,
+                    segments,
+                    stage.policy(),
+                    None,
+                    &self.tables,
+                    &self.resident,
+                    self.clock,
+                    None,
+                    self.threads,
+                )?;
+                self.clock = out.end;
+                self.cpu_busy += out.cpu_busy;
+                self.gpu_busy += out.gpu_busy;
+                self.h2d_bytes += out.h2d_bytes;
+                let batch = concat_outputs(out.outputs);
+                self.tables.insert(name.clone(), Arc::new(JoinTable::build(batch, *key_col)));
+            }
+            PlacedStage::Stream { pipeline, segments, .. } => {
+                let agg_spec = pipeline.agg.as_ref().ok_or_else(|| {
+                    EngineError::InvalidPlan(PlanError::StreamWithoutAggregate {
+                        name: pipeline.source.clone(),
+                    })
+                })?;
+                let mut workers =
+                    engine.workers_for(segments, Some(agg_spec), &self.resident)?;
+                let out = engine.run_workers(
+                    catalog,
+                    pipeline,
+                    &mut workers,
+                    stage.policy(),
+                    &self.tables,
+                    self.clock,
+                    self.placed.packet_rows,
+                    self.threads,
+                )?;
+                self.clock = out.end;
+                self.cpu_busy += out.cpu_busy;
+                self.gpu_busy += out.gpu_busy;
+                self.h2d_bytes += out.h2d_bytes;
+                self.packets_cpu += out.packets_cpu;
+                self.packets_gpu += out.packets_gpu;
+                // ---- Merge partial aggregates (cheap: group counts
+                // are small), in worker order for determinism.
+                let mut merged = AggState::new(agg_spec.clone());
+                for w in &workers {
+                    if let Some(a) = w.agg() {
+                        merged.merge(a);
+                    }
+                }
+                self.rows = merged.finish();
+            }
+            PlacedStage::CoProcess { pipeline, ht, segments, gpus, .. } => {
+                let agg_spec = pipeline.agg.as_ref().ok_or_else(|| {
+                    EngineError::InvalidPlan(PlanError::StreamWithoutAggregate {
+                        name: pipeline.source.clone(),
+                    })
+                })?;
+                let (merged_rows, out) = engine.run_coprocess_stage(
+                    catalog,
+                    pipeline,
+                    ht,
+                    segments,
+                    stage.policy(),
+                    gpus,
+                    &self.tables,
+                    &self.resident,
+                    self.clock,
+                    agg_spec,
+                    self.placed.packet_rows,
+                    self.threads,
+                )?;
+                self.clock = out.end;
+                self.cpu_busy += out.cpu_busy;
+                self.gpu_busy += out.gpu_busy;
+                self.h2d_bytes += out.h2d_bytes;
+                self.packets_cpu += out.packets_cpu;
+                self.packets_gpu += out.packets_gpu;
+                self.rows = merged_rows;
+            }
+        }
+        Ok(())
+    }
+
+    /// Consume the execution into its final report.
+    pub fn finish(self) -> QueryReport {
+        QueryReport {
+            rows: self.rows,
+            time: self.clock,
+            cpu_busy: self.cpu_busy,
+            gpu_busy: self.gpu_busy,
+            h2d_bytes: self.h2d_bytes,
+            packets_cpu: self.packets_cpu,
+            packets_gpu: self.packets_gpu,
+            builds_cached: self.builds_cached,
+        }
     }
 }
 

@@ -98,6 +98,50 @@
 //!     .unwrap();
 //! assert_eq!(report.rows, cpu.rows);
 //! ```
+//!
+//! ## Quickstart: serving many queries concurrently
+//!
+//! One session serves one query at a time; the [`mod@serve`] layer serves
+//! many over the *same* fleet. [`serve::SessionServer::submit`] queues
+//! lowered-and-placed queries; [`serve::SessionServer::run_all`] admits
+//! them against the fleet's GPU memory (a GPU-hungry query queues while
+//! broadcast hash tables fill the budget, instead of OOMing), interleaves
+//! admitted queries fairly with per-query sim-time isolation — every
+//! report stays bit-identical to a solo run — and serves repeated build
+//! sides from a catalog-versioned cross-query cache.
+//!
+//! ```
+//! use hape_core::serve::SessionServer;
+//! use hape_core::{JoinAlgo, Query, Session};
+//! use hape_ops::{col, AggFunc};
+//! use hape_sim::topology::Server;
+//! use hape_storage::datagen::gen_key_fk_table;
+//!
+//! let mut session = Session::new(Server::paper_testbed());
+//! session.register_as("fact", gen_key_fk_table(1 << 14, 1 << 14, 42));
+//! session.register_as("dim", gen_key_fk_table(1 << 12, 1 << 12, 43));
+//! let query = session
+//!     .query("q")
+//!     .from_table("fact")
+//!     .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+//!     .agg(vec![(AggFunc::Count, col("k"))]);
+//! let solo = session.execute(&query).unwrap();
+//!
+//! let mut server = SessionServer::new(session);
+//! let a = server.submit(&query);
+//! let b = server.submit(&query); // same shape: hits the build cache
+//! let batch = server.run_all();
+//!
+//! // Concurrency never perturbs results or simulated time...
+//! let ra = batch.report(a).as_ref().unwrap();
+//! assert_eq!(ra.rows, solo.rows);
+//! assert_eq!(ra.time, solo.time);
+//! // ...and the repeated query skipped its build via the cache.
+//! let rb = batch.report(b).as_ref().unwrap();
+//! assert_eq!(rb.rows, solo.rows);
+//! assert_eq!(rb.builds_cached, 1);
+//! assert_eq!(server.cache_stats().hits, 1);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -112,12 +156,13 @@ pub mod plan;
 pub mod provider;
 pub mod query;
 pub mod runtime;
+pub mod serve;
 pub mod session;
 pub mod traits;
 
-pub use catalog::Catalog;
+pub use catalog::{Catalog, TableRegistration};
 pub use cost::{CoprocessCost, CostModel, PlanCost, StageCost};
-pub use engine::{Engine, ExecConfig, ParsePlacementError, Placement, QueryReport};
+pub use engine::{Engine, ExecConfig, ParsePlacementError, Placement, QueryExec, QueryReport};
 pub use error::{EngineError, HapeError, PlanError};
 pub use exchange::{Exchange, RoutingPolicy, WorkerId};
 pub use optimize::optimize;
@@ -126,6 +171,9 @@ pub use plan::{JoinAlgo, PipeOp, Pipeline, ProbeExec, QueryPlan, Stage};
 pub use provider::DeviceProvider;
 pub use query::{LoweredMaterialize, LoweredQuery, Query};
 pub use runtime::resolve_threads;
+pub use serve::{
+    BuildCache, CacheStats, QueryHandle, QueryOutcome, ServeReport, SessionServer,
+};
 pub use session::Session;
 pub use traits::{DeviceType, HetTraits, Packing};
 
@@ -141,6 +189,7 @@ pub mod prelude {
     pub use crate::plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};
     pub use crate::provider::DeviceProvider;
     pub use crate::query::{LoweredQuery, Query};
+    pub use crate::serve::{QueryHandle, ServeReport, SessionServer};
     pub use crate::session::Session;
     pub use crate::traits::{DeviceType, HetTraits};
 }

@@ -183,7 +183,7 @@ impl Query {
         let mut stages = ctx.stages;
         stages.push(Stage::Stream { pipeline });
         let plan = QueryPlan::try_new(self.name.clone(), stages)?;
-        Ok(LoweredQuery { plan, catalog: ctx.derived })
+        Ok(LoweredQuery { plan, catalog: ctx.derived, build_fingerprints: ctx.fingerprints })
     }
 
     /// Lower a *non-aggregating* query for explicit materialisation (the
@@ -302,6 +302,15 @@ pub struct LoweredQuery {
     pub plan: QueryPlan,
     /// Base catalog plus the projected scan views the plan references.
     pub catalog: Catalog,
+    /// Per-build-stage structural fingerprints, keyed by hash-table name.
+    /// The fingerprint canonicalises everything that determines the built
+    /// table's contents and layout — the build chain's structural key, the
+    /// build key, and the exported column layout — but *not* the query's
+    /// display name (hash-table names embed it, so they cannot identify
+    /// shared structure across queries). The serving layer's cross-query
+    /// build cache keys on it: two queries whose build sides fingerprint
+    /// equal build bit-identical hash tables from the same catalog.
+    pub build_fingerprints: HashMap<String, String>,
 }
 
 /// A lowered non-aggregating query for explicit materialisation.
@@ -418,6 +427,9 @@ struct Lowering<'a> {
     /// Builds already emitted this pass: later structurally identical
     /// sites reuse the hash table instead of emitting a duplicate stage.
     built: HashMap<BuildKey, (String, Vec<ColInfo>)>,
+    /// Cross-query structural fingerprint per emitted hash table (see
+    /// [`LoweredQuery::build_fingerprints`]).
+    fingerprints: HashMap<String, String>,
     /// True during the collection pass (stages are discarded; only
     /// `export_unions` survives).
     collecting: bool,
@@ -433,6 +445,7 @@ impl<'a> Lowering<'a> {
             taken_hts: HashSet::new(),
             export_unions: HashMap::new(),
             built: HashMap::new(),
+            fingerprints: HashMap::new(),
             collecting: false,
         }
     }
@@ -672,6 +685,10 @@ impl<'a> Lowering<'a> {
                     let mut skey = String::new();
                     j.build.structural_key(&mut skey);
                     let memo_key: BuildKey = (skey, j.build_key.clone());
+                    // Seed of the cross-query fingerprint: structure + key.
+                    // The exported column layout joins it below, once the
+                    // build side is lowered.
+                    let fp_base = format!("{}#key={}", memo_key.0, memo_key.1);
                     let (ht, build_cols) = if self.collecting {
                         self.export_unions
                             .entry(memo_key)
@@ -709,6 +726,21 @@ impl<'a> Lowering<'a> {
                         self.built.insert(memo_key, out.clone());
                         out
                     };
+                    if !self.collecting && !self.fingerprints.contains_key(&ht) {
+                        use std::fmt::Write as _;
+                        // The layout term: payload columns (names + types,
+                        // in physical order) determine the built batch and
+                        // the payload indices probe sites address, so two
+                        // queries share a cached table only when their
+                        // export unions coincide exactly.
+                        let mut fp = fp_base;
+                        let _ = write!(fp, "#cols=[");
+                        for c in &build_cols {
+                            let _ = write!(fp, "{}:{:?};", c.name, c.dtype);
+                        }
+                        let _ = write!(fp, "]");
+                        self.fingerprints.insert(ht.clone(), fp);
+                    }
                     let key_col = build_cols
                         .iter()
                         .position(|c| c.name == j.build_key)

@@ -1,0 +1,560 @@
+//! The concurrent multi-query serving layer.
+//!
+//! A [`SessionServer`] wraps a [`Session`] and serves many queries over
+//! the session's *shared* simulated device fleet — the single-node shape
+//! of a multi-tenant coordinator. Queries are submitted up front
+//! ([`SessionServer::submit`] / [`SessionServer::submit_with`], each
+//! returning a [`QueryHandle`]) and executed together by the blocking
+//! batch scheduler [`SessionServer::run_all`]. Three cooperating pieces:
+//!
+//! 1. **Device-aware admission control.** Every submission is lowered and
+//!    placed immediately, and its worst-case GPU working-set footprint is
+//!    read from the optimizer's [`StageCost`](crate::cost::StageCost)
+//!    estimates (attached by [`Placement::Auto`](crate::Placement) plans,
+//!    re-derived from the [`CostModel`] for manual placements). The
+//!    scheduler admits queries FIFO while their summed footprints fit the
+//!    fleet's smallest GPU memory ([`SessionServer::gpu_budget`]); a
+//!    second GPU-hungry query *queues* — counted in
+//!    [`QueryOutcome::admission_wait`] — instead of OOM-failing or
+//!    thrashing the broadcast working set. A query whose footprint alone
+//!    exceeds the budget is admitted when the fleet is otherwise idle, so
+//!    it fails (or co-processes) exactly as it would solo, in isolation.
+//!
+//! 2. **Fair interleaving with per-query sim-time isolation.** Admitted
+//!    queries advance round-robin, one placed stage per round, each
+//!    through its own [`QueryExec`] whose simulated clock starts at zero
+//!    and whose workers are instantiated per stage. Interleaving therefore
+//!    cannot perturb results: every query's rows *and* simulated makespan
+//!    are bit-identical to a solo [`Session::execute`] run, at any thread
+//!    count and any admission order (asserted in `tests/serve.rs`).
+//!
+//! 3. **A cross-query build-side cache.** Query lowering already memoises
+//!    structurally identical build sides *within* a query; the
+//!    [`BuildCache`] generalises that across queries, keyed on the
+//!    structural fingerprints in
+//!    [`LoweredQuery::build_fingerprints`](crate::query::LoweredQuery).
+//!    A repeated query re-probing the same dimension tables skips the
+//!    build — and, when the table was broadcast by the producing query,
+//!    the PCIe broadcast too (skipped builds are counted in
+//!    [`QueryReport::builds_cached`]). Entries are validated against the
+//!    session catalog's version counter: re-registering a table
+//!    invalidates every cached hash table built over its old contents
+//!    ([`CacheStats::invalidations`]).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hape_storage::Table;
+
+use crate::catalog::TableRegistration;
+use crate::cost::{CostModel, HtEstimates};
+use crate::engine::{ExecConfig, QueryExec, QueryReport};
+use crate::error::HapeError;
+use crate::exchange::Exchange;
+use crate::place::{PlacedPlan, PlacedStage};
+use crate::plan::JoinTable;
+use crate::query::{LoweredQuery, Query};
+use crate::session::Session;
+
+/// Identifies one submitted query within its [`SessionServer`]; index into
+/// [`ServeReport::outcomes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryHandle(usize);
+
+impl QueryHandle {
+    /// Submission index (0-based, in submission order).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A successfully prepared submission: lowered, placed and footprinted at
+/// submit time (failures are stored and reported per query instead).
+struct PreparedPlan {
+    lowered: LoweredQuery,
+    placed: PlacedPlan,
+    /// Worst-case per-GPU working-set bytes across the plan's stages —
+    /// the admission signal.
+    gpu_footprint: u64,
+    /// Session catalog version at submit time; cache entries produced by
+    /// this query carry it.
+    version: u64,
+}
+
+/// One pending submission (prepared plan or its preparation error).
+struct Prepared {
+    handle: QueryHandle,
+    name: String,
+    prep: Result<PreparedPlan, HapeError>,
+}
+
+/// Hit/miss/invalidation counters of the [`BuildCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: usize,
+    /// Lookups that found no (valid) entry.
+    pub misses: usize,
+    /// Entries evicted because the catalog version moved past them.
+    pub invalidations: usize,
+}
+
+struct CacheEntry {
+    /// Catalog version the table was built under.
+    version: u64,
+    /// Whether the producing plan broadcast the table to GPU memory (a
+    /// hit then also skips the broadcast: the table is device-resident).
+    broadcast: bool,
+    table: Arc<JoinTable>,
+}
+
+/// The cross-query build-side cache: structural fingerprint → built hash
+/// table, validated against the session catalog's version counter.
+#[derive(Default)]
+pub struct BuildCache {
+    entries: HashMap<String, CacheEntry>,
+    stats: CacheStats,
+}
+
+impl BuildCache {
+    /// Look up a fingerprint. A hit requires the entry to have been built
+    /// under the *current* catalog version (stale entries are evicted and
+    /// counted as invalidations) and the requesting plan to have been
+    /// prepared under it too (a plan lowered over an older snapshot must
+    /// rebuild from its own snapshot). Returns the table and whether it
+    /// is device-resident.
+    fn lookup(
+        &mut self,
+        fingerprint: &str,
+        current_version: u64,
+        plan_version: u64,
+    ) -> Option<(Arc<JoinTable>, bool)> {
+        match self.entries.get(fingerprint) {
+            Some(e) if e.version == current_version && plan_version == current_version => {
+                self.stats.hits += 1;
+                Some((e.table.clone(), e.broadcast))
+            }
+            Some(e) if e.version != current_version => {
+                self.entries.remove(fingerprint);
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(
+        &mut self,
+        fingerprint: String,
+        version: u64,
+        broadcast: bool,
+        table: Arc<JoinTable>,
+    ) {
+        self.entries.insert(fingerprint, CacheEntry { version, broadcast, table });
+    }
+
+    /// Cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// What happened to one submitted query.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The submission's handle.
+    pub handle: QueryHandle,
+    /// The query's display name.
+    pub query: String,
+    /// Scheduler rounds this query spent queued behind the GPU-memory
+    /// admission gate before starting (0 = admitted immediately).
+    pub admission_wait: usize,
+    /// GPU working-set bytes the admission controller reserved for it.
+    pub gpu_reserved: u64,
+    /// The query's report, bit-identical to a solo run — or its error
+    /// (preparation or execution), isolated to this query.
+    pub report: Result<QueryReport, HapeError>,
+}
+
+/// The batch result of [`SessionServer::run_all`].
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Per-query outcomes, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// The GPU admission budget the batch ran under (`None` on a fleet
+    /// without GPUs: admission then never queues).
+    pub gpu_budget: Option<u64>,
+}
+
+impl ServeReport {
+    /// The outcome of one submission. Panics on a handle from a
+    /// different batch (handles are not reused across batches).
+    pub fn outcome(&self, handle: QueryHandle) -> &QueryOutcome {
+        self.outcomes
+            .iter()
+            .find(|o| o.handle == handle)
+            .unwrap_or_else(|| panic!("handle {handle:?} is not part of this batch"))
+    }
+
+    /// The report of one submission.
+    pub fn report(&self, handle: QueryHandle) -> &Result<QueryReport, HapeError> {
+        &self.outcome(handle).report
+    }
+
+    /// Total scheduler rounds any query spent waiting on admission.
+    pub fn total_admission_waits(&self) -> usize {
+        self.outcomes.iter().map(|o| o.admission_wait).sum()
+    }
+
+    /// Total build stages served from the cross-query cache.
+    pub fn total_builds_cached(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.report.as_ref().ok())
+            .map(|r| r.builds_cached)
+            .sum()
+    }
+}
+
+/// A concurrent multi-query server over one [`Session`]: submit many
+/// queries, then run them as one admission-controlled, fairly interleaved
+/// batch over the session's shared device fleet. See the module docs for
+/// the scheduling semantics.
+pub struct SessionServer {
+    session: Session,
+    cache: BuildCache,
+    cache_enabled: bool,
+    pending: Vec<Prepared>,
+    next_id: usize,
+}
+
+impl SessionServer {
+    /// A server over a session (build cache enabled).
+    pub fn new(session: Session) -> Self {
+        SessionServer {
+            session,
+            cache: BuildCache::default(),
+            cache_enabled: true,
+            pending: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Enable or disable the cross-query build cache (enabled by
+    /// default). Disabling makes every batch fully cold — the mode the
+    /// determinism tests use, since a cache hit legitimately *shortens* a
+    /// query's simulated makespan relative to solo execution.
+    pub fn with_build_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        self
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    /// The cross-query build cache's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Cached build-side tables currently held.
+    pub fn cached_builds(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The admission budget: the smallest GPU device-memory capacity in
+    /// the fleet (`None` without GPUs). Summed reserved footprints of
+    /// admitted queries never exceed it unless a single query alone does
+    /// (which is then admitted solo, to fail or co-process exactly as it
+    /// would outside the server).
+    pub fn gpu_budget(&self) -> Option<u64> {
+        self.session.engine().server.gpus.iter().map(|g| g.dram_capacity as u64).min()
+    }
+
+    /// Register a table under its own name (bumps the catalog version —
+    /// see [`SessionServer::register_table`]).
+    pub fn register(&mut self, table: Table) {
+        self.session.register(table);
+    }
+
+    /// Register a table under an explicit name, reporting whether it was
+    /// fresh or replaced an existing table. Either way the catalog version
+    /// advances, invalidating every cached build-side hash table on its
+    /// next lookup — the typed invalidation path for replacing a table
+    /// mid-session.
+    pub fn register_table(
+        &mut self,
+        name: impl Into<String>,
+        table: Table,
+    ) -> TableRegistration {
+        self.session.register_table(name, table)
+    }
+
+    /// Submit a query under the session's default config. Lowering,
+    /// placement and the admission footprint estimate run now; failures
+    /// are stored and surface as the query's [`QueryOutcome::report`]
+    /// error (never aborting the batch).
+    pub fn submit(&mut self, query: &Query) -> QueryHandle {
+        let config = self.session.config().clone();
+        self.submit_with(query, &config)
+    }
+
+    /// Submit under an explicit per-query config (placement, packet
+    /// sizing, threads).
+    pub fn submit_with(&mut self, query: &Query, config: &ExecConfig) -> QueryHandle {
+        let handle = QueryHandle(self.next_id);
+        self.next_id += 1;
+        let prep = self.prepare(query, config);
+        self.pending.push(Prepared { handle, name: query.name.clone(), prep });
+        handle
+    }
+
+    /// Queries submitted and not yet run.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn prepare(&self, query: &Query, config: &ExecConfig) -> Result<PreparedPlan, HapeError> {
+        let lowered = self.session.lower(query)?;
+        let placed = self.session.place_lowered(&lowered, config)?;
+        let gpu_footprint = gpu_footprint(&self.session, &lowered, &placed);
+        Ok(PreparedPlan {
+            lowered,
+            placed,
+            gpu_footprint,
+            version: self.session.catalog().version(),
+        })
+    }
+
+    /// Run every pending submission as one batch: admission-gate on GPU
+    /// memory, interleave admitted queries round-robin (one placed stage
+    /// per round), serve and harvest the build cache, and return per-query
+    /// outcomes in submission order. Blocks until the whole batch is
+    /// done; per-query failures are isolated into their outcomes.
+    pub fn run_all(&mut self) -> ServeReport {
+        let prepared = std::mem::take(&mut self.pending);
+        let gpu_budget = self.gpu_budget();
+        let budget = gpu_budget.unwrap_or(u64::MAX);
+        let cache_enabled = self.cache_enabled;
+        let current_version = self.session.catalog().version();
+        let engine = self.session.engine();
+
+        // Split preparation failures out; the live plans are owned here so
+        // the per-query executions can borrow their catalogs and plans.
+        let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(prepared.len());
+        let mut live: Vec<(QueryHandle, String, PreparedPlan)> = Vec::new();
+        for p in prepared {
+            match p.prep {
+                Ok(plan) => live.push((p.handle, p.name, plan)),
+                Err(e) => outcomes.push(QueryOutcome {
+                    handle: p.handle,
+                    query: p.name,
+                    admission_wait: 0,
+                    gpu_reserved: 0,
+                    report: Err(e),
+                }),
+            }
+        }
+
+        struct Slot<'a> {
+            handle: QueryHandle,
+            name: &'a str,
+            plan: &'a PreparedPlan,
+            exec: Option<QueryExec<'a>>,
+            report: Option<Result<QueryReport, HapeError>>,
+            admission_wait: usize,
+            reserved: u64,
+        }
+        let mut slots: Vec<Slot> = live
+            .iter()
+            .map(|(handle, name, plan)| Slot {
+                handle: *handle,
+                name,
+                plan,
+                exec: None,
+                report: None,
+                admission_wait: 0,
+                reserved: 0,
+            })
+            .collect();
+
+        let mut reserved_total = 0u64;
+        loop {
+            // ---- Admission: FIFO in submission order, head-of-line
+            // blocking (a queued query is never overtaken, so admission
+            // order — and thus the cache's build/hit pattern — is
+            // deterministic). A query is admitted when its footprint fits
+            // the remaining budget, or unconditionally when the fleet is
+            // idle (an oversized query then runs solo, failing or
+            // co-processing exactly as it would outside the server).
+            for slot in slots.iter_mut() {
+                if slot.report.is_some() || slot.exec.is_some() {
+                    continue;
+                }
+                let fp = slot.plan.gpu_footprint;
+                if fp != 0 && reserved_total != 0 && reserved_total.saturating_add(fp) > budget
+                {
+                    break; // head of line waits; everyone behind it too
+                }
+                reserved_total += fp;
+                slot.reserved = fp;
+                slot.exec = Some(engine.begin(&slot.plan.lowered.catalog, &slot.plan.placed));
+            }
+
+            // ---- One fair round: each admitted query advances one stage.
+            let mut progressed = false;
+            for slot in slots.iter_mut() {
+                let Some(exec) = slot.exec.as_mut() else {
+                    // Still queued behind the admission gate: one more
+                    // round of waiting.
+                    if slot.report.is_none() {
+                        slot.admission_wait += 1;
+                    }
+                    continue;
+                };
+                progressed = true;
+                // ---- Serve the next stage from the cross-query cache if
+                // it is a build we already hold: a hash table built by an
+                // *earlier* query this round is visible to later ones
+                // immediately. The install makes `step` skip the stage —
+                // no build work, no broadcast, no simulated time.
+                if cache_enabled {
+                    if let Some(PlacedStage::Build { name, .. }) =
+                        slot.plan.placed.stages.get(exec.stage_index())
+                    {
+                        if let Some(fpr) = slot.plan.lowered.build_fingerprints.get(name) {
+                            if let Some((table, resident)) =
+                                self.cache.lookup(fpr, current_version, slot.plan.version)
+                            {
+                                exec.install_cached_build(name, table, resident);
+                            }
+                        }
+                    }
+                }
+                let stepped = exec.step();
+                let finished = exec.is_done();
+                if let Err(e) = stepped {
+                    slot.report = Some(Err(HapeError::Engine(e)));
+                } else {
+                    // Harvest a freshly built (not cache-served) hash
+                    // table into the cache right away, so queries later in
+                    // this same round already hit it at admission.
+                    if cache_enabled && slot.plan.version == current_version {
+                        let done = exec.stage_index() - 1;
+                        if let Some(PlacedStage::Build { name, .. }) =
+                            slot.plan.placed.stages.get(done)
+                        {
+                            if let (Some(fpr), Some(table)) = (
+                                slot.plan.lowered.build_fingerprints.get(name),
+                                exec.built_table(name),
+                            ) {
+                                if !self.cache.entries.contains_key(fpr) {
+                                    self.cache.insert(
+                                        fpr.clone(),
+                                        slot.plan.version,
+                                        plan_broadcasts(&slot.plan.placed, name),
+                                        table,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    if finished {
+                        slot.report =
+                            Some(Ok(slot.exec.take().expect("exec present").finish()));
+                    }
+                }
+                if slot.report.is_some() {
+                    // Done (or failed): release the reservation and drop
+                    // the execution state.
+                    slot.exec = None;
+                    reserved_total -= slot.reserved;
+                }
+            }
+            if !progressed {
+                break; // nothing running and nothing admitted: batch done
+            }
+        }
+
+        for slot in slots {
+            outcomes.push(QueryOutcome {
+                handle: slot.handle,
+                query: slot.name.to_string(),
+                admission_wait: slot.admission_wait,
+                gpu_reserved: slot.reserved,
+                report: slot.report.expect("scheduler drains every slot"),
+            });
+        }
+        outcomes.sort_by_key(|o| o.handle.0);
+        ServeReport { outcomes, gpu_budget }
+    }
+}
+
+/// Whether any stage of the plan broadcasts hash table `ht` into GPU
+/// memory — a cache entry produced by such a plan is device-resident, so
+/// later hits skip the PCIe broadcast too.
+fn plan_broadcasts(placed: &PlacedPlan, ht: &str) -> bool {
+    placed.stages.iter().any(|stage| {
+        stage.segments().iter().any(|seg| {
+            seg.broadcast_moves()
+                .any(|e| matches!(e, Exchange::MemMove { table: Some(t), .. } if t == ht))
+        })
+    })
+}
+
+/// Worst-case per-GPU working-set bytes across the plan's stages — the
+/// admission signal. Optimizer-placed plans carry their chosen
+/// [`StageCost`](crate::cost::StageCost)s; manual placements re-run the
+/// cost model's capacity walk over the placed stages. Estimation failures
+/// degrade to 0 (admit immediately): execution still capacity-checks for
+/// real, so the worst case is solo-equivalent behaviour, never a new
+/// failure mode.
+fn gpu_footprint(session: &Session, lowered: &LoweredQuery, placed: &PlacedPlan) -> u64 {
+    if let Some(costs) = &placed.costs {
+        return costs
+            .stages
+            .iter()
+            .filter(|c| c.gpu_capacity.is_some())
+            .map(|c| c.gpu_required)
+            .max()
+            .unwrap_or(0);
+    }
+    let model = CostModel::new(&session.engine().server, &lowered.catalog);
+    let mut hts: HtEstimates = HashMap::new();
+    let mut worst = 0u64;
+    for stage in &placed.stages {
+        let Ok(est) = model.estimate_pipeline(stage.pipeline(), &hts) else {
+            return 0;
+        };
+        let mut devices: Vec<_> = stage.segments().iter().map(|s| s.target).collect();
+        if let PlacedStage::CoProcess { gpus, .. } = stage {
+            devices.extend(gpus.iter().copied());
+        }
+        let is_build = matches!(stage, PlacedStage::Build { .. });
+        if let Ok(cost) = model.stage_cost(&est, &devices, is_build) {
+            if cost.gpu_capacity.is_some() {
+                worst = worst.max(cost.gpu_required);
+            }
+        }
+        if let PlacedStage::Build { name, .. } = stage {
+            hts.insert(name.clone(), est.table_estimate());
+        }
+    }
+    worst
+}

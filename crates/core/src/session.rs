@@ -18,7 +18,7 @@
 use hape_sim::topology::Server;
 use hape_storage::Table;
 
-use crate::catalog::Catalog;
+use crate::catalog::{Catalog, TableRegistration};
 use crate::engine::{Engine, ExecConfig, Placement, QueryReport};
 use crate::error::HapeError;
 use crate::optimize::optimize;
@@ -79,6 +79,22 @@ impl Session {
         self.catalog.register_as(name, table);
     }
 
+    /// Register a table under an explicit name, reporting whether the
+    /// registration was [`TableRegistration::Fresh`] or
+    /// [`TableRegistration::Replaced`] — the typed invalidation path. Every
+    /// registration (typed or not) bumps the catalog version, which the
+    /// serving layer's cross-query build cache
+    /// ([`crate::serve::SessionServer`]) keys its entries on: replacing a
+    /// table mid-session invalidates any cached hash tables built over the
+    /// old contents instead of silently serving stale rows.
+    pub fn register_table(
+        &mut self,
+        name: impl Into<String>,
+        table: Table,
+    ) -> TableRegistration {
+        self.catalog.register_table(name, table)
+    }
+
     /// Start describing a named query.
     pub fn query(&self, name: impl Into<String>) -> Query {
         Query::new(name)
@@ -110,7 +126,7 @@ impl Session {
     /// the cost-based optimizer (which reads the lowered catalog's scan
     /// statistics); the manual placements go through the trait-driven
     /// placement pass directly.
-    fn place_lowered(
+    pub(crate) fn place_lowered(
         &self,
         lowered: &LoweredQuery,
         config: &ExecConfig,

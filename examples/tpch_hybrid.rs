@@ -15,20 +15,29 @@
 //! ```text
 //! cargo run --release --example tpch_hybrid [sf] [--explain]
 //!     [--placements cpu,gpu,hybrid,auto] [--packet-rows <n>] [--threads <n>]
+//!     [--concurrency <n>]
 //! ```
 //!
 //! `--packet-rows` overrides the engine's auto packet-sizing heuristic
 //! (`ExecConfig::auto_packet_rows`) and `--threads` pins the data-plane
 //! worker pool — both sweepable without recompiling. Simulated times are
 //! thread-count-invariant; packet size genuinely changes the routing.
+//!
+//! `--concurrency N` additionally drives the whole matrix through the
+//! concurrent serving layer: every (query, placement) cell is submitted N
+//! times to one `SessionServer` sharing the fleet, so the run exercises
+//! device-aware admission (GPU-hungry queries queue instead of OOMing the
+//! fleet) and the cross-query build cache (repeats skip memoised builds) —
+//! and prints the batch summary next to the solo table.
 
+use hape::core::serve::SessionServer;
 use hape::core::{ExecConfig, JoinAlgo, PlacedStage, Placement, Session};
 use hape::sim::topology::Server;
 use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let value_flags = ["--placements", "--packet-rows", "--threads"];
+    let value_flags = ["--placements", "--packet-rows", "--threads", "--concurrency"];
     let value_at: Vec<usize> = args
         .iter()
         .enumerate()
@@ -58,6 +67,8 @@ fn main() {
         .map(|v| v.parse().unwrap_or_else(|_| panic!("--packet-rows expects a row count")));
     let threads: Option<usize> = flag_value("--threads")
         .map(|v| v.parse().unwrap_or_else(|_| panic!("--threads expects a thread count")));
+    let concurrency: Option<usize> = flag_value("--concurrency")
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("--concurrency expects a copy count")));
     println!("generating TPC-H at SF {sf} …");
     let data = hape::tpch::generate(sf, 42);
     // GPU memory scales with SF so the paper's SF-100 capacity effects hold.
@@ -127,5 +138,46 @@ fn main() {
             print!(" {cell:>16}");
         }
         println!();
+    }
+
+    // `--concurrency N`: re-run the whole matrix through the serving layer
+    // — N copies of every cell interleaved over one shared fleet. Failures
+    // (Q9's manual GPU OOM) stay per-query; repeats hit the build cache.
+    if let Some(copies) = concurrency {
+        let mut server = SessionServer::new(session.clone());
+        let mut handles = Vec::new();
+        for (name, query) in &queries {
+            for &placement in &placements {
+                for _ in 0..copies {
+                    handles.push((
+                        name,
+                        placement,
+                        server.submit_with(query, &mk_cfg(placement)),
+                    ));
+                }
+            }
+        }
+        let submitted = handles.len();
+        println!("\nserving {submitted} concurrent queries ({copies} copies per cell) …");
+        let batch = server.run_all();
+        let (mut ok, mut failed) = (0usize, 0usize);
+        for (name, placement, handle) in &handles {
+            match batch.report(*handle) {
+                Ok(_) => ok += 1,
+                Err(e) => {
+                    failed += 1;
+                    println!("  {name}/{placement}: {e}");
+                }
+            }
+        }
+        let stats = server.cache_stats();
+        println!(
+            "completed {ok}/{submitted} ({failed} failed), admission waits {}, \
+             cache-served builds {} (hits {}, misses {})",
+            batch.total_admission_waits(),
+            batch.total_builds_cached(),
+            stats.hits,
+            stats.misses
+        );
     }
 }

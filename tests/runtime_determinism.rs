@@ -108,6 +108,43 @@ fn q9_coprocess_stage_is_thread_count_invariant() {
 }
 
 #[test]
+fn concurrent_serving_is_thread_count_invariant() {
+    // The serving layer interleaves many queries over the shared fleet;
+    // its per-query sim-time isolation must compose with the two-plane
+    // runtime's guarantee: the whole batch's reports are bit-identical at
+    // any data-plane thread count.
+    use hape::core::serve::SessionServer;
+    let session = tpch_session();
+    let queries: Vec<Query> = vec![q1_query(), q5_query(JoinAlgo::Partitioned), q6_query()];
+    let placements = [Placement::CpuOnly, Placement::Hybrid, Placement::Auto];
+    let mut reference: Option<Vec<QueryReport>> = None;
+    for threads in THREADS {
+        let mut server = SessionServer::new(session.clone());
+        let mut handles = Vec::new();
+        for query in &queries {
+            for placement in placements {
+                let cfg = ExecConfig::new(placement).with_threads(threads);
+                handles.push(server.submit_with(query, &cfg));
+            }
+        }
+        let batch = server.run_all();
+        let reports: Vec<QueryReport> = handles
+            .iter()
+            .map(|&h| batch.report(h).as_ref().expect("batch completes").clone())
+            .collect();
+        match &reference {
+            None => reference = Some(reports),
+            Some(want) => {
+                for (got, want) in reports.iter().zip(want) {
+                    assert_reports_identical(got, want, &format!("serve threads={threads}"));
+                    assert_eq!(got.builds_cached, want.builds_cached);
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn tiny_packet_stress_hammers_the_pool_deterministically() {
     // 2^17 rows at 64 rows/packet = 2048 stream packets (plus the build's
     // auto-sized ones) per run — thousands of scatter jobs and fold
