@@ -106,7 +106,17 @@ impl DbmsC {
         let table = catalog.lookup(&pipeline.source)?;
         let mut outputs: Vec<Batch> = Vec::new();
         let mut t = SimTime::ZERO;
-        for vector in table.data.split(VECTOR_ROWS) {
+        // Stateful aggregates consume whole per-user runs; align the
+        // vector boundaries the same way the engine aligns its packets.
+        let vectors = match pipeline.stateful_agg() {
+            Some(sagg) => hape_ops::stateful::split_user_aligned(
+                &table.data,
+                sagg.user_col(),
+                VECTOR_ROWS,
+            ),
+            None => table.data.split(VECTOR_ROWS),
+        };
+        for vector in vectors {
             t += cpu_ops::scan_cost(vector.bytes(), model);
             let mut cur = vector;
             for op in &pipeline.ops {
@@ -132,6 +142,21 @@ impl DbmsC {
                         let n = cur.rows() as u64;
                         let (out, chain) = probe_join(&cur, jt, *key_col, build_payload_cols);
                         t += model.ht_probe(n, chain, jt.bytes());
+                        t += model.seq_write(out.bytes());
+                        cur = out;
+                    }
+                    PipeOp::Stateful(sagg) => {
+                        // Vectors were user-aligned above, so the per-user
+                        // runs are intact inside each vector.
+                        let n = cur.rows() as u64;
+                        let (out, users) = hape_ops::stateful::run_stateful(sagg, &cur);
+                        t += hape_ops::stateful::cpu_cost(
+                            n,
+                            users as u64,
+                            users as u64 * sagg.state_bytes_per_user(),
+                            sagg.ops_per_row(),
+                            model,
+                        );
                         t += model.seq_write(out.bytes());
                         cur = out;
                     }

@@ -126,6 +126,23 @@ impl DbmsG {
                         );
                         cur = out;
                     }
+                    PipeOp::Stateful(sagg) => {
+                        // Operator-at-a-time over the whole input, so the
+                        // per-user runs stay intact — but every row is one
+                        // step of a serial state chain the GPU cannot
+                        // latency-hide (the engine's sequential-state term,
+                        // at full strength).
+                        let rows = cur.rows() as f64;
+                        let (out, users) = hape_ops::stateful::run_stateful(sagg, &cur);
+                        let state_ws = (users as u64 * sagg.state_bytes_per_user()).max(64);
+                        t_stage += SimTime::from_secs(
+                            rows * gpu.random_access_ns(state_ws)
+                                * hape_ops::stateful::GPU_SEQ_CHAIN_FACTOR
+                                / 1e9
+                                / n_gpus,
+                        );
+                        cur = out;
+                    }
                 }
                 let out_b = cur.bytes();
                 resident += out_b;

@@ -4,6 +4,7 @@
 //! figures [fig5|fig6|fig7|fig8|fig9|all] [--full] [--smoke] [--sf <f64>]
 //!         [--placements <p,p,...>] [--packet-rows <n>] [--threads <n,n,...>]
 //!         [--wall [--out <path>]] [--serve [--out <path>]]
+//!         [--behavioral [--users <n>] [--out <path>]]
 //! ```
 //!
 //! Default sizes are scaled down (see EXPERIMENTS.md); `--full` uses
@@ -30,7 +31,14 @@
 //! to `BENCH_serve.json` (`--out` overrides; `--threads` pins the
 //! data-plane pool with its first value). CI uploads it next to
 //! `BENCH_tpch.json`.
+//!
+//! `--behavioral` runs the stateful-analytics suite × placement matrix
+//! over the deterministic web-analytics event log (`--users` sizes it;
+//! `--smoke` shrinks it for CI), asserting `auto` matches the best manual
+//! placement on every query and writing `BENCH_behavioral.json` (`--out`
+//! overrides; `--threads` pins the data-plane pool with its first value).
 
+use hape_bench::behavioral::{bench_behavioral, print_behavioral};
 use hape_bench::figures::{fig5, fig6, fig7, fig8_opts, fig9, print_figure};
 use hape_bench::serve::{bench_serve, print_serve};
 use hape_bench::wall::{bench_tpch, print_wall, write_json};
@@ -50,6 +58,7 @@ fn positional(args: &[String]) -> Option<&String> {
             || a == "--packet-rows"
             || a == "--threads"
             || a == "--out"
+            || a == "--users"
         {
             skip_value = true;
             continue;
@@ -102,6 +111,21 @@ fn main() {
             })
             .collect()
     });
+
+    if args.iter().any(|a| a == "--behavioral") {
+        let out =
+            flag_value(&args, "--out").map(String::as_str).unwrap_or("BENCH_behavioral.json");
+        let users = flag_value(&args, "--users")
+            .map(|v| v.parse::<usize>().unwrap_or_else(|_| panic!("--users expects a count")))
+            .unwrap_or(if smoke { 2_000 } else { 20_000 });
+        let threads = threads_flag.as_ref().and_then(|t| t.first().copied());
+        let bench = bench_behavioral(users, threads);
+        print_behavioral(&bench);
+        hape_bench::behavioral::write_json(&bench, out)
+            .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        println!("wrote {out}");
+        return;
+    }
 
     if args.iter().any(|a| a == "--serve") {
         let out = flag_value(&args, "--out").map(String::as_str).unwrap_or("BENCH_serve.json");

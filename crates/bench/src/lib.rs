@@ -6,10 +6,12 @@
 //! ratios are the reproduction target — see `EXPERIMENTS.md`); `full`
 //! variants run at paper scale where memory permits.
 
+pub mod behavioral;
 pub mod figures;
 pub mod serve;
 pub mod wall;
 
+pub use behavioral::{bench_behavioral, print_behavioral, BehavioralBench, BehavioralPoint};
 pub use figures::{
     fig5, fig6, fig7, fig8, fig9, print_figure, Figure, Series, FIG6_DEFAULT_SIZES,
     FIG7_DEFAULT_SIZES,
@@ -19,6 +21,7 @@ pub use wall::{bench_tpch, print_wall, write_json, WallPoint};
 
 /// Commonly used items.
 pub mod prelude {
+    pub use crate::behavioral::{bench_behavioral, print_behavioral};
     pub use crate::figures::{fig5, fig6, fig7, fig8, fig9, print_figure};
     pub use crate::serve::{bench_serve, print_serve};
     pub use crate::wall::{bench_tpch, print_wall, write_json};

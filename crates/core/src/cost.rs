@@ -24,6 +24,9 @@
 //! | co-partition fanout: `2(R+S) >> bits ≤ 0.9 × DRAM` | §5 "just small enough to fit in GPU-memory" | [`hape_join::plan_cpu_bits`], [`hape_join::gpu_budget`] |
 //! | co-partition s = `Σ passes partition_pass(n, 8, 2^bits) / workers` | TLB-bounded multi-pass CPU partitioning (§4.1, §5) | [`CpuCostModel::partition_pass`], [`CpuSpec::max_partition_fanout`](hape_sim::CpuSpec::max_partition_fanout) |
 //! | co-process single pass s = `max((R+S)/Σ link bw, 4(R+S)/Σ gpu bw)` | each co-partition pair crosses PCIe once, joined at device bandwidth (§5) | [`Link::bw`](hape_sim::interconnect::Link), [`GpuSpec::dram_bw`](hape_sim::GpuSpec) |
+//! | CPU stateful s = `compute_simd(rows, ops) + users × random_access` | per-user state machines scan sorted runs; state stays cache-resident (§2.1) | [`CpuCostModel::compute_simd`], [`CpuCostModel::random_accesses`] |
+//! | GPU stateful ns/row = `random_access_ns × seq-chain factor` | serial per-user dependency chain defeats the GPU's latency hiding — the paper's random-access term, unamortised (§2.1, §4.1) | [`GpuSpec::random_access_ns`](hape_sim::GpuSpec::random_access_ns), [`hape_ops::stateful::GPU_SEQ_CHAIN_FACTOR`] |
+//! | stateful packet floor s = `max over devices of packet_bytes × ns/B` | a participating worker processes at least one user-aligned packet — a slow device bounds the stage even when summed rates look fast | [`CostModel::stage_cost`] |
 //!
 //! Cardinalities are estimated from the catalog's *actual* table sizes
 //! (the scan views lowering pushes down), with classic default
@@ -62,6 +65,10 @@ const PROBE_ACCESSES: f64 = 2.0;
 
 /// Scalar ops per probed row (hash + compare), charged on CPU cores.
 const PROBE_OPS: f64 = 8.0;
+
+/// Estimated events per user run for stateful aggregates (no per-column
+/// statistics yet; matches the behavioral generator's average run length).
+pub const STATEFUL_EVENTS_PER_USER: f64 = 32.0;
 
 /// Estimated size of a built hash table: the executor's
 /// [`JoinTable`](crate::plan::JoinTable) footprint for an estimated build
@@ -105,6 +112,15 @@ pub struct PipelineEstimate {
     pub out_bytes: f64,
     /// The probes, in pipeline order.
     pub probes: Vec<ProbeEstimate>,
+    /// Rows entering a stateful per-user aggregate (0 when the pipeline
+    /// has none).
+    pub stateful_rows: f64,
+    /// Estimated distinct users those rows cover.
+    pub stateful_users: f64,
+    /// Estimated per-user state working set, summed over users.
+    pub stateful_state_bytes: f64,
+    /// State-machine operations per input row.
+    pub stateful_ops_per_row: f64,
 }
 
 impl PipelineEstimate {
@@ -234,6 +250,10 @@ impl<'a> CostModel<'a> {
         let mut rows = in_rows;
         let mut width = in_bytes / in_rows;
         let mut probes = Vec::new();
+        let mut stateful_rows = 0.0f64;
+        let mut stateful_users = 0.0f64;
+        let mut stateful_state_bytes = 0.0f64;
+        let mut stateful_ops_per_row = 0.0f64;
         for op in &pipeline.ops {
             match op {
                 PipeOp::Filter(_) => rows *= FILTER_SELECTIVITY,
@@ -252,6 +272,15 @@ impl<'a> CostModel<'a> {
                     rows *= JOIN_MATCH_RATE;
                     width += build_payload_cols.len() as f64 * EST_COLUMN_BYTES;
                 }
+                PipeOp::Stateful(agg) => {
+                    let users = (rows / STATEFUL_EVENTS_PER_USER).max(1.0);
+                    stateful_rows += rows;
+                    stateful_users += users;
+                    stateful_state_bytes += users * agg.state_bytes_per_user() as f64;
+                    stateful_ops_per_row = agg.ops_per_row();
+                    rows = users;
+                    width = agg.out_width() as f64 * EST_COLUMN_BYTES;
+                }
             }
         }
         Ok(PipelineEstimate {
@@ -260,6 +289,10 @@ impl<'a> CostModel<'a> {
             out_rows: rows,
             out_bytes: rows * width,
             probes,
+            stateful_rows,
+            stateful_users,
+            stateful_state_bytes,
+            stateful_ops_per_row,
         })
     }
 
@@ -310,15 +343,22 @@ impl<'a> CostModel<'a> {
         let mut gpu_rates: Vec<(usize, f64)> = Vec::new();
         let mut broadcast_seconds = 0.0f64;
         let mut gpu_capacity: Option<u64> = None;
+        let mut slowest_packet_seconds = 0.0f64;
         for &device in devices {
             match device {
                 DeviceId::Cpu(s) => {
-                    rates += 1.0 / self.cpu_ns_per_byte(s, est)?;
+                    let ns = self.cpu_ns_per_byte(s, est)?;
+                    rates += 1.0 / ns;
+                    slowest_packet_seconds =
+                        slowest_packet_seconds.max(packet_bytes * ns / 1e9);
                 }
                 DeviceId::Gpu(g) => {
-                    let rate = 1.0 / self.gpu_ns_per_byte(g, est, packet_bytes)?;
+                    let ns = self.gpu_ns_per_byte(g, est, packet_bytes)?;
+                    let rate = 1.0 / ns;
                     rates += rate;
                     gpu_rates.push((g, rate));
+                    slowest_packet_seconds =
+                        slowest_packet_seconds.max(packet_bytes * ns / 1e9);
                     let (spec, link) = self.gpu_spec(g)?;
                     gpu_capacity = Some(gpu_capacity.map_or(spec.dram_capacity as u64, |c| {
                         c.min(spec.dram_capacity as u64)
@@ -331,7 +371,15 @@ impl<'a> CostModel<'a> {
                 }
             }
         }
-        let stream_seconds = est.in_bytes / rates / 1e9;
+        let mut stream_seconds = est.in_bytes / rates / 1e9;
+        if est.stateful_rows > 0.0 {
+            // Every device in the subset processes at least one user-aligned
+            // packet, so a latency-bound device puts a floor under the stage
+            // even when the subset's summed rate looks attractive. This is
+            // what lets the model *price out* a GPU for sequential-state
+            // work instead of hard-pinning it to the CPU.
+            stream_seconds = stream_seconds.max(slowest_packet_seconds);
+        }
         // A GPU-built table's output rides its link back to the host.
         let mut d2h_seconds = 0.0f64;
         if returns_output {
@@ -531,6 +579,19 @@ impl<'a> CostModel<'a> {
                 + PROBE_OPS / (spec.clock_hz * spec.ipc) * 1e9;
             ns += (probe.rows / est.in_bytes) * per_row / cores;
         }
+        if est.stateful_rows > 0.0 {
+            // One worker scans sorted user runs; the socket spreads packets
+            // across its cores, so aggregate the single-worker time the same
+            // way the probe term does.
+            let t = hape_ops::stateful::cpu_cost(
+                est.stateful_rows as u64,
+                est.stateful_users as u64,
+                est.stateful_state_bytes as u64,
+                est.stateful_ops_per_row,
+                &model,
+            );
+            ns += t.as_ns() / est.in_bytes / cores;
+        }
         Ok(ns)
     }
 
@@ -551,6 +612,15 @@ impl<'a> CostModel<'a> {
             kernel_ns += (probe.rows / est.in_bytes)
                 * PROBE_ACCESSES
                 * spec.random_access_ns(probe.ht_bytes);
+        }
+        if est.stateful_rows > 0.0 {
+            // The per-user dependency chain serialises the warp: every event
+            // pays the uncoalesced random-access latency without the usual
+            // thousands-of-threads overlap (§2.1) — the paper's random-access
+            // term, unamortised.
+            kernel_ns += (est.stateful_rows / est.in_bytes)
+                * spec.random_access_ns((est.stateful_state_bytes as u64).max(64))
+                * hape_ops::stateful::GPU_SEQ_CHAIN_FACTOR;
         }
         Ok(link_ns.max(kernel_ns))
     }

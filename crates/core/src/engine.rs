@@ -535,6 +535,7 @@ impl Engine {
                 variant: BuildProbeVariant::Sm,
                 mode: OutputMode::MatchIndices,
                 fidelity: self.fidelity,
+                threads,
             };
             let rep = coprocess_join_on(
                 &self.server,
@@ -693,7 +694,19 @@ impl Engine {
         }
         let shares: usize = workers.iter().map(|w| w.packet_share()).sum();
         let rows_per_packet = ExecConfig::auto_packet_rows(table.rows(), shares, packet_rows);
-        let packets = table.data.split(rows_per_packet);
+        // Stateful aggregates consume whole per-user runs, so their packet
+        // boundaries snap to user boundaries (plan validation guarantees
+        // only filters precede the op, making its user column a valid
+        // source-table index). The split is computed once, before any
+        // worker sees a packet, so it is identical at every thread count.
+        let packets = match pipeline.stateful_agg() {
+            Some(agg) => hape_ops::stateful::split_user_aligned(
+                &table.data,
+                agg.user_col(),
+                rows_per_packet,
+            ),
+            None => table.data.split(rows_per_packet),
+        };
         self.packet_loop(packets, pipeline, workers, policy, tables, start, threads)
     }
 

@@ -81,6 +81,14 @@ pub enum PlanError {
         /// The query whose select is empty.
         query: String,
     },
+    /// A stateful per-user aggregate appears after an operator that
+    /// reshapes rows (projection, join probe, or another stateful
+    /// aggregate). The engine aligns packet boundaries on the aggregate's
+    /// user column in *source* order; only filters preserve that contract.
+    StatefulAfterReshape {
+        /// The plan or query name.
+        name: String,
+    },
 }
 
 impl std::fmt::Display for PlanError {
@@ -121,6 +129,13 @@ impl std::fmt::Display for PlanError {
             }
             PlanError::EmptySelect { query } => {
                 write!(f, "select in query {query:?} projects no columns")
+            }
+            PlanError::StatefulAfterReshape { name } => {
+                write!(
+                    f,
+                    "stateful aggregate in {name:?} must come before any projection, \
+                     join or other stateful aggregate (only filters may precede it)"
+                )
             }
         }
     }

@@ -490,6 +490,7 @@ fn render_pipeline(p: &Pipeline) -> String {
             PipeOp::Filter(_) => "filter".to_string(),
             PipeOp::Project(exprs) => format!("project[{}]", exprs.len()),
             PipeOp::JoinProbe { ht, .. } => format!("join({ht})"),
+            PipeOp::Stateful(agg) => agg.label(),
         });
     }
     if p.agg.is_some() {

@@ -8,7 +8,7 @@
 //! code with no intermediate materialisation points.
 
 use hape_join::common::{ChainedTable, NIL};
-use hape_ops::{AggSpec, Expr};
+use hape_ops::{AggSpec, Expr, StatefulAgg};
 use hape_storage::Batch;
 
 use crate::error::PlanError;
@@ -77,6 +77,13 @@ pub enum PipeOp {
         /// layout either way).
         algo: JoinAlgo,
     },
+    /// An order-sensitive per-user stateful aggregate
+    /// ([`hape_ops::stateful`]): collapses each user's sorted event run
+    /// into one row via a sequential state machine. The engine aligns
+    /// packet boundaries on the user column, so only filters may precede
+    /// it in a pipeline (validated) — anything that reshapes rows would
+    /// break the source-order contract the alignment relies on.
+    Stateful(StatefulAgg),
 }
 
 /// A pipeline: a source table streamed through fused operators, optionally
@@ -121,6 +128,12 @@ impl Pipeline {
         self
     }
 
+    /// Append a stateful per-user aggregate.
+    pub fn stateful(mut self, agg: StatefulAgg) -> Self {
+        self.ops.push(PipeOp::Stateful(agg));
+        self
+    }
+
     /// Terminate with an aggregation.
     pub fn aggregate(mut self, spec: AggSpec) -> Self {
         self.agg = Some(spec);
@@ -145,6 +158,17 @@ impl Pipeline {
     pub fn last_probe(&self) -> Option<(usize, &str)> {
         self.ops.iter().enumerate().rev().find_map(|(i, op)| match op {
             PipeOp::JoinProbe { ht, .. } => Some((i, ht.as_str())),
+            _ => None,
+        })
+    }
+
+    /// The pipeline's stateful aggregate, if any. Because
+    /// [`QueryPlan::validate`] guarantees only filters precede it, the
+    /// returned aggregate's user column is also a valid column index into
+    /// the *source* table — the engine aligns packet boundaries on it.
+    pub fn stateful_agg(&self) -> Option<&StatefulAgg> {
+        self.ops.iter().find_map(|op| match op {
+            PipeOp::Stateful(agg) => Some(agg),
             _ => None,
         })
     }
@@ -198,6 +222,7 @@ impl QueryPlan {
                     if pipeline.agg.is_some() {
                         return Err(PlanError::BuildWithAggregate { stage: name.clone() });
                     }
+                    self.check_stateful_position(pipeline)?;
                     for t in pipeline.tables_probed() {
                         if !built.contains(&t) {
                             return Err(PlanError::ProbeBeforeBuild { table: t.to_string() });
@@ -211,6 +236,7 @@ impl QueryPlan {
                             name: self.name.clone(),
                         });
                     }
+                    self.check_stateful_position(pipeline)?;
                     for t in pipeline.tables_probed() {
                         if !built.contains(&t) {
                             return Err(PlanError::ProbeBeforeBuild { table: t.to_string() });
@@ -222,6 +248,29 @@ impl QueryPlan {
         }
         if streams != 1 {
             return Err(PlanError::NotExactlyOneStream { plan: self.name.clone(), streams });
+        }
+        Ok(())
+    }
+
+    /// A stateful aggregate consumes the source's `(user, ts)` order and
+    /// its user column doubles as the engine's packet-alignment column in
+    /// source coordinates — so only filters (which drop rows but never
+    /// reshape or reorder them) may precede it.
+    fn check_stateful_position(&self, pipeline: &Pipeline) -> Result<(), PlanError> {
+        let mut reshaped = false;
+        for op in &pipeline.ops {
+            match op {
+                PipeOp::Filter(_) => {}
+                PipeOp::Stateful(_) => {
+                    if reshaped {
+                        return Err(PlanError::StatefulAfterReshape {
+                            name: self.name.clone(),
+                        });
+                    }
+                    reshaped = true;
+                }
+                PipeOp::Project(_) | PipeOp::JoinProbe { .. } => reshaped = true,
+            }
         }
         Ok(())
     }
@@ -365,6 +414,36 @@ mod tests {
         assert_eq!(Pipeline::scan("t").last_probe(), None);
         assert_eq!(ProbeExec::Broadcast.to_string(), "broadcast");
         assert_eq!(ProbeExec::CoProcess { ht: "b".into() }.to_string(), "co-process \"b\"");
+    }
+
+    #[test]
+    fn stateful_only_after_filters() {
+        use hape_ops::StatefulAgg;
+        let sess = StatefulAgg::Sessionize { user_col: 0, ts_col: 1, gap: 100 };
+        let ok = QueryPlan::try_new(
+            "b",
+            vec![Stage::Stream {
+                pipeline: Pipeline::scan("ev")
+                    .filter(Expr::lt(Expr::col(1), Expr::LitI32(50)))
+                    .stateful(sess.clone())
+                    .aggregate(agg()),
+            }],
+        )
+        .unwrap();
+        let Stage::Stream { pipeline } = &ok.stages[0] else { unreachable!() };
+        assert_eq!(pipeline.stateful_agg(), Some(&sess));
+
+        let err = QueryPlan::try_new(
+            "bad",
+            vec![Stage::Stream {
+                pipeline: Pipeline::scan("ev")
+                    .project(vec![Expr::col(0)])
+                    .stateful(sess)
+                    .aggregate(agg()),
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::StatefulAfterReshape { name: "bad".into() });
     }
 
     #[test]

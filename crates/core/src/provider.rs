@@ -19,7 +19,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use hape_ops::agg::AggState;
-use hape_ops::{cpu as cpu_ops, eval_bool, gpu as gpu_ops, AggSpec, GroupKey};
+use hape_ops::{cpu as cpu_ops, eval_bool, gpu as gpu_ops, stateful, AggSpec, GroupKey};
 use hape_sim::des::Resource;
 use hape_sim::interconnect::Link;
 use hape_sim::{CpuCostModel, Fidelity, GpuSim, GpuSpec, Region, SimTime};
@@ -138,6 +138,20 @@ pub enum OpTrace {
         rows_out: usize,
         /// Build payload columns gathered per match.
         payload_cols: usize,
+    },
+    /// A fused stateful per-user aggregate ([`hape_ops::stateful`]).
+    Stateful {
+        /// Rows entering the state machines.
+        rows_in: usize,
+        /// Distinct users (= output rows) in the packet.
+        users: usize,
+        /// Bytes per input row the operator touches (user + ts + event).
+        row_bytes: u64,
+        /// Per-user state footprint times the packet's user count — the
+        /// working set the random-access terms price against.
+        state_bytes: u64,
+        /// State-machine operations per input row.
+        ops_per_row: f64,
     },
 }
 
@@ -273,6 +287,23 @@ pub fn run_ops(
                     keys,
                     rows_out: out.rows(),
                     payload_cols: build_payload_cols.len(),
+                });
+                cur = out;
+            }
+            PipeOp::Stateful(agg) => {
+                let rows_in = cur.rows();
+                let mut row_bytes = cur.col(agg.user_col()).data_type().width() as u64
+                    + cur.col(agg.ts_col()).data_type().width() as u64;
+                if let Some(ev) = agg.event_col() {
+                    row_bytes += cur.col(ev).data_type().width() as u64;
+                }
+                let (out, users) = stateful::run_stateful(agg, &cur);
+                ops_trace.push(OpTrace::Stateful {
+                    rows_in,
+                    users,
+                    row_bytes,
+                    state_bytes: users as u64 * agg.state_bytes_per_user(),
+                    ops_per_row: agg.ops_per_row(),
                 });
                 cur = out;
             }
@@ -485,6 +516,15 @@ impl CpuProvider {
                     // payloads ride in registers to the next operator.
                     time += self.model.ht_probe(*rows_in as u64, *avg_chain, jt.bytes());
                 }
+                OpTrace::Stateful { rows_in, users, state_bytes, ops_per_row, .. } => {
+                    time += stateful::cpu_cost(
+                        *rows_in as u64,
+                        *users as u64,
+                        *state_bytes,
+                        *ops_per_row,
+                        &self.model,
+                    );
+                }
             }
         }
         Ok(time)
@@ -573,6 +613,16 @@ impl GpuProvider {
                         .unwrap_or_else(|| Region::at(1 << 44, jt.bytes().max(1)));
                     time += self.charge_probe(keys.as_i32(), jt, region, *avg_chain, *algo);
                     time += SimTime::from_ns((*rows_out * *payload_cols) as f64 * 0.05);
+                }
+                OpTrace::Stateful { rows_in, row_bytes, state_bytes, ops_per_row, .. } => {
+                    time += stateful::gpu_cost(
+                        &self.sim,
+                        in_region,
+                        *rows_in,
+                        *row_bytes,
+                        *state_bytes,
+                        *ops_per_row,
+                    );
                 }
             }
         }

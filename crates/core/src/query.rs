@@ -34,7 +34,7 @@
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
-use hape_ops::{AggFunc, AggSpec, ColumnResolver, NamedExpr, ResolveError};
+use hape_ops::{AggFunc, AggSpec, ColumnResolver, NamedExpr, ResolveError, StatefulAgg};
 use hape_storage::{DataType, Table};
 
 use crate::catalog::Catalog;
@@ -58,6 +58,7 @@ enum LogicalOp {
     Filter(NamedExpr),
     Select(Vec<(String, NamedExpr)>),
     Join(JoinSpec),
+    Stateful(StatefulSpec),
 }
 
 #[derive(Debug, Clone)]
@@ -66,6 +67,56 @@ struct JoinSpec {
     probe_key: String,
     build_key: String,
     algo: JoinAlgo,
+}
+
+/// A named-column order-sensitive per-user aggregate (the logical face of
+/// [`crate::plan::PipeOp::Stateful`]). Event names are plain strings here;
+/// lowering resolves them against the event column's dictionary.
+#[derive(Debug, Clone)]
+struct StatefulSpec {
+    user: String,
+    ts: String,
+    kind: StatefulKind,
+}
+
+#[derive(Debug, Clone)]
+enum StatefulKind {
+    Sessionize { gap: i64 },
+    WindowFunnel { event: String, steps: Vec<String>, window: i64 },
+    Retention { event: String, cohort: String, returns: Vec<String>, period: i64 },
+    SequenceMatch { event: String, pattern: Vec<String> },
+}
+
+impl StatefulSpec {
+    /// Input column names the aggregate consumes.
+    fn input_names(&self) -> Vec<String> {
+        let mut names = vec![self.user.clone(), self.ts.clone()];
+        match &self.kind {
+            StatefulKind::Sessionize { .. } => {}
+            StatefulKind::WindowFunnel { event, .. }
+            | StatefulKind::Retention { event, .. }
+            | StatefulKind::SequenceMatch { event, .. } => names.push(event.clone()),
+        }
+        names
+    }
+
+    /// Output column names (user column first), mirroring
+    /// [`hape_ops::StatefulAgg::out_names`].
+    fn output_names(&self) -> Vec<String> {
+        let mut names = vec![self.user.clone()];
+        match &self.kind {
+            StatefulKind::Sessionize { .. } => {
+                names.extend(["sessions".to_string(), "events".to_string()]);
+            }
+            StatefulKind::WindowFunnel { .. } => names.push("funnel_depth".to_string()),
+            StatefulKind::Retention { returns, .. } => {
+                names.push("in_cohort".to_string());
+                names.extend((1..=returns.len()).map(|i| format!("ret{i}")));
+            }
+            StatefulKind::SequenceMatch { .. } => names.push("matched".to_string()),
+        }
+        names
+    }
 }
 
 impl Query {
@@ -139,6 +190,97 @@ impl Query {
             probe_key: probe_key.into(),
             build_key: build_key.into(),
             algo,
+        }));
+        self
+    }
+
+    /// Sessionize: per user, count sessions (maximal runs of events whose
+    /// consecutive timestamps gap by at most `gap`) and total events.
+    /// Emits one row per user with columns `{user}`, `sessions`, `events`.
+    ///
+    /// Like every stateful aggregate, it requires the scanned table sorted
+    /// by `(user, ts)` and must appear before any select or join (only
+    /// filters may precede it) — lowering enforces both structurally.
+    pub fn sessionize(
+        mut self,
+        user: impl Into<String>,
+        ts: impl Into<String>,
+        gap: i64,
+    ) -> Self {
+        self.ops.push(LogicalOp::Stateful(StatefulSpec {
+            user: user.into(),
+            ts: ts.into(),
+            kind: StatefulKind::Sessionize { gap },
+        }));
+        self
+    }
+
+    /// Window funnel: per user, the deepest prefix of `steps` (event names,
+    /// matched against the `event` column's dictionary) completed in order
+    /// within `window` of the chain's start. Emits `{user}`, `funnel_depth`.
+    pub fn window_funnel(
+        mut self,
+        user: impl Into<String>,
+        ts: impl Into<String>,
+        event: impl Into<String>,
+        steps: &[&str],
+        window: i64,
+    ) -> Self {
+        self.ops.push(LogicalOp::Stateful(StatefulSpec {
+            user: user.into(),
+            ts: ts.into(),
+            kind: StatefulKind::WindowFunnel {
+                event: event.into(),
+                steps: steps.iter().map(|s| s.to_string()).collect(),
+                window: window.max(0),
+            },
+        }));
+        self
+    }
+
+    /// Retention: per user, whether they emitted `cohort` at all, and — for
+    /// each of the `returns` events — whether that event recurs in the
+    /// i-th `period` after the cohort event. Emits `{user}`, `in_cohort`,
+    /// `ret1`..`ret{k}`.
+    pub fn retention(
+        mut self,
+        user: impl Into<String>,
+        ts: impl Into<String>,
+        event: impl Into<String>,
+        cohort: impl Into<String>,
+        returns: &[&str],
+        period: i64,
+    ) -> Self {
+        self.ops.push(LogicalOp::Stateful(StatefulSpec {
+            user: user.into(),
+            ts: ts.into(),
+            kind: StatefulKind::Retention {
+                event: event.into(),
+                cohort: cohort.into(),
+                returns: returns.iter().map(|s| s.to_string()).collect(),
+                period,
+            },
+        }));
+        self
+    }
+
+    /// Sequence match: per user, whether the event names in `pattern`
+    /// occur as an ordered (not necessarily adjacent) subsequence. Emits
+    /// `{user}`, `matched`.
+    pub fn sequence_match(
+        mut self,
+        user: impl Into<String>,
+        ts: impl Into<String>,
+        event: impl Into<String>,
+        pattern: &[&str],
+    ) -> Self {
+        self.ops.push(LogicalOp::Stateful(StatefulSpec {
+            user: user.into(),
+            ts: ts.into(),
+            kind: StatefulKind::SequenceMatch {
+                event: event.into(),
+                pattern: pattern.iter().map(|s| s.to_string()).collect(),
+            },
         }));
         self
     }
@@ -226,6 +368,7 @@ impl Query {
                 LogicalOp::Select(items) => {
                     names = items.iter().map(|(n, _)| n.clone()).collect();
                 }
+                LogicalOp::Stateful(s) => names = s.output_names(),
                 LogicalOp::Filter(_) => {}
             }
         }
@@ -244,6 +387,7 @@ impl Query {
                     names.extend(items.iter().flat_map(|(_, e)| e.columns_used()));
                 }
                 LogicalOp::Join(j) => names.push(j.probe_key.clone()),
+                LogicalOp::Stateful(s) => names.extend(s.input_names()),
             }
         }
         names.extend(self.group_by.iter().cloned());
@@ -283,6 +427,9 @@ impl Query {
                     let _ = write!(out, "|join[{}={},{:?}](", j.probe_key, j.build_key, j.algo);
                     j.build.structural_key(out);
                     let _ = write!(out, ")");
+                }
+                LogicalOp::Stateful(s) => {
+                    let _ = write!(out, "|stateful({s:?})");
                 }
             }
         }
@@ -645,6 +792,9 @@ impl<'a> Lowering<'a> {
                             LogicalOp::Join(later_join) => {
                                 downstream.push((later_join.probe_key.clone(), pos))
                             }
+                            LogicalOp::Stateful(s) => {
+                                downstream.extend(s.input_names().into_iter().map(|n| (n, pos)))
+                            }
                         }
                     }
                     let end = rest.len();
@@ -778,6 +928,107 @@ impl<'a> Lowering<'a> {
                         cols.push(build_cols[b].clone());
                     }
                     pipeline = pipeline.join(ht, probe_col, payload_cols, j.algo);
+                }
+                LogicalOp::Stateful(s) => {
+                    let context = format!("stateful aggregate over {source}");
+                    let find = |name: &str| -> Result<usize, PlanError> {
+                        cols.iter().position(|c| c.name == name).ok_or_else(|| {
+                            PlanError::UnknownColumn {
+                                column: name.to_string(),
+                                context: context.clone(),
+                            }
+                        })
+                    };
+                    let user_col = find(&s.user)?;
+                    if !matches!(cols[user_col].dtype, DataType::I32 | DataType::I64) {
+                        return Err(PlanError::TypeMismatch {
+                            context,
+                            expected: "integer user column",
+                            found: format!("{:?}", cols[user_col].dtype),
+                        });
+                    }
+                    let ts_col = find(&s.ts)?;
+                    if !matches!(
+                        cols[ts_col].dtype,
+                        DataType::I32 | DataType::I64 | DataType::Date
+                    ) {
+                        return Err(PlanError::TypeMismatch {
+                            context,
+                            expected: "integer or date timestamp column",
+                            found: format!("{:?}", cols[ts_col].dtype),
+                        });
+                    }
+                    // Resolve an event-name literal through the event
+                    // column's base-table dictionary. Absent names map to
+                    // the -1 sentinel no dictionary code equals, so they
+                    // match no rows — same semantics as string filters.
+                    let event_col = |name: &str| -> Result<usize, PlanError> {
+                        let i = find(name)?;
+                        if cols[i].dtype != DataType::Str {
+                            return Err(PlanError::TypeMismatch {
+                                context: context.clone(),
+                                expected: "string event column",
+                                found: format!("{:?}", cols[i].dtype),
+                            });
+                        }
+                        Ok(i)
+                    };
+                    let base = self.base;
+                    let code = |i: usize, value: &str| -> i32 {
+                        let info: &ColInfo = &cols[i];
+                        base.get(&info.origin)
+                            .and_then(|t| t.column(&info.name).dict())
+                            .and_then(|d| d.code_of(value))
+                            .map_or(-1, |c| c as i32)
+                    };
+                    let agg = match &s.kind {
+                        StatefulKind::Sessionize { gap } => {
+                            StatefulAgg::Sessionize { user_col, ts_col, gap: *gap }
+                        }
+                        StatefulKind::WindowFunnel { event, steps, window } => {
+                            let ev = event_col(event)?;
+                            StatefulAgg::WindowFunnel {
+                                user_col,
+                                ts_col,
+                                event_col: ev,
+                                steps: steps.iter().map(|n| code(ev, n)).collect(),
+                                window: *window,
+                            }
+                        }
+                        StatefulKind::Retention { event, cohort, returns, period } => {
+                            let ev = event_col(event)?;
+                            StatefulAgg::Retention {
+                                user_col,
+                                ts_col,
+                                event_col: ev,
+                                cohort_event: code(ev, cohort),
+                                return_events: returns.iter().map(|n| code(ev, n)).collect(),
+                                period: *period,
+                            }
+                        }
+                        StatefulKind::SequenceMatch { event, pattern } => {
+                            let ev = event_col(event)?;
+                            StatefulAgg::SequenceMatch {
+                                user_col,
+                                ts_col,
+                                event_col: ev,
+                                pattern: pattern.iter().map(|n| code(ev, n)).collect(),
+                            }
+                        }
+                    };
+                    pipeline = pipeline.stateful(agg);
+                    // Output layout: one all-i64 row per user, user first.
+                    // Origin is only consulted for dictionary lookups,
+                    // which i64 columns never trigger.
+                    cols = s
+                        .output_names()
+                        .into_iter()
+                        .map(|name| ColInfo {
+                            name,
+                            dtype: DataType::I64,
+                            origin: source.to_string(),
+                        })
+                        .collect();
                 }
             }
         }

@@ -39,7 +39,10 @@
 //!    [`QueryReport::builds_cached`]). Entries are validated against the
 //!    session catalog's version counter: re-registering a table
 //!    invalidates every cached hash table built over its old contents
-//!    ([`CacheStats::invalidations`]).
+//!    ([`CacheStats::invalidations`]). The cache can be bounded
+//!    ([`SessionServer::with_build_cache_capacity`]): over capacity it
+//!    evicts least-recently-used first, counted in
+//!    [`CacheStats::evictions`] and [`ServeReport::builds_evicted`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -97,6 +100,8 @@ pub struct CacheStats {
     pub misses: usize,
     /// Entries evicted because the catalog version moved past them.
     pub invalidations: usize,
+    /// Entries evicted least-recently-used-first by the capacity bound.
+    pub evictions: usize,
 }
 
 struct CacheEntry {
@@ -105,15 +110,23 @@ struct CacheEntry {
     /// Whether the producing plan broadcast the table to GPU memory (a
     /// hit then also skips the broadcast: the table is device-resident).
     broadcast: bool,
+    /// Recency stamp ([`BuildCache::tick`] at the last hit or insert) —
+    /// the LRU eviction order.
+    last_used: u64,
     table: Arc<JoinTable>,
 }
 
 /// The cross-query build-side cache: structural fingerprint → built hash
-/// table, validated against the session catalog's version counter.
+/// table, validated against the session catalog's version counter and
+/// optionally bounded to `capacity` entries with LRU eviction.
 #[derive(Default)]
 pub struct BuildCache {
     entries: HashMap<String, CacheEntry>,
     stats: CacheStats,
+    /// Maximum live entries (`None` = unbounded).
+    capacity: Option<usize>,
+    /// Monotonic recency clock; bumped on every hit and insert.
+    tick: u64,
 }
 
 impl BuildCache {
@@ -129,9 +142,11 @@ impl BuildCache {
         current_version: u64,
         plan_version: u64,
     ) -> Option<(Arc<JoinTable>, bool)> {
-        match self.entries.get(fingerprint) {
+        self.tick += 1;
+        match self.entries.get_mut(fingerprint) {
             Some(e) if e.version == current_version && plan_version == current_version => {
                 self.stats.hits += 1;
+                e.last_used = self.tick;
                 Some((e.table.clone(), e.broadcast))
             }
             Some(e) if e.version != current_version => {
@@ -154,7 +169,23 @@ impl BuildCache {
         broadcast: bool,
         table: Arc<JoinTable>,
     ) {
-        self.entries.insert(fingerprint, CacheEntry { version, broadcast, table });
+        self.tick += 1;
+        self.entries.insert(
+            fingerprint,
+            CacheEntry { version, broadcast, last_used: self.tick, table },
+        );
+        if let Some(cap) = self.capacity {
+            while self.entries.len() > cap.max(1) {
+                let oldest = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("cache over capacity is non-empty");
+                self.entries.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
     }
 
     /// Cached entries.
@@ -198,6 +229,9 @@ pub struct ServeReport {
     /// The GPU admission budget the batch ran under (`None` on a fleet
     /// without GPUs: admission then never queues).
     pub gpu_budget: Option<u64>,
+    /// Build-cache entries the capacity bound evicted (LRU-first) while
+    /// this batch ran. Always 0 on an unbounded cache.
+    pub builds_evicted: usize,
 }
 
 impl ServeReport {
@@ -260,6 +294,15 @@ impl SessionServer {
     /// query's simulated makespan relative to solo execution.
     pub fn with_build_cache(mut self, enabled: bool) -> Self {
         self.cache_enabled = enabled;
+        self
+    }
+
+    /// Bound the build cache to at most `capacity` entries (at least 1).
+    /// Over capacity it evicts the least-recently-used entry — recency is
+    /// bumped by hits and inserts — counting [`CacheStats::evictions`].
+    /// The default cache is unbounded.
+    pub fn with_build_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache.capacity = Some(capacity.max(1));
         self
     }
 
@@ -349,6 +392,7 @@ impl SessionServer {
     /// done; per-query failures are isolated into their outcomes.
     pub fn run_all(&mut self) -> ServeReport {
         let prepared = std::mem::take(&mut self.pending);
+        let evictions_before = self.cache.stats.evictions;
         let gpu_budget = self.gpu_budget();
         let budget = gpu_budget.unwrap_or(u64::MAX);
         let cache_enabled = self.cache_enabled;
@@ -502,7 +546,8 @@ impl SessionServer {
             });
         }
         outcomes.sort_by_key(|o| o.handle.0);
-        ServeReport { outcomes, gpu_budget }
+        let builds_evicted = self.cache.stats.evictions - evictions_before;
+        ServeReport { outcomes, gpu_budget, builds_evicted }
     }
 }
 

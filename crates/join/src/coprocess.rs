@@ -23,7 +23,7 @@ use hape_sim::{Fidelity, GpuSim, SimTime};
 use crate::common::{JoinInput, JoinOutcome, JoinStats, OutputMode};
 use crate::cpu_radix::RadixPlan;
 use crate::gpu_radix::{gpu_radix_with_shift, BuildProbeVariant};
-use crate::partition::radix_partition;
+use crate::partition::radix_partition_with_threads;
 use hape_sim::CpuCostModel;
 
 /// Maximum CPU-side partition passes the co-partitioning may take. Each
@@ -45,6 +45,10 @@ pub struct CoprocessConfig {
     pub mode: OutputMode,
     /// GPU memory-model fidelity.
     pub fidelity: Fidelity,
+    /// Real threads executing the co-partitioning passes (the simulated
+    /// cost is governed by `cpu_workers`; this knob only changes the wall
+    /// clock — results are byte-identical at any value).
+    pub threads: usize,
 }
 
 impl Default for CoprocessConfig {
@@ -55,6 +59,7 @@ impl Default for CoprocessConfig {
             variant: BuildProbeVariant::Sm,
             mode: OutputMode::AggregateOnly,
             fidelity: Fidelity::Analytic,
+            threads: 1,
         }
     }
 }
@@ -287,8 +292,8 @@ pub fn coprocess_join_on(
         }
         RadixPlan { pass_bits, total_bits: cpu_bits }
     };
-    let (rp, _) = radix_partition(r, cpu_bits, max_pass_bits);
-    let (sp, _) = radix_partition(s, cpu_bits, max_pass_bits);
+    let (rp, _) = radix_partition_with_threads(r, cpu_bits, max_pass_bits, cfg.threads);
+    let (sp, _) = radix_partition_with_threads(s, cpu_bits, max_pass_bits, cfg.threads);
     let fanout = rp.fanout();
 
     // CPU partitioning cost: the low fanout keeps every pass near DRAM
@@ -462,6 +467,33 @@ mod tests {
             "{:?}",
             two.per_gpu_assignments
         );
+    }
+
+    #[test]
+    fn partition_threads_are_a_pure_wall_clock_knob() {
+        // Same results, pairs, simulated times and transfer bytes at any
+        // real-thread count: the chunked partition passes may not leak
+        // into anything observable.
+        let n = 1 << 14;
+        let rk = gen_unique_keys(n, 91);
+        let sk = gen_unique_keys(n, 92);
+        let rv: Vec<u32> = (0..n as u32).collect();
+        let sv: Vec<u32> = (0..n as u32).map(|i| i + 7).collect();
+        let r = JoinInput::new(&rk, &rv);
+        let s = JoinInput::new(&sk, &sv);
+        let server = small_gpu_server(1.0 / 65536.0);
+        let cfg = CoprocessConfig { mode: OutputMode::MatchIndices, ..Default::default() };
+        let base = coprocess_join(&server, r, s, &cfg).unwrap();
+        for threads in [2, 8, 24] {
+            let rep =
+                coprocess_join(&server, r, s, &CoprocessConfig { threads, ..cfg }).unwrap();
+            assert_eq!(rep.outcome.stats, base.outcome.stats, "threads={threads}");
+            assert_eq!(rep.outcome.pairs, base.outcome.pairs, "threads={threads}");
+            assert_eq!(rep.outcome.time, base.outcome.time, "threads={threads}");
+            assert_eq!(rep.cpu_partition_time, base.cpu_partition_time, "threads={threads}");
+            assert_eq!(rep.h2d_bytes, base.h2d_bytes, "threads={threads}");
+            assert_eq!(rep.per_gpu_assignments, base.per_gpu_assignments, "threads={threads}");
+        }
     }
 
     #[test]

@@ -87,6 +87,94 @@ pub fn radix_partition_pass(
     RadixPartitions { keys: out_keys, vals: out_vals, offsets, bits }
 }
 
+/// Inputs below this size run the sequential pass even when threads are
+/// available: thread start-up would dominate the scan.
+const PAR_MIN_ROWS: usize = 1 << 12;
+
+/// Deterministic parallel variant of [`radix_partition_pass`].
+///
+/// The input is cut into `threads` contiguous chunks; each chunk builds its
+/// own histogram and scatters its slice privately, then a global exclusive
+/// prefix over the per-chunk histograms fixes every chunk's destination
+/// range and the chunk outputs are merged per partition in chunk order
+/// (concurrently across partitions, over disjoint `split_at_mut` ranges).
+/// Because the sequential scatter preserves input order within a partition
+/// and so does chunk-order merging of stable per-chunk scatters, the
+/// result is **byte-identical** to [`radix_partition_pass`] at any thread
+/// count — the thread count is a pure wall-clock knob, exactly like the
+/// engine's data-plane pool.
+pub fn radix_partition_pass_par(
+    keys: &[i32],
+    vals: &[u32],
+    shift: u32,
+    bits: u32,
+    threads: usize,
+) -> RadixPartitions {
+    assert_eq!(keys.len(), vals.len());
+    let n = keys.len();
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 || n < PAR_MIN_ROWS {
+        return radix_partition_pass(keys, vals, shift, bits);
+    }
+    let fanout = 1usize << bits;
+    let chunk = n.div_ceil(workers);
+    // Per-chunk histogram + private scatter, in parallel.
+    let mut locals: Vec<Option<RadixPartitions>> = (0..workers).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        for (c, slot) in locals.iter_mut().enumerate() {
+            let (lo, hi) = (c * chunk, ((c + 1) * chunk).min(n));
+            let (keys, vals) = (&keys[lo..hi], &vals[lo..hi]);
+            scope.spawn(move || {
+                *slot = Some(radix_partition_pass(keys, vals, shift, bits));
+            });
+        }
+    });
+    let locals: Vec<RadixPartitions> =
+        locals.into_iter().map(|l| l.expect("every chunk partitioned")).collect();
+    // Global exclusive prefix over the chunk histograms.
+    let mut offsets = Vec::with_capacity(fanout + 1);
+    offsets.push(0usize);
+    for p in 0..fanout {
+        let total: usize = locals.iter().map(|l| l.part_len(p)).sum();
+        offsets.push(offsets[p] + total);
+    }
+    // Merge into the final buffers: each partition's output range is a
+    // disjoint mutable slice, filled in chunk order.
+    let mut out_keys = vec![0i32; n];
+    let mut out_vals = vec![0u32; n];
+    {
+        let mut jobs: Vec<(usize, &mut [i32], &mut [u32])> = Vec::with_capacity(fanout);
+        let (mut krest, mut vrest) = (&mut out_keys[..], &mut out_vals[..]);
+        for p in 0..fanout {
+            let len = offsets[p + 1] - offsets[p];
+            let (khead, ktail) = krest.split_at_mut(len);
+            let (vhead, vtail) = vrest.split_at_mut(len);
+            krest = ktail;
+            vrest = vtail;
+            jobs.push((p, khead, vhead));
+        }
+        let queue = std::sync::Mutex::new(jobs.into_iter());
+        let locals = &locals;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let queue = &queue;
+                scope.spawn(move || loop {
+                    let job = queue.lock().expect("merge queue poisoned").next();
+                    let Some((p, kdst, vdst)) = job else { break };
+                    let mut at = 0usize;
+                    for l in locals {
+                        let s = l.part(p);
+                        kdst[at..at + s.keys.len()].copy_from_slice(s.keys);
+                        vdst[at..at + s.vals.len()].copy_from_slice(s.vals);
+                        at += s.keys.len();
+                    }
+                });
+            }
+        });
+    }
+    RadixPartitions { keys: out_keys, vals: out_vals, offsets, bits }
+}
+
 /// Multi-pass radix partitioning on bits `[0, total_bits)`, at most
 /// `bits_per_pass` bits per pass (the device's fanout bound).
 ///
@@ -99,8 +187,25 @@ pub fn radix_partition(
     total_bits: u32,
     bits_per_pass: u32,
 ) -> (RadixPartitions, Vec<u32>) {
+    radix_partition_with_threads(input, total_bits, bits_per_pass, 1)
+}
+
+/// [`radix_partition`] with a real-thread count for the passes.
+///
+/// The first pass (one partition spanning the whole input) runs the
+/// chunked [`radix_partition_pass_par`]; later passes parallelise across
+/// the partitions of the previous pass instead, each sub-partitioned
+/// sequentially. Either way the output is byte-identical to `threads = 1`:
+/// the thread count never reaches the data layout, only the wall clock.
+pub fn radix_partition_with_threads(
+    input: JoinInput<'_>,
+    total_bits: u32,
+    bits_per_pass: u32,
+    threads: usize,
+) -> (RadixPartitions, Vec<u32>) {
     assert!(total_bits > 0 && total_bits <= 24, "unreasonable radix width {total_bits}");
     assert!(bits_per_pass > 0);
+    let workers = threads.max(1);
     let mut passes = Vec::new();
     let mut remaining = total_bits;
     while remaining > 0 {
@@ -120,12 +225,36 @@ pub fn radix_partition(
         shift -= b;
         // Re-partition every existing partition on the next `b` bits.
         let fanout_before = current.fanout();
+        if fanout_before == 1 {
+            let sub = radix_partition_pass_par(&current.keys, &current.vals, shift, b, workers);
+            current = RadixPartitions { bits: current.bits + b, ..sub };
+            continue;
+        }
+        let mut subs: Vec<Option<RadixPartitions>> = (0..fanout_before).map(|_| None).collect();
+        if workers <= 1 || current.keys.len() < PAR_MIN_ROWS {
+            for (p, slot) in subs.iter_mut().enumerate() {
+                let part = current.part(p);
+                *slot = Some(radix_partition_pass(part.keys, part.vals, shift, b));
+            }
+        } else {
+            let per = fanout_before.div_ceil(workers);
+            let current = &current;
+            std::thread::scope(|scope| {
+                for (c, slots) in subs.chunks_mut(per).enumerate() {
+                    scope.spawn(move || {
+                        for (i, slot) in slots.iter_mut().enumerate() {
+                            let part = current.part(c * per + i);
+                            *slot = Some(radix_partition_pass(part.keys, part.vals, shift, b));
+                        }
+                    });
+                }
+            });
+        }
         let mut out_keys = Vec::with_capacity(current.keys.len());
         let mut out_vals = Vec::with_capacity(current.vals.len());
         let mut offsets = vec![0usize];
-        for p in 0..fanout_before {
-            let part = current.part(p);
-            let sub = radix_partition_pass(part.keys, part.vals, shift, b);
+        for sub in subs {
+            let sub = sub.expect("every partition re-partitioned");
             for sp in 0..sub.fanout() {
                 let s = sub.part(sp);
                 out_keys.extend_from_slice(s.keys);
@@ -213,6 +342,37 @@ mod tests {
         let (parts, passes) = radix_partition(JoinInput::new(&keys, &vals), 7, 3);
         assert_eq!(passes, vec![3, 3, 1]);
         assert_eq!(parts.fanout(), 128);
+    }
+
+    #[test]
+    fn parallel_pass_is_byte_identical_to_sequential() {
+        // Large enough to clear PAR_MIN_ROWS; skewed keys so chunks have
+        // unequal histograms.
+        let (keys, vals) =
+            input_from((0..(1 << 14)).map(|i| (i * 2654435761u64 % 977) as i32).collect());
+        let seq = radix_partition_pass(&keys, &vals, 2, 5);
+        for threads in [2, 3, 8, 64] {
+            let par = radix_partition_pass_par(&keys, &vals, 2, 5, threads);
+            assert_eq!(par.keys, seq.keys, "threads={threads}");
+            assert_eq!(par.vals, seq.vals, "threads={threads}");
+            assert_eq!(par.offsets, seq.offsets, "threads={threads}");
+            assert_eq!(par.bits, seq.bits, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn multi_pass_is_byte_identical_across_thread_counts() {
+        let (keys, vals) =
+            input_from((0..(1 << 14)).map(|i| i * 40503 % 4096).collect());
+        let input = JoinInput::new(&keys, &vals);
+        let (seq, seq_passes) = radix_partition_with_threads(input, 9, 4, 1);
+        for threads in [2, 8, 24] {
+            let (par, passes) = radix_partition_with_threads(input, 9, 4, threads);
+            assert_eq!(passes, seq_passes);
+            assert_eq!(par.keys, seq.keys, "threads={threads}");
+            assert_eq!(par.vals, seq.vals, "threads={threads}");
+            assert_eq!(par.offsets, seq.offsets, "threads={threads}");
+        }
     }
 
     #[test]

@@ -11,14 +11,17 @@ pub mod agg;
 pub mod cpu;
 pub mod expr;
 pub mod gpu;
+pub mod stateful;
 
 pub use agg::{AggFunc, AggSpec, AggState, GroupKey};
 pub use expr::{
     col, eval, eval_bool, lit, ColumnResolver, Expr, ExprValue, NamedExpr, ResolveError,
 };
+pub use stateful::{run_stateful, StatefulAgg};
 
 /// Commonly used items.
 pub mod prelude {
     pub use crate::agg::{AggFunc, AggSpec, AggState};
     pub use crate::expr::{col, lit, Expr, NamedExpr};
+    pub use crate::stateful::StatefulAgg;
 }

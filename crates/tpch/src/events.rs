@@ -1,0 +1,228 @@
+//! Web-analytics event workload: a deterministic clickstream generator
+//! plus the behavioral query suite (B1–B4) over it.
+//!
+//! The generator emits one `events` table with `(user_id, ts, event)`
+//! rows, **sorted by `(user_id, ts)`** — the physical contract every
+//! order-sensitive stateful aggregate ([`hape_ops::StatefulAgg`]) assumes.
+//! Per-user event counts are skewed (a few heavy users, a long tail of
+//! light ones) and inter-event gaps are drawn from a short/medium/long
+//! mixture so the data carries real session boundaries, funnel chains and
+//! multi-week retention structure rather than uniform noise.
+//!
+//! The four behavioral queries exercise each stateful operator through
+//! the named-column [`Query`] front-end:
+//!
+//! - **B1 sessions**: sessionize at a 30-minute gap, totals over users.
+//! - **B2 funnel**: view→cart→purchase within an hour, users per depth.
+//! - **B3 retention**: signup cohort, weekly return visits.
+//! - **B4 sequence**: search→view→purchase subsequence on recent events
+//!   (a filter precedes the stateful op, exercising the fused prefix).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hape_core::{Catalog, Query};
+use hape_ops::{col, lit, AggFunc};
+use hape_storage::{Batch, Column, DataType, Schema, Table};
+
+/// Event vocabulary, in dictionary (first-seen) order: the generator
+/// seeds the dictionary so event-name literals resolve for any seed.
+pub const EVENT_TYPES: [&str; 6] = ["view", "search", "cart", "purchase", "signup", "visit"];
+
+/// Session gap used by B1 (30 minutes, in seconds).
+pub const SESSION_GAP: i64 = 1_800;
+
+/// Funnel window used by B2 (1 hour, in seconds).
+pub const FUNNEL_WINDOW: i64 = 3_600;
+
+/// Retention period used by B3 (7 days, in seconds).
+pub const RETENTION_PERIOD: i64 = 604_800;
+
+/// Timestamp cutoff used by B4's filter (day 2 of the simulated month).
+pub const RECENT_CUTOFF: i64 = 172_800;
+
+/// Mean events per user the generator targets — keep in sync with
+/// [`hape_core::cost::STATEFUL_EVENTS_PER_USER`], which the optimizer
+/// uses as its per-user run-length estimate.
+pub const MEAN_EVENTS_PER_USER: usize = 32;
+
+/// Generate the `events` table for `n_users` users: `(user_id, ts,
+/// event)` sorted by `(user_id, ts)`, deterministic per seed.
+pub fn generate_events(n_users: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let est = n_users * MEAN_EVENTS_PER_USER + 64;
+    let mut user_id: Vec<i32> = Vec::with_capacity(est);
+    let mut ts: Vec<i64> = Vec::with_capacity(est);
+    let mut event: Vec<&str> = Vec::with_capacity(est);
+    // Seed the dictionary with the full vocabulary in canonical order so
+    // literal resolution (and dictionary codes) never depend on which
+    // events a particular seed happens to emit first. These header rows
+    // belong to a sentinel user whose timestamps precede every real event.
+    for (i, e) in EVENT_TYPES.iter().enumerate() {
+        user_id.push(0);
+        ts.push(i as i64);
+        event.push(e);
+    }
+    for u in 1..=n_users {
+        // Skewed activity: mostly light users, a heavy tail. The mixture
+        // averages out near MEAN_EVENTS_PER_USER.
+        let n_events = match rng.gen_range(0..10u32) {
+            0..=5 => rng.gen_range(2..24),  // light
+            6..=8 => rng.gen_range(24..64), // regular
+            _ => rng.gen_range(64..160),    // heavy
+        };
+        let mut t: i64 = rng.gen_range(0..30 * 86_400);
+        let signs_up = rng.gen_bool(0.5);
+        for i in 0..n_events {
+            user_id.push(u as i32);
+            ts.push(t);
+            let e = if i == 0 && signs_up {
+                "signup"
+            } else {
+                match rng.gen_range(0..100u32) {
+                    0..=44 => "view",
+                    45..=59 => "search",
+                    60..=71 => "cart",
+                    72..=79 => "purchase",
+                    _ => "visit",
+                }
+            };
+            event.push(e);
+            // Gap mixture: within-session bursts, between-session pauses,
+            // and multi-day absences (retention structure).
+            t += match rng.gen_range(0..10u32) {
+                0..=6 => rng.gen_range(10..600),         // same session
+                7..=8 => rng.gen_range(3_600..36_000),   // next session
+                _ => rng.gen_range(86_400..14 * 86_400), // days later
+            };
+        }
+    }
+    Table::new(
+        "events",
+        Schema::new([
+            ("user_id", DataType::I32),
+            ("ts", DataType::I64),
+            ("event", DataType::Str),
+        ]),
+        Batch::new(vec![
+            Column::from_i32(user_id),
+            Column::from_i64(ts),
+            Column::from_strs(event),
+        ]),
+    )
+}
+
+/// Register the events table in a fresh catalog.
+pub fn events_catalog(events: &Table) -> Catalog {
+    let mut c = Catalog::new();
+    c.register(events.clone());
+    c
+}
+
+/// B1 — session totals: sessionize every user's clickstream at a
+/// 30-minute gap and report total sessions, total events and user count.
+pub fn b1_sessions_query() -> Query {
+    Query::new("B1").from_table("events").sessionize("user_id", "ts", SESSION_GAP).agg(vec![
+        (AggFunc::Sum, col("sessions")),
+        (AggFunc::Sum, col("events")),
+        (AggFunc::Count, col("user_id")),
+    ])
+}
+
+/// B2 — conversion funnel: deepest view→cart→purchase chain completed
+/// within an hour, users counted per depth reached.
+pub fn b2_funnel_query() -> Query {
+    Query::new("B2")
+        .from_table("events")
+        .window_funnel("user_id", "ts", "event", &["view", "cart", "purchase"], FUNNEL_WINDOW)
+        .group_by(&["funnel_depth"])
+        .agg(vec![(AggFunc::Count, col("user_id"))])
+}
+
+/// B3 — weekly retention: of the users who signed up, how many came back
+/// to visit in week 1 and week 2 after the signup.
+pub fn b3_retention_query() -> Query {
+    Query::new("B3")
+        .from_table("events")
+        .retention("user_id", "ts", "event", "signup", &["visit", "visit"], RETENTION_PERIOD)
+        .agg(vec![
+            (AggFunc::Sum, col("in_cohort")),
+            (AggFunc::Sum, col("ret1")),
+            (AggFunc::Sum, col("ret2")),
+        ])
+}
+
+/// B4 — search conversion: among recent events, users whose stream
+/// contains search→view→purchase in order. The timestamp filter runs
+/// fused ahead of the stateful pass.
+pub fn b4_sequence_query() -> Query {
+    Query::new("B4")
+        .from_table("events")
+        .filter(col("ts").ge(lit(RECENT_CUTOFF)))
+        .sequence_match("user_id", "ts", "event", &["search", "view", "purchase"])
+        .agg(vec![(AggFunc::Sum, col("matched")), (AggFunc::Count, col("user_id"))])
+}
+
+/// The whole behavioral suite, in canonical order.
+pub fn behavioral_queries() -> Vec<Query> {
+    vec![b1_sessions_query(), b2_funnel_query(), b3_retention_query(), b4_sequence_query()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_sorted_by_user_then_ts() {
+        let t = generate_events(200, 11);
+        let users = t.column("user_id").as_i32();
+        let ts = t.column("ts").as_i64();
+        for i in 1..t.rows() {
+            assert!(
+                (users[i - 1], ts[i - 1]) <= (users[i], ts[i]),
+                "row {i} out of order: {:?} > {:?}",
+                (users[i - 1], ts[i - 1]),
+                (users[i], ts[i])
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate_events(100, 3);
+        let b = generate_events(100, 3);
+        assert_eq!(a.column("ts").as_i64(), b.column("ts").as_i64());
+        assert_eq!(a.column("event").as_codes(), b.column("event").as_codes());
+        let c = generate_events(100, 4);
+        assert_ne!(a.column("ts").as_i64(), c.column("ts").as_i64());
+    }
+
+    #[test]
+    fn dictionary_carries_full_vocabulary_in_canonical_order() {
+        let t = generate_events(5, 1);
+        let dict = t.column("event").dict().expect("event dictionary");
+        for (i, e) in EVENT_TYPES.iter().enumerate() {
+            assert_eq!(dict.code_of(e), Some(i as u32), "code of {e}");
+        }
+    }
+
+    #[test]
+    fn mean_run_length_near_target() {
+        let t = generate_events(2_000, 5);
+        let mean = t.rows() as f64 / 2_000.0;
+        assert!(
+            (MEAN_EVENTS_PER_USER as f64 * 0.5..MEAN_EVENTS_PER_USER as f64 * 1.5)
+                .contains(&mean),
+            "mean events/user {mean}"
+        );
+    }
+
+    #[test]
+    fn behavioral_queries_lower() {
+        let catalog = events_catalog(&generate_events(50, 2));
+        for q in behavioral_queries() {
+            let lowered = q.lower(&catalog).unwrap_or_else(|e| panic!("{}: {e}", q.name));
+            assert_eq!(lowered.plan.stages.len(), 1, "{} is a pure stream", q.name);
+        }
+    }
+}

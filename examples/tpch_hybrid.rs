@@ -29,19 +29,90 @@
 //! device-aware admission (GPU-hungry queries queue instead of OOMing the
 //! fleet) and the cross-query build cache (repeats skip memoised builds) —
 //! and prints the batch summary next to the solo table.
+//!
+//! `--concurrency` **composes with `--placements`**: the batch contains
+//! `queries × placements × N` submissions, so narrowing the placement list
+//! shrinks the concurrent workload too (e.g. `--placements auto
+//! --concurrency 8` serves 32 optimizer-planned queries and nothing else).
+//! Per-cell failures (Q9's manual GPU OOM) stay isolated inside the batch,
+//! exactly as in the solo table. `--packet-rows` and `--threads` apply to
+//! every submission in both modes.
+//!
+//! Unknown `--flags` are rejected with an error and the usage synopsis —
+//! a typo like `--concurency 4` aborts instead of silently running the
+//! solo matrix.
 
 use hape::core::serve::SessionServer;
 use hape::core::{ExecConfig, JoinAlgo, PlacedStage, Placement, Session};
 use hape::sim::topology::Server;
 use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query};
 
+/// Flags that take a value.
+const VALUE_FLAGS: [&str; 4] = ["--placements", "--packet-rows", "--threads", "--concurrency"];
+/// Flags that stand alone.
+const BOOL_FLAGS: [&str; 1] = ["--explain"];
+
+const USAGE: &str = "usage: tpch_hybrid [sf] [--explain] \
+                     [--placements cpu,gpu,hybrid,auto] [--packet-rows <n>] \
+                     [--threads <n>] [--concurrency <n>]";
+
+/// A rejected command line — typed, so a typo aborts with the usage
+/// synopsis instead of silently running without the intended flag.
+#[derive(Debug)]
+enum CliError {
+    /// A `--flag` that is neither a value flag nor a boolean flag.
+    UnknownFlag(String),
+    /// A value flag at the end of the line, with nothing following it.
+    MissingValue(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag: {flag}"),
+            CliError::MissingValue(flag) => write!(f, "{flag} expects a value"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Every argument must be a known flag, a known flag's value, or the
+/// positional scale factor.
+fn validate_args(args: &[String]) -> Result<(), CliError> {
+    let mut is_value = false;
+    for a in args {
+        if is_value {
+            is_value = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            is_value = true;
+            continue;
+        }
+        if BOOL_FLAGS.contains(&a.as_str()) {
+            continue;
+        }
+        if a.starts_with("--") {
+            return Err(CliError::UnknownFlag(a.clone()));
+        }
+    }
+    if is_value {
+        return Err(CliError::MissingValue(args.last().expect("non-empty").clone()));
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let value_flags = ["--placements", "--packet-rows", "--threads", "--concurrency"];
+    if let Err(e) = validate_args(&args) {
+        eprintln!("{e}\n{USAGE}");
+        std::process::exit(2);
+    }
     let value_at: Vec<usize> = args
         .iter()
         .enumerate()
-        .filter(|(_, a)| value_flags.contains(&a.as_str()))
+        .filter(|(_, a)| VALUE_FLAGS.contains(&a.as_str()))
         .map(|(i, _)| i + 1)
         .collect();
     // The scale factor is the first positional argument — skipping flags

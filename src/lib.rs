@@ -148,6 +148,55 @@
 //! assert_eq!(a.time, b.time);   // …and bit-identical simulated makespan
 //! ```
 //!
+//! ## Beyond TPC-H: the behavioral-analytics suite
+//!
+//! Order-sensitive stateful aggregates — `sessionize`, `window_funnel`,
+//! `retention`, `sequence_match` ([`ops::StatefulAgg`]) — run over a
+//! deterministic web-analytics event log ([`tpch::events`], sorted by
+//! `(user, ts)`; packetization never splits a user's run). Their
+//! sequential per-user state is exactly what GPUs are bad at, so they
+//! stress the placement layer where TPC-H doesn't: the optimizer routes
+//! them to the CPUs because the cost model's sequential-state arm *prices*
+//! the GPU penalty — not by rule, as the flip test in
+//! `tests/behavioral.rs` shows by scaling GPU memory bandwidth:
+//!
+//! ```
+//! use hape::core::{ExecConfig, Placement, Session};
+//! use hape::ops::{col, AggFunc};
+//! use hape::sim::topology::Server;
+//! use hape::tpch::events::{behavioral_queries, generate_events, SESSION_GAP};
+//!
+//! let mut session = Session::new(Server::paper_testbed());
+//! session.register(generate_events(500, 7171));
+//!
+//! // Stateful ops are ordinary Query vocabulary: sessionize the
+//! // clickstream at a 30-minute gap, then aggregate per-user results.
+//! let q = session
+//!     .query("sessions")
+//!     .from_table("events")
+//!     .sessionize("user_id", "ts", SESSION_GAP)
+//!     .agg(vec![(AggFunc::Sum, col("sessions")), (AggFunc::Count, col("user_id"))]);
+//!
+//! // Under Auto the optimizer prices the GPUs out of the device subset…
+//! let auto_cfg = ExecConfig::new(Placement::Auto);
+//! let plan = session.explain_with(&q, &auto_cfg).unwrap();
+//! assert!(!plan.contains("segment gpu"));
+//!
+//! // …while the results match any manual placement bit-for-bit: the GPU
+//! // *can* run the sequential-state kernels, it is just priced out.
+//! let auto = session.execute_with(&q, &auto_cfg).unwrap();
+//! let cpu = session.execute_with(&q, &ExecConfig::new(Placement::CpuOnly)).unwrap();
+//! let hybrid = session.execute_with(&q, &ExecConfig::new(Placement::Hybrid)).unwrap();
+//! assert_eq!(auto.rows, cpu.rows);
+//! assert_eq!(auto.rows, hybrid.rows);
+//!
+//! // The canonical suite (B1 sessions, B2 funnel, B3 retention, B4
+//! // sequence-match) ships ready-made for benchmarks and tests.
+//! for q in behavioral_queries() {
+//!     assert!(session.execute_with(&q, &auto_cfg).is_ok());
+//! }
+//! ```
+//!
 //! The physical [`core::QueryPlan`]/[`core::Stage`]/[`core::Pipeline`]
 //! layer the session lowers into remains public — benchmarks and the
 //! baseline systems execute it directly under their own cost models — and

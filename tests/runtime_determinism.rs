@@ -145,6 +145,63 @@ fn concurrent_serving_is_thread_count_invariant() {
 }
 
 #[test]
+fn behavioral_suite_is_invariant_across_threads_and_submission_orders() {
+    // The stateful operators thread per-user state through user-aligned
+    // packets; the guarantee extends to them unchanged: the whole
+    // behavioral suite served concurrently is bit-identical at any thread
+    // count AND in any submission order — interleaving, admission and the
+    // user-aligned packet split never leak into a report.
+    use hape::core::serve::SessionServer;
+    use hape::tpch::events::{behavioral_queries, generate_events};
+    let mut session = Session::new(Server::paper_testbed());
+    session.register(generate_events(2_000, 7172));
+    let queries = behavioral_queries();
+    let placements = [Placement::CpuOnly, Placement::Hybrid, Placement::Auto];
+    let mut reference: Option<Vec<QueryReport>> = None;
+    for threads in THREADS {
+        for reverse in [false, true] {
+            let mut server = SessionServer::new(session.clone());
+            let mut order: Vec<(usize, Placement)> = Vec::new();
+            for (i, _) in queries.iter().enumerate() {
+                for placement in placements {
+                    order.push((i, placement));
+                }
+            }
+            if reverse {
+                order.reverse();
+            }
+            let mut handles: Vec<(usize, Placement, _)> = Vec::new();
+            for &(i, placement) in &order {
+                let cfg = ExecConfig::new(placement).with_threads(threads);
+                handles.push((i, placement, server.submit_with(&queries[i], &cfg)));
+            }
+            let batch = server.run_all();
+            // Reports keyed back to (query, placement) so both submission
+            // orders compare the same matrix slot.
+            let mut reports: Vec<((usize, u8), QueryReport)> = handles
+                .iter()
+                .map(|&(i, placement, h)| {
+                    let key =
+                        (i, placements.iter().position(|&p| p == placement).unwrap() as u8);
+                    (key, batch.report(h).as_ref().expect("behavioral serve").clone())
+                })
+                .collect();
+            reports.sort_by_key(|(key, _)| *key);
+            let reports: Vec<QueryReport> = reports.into_iter().map(|(_, r)| r).collect();
+            match &reference {
+                None => reference = Some(reports),
+                Some(want) => {
+                    for (got, want) in reports.iter().zip(want) {
+                        let ctx = format!("behavioral threads={threads} reverse={reverse}");
+                        assert_reports_identical(got, want, &ctx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn tiny_packet_stress_hammers_the_pool_deterministically() {
     // 2^17 rows at 64 rows/packet = 2048 stream packets (plus the build's
     // auto-sized ones) per run — thousands of scatter jobs and fold

@@ -271,6 +271,60 @@ fn cached_builds_are_row_identical_across_the_tpch_matrix() {
 }
 
 #[test]
+fn bounded_build_cache_evicts_lru_first_and_never_serves_stale() {
+    // Three distinct build sides through a 2-entry cache. The bound must
+    // evict least-recently-used first — recency meaning hits as well as
+    // inserts — and an evicted entry must silently rebuild with correct
+    // rows, never serve stale state or fail.
+    let mut session = Session::new(Server::paper_testbed());
+    session.register_as("fact", gen_key_fk_table(1 << 14, 1 << 14, 51));
+    session.register_as("dim_a", gen_key_fk_table(1 << 10, 1 << 10, 52));
+    session.register_as("dim_b", gen_key_fk_table(1 << 10, 1 << 10, 53));
+    session.register_as("dim_c", gen_key_fk_table(1 << 10, 1 << 10, 54));
+    let q = |dim: &str| {
+        Query::new(format!("fact_x_{dim}"))
+            .from_table("fact")
+            .join(Query::scan(dim), "k", "k", JoinAlgo::NonPartitioned)
+            .agg(vec![(AggFunc::Count, col("k"))])
+    };
+    let (qa, qb, qc) = (q("dim_a"), q("dim_b"), q("dim_c"));
+    let cfg = ExecConfig::new(Placement::CpuOnly);
+    let solo_a = session.execute_with(&qa, &cfg).unwrap().rows;
+
+    let mut server = SessionServer::new(session).with_build_cache_capacity(2);
+
+    // Batch 1 builds a, b, c in order: inserting c overflows the bound
+    // and evicts a — the oldest entry.
+    server.submit_with(&qa, &cfg);
+    server.submit_with(&qb, &cfg);
+    server.submit_with(&qc, &cfg);
+    let batch = server.run_all();
+    assert_eq!(batch.builds_evicted, 1, "third insert must evict exactly one entry");
+    assert_eq!(server.cached_builds(), 2, "cache stays at capacity");
+
+    // Batch 2: b (still cached) hits, bumping its recency past c's; a
+    // (evicted) misses and rebuilds with correct rows — its re-insert then
+    // evicts c, not the freshly-touched b.
+    let hb = server.submit_with(&qb, &cfg);
+    let ha = server.submit_with(&qa, &cfg);
+    let batch = server.run_all();
+    assert_eq!(batch.report(hb).as_ref().unwrap().builds_cached, 1, "b survived batch 1");
+    let ra = batch.report(ha).as_ref().unwrap();
+    assert_eq!(ra.builds_cached, 0, "evicted entry must rebuild, not serve");
+    assert_eq!(ra.rows, solo_a, "rebuilt rows identical to solo execution");
+    assert_eq!(batch.builds_evicted, 1);
+
+    // Batch 3 confirms the LRU order of batch 2: b (hit-protected) is
+    // still resident although it was inserted before c; c was evicted.
+    let hb = server.submit_with(&qb, &cfg);
+    let hc = server.submit_with(&qc, &cfg);
+    let batch = server.run_all();
+    assert_eq!(batch.report(hb).as_ref().unwrap().builds_cached, 1, "hits protect recency");
+    assert_eq!(batch.report(hc).as_ref().unwrap().builds_cached, 0, "c was the LRU victim");
+    assert_eq!(server.cache_stats().evictions, 3);
+}
+
+#[test]
 fn submit_reports_preparation_errors_per_query_without_aborting_the_batch() {
     let mut session = Session::new(Server::paper_testbed());
     session.register_as("fact", gen_key_fk_table(1 << 14, 1 << 14, 41));
