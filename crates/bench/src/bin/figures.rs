@@ -5,6 +5,7 @@
 //!         [--placements <p,p,...>] [--packet-rows <n>] [--threads <n,n,...>]
 //!         [--wall [--out <path>]] [--serve [--out <path>]]
 //!         [--behavioral [--users <n>] [--out <path>]]
+//!         [--trace <path>] [--profile]
 //! ```
 //!
 //! Default sizes are scaled down (see EXPERIMENTS.md); `--full` uses
@@ -37,12 +38,83 @@
 //! `--smoke` shrinks it for CI), asserting `auto` matches the best manual
 //! placement on every query and writing `BENCH_behavioral.json` (`--out`
 //! overrides; `--threads` pins the data-plane pool with its first value).
+//!
+//! `--trace <path>` runs the TPC-H workload under the cost-based
+//! optimizer with the execution tracing plane attached and writes the
+//! Chrome trace JSON (sim-time and wall-time lanes, workers as threads —
+//! load it in `chrome://tracing` or Perfetto). `--profile` prints the
+//! deterministic plain-text predicted-vs-observed profile table instead
+//! (the two flags compose: one traced run feeds both exporters).
+//!
+//! Unknown `--flags` are rejected with an error and the usage synopsis —
+//! a typo like `--trase x.json` aborts instead of silently running the
+//! figures.
 
 use hape_bench::behavioral::{bench_behavioral, print_behavioral};
 use hape_bench::figures::{fig5, fig6, fig7, fig8_opts, fig9, print_figure};
 use hape_bench::serve::{bench_serve, print_serve};
+use hape_bench::trace::{trace_tpch, write_chrome_trace};
 use hape_bench::wall::{bench_tpch, print_wall, write_json};
 use hape_core::Placement;
+
+/// Flags that take a value.
+const VALUE_FLAGS: [&str; 7] =
+    ["--sf", "--placements", "--packet-rows", "--threads", "--out", "--users", "--trace"];
+/// Flags that stand alone.
+const BOOL_FLAGS: [&str; 6] =
+    ["--full", "--smoke", "--wall", "--serve", "--behavioral", "--profile"];
+
+const USAGE: &str = "usage: figures [fig5|fig6|fig7|fig8|fig9|all] [--full] [--smoke] \
+                     [--sf <f64>] [--placements <p,p,...>] [--packet-rows <n>] \
+                     [--threads <n,n,...>] [--wall] [--serve] [--behavioral [--users <n>]] \
+                     [--out <path>] [--trace <path>] [--profile]";
+
+/// A rejected command line — typed, so a typo aborts with the usage
+/// synopsis instead of silently running without the intended flag.
+#[derive(Debug)]
+enum CliError {
+    /// A `--flag` that is neither a value flag nor a boolean flag.
+    UnknownFlag(String),
+    /// A value flag at the end of the line, with nothing following it.
+    MissingValue(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::UnknownFlag(flag) => write!(f, "unknown flag: {flag}"),
+            CliError::MissingValue(flag) => write!(f, "{flag} expects a value"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Every argument must be a known flag, a known flag's value, or the
+/// positional figure id.
+fn validate_args(args: &[String]) -> Result<(), CliError> {
+    let mut is_value = false;
+    for a in args {
+        if is_value {
+            is_value = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&a.as_str()) {
+            is_value = true;
+            continue;
+        }
+        if BOOL_FLAGS.contains(&a.as_str()) {
+            continue;
+        }
+        if a.starts_with("--") {
+            return Err(CliError::UnknownFlag(a.clone()));
+        }
+    }
+    if is_value {
+        return Err(CliError::MissingValue(args.last().expect("non-empty").clone()));
+    }
+    Ok(())
+}
 
 /// The first positional argument, skipping flags *and their values*
 /// (`--sf 0.1` must not make `0.1` the figure id).
@@ -53,13 +125,7 @@ fn positional(args: &[String]) -> Option<&String> {
             skip_value = false;
             continue;
         }
-        if a == "--sf"
-            || a == "--placements"
-            || a == "--packet-rows"
-            || a == "--threads"
-            || a == "--out"
-            || a == "--users"
-        {
+        if VALUE_FLAGS.contains(&a.as_str()) {
             skip_value = true;
             continue;
         }
@@ -78,6 +144,10 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = validate_args(&args) {
+        eprintln!("{e}\n{USAGE}");
+        std::process::exit(2);
+    }
     let which = positional(&args).map(String::as_str).unwrap_or("all").to_string();
     let full = args.iter().any(|a| a == "--full");
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -111,6 +181,27 @@ fn main() {
             })
             .collect()
     });
+
+    // `--trace` / `--profile`: one traced TPC-H run under Auto feeds both
+    // exporters — the Chrome JSON artifact and/or the profile table.
+    let trace_path = flag_value(&args, "--trace");
+    let profile = args.iter().any(|a| a == "--profile");
+    if trace_path.is_some() || profile {
+        let threads = threads_flag.as_ref().and_then(|t| t.first().copied());
+        let trace = trace_tpch(sf, threads, packet_rows);
+        if let Some(path) = trace_path {
+            write_chrome_trace(&trace, path).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!(
+                "wrote {path} ({} spans, {} counters)",
+                trace.spans.len(),
+                trace.counters.len()
+            );
+        }
+        if profile {
+            print!("{}", trace.render_profile());
+        }
+        return;
+    }
 
     if args.iter().any(|a| a == "--behavioral") {
         let out =

@@ -9,6 +9,7 @@
 pub mod behavioral;
 pub mod figures;
 pub mod serve;
+pub mod trace;
 pub mod wall;
 
 pub use behavioral::{bench_behavioral, print_behavioral, BehavioralBench, BehavioralPoint};
@@ -17,6 +18,7 @@ pub use figures::{
     FIG7_DEFAULT_SIZES,
 };
 pub use serve::{bench_serve, print_serve, ServeBatch, ServeBench};
+pub use trace::{trace_tpch, write_chrome_trace};
 pub use wall::{bench_tpch, print_wall, write_json, WallPoint};
 
 /// Commonly used items.
@@ -24,5 +26,6 @@ pub mod prelude {
     pub use crate::behavioral::{bench_behavioral, print_behavioral};
     pub use crate::figures::{fig5, fig6, fig7, fig8, fig9, print_figure};
     pub use crate::serve::{bench_serve, print_serve};
+    pub use crate::trace::{trace_tpch, write_chrome_trace};
     pub use crate::wall::{bench_tpch, print_wall, write_json};
 }

@@ -207,6 +207,12 @@ impl StageCost {
     pub fn fits_gpu_memory(&self) -> bool {
         self.gpu_capacity.is_none_or(|cap| self.gpu_required <= cap)
     }
+
+    /// Compact label of the chosen device subset (`cpu0+gpu1`), in subset
+    /// order — what the tracing plane's profile table prints per stage.
+    pub fn devices_label(&self) -> String {
+        self.devices.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("+")
+    }
 }
 
 /// Whole-plan cost estimate: one chosen [`StageCost`] per placed stage.

@@ -39,6 +39,7 @@ use crate::provider::{
     Scratch, TableStore,
 };
 use crate::runtime;
+use crate::trace::{Span, SpanKind, TraceCtx, TraceRecorder};
 use crate::traits::DeviceType;
 
 pub use crate::error::EngineError;
@@ -124,6 +125,12 @@ pub struct ExecConfig {
     /// [`crate::runtime::resolve_threads`]). A pure wall-clock knob:
     /// simulated makespans and result rows are bit-identical at any value.
     pub threads: Option<usize>,
+    /// The execution tracing plane's recorder (disabled by default).
+    /// When enabled ([`ExecConfig::with_trace`]), runs through
+    /// [`Engine::run`] / [`crate::session::Session`] record query, stage
+    /// and packet spans plus counters into it — a pure observer: results
+    /// and simulated makespans stay bit-identical to untraced runs.
+    pub trace: TraceRecorder,
 }
 
 impl ExecConfig {
@@ -134,6 +141,7 @@ impl ExecConfig {
             policy: RoutingPolicy::LoadAware,
             packet_rows: None,
             threads: None,
+            trace: TraceRecorder::off(),
         }
     }
 
@@ -146,6 +154,14 @@ impl ExecConfig {
     /// Explicit data-plane thread count.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Record spans and counters into `trace` while queries run under
+    /// this config (see [`crate::trace`]). Clone the recorder before
+    /// handing it over to snapshot the trace afterwards.
+    pub fn with_trace(mut self, trace: TraceRecorder) -> Self {
+        self.trace = trace;
         self
     }
 
@@ -239,7 +255,11 @@ impl Engine {
             Placement::Auto => crate::optimize::optimize(plan, catalog, cfg, &self.server)?,
             _ => place(plan, cfg, &self.server)?,
         };
-        self.run_placed(catalog, &placed)
+        let mut exec = self.begin(catalog, &placed).with_trace(&cfg.trace);
+        while !exec.is_done() {
+            exec.step()?;
+        }
+        Ok(exec.finish())
     }
 
     /// Interpret a placed plan: stages in order, each over the workers its
@@ -284,6 +304,8 @@ impl Engine {
             builds_cached: 0,
             rows: Vec::new(),
             next_stage: 0,
+            trace: TraceRecorder::off(),
+            wall_start_ns: 0,
         }
     }
 
@@ -320,6 +342,7 @@ impl Engine {
             start,
             None,
             runtime::resolve_threads(None),
+            &TraceCtx::disabled(),
         )?;
         Ok((concat_outputs(out.outputs), out.end, out.cpu_busy))
     }
@@ -426,6 +449,7 @@ impl Engine {
         start: SimTime,
         packet_rows: Option<usize>,
         threads: usize,
+        ctx: &TraceCtx,
     ) -> Result<StageOutcome, EngineError> {
         let mut workers = self.workers_for(segments, agg, resident)?;
         self.run_workers(
@@ -437,6 +461,7 @@ impl Engine {
             start,
             packet_rows,
             threads,
+            ctx,
         )
     }
 
@@ -471,6 +496,7 @@ impl Engine {
         agg_spec: &AggSpec,
         packet_rows: Option<usize>,
         threads: usize,
+        ctx: &TraceCtx,
     ) -> Result<(AggRows, StageOutcome), EngineError> {
         // ---- Split the pipeline at its final probe.
         let probe_idx = match pipeline.last_probe() {
@@ -491,6 +517,7 @@ impl Engine {
             ops: pipeline.ops[..probe_idx].to_vec(),
             agg: None,
         };
+        let wall_prefix_start = ctx.now_ns();
         let pre = self.run_stage(
             catalog,
             &prefix,
@@ -502,8 +529,10 @@ impl Engine {
             start,
             packet_rows,
             threads,
+            ctx,
         )?;
         let inter = concat_outputs(pre.outputs);
+        let wall_prefix_end = ctx.now_ns();
 
         // ---- 2. Co-partition + single-pass GPU joins on the stage's
         // lanes. Sides follow the §5 convention: the (smaller) build side
@@ -553,8 +582,17 @@ impl Engine {
             gpu_busy = rep.gpu_busy;
             h2d_bytes = rep.h2d_bytes;
             packets_gpu = rep.per_gpu_assignments.iter().sum();
+            if ctx.is_enabled() {
+                // One co-partition assignment per lane: the per-lane
+                // packet counters the profile's packet breakdown reads.
+                for (g, n) in gpu_ids.iter().zip(&rep.per_gpu_assignments) {
+                    ctx.add(&format!("packets.worker.gpu{g}"), *n as u64);
+                }
+                ctx.add("h2d.packet_bytes", rep.h2d_bytes);
+            }
         }
         let join_end = pre.end + join_time;
+        let wall_join_end = ctx.now_ns();
 
         // ---- 3. Remaining operators + aggregation on the CPU workers.
         // Match pairs stream back as co-partitions complete, so the fold
@@ -596,7 +634,7 @@ impl Engine {
                 let partials = runtime::scatter(
                     threads,
                     chunks.len(),
-                    || (),
+                    |_| (),
                     |i, _scratch| {
                         let mut partial = AggState::new(agg_spec.clone());
                         partial.update(&chunks[i]);
@@ -645,6 +683,7 @@ impl Engine {
                 tables,
                 fold_start,
                 threads,
+                ctx,
             )?;
             let mut merged = AggState::new(agg_spec.clone());
             for w in &workers {
@@ -657,6 +696,30 @@ impl Engine {
             fold_cpu_busy = post.cpu_busy;
             fold_h2d = post.h2d_bytes;
             fold_packets_cpu = post.packets_cpu;
+        }
+
+        if ctx.is_enabled() {
+            // The §5 phase spans: CPU prefix, the co-partitioned GPU
+            // lanes, and the overlapping CPU fold.
+            let wall_fold_end = ctx.now_ns();
+            ctx.record(
+                Span::new(SpanKind::Phase, "coprocess prefix", "")
+                    .at_sim(start, pre.end)
+                    .at_wall(wall_prefix_start, wall_prefix_end)
+                    .rows(0, inter.rows() as u64),
+            );
+            ctx.record(
+                Span::new(SpanKind::Phase, format!("coprocess lanes {ht}"), "")
+                    .at_sim(pre.end, join_end)
+                    .at_wall(wall_prefix_end, wall_join_end)
+                    .rows(inter.rows() as u64, joined.rows() as u64),
+            );
+            ctx.record(
+                Span::new(SpanKind::Phase, "coprocess fold", "")
+                    .at_sim(fold_start, end)
+                    .at_wall(wall_join_end, wall_fold_end)
+                    .rows(joined.rows() as u64, rows.len() as u64),
+            );
         }
 
         Ok((
@@ -687,6 +750,7 @@ impl Engine {
         start: SimTime,
         packet_rows: Option<usize>,
         threads: usize,
+        ctx: &TraceCtx,
     ) -> Result<StageOutcome, EngineError> {
         let table = catalog.lookup(&pipeline.source)?;
         if workers.is_empty() {
@@ -707,7 +771,7 @@ impl Engine {
             ),
             None => table.data.split(rows_per_packet),
         };
-        self.packet_loop(packets, pipeline, workers, policy, tables, start, threads)
+        self.packet_loop(packets, pipeline, workers, policy, tables, start, threads, ctx)
     }
 
     /// The packet loop proper, over pre-split packets — also driven
@@ -740,16 +804,21 @@ impl Engine {
         tables: &TableStore,
         start: SimTime,
         threads: usize,
+        ctx: &TraceCtx,
     ) -> Result<StageOutcome, EngineError> {
         if workers.is_empty() {
             return Err(EngineError::NoWorkers { placement: "placed stage".to_string() });
         }
+        let traced = ctx.is_enabled();
 
         // ---- Broadcast the probed hash tables along each worker's input
         // exchanges (a no-op for host-local workers) and check capacities.
         let mut h2d_bytes = 0u64;
         for w in workers.iter_mut() {
             h2d_bytes += w.install_tables(pipeline, tables, start)?;
+        }
+        if traced && h2d_bytes > 0 {
+            ctx.add("h2d.broadcast_bytes", h2d_bytes);
         }
 
         // ---- Cost classes: one charge per packet per distinct class,
@@ -773,17 +842,30 @@ impl Engine {
         // class, on the worker pool.
         let agg_spec = pipeline.agg.as_ref();
         let shared: &[Box<dyn DeviceProvider>] = workers;
-        let charged = runtime::scatter(threads, packets.len(), Scratch::new, |i, scratch| {
-            let work = run_ops(packets[i].clone(), pipeline, tables, scratch)?;
-            let costs = reps
-                .iter()
-                .map(|&r| shared[r].charge(&work, agg_spec, tables))
-                .collect::<Result<Vec<SimTime>, EngineError>>()?;
-            Ok::<(PacketWork, Vec<SimTime>), EngineError>((work, costs))
-        });
+        // Per-packet wall interval + the pool thread that computed it —
+        // measured on the data plane, shipped back through the same mpsc
+        // plumbing as the results, recorded on the control plane.
+        // Observability only: wall values never touch simulated state.
+        type PacketWall = (u64, u64, usize);
+        let charged = runtime::scatter(
+            threads,
+            packets.len(),
+            |t| (Scratch::new(), t),
+            |i, state: &mut (Scratch, usize)| {
+                let wall_start = if traced { ctx.now_ns() } else { 0 };
+                let work = run_ops(packets[i].clone(), pipeline, tables, &mut state.0)?;
+                let costs = reps
+                    .iter()
+                    .map(|&r| shared[r].charge(&work, agg_spec, tables))
+                    .collect::<Result<Vec<SimTime>, EngineError>>()?;
+                let wall = (wall_start, if traced { ctx.now_ns() } else { 0 }, state.1);
+                Ok::<(PacketWork, Vec<SimTime>, PacketWall), EngineError>((work, costs, wall))
+            },
+        );
         // First error in packet order — the same packet the sequential
         // loop would have tripped on.
-        let mut works: Vec<(PacketWork, Vec<SimTime>)> = Vec::with_capacity(charged.len());
+        let mut works: Vec<(PacketWork, Vec<SimTime>, PacketWall)> =
+            Vec::with_capacity(charged.len());
         for r in charged {
             works.push(r?);
         }
@@ -795,7 +877,7 @@ impl Engine {
         let mut packets_cpu = 0usize;
         let mut packets_gpu = 0usize;
         let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); workers.len()];
-        for (i, (work, costs)) in works.iter().enumerate() {
+        for (i, (work, costs, wall)) in works.iter().enumerate() {
             let bytes = work.bytes.max(1);
             let candidates: Vec<CandidateLoad> = workers
                 .iter()
@@ -805,6 +887,7 @@ impl Engine {
                 })
                 .collect();
             let pick = router.pick(&packets[i], &candidates);
+            let sim_ready = candidates[pick].ready_at;
             let outcome = workers[pick].commit_packet(work, costs[class_of[pick]], start);
             end = end.max(outcome.done);
             h2d_bytes += outcome.h2d_bytes;
@@ -813,6 +896,34 @@ impl Engine {
                 DeviceType::Gpu => packets_gpu += 1,
             }
             assignments[pick].push(i);
+            if traced {
+                // Recorded here, on the sequential control plane, so span
+                // order is packet order at any thread count. The sim
+                // interval is the routed worker's occupancy; the wall
+                // interval is the data-plane kernel pass measured above.
+                let lane = workers[pick].id().to_string();
+                ctx.record(
+                    Span::new(SpanKind::Packet, format!("packet {i}"), "")
+                        .lane(lane.clone())
+                        .pool_thread(wall.2)
+                        .at_sim(sim_ready, outcome.done)
+                        .at_wall(wall.0, wall.1)
+                        .rows(packets[i].rows() as u64, work.out.rows() as u64),
+                );
+                ctx.add(&format!("packets.worker.{lane}"), 1);
+                let class = match workers[pick].device() {
+                    DeviceType::Cpu => "cpu",
+                    DeviceType::Gpu => "gpu",
+                };
+                ctx.add(&format!("packets.class.{class}"), 1);
+                if outcome.h2d_bytes > 0 {
+                    ctx.add("h2d.packet_bytes", outcome.h2d_bytes);
+                }
+                for op in &work.ops {
+                    ctx.add(&format!("rows.{}.in", op.label()), op.rows_in());
+                    ctx.add(&format!("rows.{}.out", op.label()), op.rows_out());
+                }
+            }
         }
 
         // ---- Phase 3: stage outputs (build), or the per-worker fold
@@ -820,14 +931,14 @@ impl Engine {
         // folding its packets in routed order.
         let mut outputs = Vec::new();
         if agg_spec.is_none() {
-            for (work, _) in works {
+            for (work, _, _) in works {
                 if work.out.rows() > 0 {
                     outputs.push(work.out);
                 }
             }
         } else {
             let mut batches: Vec<Option<Batch>> =
-                works.into_iter().map(|(w, _)| Some(w.out)).collect();
+                works.into_iter().map(|(w, _, _)| Some(w.out)).collect();
             let jobs: Vec<(&mut Box<dyn DeviceProvider>, Vec<Batch>)> = workers
                 .iter_mut()
                 .zip(&assignments)
@@ -892,9 +1003,23 @@ pub struct QueryExec<'a> {
     builds_cached: usize,
     rows: AggRows,
     next_stage: usize,
+    trace: TraceRecorder,
+    wall_start_ns: u64,
 }
 
 impl<'a> QueryExec<'a> {
+    /// Record this execution into `trace` (see [`crate::trace`]): a query
+    /// span over the whole run, one stage span per [`QueryExec::step`] —
+    /// carrying the optimizer's estimate when the plan has one — and
+    /// per-packet spans from the packet loop. A disabled recorder keeps
+    /// this a no-op; either way results and simulated times are
+    /// bit-identical to an untraced execution.
+    pub fn with_trace(mut self, trace: &TraceRecorder) -> Self {
+        self.trace = trace.clone();
+        self.wall_start_ns = trace.now_ns();
+        self
+    }
+
     /// True once every placed stage has run (or been served from cache).
     pub fn is_done(&self) -> bool {
         self.next_stage >= self.placed.stages.len()
@@ -946,14 +1071,34 @@ impl<'a> QueryExec<'a> {
         let Some(stage) = self.placed.stages.get(self.next_stage) else {
             return Ok(());
         };
+        let idx = self.next_stage;
         self.next_stage += 1;
         let engine = self.engine;
         let catalog = self.catalog;
+        let ctx = TraceCtx::new(&self.trace, &self.placed.name, idx);
+        let sim_start = self.clock;
+        let wall_start = ctx.now_ns();
+        // Observed source cardinality — the stage span's rows_in.
+        let rows_in = if ctx.is_enabled() {
+            catalog.lookup(stage.pipeline().source.as_str()).map_or(0, |t| t.rows() as u64)
+        } else {
+            0
+        };
+        let stage_name: String;
+        let rows_out: u64;
         match stage {
             PlacedStage::Build { name, key_col, pipeline, segments, .. } => {
                 if self.tables.contains_key(name) {
                     // Served from the cross-query cache at admission:
                     // nothing to build, no simulated time passes.
+                    if ctx.is_enabled() {
+                        ctx.add("cache.builds_served", 1);
+                        ctx.record(
+                            Span::new(SpanKind::Cache, format!("cached build {name}"), "")
+                                .at_sim(self.clock, self.clock)
+                                .at_wall(wall_start, ctx.now_ns()),
+                        );
+                    }
                     return Ok(());
                 }
                 let out = engine.run_stage(
@@ -967,13 +1112,17 @@ impl<'a> QueryExec<'a> {
                     self.clock,
                     None,
                     self.threads,
+                    &ctx,
                 )?;
                 self.clock = out.end;
                 self.cpu_busy += out.cpu_busy;
                 self.gpu_busy += out.gpu_busy;
                 self.h2d_bytes += out.h2d_bytes;
                 let batch = concat_outputs(out.outputs);
-                self.tables.insert(name.clone(), Arc::new(JoinTable::build(batch, *key_col)));
+                let table = Arc::new(JoinTable::build(batch, *key_col));
+                stage_name = format!("build {name}");
+                rows_out = table.rows() as u64;
+                self.tables.insert(name.clone(), table);
             }
             PlacedStage::Stream { pipeline, segments, .. } => {
                 let agg_spec = pipeline.agg.as_ref().ok_or_else(|| {
@@ -992,6 +1141,7 @@ impl<'a> QueryExec<'a> {
                     self.clock,
                     self.placed.packet_rows,
                     self.threads,
+                    &ctx,
                 )?;
                 self.clock = out.end;
                 self.cpu_busy += out.cpu_busy;
@@ -1008,6 +1158,8 @@ impl<'a> QueryExec<'a> {
                     }
                 }
                 self.rows = merged.finish();
+                stage_name = format!("stream {}", pipeline.source);
+                rows_out = self.rows.len() as u64;
             }
             PlacedStage::CoProcess { pipeline, ht, segments, gpus, .. } => {
                 let agg_spec = pipeline.agg.as_ref().ok_or_else(|| {
@@ -1028,6 +1180,7 @@ impl<'a> QueryExec<'a> {
                     agg_spec,
                     self.placed.packet_rows,
                     self.threads,
+                    &ctx,
                 )?;
                 self.clock = out.end;
                 self.cpu_busy += out.cpu_busy;
@@ -1036,13 +1189,36 @@ impl<'a> QueryExec<'a> {
                 self.packets_cpu += out.packets_cpu;
                 self.packets_gpu += out.packets_gpu;
                 self.rows = merged_rows;
+                stage_name = format!("coprocess {ht}");
+                rows_out = self.rows.len() as u64;
             }
+        }
+        if ctx.is_enabled() {
+            // The predicted-vs-observed record: the optimizer's chosen
+            // estimate (Auto plans only) rides the stage span next to the
+            // observed simulated elapsed time and row counts.
+            let mut span = Span::new(SpanKind::Stage, stage_name, "")
+                .at_sim(sim_start, self.clock)
+                .at_wall(wall_start, ctx.now_ns())
+                .rows(rows_in, rows_out);
+            if let Some(est) = self.placed.costs.as_ref().and_then(|c| c.stages.get(idx)) {
+                span = span.estimate(est.clone());
+            }
+            ctx.record(span);
         }
         Ok(())
     }
 
     /// Consume the execution into its final report.
     pub fn finish(self) -> QueryReport {
+        if self.trace.is_enabled() {
+            self.trace.record(
+                Span::new(SpanKind::Query, self.placed.name.clone(), self.placed.name.clone())
+                    .at_sim(SimTime::ZERO, self.clock)
+                    .at_wall(self.wall_start_ns, self.trace.now_ns())
+                    .rows(0, self.rows.len() as u64),
+            );
+        }
         QueryReport {
             rows: self.rows,
             time: self.clock,

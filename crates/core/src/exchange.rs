@@ -100,6 +100,17 @@ impl WorkerId {
     }
 }
 
+impl std::fmt::Display for WorkerId {
+    /// Compact lane label (`cpu0.3`, `gpu1`) — the tracing plane's
+    /// per-worker thread names.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerId::CpuCore { socket, core } => write!(f, "cpu{socket}.{core}"),
+            WorkerId::Gpu(idx) => write!(f, "gpu{idx}"),
+        }
+    }
+}
+
 /// Routing policies (§4.2 lists load-aware, locality-aware and hash-based).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingPolicy {

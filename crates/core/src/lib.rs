@@ -158,6 +158,7 @@ pub mod query;
 pub mod runtime;
 pub mod serve;
 pub mod session;
+pub mod trace;
 pub mod traits;
 
 pub use catalog::{Catalog, TableRegistration};
@@ -172,9 +173,10 @@ pub use provider::DeviceProvider;
 pub use query::{LoweredMaterialize, LoweredQuery, Query};
 pub use runtime::resolve_threads;
 pub use serve::{
-    BuildCache, CacheStats, QueryHandle, QueryOutcome, ServeReport, SessionServer,
+    BuildCache, CacheStats, QueryHandle, QueryOutcome, ServeMetrics, ServeReport, SessionServer,
 };
 pub use session::Session;
+pub use trace::{Span, SpanKind, Trace, TraceCtx, TraceRecorder};
 pub use traits::{DeviceType, HetTraits, Packing};
 
 /// Commonly used items.
@@ -191,5 +193,6 @@ pub mod prelude {
     pub use crate::query::{LoweredQuery, Query};
     pub use crate::serve::{QueryHandle, ServeReport, SessionServer};
     pub use crate::session::Session;
+    pub use crate::trace::{Trace, TraceRecorder};
     pub use crate::traits::{DeviceType, HetTraits};
 }

@@ -28,6 +28,7 @@ use crate::engine::{ExecConfig, Placement};
 use crate::error::EngineError;
 use crate::place::{participants, place_on, PlacedPlan};
 use crate::plan::{QueryPlan, Stage};
+use crate::trace::{Span, SpanKind};
 
 /// Above this device count the subset enumeration stops being exhaustive
 /// (2^n candidates) and falls back to the pruned class-combination lattice.
@@ -166,6 +167,24 @@ pub fn optimize(
                 subsets.push(chosen.devices.clone());
                 coprocess.push(None);
             }
+        }
+        if cfg.trace.is_enabled() {
+            // The estimate side of the predicted-vs-observed record: a
+            // zero-duration event carrying the chosen decomposition, one
+            // per stage, before any packet moves. The matching observation
+            // rides the engine's stage span for the same stage index.
+            let now = cfg.trace.now_ns();
+            cfg.trace.record(
+                Span::new(
+                    SpanKind::Optimize,
+                    format!("optimize stage {}", costs.len()),
+                    plan.name.clone(),
+                )
+                .stage(costs.len())
+                .at_wall(now, now)
+                .estimate(chosen.clone()),
+            );
+            cfg.trace.add("optimize.stages_costed", 1);
         }
         costs.push(chosen);
     }

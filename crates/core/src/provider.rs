@@ -155,6 +155,40 @@ pub enum OpTrace {
     },
 }
 
+impl OpTrace {
+    /// Counter-key label of the operator kind (the tracing plane's
+    /// `rows.<label>.in/out` counters).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpTrace::Filter { .. } => "filter",
+            OpTrace::Project { .. } => "project",
+            OpTrace::Probe { .. } => "probe",
+            OpTrace::Stateful { .. } => "stateful",
+        }
+    }
+
+    /// Rows entering the operator.
+    pub fn rows_in(&self) -> u64 {
+        match self {
+            OpTrace::Filter { rows_in, .. }
+            | OpTrace::Project { rows_in, .. }
+            | OpTrace::Probe { rows_in, .. }
+            | OpTrace::Stateful { rows_in, .. } => *rows_in as u64,
+        }
+    }
+
+    /// Rows leaving the operator: filter survivors, probe matches,
+    /// stateful per-user outputs; projections preserve cardinality.
+    pub fn rows_out(&self) -> u64 {
+        match self {
+            OpTrace::Filter { survivors, .. } => survivors.iter().map(|&s| s as u64).sum(),
+            OpTrace::Project { rows_in, .. } => *rows_in as u64,
+            OpTrace::Probe { rows_out, .. } => *rows_out as u64,
+            OpTrace::Stateful { users, .. } => *users as u64,
+        }
+    }
+}
+
 /// The aggregation-relevant statistics of one packet: how many rows reach
 /// the terminal fold and which distinct group keys they contribute. The
 /// control plane accumulates the keys per worker to reproduce the

@@ -51,17 +51,19 @@ pub fn resolve_threads(configured: Option<usize>) -> usize {
 ///
 /// Each pool thread builds one private scratch state via `init` (reusable
 /// buffers survive across the jobs a thread executes) and repeatedly claims
-/// the next unclaimed job index. Results travel back over an mpsc channel
-/// and are slotted by index, so the output — and therefore everything the
-/// control plane derives from it — is independent of scheduling order and
-/// of `threads` itself.
+/// the next unclaimed job index. `init` receives the pool-thread index
+/// (0-based; 0 on the inline path) — observability only: the tracing plane
+/// labels wall-clock packet spans with the pool thread that computed them.
+/// Results travel back over an mpsc channel and are slotted by index, so
+/// the output — and therefore everything the control plane derives from it
+/// — is independent of scheduling order and of `threads` itself.
 ///
 /// With `threads <= 1` (or a single job) everything runs inline on the
 /// caller's thread through the same code path.
 pub fn scatter<S, R, I, F>(threads: usize, n: usize, init: I, job: F) -> Vec<R>
 where
     R: Send,
-    I: Fn() -> S + Sync,
+    I: Fn(usize) -> S + Sync,
     F: Fn(usize, &mut S) -> R + Sync,
 {
     if n == 0 {
@@ -69,7 +71,7 @@ where
     }
     let workers = threads.min(n);
     if workers <= 1 {
-        let mut scratch = init();
+        let mut scratch = init(0);
         return (0..n).map(|i| job(i, &mut scratch)).collect();
     }
     let cursor = AtomicUsize::new(0);
@@ -77,11 +79,11 @@ where
     let mut out: Vec<Option<R>> = Vec::with_capacity(n);
     out.resize_with(n, || None);
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for t in 0..workers {
             let tx = tx.clone();
             let (cursor, init, job) = (&cursor, &init, &job);
             scope.spawn(move || {
-                let mut scratch = init();
+                let mut scratch = init(t);
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
@@ -150,7 +152,10 @@ mod tests {
             let out = scatter(
                 threads,
                 100,
-                || 0u64,
+                |t| {
+                    assert!(t < threads, "pool-thread index in range");
+                    0u64
+                },
                 |i, scratch| {
                     *scratch += 1; // per-thread scratch is private
                     i * i
@@ -165,8 +170,8 @@ mod tests {
 
     #[test]
     fn scatter_handles_empty_and_single_jobs() {
-        assert!(scatter(8, 0, || (), |i, _| i).is_empty());
-        assert_eq!(scatter(8, 1, || (), |i, _| i + 42), vec![42]);
+        assert!(scatter(8, 0, |_| (), |i, _| i).is_empty());
+        assert_eq!(scatter(8, 1, |_| (), |i, _| i + 42), vec![42]);
     }
 
     #[test]

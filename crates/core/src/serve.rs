@@ -58,6 +58,7 @@ use crate::place::{PlacedPlan, PlacedStage};
 use crate::plan::JoinTable;
 use crate::query::{LoweredQuery, Query};
 use crate::session::Session;
+use crate::trace::{Span, SpanKind, TraceRecorder};
 
 /// Identifies one submitted query within its [`SessionServer`]; index into
 /// [`ServeReport::outcomes`].
@@ -221,6 +222,25 @@ pub struct QueryOutcome {
     pub report: Result<QueryReport, HapeError>,
 }
 
+/// Aggregate metrics of one [`SessionServer::run_all`] batch — the
+/// serving layer's contribution to the tracing + metrics plane
+/// ([`mod@crate::trace`]), snapshotted into [`ServeReport::metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeMetrics {
+    /// Queries in the batch (successes and failures).
+    pub queries: usize,
+    /// Queries whose outcome is an error (preparation or execution).
+    pub failures: usize,
+    /// Total scheduler rounds queries spent queued behind admission.
+    pub admission_waits: usize,
+    /// Build stages served from the cross-query cache across the batch.
+    pub builds_cached: usize,
+    /// Cache entries evicted by the capacity bound during the batch.
+    pub builds_evicted: usize,
+    /// The build cache's cumulative counters after the batch.
+    pub cache: CacheStats,
+}
+
 /// The batch result of [`SessionServer::run_all`].
 #[derive(Debug)]
 pub struct ServeReport {
@@ -232,6 +252,8 @@ pub struct ServeReport {
     /// Build-cache entries the capacity bound evicted (LRU-first) while
     /// this batch ran. Always 0 on an unbounded cache.
     pub builds_evicted: usize,
+    /// Aggregate batch metrics (always populated, tracing or not).
+    pub metrics: ServeMetrics,
 }
 
 impl ServeReport {
@@ -264,6 +286,45 @@ impl ServeReport {
     }
 }
 
+impl std::fmt::Display for ServeReport {
+    /// One header line plus one line per query, in submission order —
+    /// what concurrency front-ends print for a batch.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let budget = match self.gpu_budget {
+            Some(b) => format!("{:.1} GiB", b as f64 / (1u64 << 30) as f64),
+            None => "none".to_string(),
+        };
+        writeln!(
+            f,
+            "served {} queries (gpu budget {budget}): {} failed, {} admission waits, \
+             {} cached builds, {} evicted",
+            self.metrics.queries,
+            self.metrics.failures,
+            self.metrics.admission_waits,
+            self.metrics.builds_cached,
+            self.metrics.builds_evicted,
+        )?;
+        for o in &self.outcomes {
+            match &o.report {
+                Ok(r) => writeln!(
+                    f,
+                    "  {:<12} ok     time={:<12} groups={:<6} packets={}cpu+{}gpu \
+                     waits={} cached={}",
+                    o.query,
+                    r.time.to_string(),
+                    r.rows.len(),
+                    r.packets_cpu,
+                    r.packets_gpu,
+                    o.admission_wait,
+                    r.builds_cached,
+                )?,
+                Err(e) => writeln!(f, "  {:<12} error  {e}", o.query)?,
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A concurrent multi-query server over one [`Session`]: submit many
 /// queries, then run them as one admission-controlled, fairly interleaved
 /// batch over the session's shared device fleet. See the module docs for
@@ -274,10 +335,11 @@ pub struct SessionServer {
     cache_enabled: bool,
     pending: Vec<Prepared>,
     next_id: usize,
+    trace: TraceRecorder,
 }
 
 impl SessionServer {
-    /// A server over a session (build cache enabled).
+    /// A server over a session (build cache enabled, tracing off).
     pub fn new(session: Session) -> Self {
         SessionServer {
             session,
@@ -285,7 +347,18 @@ impl SessionServer {
             cache_enabled: true,
             pending: Vec::new(),
             next_id: 0,
+            trace: TraceRecorder::off(),
         }
+    }
+
+    /// Attach a [`TraceRecorder`]: every query executed by
+    /// [`SessionServer::run_all`] records its spans and counters into it,
+    /// plus the serving layer's own events — admission grants/waits and
+    /// cross-query cache hits/misses. Recording never changes results or
+    /// simulated makespans.
+    pub fn with_trace(mut self, trace: TraceRecorder) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Enable or disable the cross-query build cache (enabled by
@@ -458,7 +531,24 @@ impl SessionServer {
                 }
                 reserved_total += fp;
                 slot.reserved = fp;
-                slot.exec = Some(engine.begin(&slot.plan.lowered.catalog, &slot.plan.placed));
+                if self.trace.is_enabled() {
+                    let now = self.trace.now_ns();
+                    self.trace.record(
+                        Span::new(
+                            SpanKind::Admission,
+                            format!("admit {}", slot.name),
+                            slot.name,
+                        )
+                        .at_wall(now, now)
+                        .rows(slot.admission_wait as u64, fp),
+                    );
+                    self.trace.add("admission.grants", 1);
+                }
+                slot.exec = Some(
+                    engine
+                        .begin(&slot.plan.lowered.catalog, &slot.plan.placed)
+                        .with_trace(&self.trace),
+                );
             }
 
             // ---- One fair round: each admitted query advances one stage.
@@ -469,6 +559,7 @@ impl SessionServer {
                     // round of waiting.
                     if slot.report.is_none() {
                         slot.admission_wait += 1;
+                        self.trace.add("admission.waits", 1);
                     }
                     continue;
                 };
@@ -483,9 +574,26 @@ impl SessionServer {
                         slot.plan.placed.stages.get(exec.stage_index())
                     {
                         if let Some(fpr) = slot.plan.lowered.build_fingerprints.get(name) {
-                            if let Some((table, resident)) =
-                                self.cache.lookup(fpr, current_version, slot.plan.version)
-                            {
+                            let hit =
+                                self.cache.lookup(fpr, current_version, slot.plan.version);
+                            if self.trace.is_enabled() {
+                                let now = self.trace.now_ns();
+                                let (what, key) = if hit.is_some() {
+                                    ("hit", "cache.hits")
+                                } else {
+                                    ("miss", "cache.misses")
+                                };
+                                self.trace.add(key, 1);
+                                self.trace.record(
+                                    Span::new(
+                                        SpanKind::Cache,
+                                        format!("cache {what} {name}"),
+                                        slot.name,
+                                    )
+                                    .at_wall(now, now),
+                                );
+                            }
+                            if let Some((table, resident)) = hit {
                                 exec.install_cached_build(name, table, resident);
                             }
                         }
@@ -547,7 +655,19 @@ impl SessionServer {
         }
         outcomes.sort_by_key(|o| o.handle.0);
         let builds_evicted = self.cache.stats.evictions - evictions_before;
-        ServeReport { outcomes, gpu_budget, builds_evicted }
+        let metrics = ServeMetrics {
+            queries: outcomes.len(),
+            failures: outcomes.iter().filter(|o| o.report.is_err()).count(),
+            admission_waits: outcomes.iter().map(|o| o.admission_wait).sum(),
+            builds_cached: outcomes
+                .iter()
+                .filter_map(|o| o.report.as_ref().ok())
+                .map(|r| r.builds_cached)
+                .sum(),
+            builds_evicted,
+            cache: self.cache.stats(),
+        };
+        ServeReport { outcomes, gpu_budget, builds_evicted, metrics }
     }
 }
 

@@ -24,6 +24,7 @@ use crate::error::HapeError;
 use crate::optimize::optimize;
 use crate::place::{place, PlacedPlan};
 use crate::query::{LoweredQuery, Query};
+use crate::trace::TraceRecorder;
 
 /// An engine + catalog + default execution config.
 #[derive(Debug, Clone)]
@@ -175,7 +176,34 @@ impl Session {
     ) -> Result<QueryReport, HapeError> {
         let lowered = self.lower(query)?;
         let placed = self.place_lowered(&lowered, config)?;
-        Ok(self.engine.run_placed(&lowered.catalog, &placed)?)
+        let mut exec = self.engine.begin(&lowered.catalog, &placed).with_trace(&config.trace);
+        while !exec.is_done() {
+            exec.step()?;
+        }
+        Ok(exec.finish())
+    }
+
+    /// Execute a query with tracing enabled and render the plain-text
+    /// profile: per-stage predicted-vs-observed cost rows (the estimate
+    /// side requires [`Placement::Auto`]), per-query totals, and the
+    /// engine's counters. Runs under [`Placement::Auto`] so every stage
+    /// carries the optimizer's estimate.
+    pub fn profile(&self, query: &Query) -> Result<String, HapeError> {
+        self.profile_with(query, &ExecConfig::new(Placement::Auto))
+    }
+
+    /// Execute under an explicit config (a fresh recorder is layered on
+    /// top — any recorder already in `config` is replaced for this run)
+    /// and render the profile table.
+    pub fn profile_with(
+        &self,
+        query: &Query,
+        config: &ExecConfig,
+    ) -> Result<String, HapeError> {
+        let recorder = TraceRecorder::new();
+        let cfg = config.clone().with_trace(recorder.clone());
+        self.execute_with(query, &cfg)?;
+        Ok(recorder.snapshot().render_profile())
     }
 }
 

@@ -362,8 +362,7 @@ mod tests {
 
     #[test]
     fn multi_pass_is_byte_identical_across_thread_counts() {
-        let (keys, vals) =
-            input_from((0..(1 << 14)).map(|i| i * 40503 % 4096).collect());
+        let (keys, vals) = input_from((0..(1 << 14)).map(|i| i * 40503 % 4096).collect());
         let input = JoinInput::new(&keys, &vals);
         let (seq, seq_passes) = radix_partition_with_threads(input, 9, 4, 1);
         for threads in [2, 8, 24] {

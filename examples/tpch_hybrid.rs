@@ -15,7 +15,7 @@
 //! ```text
 //! cargo run --release --example tpch_hybrid [sf] [--explain]
 //!     [--placements cpu,gpu,hybrid,auto] [--packet-rows <n>] [--threads <n>]
-//!     [--concurrency <n>]
+//!     [--concurrency <n>] [--trace <path>] [--profile]
 //! ```
 //!
 //! `--packet-rows` overrides the engine's auto packet-sizing heuristic
@@ -38,23 +38,31 @@
 //! exactly as in the solo table. `--packet-rows` and `--threads` apply to
 //! every submission in both modes.
 //!
+//! `--trace <path>` re-runs the four queries under the cost-based
+//! optimizer with the execution tracing plane attached and writes the
+//! Chrome trace JSON (load it in `chrome://tracing` or Perfetto);
+//! `--profile` prints the deterministic predicted-vs-observed per-stage
+//! profile table from the same traced run.
+//!
 //! Unknown `--flags` are rejected with an error and the usage synopsis —
 //! a typo like `--concurency 4` aborts instead of silently running the
 //! solo matrix.
 
 use hape::core::serve::SessionServer;
+use hape::core::trace::TraceRecorder;
 use hape::core::{ExecConfig, JoinAlgo, PlacedStage, Placement, Session};
 use hape::sim::topology::Server;
 use hape::tpch::queries::{q1_query, q5_query, q6_query, q9_query};
 
 /// Flags that take a value.
-const VALUE_FLAGS: [&str; 4] = ["--placements", "--packet-rows", "--threads", "--concurrency"];
+const VALUE_FLAGS: [&str; 5] =
+    ["--placements", "--packet-rows", "--threads", "--concurrency", "--trace"];
 /// Flags that stand alone.
-const BOOL_FLAGS: [&str; 1] = ["--explain"];
+const BOOL_FLAGS: [&str; 2] = ["--explain", "--profile"];
 
 const USAGE: &str = "usage: tpch_hybrid [sf] [--explain] \
                      [--placements cpu,gpu,hybrid,auto] [--packet-rows <n>] \
-                     [--threads <n>] [--concurrency <n>]";
+                     [--threads <n>] [--concurrency <n>] [--trace <path>] [--profile]";
 
 /// A rejected command line — typed, so a typo aborts with the usage
 /// synopsis instead of silently running without the intended flag.
@@ -140,6 +148,8 @@ fn main() {
         .map(|v| v.parse().unwrap_or_else(|_| panic!("--threads expects a thread count")));
     let concurrency: Option<usize> = flag_value("--concurrency")
         .map(|v| v.parse().unwrap_or_else(|_| panic!("--concurrency expects a copy count")));
+    let trace_path: Option<String> = flag_value("--trace").cloned();
+    let profile = args.iter().any(|a| a == "--profile");
     println!("generating TPC-H at SF {sf} …");
     let data = hape::tpch::generate(sf, 42);
     // GPU memory scales with SF so the paper's SF-100 capacity effects hold.
@@ -250,5 +260,32 @@ fn main() {
             stats.hits,
             stats.misses
         );
+    }
+
+    // `--trace` / `--profile`: one traced run of the four queries under
+    // the optimizer feeds both exporters. Recording is a pure observer —
+    // the traced makespans match the `auto` column above bit-for-bit.
+    if trace_path.is_some() || profile {
+        let recorder = TraceRecorder::new();
+        for (name, query) in &queries {
+            let cfg = mk_cfg(Placement::Auto).with_trace(recorder.clone());
+            session
+                .execute_with(query, &cfg)
+                .unwrap_or_else(|e| panic!("{name} completes under auto: {e}"));
+        }
+        let trace = recorder.snapshot();
+        if let Some(path) = &trace_path {
+            std::fs::write(path, trace.to_chrome_json())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!(
+                "\nwrote {path} ({} spans, {} counters)",
+                trace.spans.len(),
+                trace.counters.len()
+            );
+        }
+        if profile {
+            println!();
+            print!("{}", trace.render_profile());
+        }
     }
 }

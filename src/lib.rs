@@ -148,6 +148,55 @@
 //! assert_eq!(a.time, b.time);   // …and bit-identical simulated makespan
 //! ```
 //!
+//! ## Observability: the tracing + metrics plane
+//!
+//! Hand a [`core::TraceRecorder`] to any run ([`core::ExecConfig::with_trace`],
+//! or [`core::serve::SessionServer::with_trace`] for batches) and every
+//! layer records into it: query → stage → packet spans stamped with both
+//! the simulated and the wall clock, engine counters (rows per operator,
+//! PCIe bytes, packets per worker), and — under [`core::Placement::Auto`]
+//! — the optimizer's per-stage cost estimate next to the observed stage
+//! time. Recording is a pure observer: results and simulated makespans
+//! stay bit-identical to untraced runs at any thread count. Export with
+//! [`core::Trace::to_chrome_json`] (open in `chrome://tracing`/Perfetto)
+//! or [`core::Trace::render_profile`] / [`core::Session::profile`]:
+//!
+//! ```
+//! use hape::core::trace::{SpanKind, TraceRecorder};
+//! use hape::core::{ExecConfig, JoinAlgo, Placement, Query, Session};
+//! use hape::ops::{col, AggFunc};
+//! use hape::sim::topology::Server;
+//! use hape::storage::datagen::gen_key_fk_table;
+//!
+//! let mut session = Session::new(Server::paper_testbed());
+//! session.register_as("fact", gen_key_fk_table(1 << 14, 1 << 14, 42));
+//! session.register_as("dim", gen_key_fk_table(1 << 12, 1 << 12, 43));
+//! let q = session
+//!     .query("traced")
+//!     .from_table("fact")
+//!     .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+//!     .agg(vec![(AggFunc::Count, col("k"))]);
+//!
+//! // Tracing never perturbs execution: same rows, same makespan.
+//! let plain = session.execute_with(&q, &ExecConfig::new(Placement::Auto)).unwrap();
+//! let recorder = TraceRecorder::new();
+//! let cfg = ExecConfig::new(Placement::Auto).with_trace(recorder.clone());
+//! let traced = session.execute_with(&q, &cfg).unwrap();
+//! assert_eq!(traced.rows, plain.rows);
+//! assert_eq!(traced.time, plain.time);
+//!
+//! // The trace holds every layer's spans plus the engine counters…
+//! let trace = recorder.snapshot();
+//! for kind in [SpanKind::Query, SpanKind::Stage, SpanKind::Packet] {
+//!     assert!(trace.spans.iter().any(|s| s.kind == kind));
+//! }
+//! assert!(trace.to_chrome_json().contains("\"wall-time\""));
+//!
+//! // …and `Session::profile` renders predicted-vs-observed per stage.
+//! let profile = session.profile(&q).unwrap();
+//! assert!(profile.contains("est/act"));
+//! ```
+//!
 //! ## Beyond TPC-H: the behavioral-analytics suite
 //!
 //! Order-sensitive stateful aggregates — `sessionize`, `window_funnel`,

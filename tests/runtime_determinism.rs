@@ -202,6 +202,44 @@ fn behavioral_suite_is_invariant_across_threads_and_submission_orders() {
 }
 
 #[test]
+fn tracing_is_a_pure_observer_at_any_thread_count() {
+    // The tracing plane must never perturb execution: with a recorder
+    // attached, result rows and simulated makespans stay bit-identical to
+    // the untraced reference run at every thread count — while the trace
+    // itself actually captured the run.
+    use hape::core::trace::{SpanKind, TraceRecorder};
+    let session = tpch_session();
+    let queries: Vec<Query> = vec![q1_query(), q5_query(JoinAlgo::Partitioned), q6_query()];
+    let placements = [Placement::CpuOnly, Placement::Hybrid, Placement::Auto];
+    for query in &queries {
+        for placement in placements {
+            let untraced = session
+                .execute_with(query, &ExecConfig::new(placement).with_threads(1))
+                .expect("reference run completes");
+            for threads in THREADS {
+                let recorder = TraceRecorder::new();
+                let cfg = ExecConfig::new(placement)
+                    .with_threads(threads)
+                    .with_trace(recorder.clone());
+                let traced = session.execute_with(query, &cfg).expect("traced run completes");
+                let ctx = format!("{}/{placement:?} traced threads={threads}", query.name);
+                assert_reports_identical(&traced, &untraced, &ctx);
+                let trace = recorder.snapshot();
+                assert!(
+                    trace.spans.iter().any(|s| s.kind == SpanKind::Query),
+                    "{ctx}: no query span"
+                );
+                assert!(
+                    trace.spans.iter().any(|s| s.kind == SpanKind::Packet),
+                    "{ctx}: no packet spans"
+                );
+                assert!(!trace.counters.is_empty(), "{ctx}: no counters");
+            }
+        }
+    }
+}
+
+#[test]
 fn tiny_packet_stress_hammers_the_pool_deterministically() {
     // 2^17 rows at 64 rows/packet = 2048 stream packets (plus the build's
     // auto-sized ones) per run — thousands of scatter jobs and fold
