@@ -187,7 +187,7 @@ impl DbmsC {
         }
         let batch = match outputs.len() {
             0 => Batch::empty(),
-            1 => outputs.pop().unwrap(),
+            1 => outputs.pop().expect("len checked"),
             _ => {
                 let cols = (0..outputs[0].columns.len())
                     .map(|c| {
@@ -275,9 +275,7 @@ mod tests {
             .time;
         assert!(
             t_c.as_secs() > 1.3 * t_proteus.as_secs(),
-            "DBMS C {} vs Proteus CPU {}",
-            t_c,
-            t_proteus
+            "DBMS C {t_c} vs Proteus CPU {t_proteus}"
         );
     }
 

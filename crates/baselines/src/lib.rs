@@ -21,6 +21,8 @@
 //! Both produce *real* results (they share the operator semantics with the
 //! engine) while charging their own execution-model costs.
 
+#![forbid(unsafe_code)]
+
 pub mod dbms_c;
 pub mod dbms_g;
 

@@ -54,6 +54,7 @@ use hape_bench::behavioral::{bench_behavioral, print_behavioral};
 use hape_bench::figures::{fig5, fig6, fig7, fig8_opts, fig9, print_figure};
 use hape_bench::serve::{bench_serve, print_serve};
 use hape_bench::trace::{trace_tpch, write_chrome_trace};
+use hape_bench::verify::{print_verify, verify_tpch};
 use hape_bench::wall::{bench_tpch, print_wall, write_json};
 use hape_core::Placement;
 
@@ -61,13 +62,13 @@ use hape_core::Placement;
 const VALUE_FLAGS: [&str; 7] =
     ["--sf", "--placements", "--packet-rows", "--threads", "--out", "--users", "--trace"];
 /// Flags that stand alone.
-const BOOL_FLAGS: [&str; 6] =
-    ["--full", "--smoke", "--wall", "--serve", "--behavioral", "--profile"];
+const BOOL_FLAGS: [&str; 7] =
+    ["--full", "--smoke", "--wall", "--serve", "--behavioral", "--profile", "--verify"];
 
 const USAGE: &str = "usage: figures [fig5|fig6|fig7|fig8|fig9|all] [--full] [--smoke] \
                      [--sf <f64>] [--placements <p,p,...>] [--packet-rows <n>] \
                      [--threads <n,n,...>] [--wall] [--serve] [--behavioral [--users <n>]] \
-                     [--out <path>] [--trace <path>] [--profile]";
+                     [--verify] [--out <path>] [--trace <path>] [--profile]";
 
 /// A rejected command line — typed, so a typo aborts with the usage
 /// synopsis instead of silently running without the intended flag.
@@ -199,6 +200,23 @@ fn main() {
         }
         if profile {
             print!("{}", trace.render_profile());
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--verify") {
+        let out = flag_value(&args, "--out").map(String::as_str).unwrap_or("VERIFY_tpch.json");
+        let users = flag_value(&args, "--users")
+            .map(|v| v.parse::<usize>().unwrap_or_else(|_| panic!("--users expects a count")))
+            .unwrap_or(if smoke { 2_000 } else { 20_000 });
+        let sweep = verify_tpch(sf, users);
+        print_verify(&sweep);
+        hape_bench::verify::write_json(&sweep, out)
+            .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        println!("wrote {out}");
+        if !sweep.clean() {
+            eprintln!("static and runtime verdicts disagree — see {out}");
+            std::process::exit(1);
         }
         return;
     }

@@ -49,7 +49,7 @@ pub fn print_figure(fig: &Figure) {
         print!("{:>24}", fig.series[0].points[i].0);
         for s in &fig.series {
             match s.points[i].1 {
-                Some(y) => print!("{:>18.6}", y),
+                Some(y) => print!("{y:>18.6}"),
                 None => print!("{:>18}", "-"),
             }
         }
@@ -113,7 +113,7 @@ pub fn fig6(sizes: &[usize]) -> Figure {
     let model = CpuCostModel::new(server.cpus[0].clone(), server.cpus[0].cores);
     let sim = GpuSim::new(server.gpus[0].clone(), Fidelity::Analytic);
     let dbms_c = DbmsC::new(server.clone());
-    let dbms_g = DbmsG::new(server.clone());
+    let dbms_g = DbmsG::new(server);
     let mut series: Vec<Series> = [
         "Partitioned CPU",
         "Partitioned GPU",
@@ -254,12 +254,12 @@ pub fn fig8_opts(
     let server = Server::tpch_scaled(sf);
     let engine = Engine::new(server.clone());
     let dbms_c = DbmsC::new(server.clone());
-    let dbms_g = DbmsG::new(server.clone());
+    let dbms_g = DbmsG::new(server);
     let queries: Vec<(&str, hape_core::LoweredQuery)> = vec![
-        ("Q1", q1_query().lower(&catalog).unwrap()),
-        ("Q5", q5_query(JoinAlgo::Partitioned).lower(&catalog).unwrap()),
-        ("Q6", q6_query().lower(&catalog).unwrap()),
-        ("Q9*", q9_query(JoinAlgo::Partitioned).lower(&catalog).unwrap()),
+        ("Q1", q1_query().lower(&catalog).expect("Q1 lowers")),
+        ("Q5", q5_query(JoinAlgo::Partitioned).lower(&catalog).expect("Q5 lowers")),
+        ("Q6", q6_query().lower(&catalog).expect("Q6 lowers")),
+        ("Q9*", q9_query(JoinAlgo::Partitioned).lower(&catalog).expect("Q9 lowers")),
     ];
     let mut series: Vec<Series> = std::iter::once("DBMS C")
         .chain(placements.iter().map(|&p| proteus_label(p)))
@@ -268,9 +268,10 @@ pub fn fig8_opts(
         .collect();
     for (qi, (_name, q)) in queries.iter().enumerate() {
         let x = qi as f64 + 1.0;
-        series[0]
-            .points
-            .push((x, Some(dbms_c.run_plan(&q.catalog, &q.plan).unwrap().time.as_secs())));
+        series[0].points.push((
+            x,
+            Some(dbms_c.run_plan(&q.catalog, &q.plan).expect("DBMS-C runs").time.as_secs()),
+        ));
         for (si, &placement) in placements.iter().enumerate() {
             // Q9's hash tables exceed GPU memory (§6.4): the manual GPU
             // placements are missing bars, while Auto completes it through

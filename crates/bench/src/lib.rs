@@ -6,10 +6,13 @@
 //! ratios are the reproduction target — see `EXPERIMENTS.md`); `full`
 //! variants run at paper scale where memory permits.
 
+#![forbid(unsafe_code)]
+
 pub mod behavioral;
 pub mod figures;
 pub mod serve;
 pub mod trace;
+pub mod verify;
 pub mod wall;
 
 pub use behavioral::{bench_behavioral, print_behavioral, BehavioralBench, BehavioralPoint};
@@ -19,6 +22,7 @@ pub use figures::{
 };
 pub use serve::{bench_serve, print_serve, ServeBatch, ServeBench};
 pub use trace::{trace_tpch, write_chrome_trace};
+pub use verify::{print_verify, verify_tpch, VerifyPoint, VerifySweep};
 pub use wall::{bench_tpch, print_wall, write_json, WallPoint};
 
 /// Commonly used items.
@@ -27,5 +31,6 @@ pub mod prelude {
     pub use crate::figures::{fig5, fig6, fig7, fig8, fig9, print_figure};
     pub use crate::serve::{bench_serve, print_serve};
     pub use crate::trace::{trace_tpch, write_chrome_trace};
+    pub use crate::verify::{print_verify, verify_tpch};
     pub use crate::wall::{bench_tpch, print_wall, write_json};
 }

@@ -7,6 +7,8 @@
 //! match upstream for this subset, including panics on reads past the end
 //! (the format code checks `remaining()` first).
 
+#![forbid(unsafe_code)]
+
 use std::ops::Deref;
 
 /// Read-side cursor operations.

@@ -13,6 +13,8 @@
 //! self-consistent against references computed from the same data, so they
 //! do not care).
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Seedable generators (the subset HAPE uses).

@@ -288,6 +288,13 @@ impl Engine {
     /// so one engine (one simulated fleet) serves any number of
     /// interleaved `QueryExec`s re-entrantly.
     pub fn begin<'a>(&'a self, catalog: &'a Catalog, placed: &'a PlacedPlan) -> QueryExec<'a> {
+        // Debug builds run the static verifier on every plan the engine
+        // begins and abort on *structural* diagnostics — IR the pass
+        // pipeline must never emit. Conditions the interpreter rejects
+        // with typed runtime errors (absent devices, unbuilt probes,
+        // capacity) are left to it. See `crate::verify`.
+        #[cfg(debug_assertions)]
+        crate::verify::debug_check_placed(placed, catalog, &self.server);
         QueryExec {
             engine: self,
             catalog,
@@ -676,7 +683,7 @@ impl Engine {
                 Vec::new()
             };
             let post = self.packet_loop(
-                packets,
+                &packets,
                 &suffix,
                 &mut workers,
                 policy,
@@ -771,7 +778,7 @@ impl Engine {
             ),
             None => table.data.split(rows_per_packet),
         };
-        self.packet_loop(packets, pipeline, workers, policy, tables, start, threads, ctx)
+        self.packet_loop(&packets, pipeline, workers, policy, tables, start, threads, ctx)
     }
 
     /// The packet loop proper, over pre-split packets — also driven
@@ -797,7 +804,7 @@ impl Engine {
     #[allow(clippy::too_many_arguments)]
     fn packet_loop(
         &self,
-        packets: Vec<Batch>,
+        packets: &[Batch],
         pipeline: &Pipeline,
         workers: &mut [Box<dyn DeviceProvider>],
         policy: RoutingPolicy,
@@ -1236,7 +1243,7 @@ impl<'a> QueryExec<'a> {
 fn concat_outputs(outputs: Vec<Batch>) -> Batch {
     match outputs.len() {
         0 => Batch::empty(),
-        1 => outputs.into_iter().next().unwrap(),
+        1 => outputs.into_iter().next().expect("len checked"),
         _ => {
             let n_cols = outputs[0].columns.len();
             let cols = (0..n_cols)

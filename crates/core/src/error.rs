@@ -302,13 +302,16 @@ impl From<hape_join::coprocess::CoprocessError> for EngineError {
     }
 }
 
-/// The crate-level error: a plan-time or an execution-time failure.
+/// The crate-level error: a plan-time, verification-time or
+/// execution-time failure.
 #[derive(Debug)]
 pub enum HapeError {
     /// The query could not be built or lowered.
     Plan(PlanError),
     /// The engine could not place or execute the (valid) plan.
     Engine(EngineError),
+    /// The static plan verifier ([`mod@crate::verify`]) found diagnostics.
+    Verify(crate::verify::VerifyError),
 }
 
 impl std::fmt::Display for HapeError {
@@ -316,6 +319,7 @@ impl std::fmt::Display for HapeError {
         match self {
             HapeError::Plan(e) => write!(f, "plan error: {e}"),
             HapeError::Engine(e) => write!(f, "engine error: {e}"),
+            HapeError::Verify(e) => write!(f, "verify error: {e}"),
         }
     }
 }
@@ -325,6 +329,7 @@ impl std::error::Error for HapeError {
         match self {
             HapeError::Plan(e) => Some(e),
             HapeError::Engine(e) => Some(e),
+            HapeError::Verify(e) => Some(e),
         }
     }
 }
@@ -338,6 +343,12 @@ impl From<PlanError> for HapeError {
 impl From<EngineError> for HapeError {
     fn from(e: EngineError) -> Self {
         HapeError::Engine(e)
+    }
+}
+
+impl From<crate::verify::VerifyError> for HapeError {
+    fn from(e: crate::verify::VerifyError) -> Self {
+        HapeError::Verify(e)
     }
 }
 

@@ -142,8 +142,60 @@
 //! assert_eq!(rb.builds_cached, 1);
 //! assert_eq!(server.cache_stats().hits, 1);
 //! ```
+//!
+//! ## Quickstart: verifying a plan statically
+//!
+//! The [`mod@verify`] module is the IR's validator: four passes (schema
+//! dataflow, trait coherence, device/capacity audit, determinism
+//! contracts) over the placed plan, each violation a typed
+//! [`verify::Diagnostic`] with a (stage, segment, op) location. Debug
+//! builds verify every plan the engine begins automatically; the
+//! explicit API reports the full diagnostic list.
+//!
+//! ```
+//! use hape_core::verify::{self, DiagnosticKind, Pass};
+//! use hape_core::{JoinAlgo, Query, Session};
+//! use hape_ops::{col, AggFunc};
+//! use hape_sim::topology::Server;
+//! use hape_storage::datagen::gen_key_fk_table;
+//!
+//! let mut session = Session::new(Server::paper_testbed());
+//! session.register_as("fact", gen_key_fk_table(1 << 14, 1 << 14, 42));
+//! session.register_as("dim", gen_key_fk_table(1 << 12, 1 << 12, 43));
+//! let query = session
+//!     .query("q")
+//!     .from_table("fact")
+//!     .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+//!     .agg(vec![(AggFunc::Count, col("k"))]);
+//!
+//! // A session-built plan verifies clean on every placement...
+//! session.verify(&query).unwrap();
+//! // ...and `explain` renders the verdict as a footer.
+//! let text = session.explain(&query).unwrap();
+//! assert!(text.contains("verified: 2 stages, 0 diagnostics"));
+//!
+//! // Corrupt the placed IR by hand — drop the GPU segments' exchanges —
+//! // and the trait-coherence pass reports exactly what is missing.
+//! let lowered = session.lower(&query).unwrap();
+//! let mut placed = session.place(&query).unwrap();
+//! for stage in &mut placed.stages {
+//!     if let hape_core::PlacedStage::Stream { segments, .. } = stage {
+//!         for seg in segments {
+//!             seg.exchanges.clear();
+//!         }
+//!     }
+//! }
+//! let err = verify::verify_placed(&placed, &lowered.catalog, &session.engine().server)
+//!     .unwrap_err();
+//! assert!(err.diagnostics.iter().any(|d| d.pass == Pass::TraitCoherence));
+//! assert!(err
+//!     .diagnostics
+//!     .iter()
+//!     .any(|d| matches!(d.kind, DiagnosticKind::MissingExchange { .. })));
+//! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod cost;
@@ -160,6 +212,7 @@ pub mod serve;
 pub mod session;
 pub mod trace;
 pub mod traits;
+pub mod verify;
 
 pub use catalog::{Catalog, TableRegistration};
 pub use cost::{CoprocessCost, CostModel, PlanCost, StageCost};
@@ -178,6 +231,7 @@ pub use serve::{
 pub use session::Session;
 pub use trace::{Span, SpanKind, Trace, TraceCtx, TraceRecorder};
 pub use traits::{DeviceType, HetTraits, Packing};
+pub use verify::{verify_placed, verify_plan, Diagnostic, DiagnosticKind, Pass, VerifyError};
 
 /// Commonly used items.
 pub mod prelude {
@@ -195,4 +249,5 @@ pub mod prelude {
     pub use crate::session::Session;
     pub use crate::trace::{Trace, TraceRecorder};
     pub use crate::traits::{DeviceType, HetTraits};
+    pub use crate::verify::{verify_placed, verify_plan, Diagnostic, VerifyError};
 }

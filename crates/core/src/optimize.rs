@@ -196,6 +196,11 @@ pub fn optimize(
         }
     }
     placed.costs = Some(PlanCost { stages: costs });
+    // Debug builds statically verify the chosen candidate before handing
+    // it to the engine: a structural diagnostic here is an optimizer or
+    // placement bug, not a user error.
+    #[cfg(debug_assertions)]
+    crate::verify::debug_check_placed(&placed, catalog, server);
     Ok(placed)
 }
 

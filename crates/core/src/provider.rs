@@ -1206,7 +1206,7 @@ mod tests {
         let t_part =
             gpu.run_packet(probe, &part, &tables, &regions, Some(&mut s2)).unwrap().time;
         assert_eq!(s1.finish(), s2.finish());
-        assert!(t_part.as_secs() < t_npj.as_secs(), "partitioned {} !< npj {}", t_part, t_npj);
+        assert!(t_part.as_secs() < t_npj.as_secs(), "partitioned {t_part} !< npj {t_npj}");
     }
 
     #[test]

@@ -624,8 +624,8 @@ impl<'a> Lowering<'a> {
 
     /// Claim a unique scan alias derived from `want` (must not shadow a
     /// base table either).
-    fn unique_table(&mut self, want: String) -> String {
-        let mut name = want.clone();
+    fn unique_table(&mut self, want: &str) -> String {
+        let mut name = want.to_string();
         let mut n = 1;
         while self.taken_tables.contains(&name) || self.base.get(&name).is_some() {
             n += 1;
@@ -638,8 +638,8 @@ impl<'a> Lowering<'a> {
     /// Claim a unique hash-table name derived from `want`. Hash tables
     /// live in the run's table store, a separate namespace from the
     /// catalog.
-    fn unique_ht(&mut self, want: String) -> String {
-        let mut name = want.clone();
+    fn unique_ht(&mut self, want: &str) -> String {
+        let mut name = want.to_string();
         let mut n = 1;
         while self.taken_hts.contains(&name) {
             n += 1;
@@ -666,7 +666,7 @@ impl<'a> Lowering<'a> {
                 context: format!("build side {}", build.name),
             }
         })?;
-        let ht = self.unique_ht(format!("{root}.{}", build.name));
+        let ht = self.unique_ht(&format!("{root}.{}", build.name));
         self.stages.push(Stage::Build { name: ht.clone(), key_col, pipeline });
         Ok((ht, build_cols.to_vec()))
     }
@@ -700,7 +700,7 @@ impl<'a> Lowering<'a> {
         let scan_source = if projected.len() == table.schema.len() {
             source.to_string()
         } else {
-            let alias = self.unique_table(format!("{root}.{source}"));
+            let alias = self.unique_table(&format!("{root}.{source}"));
             let view =
                 table.try_project(&projected).expect("projected names come from this schema");
             self.derived.register_as(alias.clone(), view);
@@ -790,10 +790,11 @@ impl<'a> Lowering<'a> {
                                     .map(|n| (n, pos)),
                             ),
                             LogicalOp::Join(later_join) => {
-                                downstream.push((later_join.probe_key.clone(), pos))
+                                downstream.push((later_join.probe_key.clone(), pos));
                             }
                             LogicalOp::Stateful(s) => {
-                                downstream.extend(s.input_names().into_iter().map(|n| (n, pos)))
+                                downstream
+                                    .extend(s.input_names().into_iter().map(|n| (n, pos)));
                             }
                         }
                     }
@@ -1307,7 +1308,7 @@ mod tests {
             .agg(vec![(AggFunc::Sum, col("b"))]);
         match q.lower(&catalog()).unwrap_err() {
             PlanError::TypeMismatch { expected, .. } => {
-                assert_eq!(expected, "numeric projection expression")
+                assert_eq!(expected, "numeric projection expression");
             }
             e => panic!("unexpected error {e}"),
         }

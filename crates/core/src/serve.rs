@@ -449,6 +449,19 @@ impl SessionServer {
     fn prepare(&self, query: &Query, config: &ExecConfig) -> Result<PreparedPlan, HapeError> {
         let lowered = self.session.lower(query)?;
         let placed = self.session.place_lowered(&lowered, config)?;
+        // Admission-time static verification: refuse structurally broken
+        // plans up front (isolated into this query's outcome, never
+        // aborting the batch). Capacity-class diagnostics stay with the
+        // admission gate below, which queues rather than refuses.
+        if let Err(e) = crate::verify::verify_placed(
+            &placed,
+            &lowered.catalog,
+            &self.session.engine().server,
+        ) {
+            if let Some(structural) = e.structural() {
+                return Err(structural.into());
+            }
+        }
         let gpu_footprint = gpu_footprint(&self.session, &lowered, &placed);
         Ok(PreparedPlan {
             lowered,

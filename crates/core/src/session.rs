@@ -25,6 +25,7 @@ use crate::optimize::optimize;
 use crate::place::{place, PlacedPlan};
 use crate::query::{LoweredQuery, Query};
 use crate::trace::TraceRecorder;
+use crate::verify;
 
 /// An engine + catalog + default execution config.
 #[derive(Debug, Clone)]
@@ -142,10 +143,12 @@ impl Session {
     }
 
     /// Render the placed plan for a query under the session's default
-    /// config: segments, traits, and every inserted Router / MemMove /
-    /// DeviceCrossing operator.
+    /// config: segments, traits, every inserted Router / MemMove /
+    /// DeviceCrossing operator, and a `verified: N stages, M diagnostics`
+    /// footer from the static verifier (diagnostics render one per line
+    /// below it).
     pub fn explain(&self, query: &Query) -> Result<String, HapeError> {
-        Ok(self.place(query)?.render())
+        self.explain_with(query, &self.config)
     }
 
     /// Render the placed plan under an explicit config.
@@ -154,7 +157,37 @@ impl Session {
         query: &Query,
         config: &ExecConfig,
     ) -> Result<String, HapeError> {
-        Ok(self.place_with(query, config)?.render())
+        let lowered = self.lower(query)?;
+        let placed = self.place_lowered(&lowered, config)?;
+        let mut text = placed.render();
+        text.push_str(&verify::explain_footer(&placed, &lowered.catalog, &self.engine.server));
+        Ok(text)
+    }
+
+    /// Statically verify a query under the session's default config: all
+    /// four verifier passes ([`mod@crate::verify`]) over the placed plan.
+    /// `Err(HapeError::Verify(..))` carries every diagnostic.
+    pub fn verify(&self, query: &Query) -> Result<(), HapeError> {
+        self.verify_with(query, &self.config)
+    }
+
+    /// Statically verify under an explicit config.
+    pub fn verify_with(&self, query: &Query, config: &ExecConfig) -> Result<(), HapeError> {
+        let lowered = self.lower(query)?;
+        let placed = self.place_lowered(&lowered, config)?;
+        self.verify_placed(&lowered.catalog, &placed)
+    }
+
+    /// Statically verify an already-placed plan against an explicit
+    /// catalog (for lowered queries, the derived
+    /// [`LoweredQuery::catalog`] the plan's scans resolve against) and
+    /// this session's server.
+    pub fn verify_placed(
+        &self,
+        catalog: &Catalog,
+        placed: &PlacedPlan,
+    ) -> Result<(), HapeError> {
+        Ok(verify::verify_placed(placed, catalog, &self.engine.server)?)
     }
 
     /// Lower, place and execute under the session's default config.
@@ -277,7 +310,7 @@ mod tests {
             .agg(vec![(AggFunc::Count, col("k"))]);
         match s.execute(&q).unwrap_err() {
             HapeError::Plan(PlanError::UnknownColumn { column, .. }) => {
-                assert_eq!(column, "missing")
+                assert_eq!(column, "missing");
             }
             e => panic!("unexpected error {e}"),
         }

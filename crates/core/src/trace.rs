@@ -405,7 +405,7 @@ fn json_escape(s: &str) -> String {
 /// values print without an exponent).
 fn json_f64(v: f64) -> String {
     if v.fract() == 0.0 && v.abs() < 1e15 {
-        format!("{:.1}", v)
+        format!("{v:.1}")
     } else {
         format!("{v}")
     }
@@ -436,7 +436,9 @@ impl Trace {
         lanes.dedup();
         let tid_of = |span: &Span| -> u32 {
             match span.lane.as_deref() {
-                Some(l) => 1 + lanes.iter().position(|x| *x == l).unwrap() as u32,
+                Some(l) => {
+                    1 + lanes.iter().position(|x| *x == l).expect("lane collected") as u32
+                }
                 None => 0,
             }
         };

@@ -24,6 +24,8 @@
 //! paper's microbenchmark does a sum/count over payloads) or materialised
 //! match-index pairs (what the engine's query joins consume).
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod coprocess;
 pub mod cpu_npj;

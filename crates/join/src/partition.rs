@@ -329,8 +329,8 @@ mod tests {
             assert!(s.keys.iter().all(|&k| radix_of(k, 0, 6) == p), "partition {p}");
         }
         // And the total is a permutation.
-        let mut before: Vec<i32> = keys.clone();
-        let mut after = multi.keys.clone();
+        let mut before: Vec<i32> = keys;
+        let mut after = multi.keys;
         before.sort_unstable();
         after.sort_unstable();
         assert_eq!(before, after);

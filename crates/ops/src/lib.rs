@@ -7,6 +7,8 @@
 //! return the simulated time the work costs — the contract the HAPE pipeline
 //! compiler builds on.
 
+#![forbid(unsafe_code)]
+
 pub mod agg;
 pub mod cpu;
 pub mod expr;

@@ -20,6 +20,8 @@
 //! All times are **simulated** ([`SimTime`]); wall-clock never enters any
 //! reported number.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod cpu;
 pub mod des;

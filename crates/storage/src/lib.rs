@@ -14,6 +14,8 @@
 //! below are compile-time guarantees, not tests — losing them (e.g. by
 //! introducing an `Rc` or a `Cell`) breaks the build, not CI.
 
+#![forbid(unsafe_code)]
+
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<column::Column>();

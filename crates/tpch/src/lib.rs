@@ -9,6 +9,8 @@
 //! validate engine results bit-for-bit across CPU-only / GPU-only / hybrid
 //! placements.
 
+#![forbid(unsafe_code)]
+
 pub mod dates;
 pub mod events;
 pub mod gen;

@@ -99,7 +99,8 @@ pub fn q6_reference(data: &TpchData) -> Vec<(GroupKey, Vec<f64>)> {
 
 /// Q5 reference.
 pub fn q5_reference(data: &TpchData) -> Vec<(GroupKey, Vec<f64>)> {
-    let asia = data.region.column("r_name").dict().unwrap().code_of("ASIA").unwrap();
+    let dict = data.region.column("r_name").dict().expect("r_name is dictionary-encoded");
+    let asia = dict.code_of("ASIA").expect("ASIA region present");
     let lo = date(1994, 1, 1);
     let hi = date(1995, 1, 1);
     let n_region = data.nation.column("n_regionkey").as_i32();

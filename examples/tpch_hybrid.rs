@@ -160,7 +160,7 @@ fn main() {
     session.register(data.supplier.clone());
     session.register(data.partsupp.clone());
     session.register(data.nation.clone());
-    session.register(data.region.clone());
+    session.register(data.region);
 
     let mk_cfg = |placement: Placement| {
         let mut cfg = ExecConfig::new(placement);

@@ -251,6 +251,9 @@
 //! baseline systems execute it directly under their own cost models — and
 //! so is the placed [`core::PlacedPlan`] IR the placement pass produces
 //! ([`core::place()`] + [`core::Engine::run_placed`]).
+
+#![forbid(unsafe_code)]
+
 pub use hape_baselines as baselines;
 pub use hape_core as core;
 pub use hape_join as join;

@@ -40,7 +40,7 @@ fn tpch_session() -> Session {
     session.register(data.supplier.clone());
     session.register(data.partsupp.clone());
     session.register(data.nation.clone());
-    session.register(data.region.clone());
+    session.register(data.region);
     session
 }
 
@@ -331,6 +331,7 @@ stage 5: stream
   est: total 0.0522 ms = stream 0.0373 ms + broadcast 0.0149 ms + d2h 0.0000 ms
   est: gpu hash tables 179280 B (448200 B with working space) of 858993 B
 est makespan: 0.0562 ms
+verified: 6 stages, 0 diagnostics
 ";
 
 #[test]

@@ -145,6 +145,10 @@ fn behavioral_rows_identical_across_placements_and_threads() {
         for placement in placements {
             let mut report_reference: Option<QueryReport> = None;
             for threads in THREADS {
+                let cfg = ExecConfig::new(placement).with_threads(threads);
+                session.verify_with(&q, &cfg).unwrap_or_else(|e| {
+                    panic!("{}/{placement:?} threads={threads}: {e}", q.name)
+                });
                 let rep = run(&session, &q, placement, threads);
                 match &row_reference {
                     None => row_reference = Some(rep.rows.clone()),

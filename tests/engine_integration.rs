@@ -21,7 +21,7 @@ fn setup() -> (hape::tpch::TpchData, hape::core::Catalog, Engine) {
     (data, catalog, engine)
 }
 
-fn lower(q: hape::core::Query, catalog: &hape::core::Catalog) -> LoweredQuery {
+fn lower(q: &hape::core::Query, catalog: &hape::core::Catalog) -> LoweredQuery {
     q.lower(catalog).expect("TPC-H query lowers")
 }
 
@@ -29,8 +29,8 @@ fn lower(q: hape::core::Query, catalog: &hape::core::Catalog) -> LoweredQuery {
 fn all_systems_agree_on_q1_and_q6() {
     let (data, catalog, engine) = setup();
     for (q, reference) in [
-        (lower(q1_query(), &catalog), q1_reference(&data)),
-        (lower(q6_query(), &catalog), q6_reference(&data)),
+        (lower(&q1_query(), &catalog), q1_reference(&data)),
+        (lower(&q6_query(), &catalog), q6_reference(&data)),
     ] {
         let cpu =
             engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
@@ -48,7 +48,7 @@ fn q5_partitioned_and_non_partitioned_agree() {
     let (data, catalog, engine) = setup();
     let reference = q5_reference(&data);
     for algo in [JoinAlgo::NonPartitioned, JoinAlgo::Partitioned] {
-        let q = lower(q5_query(algo), &catalog);
+        let q = lower(&q5_query(algo), &catalog);
         for placement in [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid] {
             let rep = engine
                 .run(&q.catalog, &q.plan, &ExecConfig::new(placement))
@@ -66,12 +66,12 @@ fn q9_gpu_only_oom_but_auto_coprocessing_succeeds() {
     let (data, catalog, engine) = setup();
     let reference = q9_reference(&data);
     // GPU-only must fail with the capacity error (the paper's §6.4).
-    let q9p = lower(q9_query(JoinAlgo::Partitioned), &catalog);
+    let q9p = lower(&q9_query(JoinAlgo::Partitioned), &catalog);
     let err =
         engine.run(&q9p.catalog, &q9p.plan, &ExecConfig::new(Placement::GpuOnly)).unwrap_err();
     assert!(matches!(err, EngineError::GpuMemoryExceeded { .. }), "{err}");
     // CPU-only works and matches the reference.
-    let q9 = lower(q9_query(JoinAlgo::NonPartitioned), &catalog);
+    let q9 = lower(&q9_query(JoinAlgo::NonPartitioned), &catalog);
     let cpu = engine.run(&q9.catalog, &q9.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
     assert!(rows_approx_eq(&cpu.rows, &reference));
     // Auto plans the intra-operator co-processing stage (§5): it matches
@@ -91,14 +91,14 @@ fn q9_gpu_only_oom_but_auto_coprocessing_succeeds() {
 #[test]
 fn dbms_g_runs_only_q6_of_the_four() {
     let (data, catalog, engine) = setup();
-    let g = DbmsG::new(engine.server.clone());
-    let q6 = lower(q6_query(), &catalog);
+    let g = DbmsG::new(engine.server);
+    let q6 = lower(&q6_query(), &catalog);
     assert!(g.run_plan(&q6.catalog, &q6.plan).is_ok());
-    let q1 = lower(q1_query(), &catalog);
+    let q1 = lower(&q1_query(), &catalog);
     assert!(g.run_plan(&q1.catalog, &q1.plan).is_err());
-    let q5 = lower(q5_query(JoinAlgo::NonPartitioned), &catalog);
+    let q5 = lower(&q5_query(JoinAlgo::NonPartitioned), &catalog);
     assert!(g.run_plan(&q5.catalog, &q5.plan).is_err());
-    let q9 = lower(q9_query(JoinAlgo::NonPartitioned), &catalog);
+    let q9 = lower(&q9_query(JoinAlgo::NonPartitioned), &catalog);
     assert!(g.run_plan(&q9.catalog, &q9.plan).is_err());
     // And where it runs, it agrees.
     let rep = g.run_plan(&q6.catalog, &q6.plan).unwrap();
@@ -111,9 +111,9 @@ fn hybrid_is_never_slower_than_both_single_device_configs() {
     // multi-CPU multi-GPU hybrid configuration outperforms both".
     let (_, catalog, engine) = setup();
     for q in [
-        lower(q1_query(), &catalog),
-        lower(q6_query(), &catalog),
-        lower(q5_query(JoinAlgo::Partitioned), &catalog),
+        lower(&q1_query(), &catalog),
+        lower(&q6_query(), &catalog),
+        lower(&q5_query(JoinAlgo::Partitioned), &catalog),
     ] {
         let cpu =
             engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
@@ -137,7 +137,7 @@ fn scan_bound_queries_prefer_cpu_join_heavy_prefer_gpu() {
     // Figure 8's two regimes: Q1/Q6 scan-bound (CPU wins: local DRAM beats
     // PCIe), Q5 join-heavy (GPU wins despite the transfers).
     let (_, catalog, engine) = setup();
-    for q in [lower(q1_query(), &catalog), lower(q6_query(), &catalog)] {
+    for q in [lower(&q1_query(), &catalog), lower(&q6_query(), &catalog)] {
         let cpu =
             engine.run(&q.catalog, &q.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
         let gpu =
@@ -154,7 +154,7 @@ fn scan_bound_queries_prefer_cpu_join_heavy_prefer_gpu() {
     // scale the join/scan cost ratio shrinks (EXPERIMENTS.md, E4), so we
     // assert the weaker scale-robust property: GPU-only is competitive on
     // Q5 (within 1.5×) while it loses by >2.5× on the scan-bound queries.
-    let q5 = lower(q5_query(JoinAlgo::Partitioned), &catalog);
+    let q5 = lower(&q5_query(JoinAlgo::Partitioned), &catalog);
     let cpu = engine.run(&q5.catalog, &q5.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
     let gpu = engine.run(&q5.catalog, &q5.plan, &ExecConfig::new(Placement::GpuOnly)).unwrap();
     assert!(
@@ -163,7 +163,7 @@ fn scan_bound_queries_prefer_cpu_join_heavy_prefer_gpu() {
         gpu.time,
         cpu.time
     );
-    let q6 = lower(q6_query(), &catalog);
+    let q6 = lower(&q6_query(), &catalog);
     let q6_cpu =
         engine.run(&q6.catalog, &q6.plan, &ExecConfig::new(Placement::CpuOnly)).unwrap();
     let q6_gpu =

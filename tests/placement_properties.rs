@@ -30,7 +30,7 @@ fn tpch_session() -> Session {
     session.register(data.supplier.clone());
     session.register(data.partsupp.clone());
     session.register(data.nation.clone());
-    session.register(data.region.clone());
+    session.register(data.region);
     session
 }
 
@@ -50,6 +50,11 @@ fn every_query_is_placement_and_policy_invariant() {
         for placement in PLACEMENTS {
             for policy in POLICIES {
                 let cfg = ExecConfig { policy, ..ExecConfig::new(placement) };
+                // Every plan the pass pipeline produces must verify
+                // statically clean before it runs.
+                session
+                    .verify_with(query, &cfg)
+                    .unwrap_or_else(|e| panic!("{}/{placement:?}/{policy:?}: {e}", query.name));
                 let rep = session
                     .execute_with(query, &cfg)
                     .unwrap_or_else(|e| panic!("{}/{placement:?}/{policy:?}: {e}", query.name));
@@ -187,7 +192,8 @@ fn q5_explain_snapshots_show_exchange_operators() {
         (Placement::Hybrid, Q5_STREAM_HYBRID),
     ] {
         let text = session.explain_with(&q5, &ExecConfig::new(placement)).unwrap();
-        let expected = format!("{Q5_BUILD_PREAMBLE}{stream}");
+        let expected =
+            format!("{Q5_BUILD_PREAMBLE}{stream}verified: 6 stages, 0 diagnostics\n");
         assert_eq!(text, expected, "{placement:?} snapshot diverged:\n{text}");
     }
     // The hybrid render makes every HetExchange operator kind visible.

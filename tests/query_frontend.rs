@@ -111,7 +111,7 @@ fn mid_chain_select_reaches_project_and_matches_the_oracle() {
         .agg(vec![(AggFunc::Sum, col("l_quantity"))]);
     match session.execute(&bad).unwrap_err() {
         HapeError::Plan(PlanError::UnknownColumn { column, .. }) => {
-            assert_eq!(column, "l_quantity")
+            assert_eq!(column, "l_quantity");
         }
         e => panic!("unexpected error {e}"),
     }
@@ -140,7 +140,7 @@ fn unknown_column_is_a_typed_error() {
         .agg(vec![(AggFunc::Count, col("l_orderkey"))]);
     match session.execute(&q).unwrap_err() {
         HapeError::Plan(PlanError::UnknownColumn { column, .. }) => {
-            assert_eq!(column, "l_shipmode")
+            assert_eq!(column, "l_shipmode");
         }
         e => panic!("unexpected error {e}"),
     }
@@ -182,7 +182,7 @@ fn type_mismatches_are_typed_errors() {
         .agg(vec![(AggFunc::Count, col("l_orderkey"))]);
     match session.execute(&q).unwrap_err() {
         HapeError::Plan(PlanError::TypeMismatch { expected, .. }) => {
-            assert_eq!(expected, "boolean predicate")
+            assert_eq!(expected, "boolean predicate");
         }
         e => panic!("unexpected error {e}"),
     }
@@ -277,7 +277,7 @@ fn string_literals_resolve_through_dictionaries() {
         .agg(vec![(AggFunc::Count, col("l_orderkey"))]);
     match session.execute(&q).unwrap_err() {
         HapeError::Plan(PlanError::TypeMismatch { found, .. }) => {
-            assert_eq!(found, "two string columns")
+            assert_eq!(found, "two string columns");
         }
         e => panic!("unexpected error {e}"),
     }

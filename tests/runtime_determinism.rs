@@ -29,7 +29,7 @@ fn tpch_session() -> Session {
     session.register(data.supplier.clone());
     session.register(data.partsupp.clone());
     session.register(data.nation.clone());
-    session.register(data.region.clone());
+    session.register(data.region);
     session
 }
 

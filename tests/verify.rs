@@ -1,0 +1,681 @@
+//! The static-verifier mutation self-test corpus.
+//!
+//! Strategy: start from a plan the pass pipeline itself produced (so it
+//! verifies clean — asserted first), corrupt **one** invariant at a
+//! time through the placed IR's public fields, and assert the verifier
+//! reports the *specific* typed [`DiagnosticKind`] for that corruption
+//! class — not merely "some diagnostic". Each test is one corruption
+//! class; together they cover all four passes (schema dataflow, trait
+//! coherence, device/capacity audit, determinism contracts).
+//!
+//! The final tests are the positive side: a property sweep asserting a
+//! clean verify for every (query × placement × threads) combination the
+//! execution suites run, and the diagnostic-rendering contract
+//! (locations + pass tags in `Display`, the `explain`-footer shape).
+
+// Test-corpus setup helpers unwrap freely (`allow-unwrap-in-tests` only
+// covers `#[test]` bodies, not shared helpers in integration tests).
+#![allow(clippy::unwrap_used)]
+
+use hape::core::verify::{check_placed, explain_footer, DiagnosticKind, Pass};
+use hape::core::{
+    Exchange, ExecConfig, JoinAlgo, LoweredQuery, PipeOp, PlacedPlan, PlacedStage, Placement,
+    Query, Session,
+};
+use hape::ops::{Expr, StatefulAgg};
+use hape::sim::topology::{DeviceId, MemNode, Server};
+use hape::tpch::events::{behavioral_queries, generate_events};
+use hape::tpch::queries::{q1_query, q5_query, q6_query};
+
+const SF: f64 = 0.01;
+
+fn tpch_session() -> Session {
+    let data = hape::tpch::generate(SF, 31337);
+    let mut session = Session::new(Server::tpch_scaled(SF));
+    session.register(data.lineitem.clone());
+    session.register(data.orders.clone());
+    session.register(data.customer.clone());
+    session.register(data.supplier.clone());
+    session.register(data.partsupp.clone());
+    session.register(data.nation.clone());
+    session.register(data.region);
+    session
+}
+
+/// Q5 lowered + placed under `placement`, asserted clean before any
+/// mutation (a corrupted seed would make every test vacuous).
+fn q5_placed(session: &Session, placement: Placement) -> (LoweredQuery, PlacedPlan) {
+    let q5 = q5_query(JoinAlgo::NonPartitioned);
+    let lowered = session.lower(&q5).unwrap();
+    let placed = session.place_with(&q5, &ExecConfig::new(placement)).unwrap();
+    assert!(
+        check_placed(&placed, &lowered.catalog, &session.engine().server).is_empty(),
+        "seed plan must verify clean before mutation"
+    );
+    (lowered, placed)
+}
+
+fn diags(session: &Session, lowered: &LoweredQuery, placed: &PlacedPlan) -> Vec<String> {
+    check_placed(placed, &lowered.catalog, &session.engine().server)
+        .iter()
+        .map(ToString::to_string)
+        .collect()
+}
+
+fn kinds(
+    session: &Session,
+    lowered: &LoweredQuery,
+    placed: &PlacedPlan,
+) -> Vec<(Pass, DiagnosticKind)> {
+    check_placed(placed, &lowered.catalog, &session.engine().server)
+        .into_iter()
+        .map(|d| (d.pass, d.kind))
+        .collect()
+}
+
+/// The Q5 stream stage (index 5) as mutable parts.
+fn stream_parts(
+    placed: &mut PlacedPlan,
+) -> (&mut hape::core::Pipeline, &mut Option<Exchange>, &mut Vec<hape::core::Segment>) {
+    match placed.stages.last_mut().unwrap() {
+        PlacedStage::Stream { pipeline, router, segments } => (pipeline, router, segments),
+        other => panic!("Q5's last stage should be the stream, got {other:?}"),
+    }
+}
+
+fn gpu_segment(segments: &mut [hape::core::Segment]) -> &mut hape::core::Segment {
+    segments.iter_mut().find(|s| s.target.is_gpu()).expect("a GPU segment")
+}
+
+// ===================== pass 1: schema dataflow =====================
+
+#[test]
+fn mutation_unknown_source_table() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    stream_parts(&mut placed).0.source = "ghost".to_string();
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::SchemaDataflow
+            && matches!(k, DiagnosticKind::UnknownSource { table } if table == "ghost")),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_filter_references_dropped_column() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    stream_parts(&mut placed).0.ops.insert(0, PipeOp::Filter(Expr::col(99)));
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::SchemaDataflow
+            && matches!(
+                k,
+                DiagnosticKind::ColumnOutOfRange { column: 99, context: "filter", .. }
+            )),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_probe_key_becomes_f64_after_projection() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    // A same-width all-f64 projection ahead of the first probe: the key
+    // column stays in range but loses its integer type.
+    let width = lowered.catalog.get("Q5.lineitem").unwrap().schema.fields.len();
+    let reshape = PipeOp::Project((0..width).map(Expr::col).collect());
+    stream_parts(&mut placed).0.ops.insert(0, reshape);
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::SchemaDataflow
+            && matches!(
+                k,
+                DiagnosticKind::ProbeKeyType { found: hape::storage::DataType::F64, .. }
+            )),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_probe_payload_beyond_build_width() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    let (pipeline, _, _) = stream_parts(&mut placed);
+    let Some(PipeOp::JoinProbe { build_payload_cols, .. }) =
+        pipeline.ops.iter_mut().find(|op| matches!(op, PipeOp::JoinProbe { .. }))
+    else {
+        panic!("stream pipeline probes")
+    };
+    build_payload_cols.push(99);
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::SchemaDataflow
+            && matches!(k, DiagnosticKind::PayloadOutOfRange { column: 99, .. })),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_probe_of_unbuilt_table() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    let (pipeline, _, _) = stream_parts(&mut placed);
+    let Some(PipeOp::JoinProbe { ht, .. }) =
+        pipeline.ops.iter_mut().find(|op| matches!(op, PipeOp::JoinProbe { .. }))
+    else {
+        panic!("stream pipeline probes")
+    };
+    *ht = "Q5.unbuilt".to_string();
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::SchemaDataflow
+            && matches!(k, DiagnosticKind::ProbeUnbuilt { ht } if ht == "Q5.unbuilt")),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_build_stage_that_aggregates() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    let agg = stream_parts(&mut placed).0.agg.clone();
+    let PlacedStage::Build { pipeline, .. } = &mut placed.stages[0] else {
+        panic!("stage 0 is a build")
+    };
+    pipeline.agg = agg;
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::SchemaDataflow
+            && matches!(k, DiagnosticKind::BuildAggregates { .. })),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_stream_stage_without_aggregation() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    stream_parts(&mut placed).0.agg = None;
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter()
+            .any(|(p, k)| *p == Pass::SchemaDataflow && *k == DiagnosticKind::StreamMissingAgg),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_plan_with_no_stream_stage() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    placed.stages.retain(|s| matches!(s, PlacedStage::Build { .. }));
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::SchemaDataflow
+            && matches!(k, DiagnosticKind::NotExactlyOneStream { streams: 0 })),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_group_by_beyond_stream_width() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    stream_parts(&mut placed).0.agg.as_mut().unwrap().group_by.push(99);
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::SchemaDataflow
+            && matches!(
+                k,
+                DiagnosticKind::ColumnOutOfRange { column: 99, context: "group-by", .. }
+            )),
+        "{ks:?}"
+    );
+}
+
+// ===================== pass 2: trait coherence =====================
+
+#[test]
+fn mutation_dropped_streaming_mem_move() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::Hybrid);
+    let (_, _, segments) = stream_parts(&mut placed);
+    gpu_segment(segments)
+        .exchanges
+        .retain(|x| !matches!(x, Exchange::MemMove { table: None, .. }));
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::TraitCoherence
+            && matches!(k, DiagnosticKind::MissingExchange { expected } if expected.starts_with("MemMove"))),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_dropped_device_crossing() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::Hybrid);
+    let (_, _, segments) = stream_parts(&mut placed);
+    gpu_segment(segments).exchanges.retain(|x| !matches!(x, Exchange::DeviceCrossing { .. }));
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::TraitCoherence
+            && matches!(k, DiagnosticKind::MissingExchange { expected } if expected.starts_with("DeviceCrossing"))),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_dropped_broadcast() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::Hybrid);
+    let (_, _, segments) = stream_parts(&mut placed);
+    gpu_segment(segments)
+        .exchanges
+        .retain(|x| !matches!(x, Exchange::MemMove { table: Some(t), .. } if t == "Q5.orders"));
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::TraitCoherence
+            && matches!(k, DiagnosticKind::MissingBroadcast { ht } if ht == "Q5.orders")),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_duplicate_broadcast() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::Hybrid);
+    let (_, _, segments) = stream_parts(&mut placed);
+    let seg = gpu_segment(segments);
+    let dup = seg.exchanges.iter().find(|x| x.is_broadcast()).unwrap().clone();
+    seg.exchanges.push(dup);
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::TraitCoherence
+            && matches!(k, DiagnosticKind::UnexpectedBroadcast { .. })),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_exchange_on_a_cpu_segment_is_dead() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    let (_, _, segments) = stream_parts(&mut placed);
+    // A CPU segment shares the source's traits end to end: any exchange
+    // on its edge converts nothing.
+    segments[0].exchanges.push(Exchange::MemMove {
+        from: MemNode::CpuDram(0),
+        to: MemNode::CpuDram(0),
+        table: None,
+    });
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::TraitCoherence
+            && matches!(k, DiagnosticKind::DeadExchange { .. })),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_corrupted_segment_dop() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    let (_, _, segments) = stream_parts(&mut placed);
+    segments[0].traits.dop = 99;
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::TraitCoherence
+            && matches!(k, DiagnosticKind::TraitsMismatch { found, .. } if found.dop == 99)),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_removed_router() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    *stream_parts(&mut placed).1 = None;
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::TraitCoherence
+            && matches!(k, DiagnosticKind::MissingRouter { total_dop } if *total_dop > 1)),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_router_with_parallel_producer_side() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    let (_, router, _) = stream_parts(&mut placed);
+    let Some(Exchange::Router { from_dop, .. }) = router else { panic!("stream routes") };
+    *from_dop = 3;
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::TraitCoherence
+            && matches!(k, DiagnosticKind::RouterDopMismatch { from_dop: 3, .. })),
+        "{ks:?}"
+    );
+}
+
+// ================= pass 3: device & capacity audit =================
+
+#[test]
+fn mutation_segment_on_absent_device() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    let (_, _, segments) = stream_parts(&mut placed);
+    segments[0].target = DeviceId::Gpu(7);
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::DeviceAudit
+            && matches!(k, DiagnosticKind::DeviceNotPresent { device: DeviceId::Gpu(7) })),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn broadcast_over_capacity_is_predicted_statically() {
+    // Not a hand-mutation: shrink the GPUs until Q5's broadcast tables
+    // (with working space) cannot fit, and the verifier must report the
+    // same §6.4 capacity violation the engine refuses with at runtime.
+    let data = hape::tpch::generate(SF, 31337);
+    let mut session = Session::new(Server::paper_testbed_gpu_mem_scaled(1.0 / 1048576.0));
+    session.register(data.lineitem.clone());
+    session.register(data.orders.clone());
+    session.register(data.customer.clone());
+    session.register(data.supplier.clone());
+    session.register(data.nation.clone());
+    session.register(data.region);
+    let q5 = q5_query(JoinAlgo::NonPartitioned);
+    let lowered = session.lower(&q5).unwrap();
+    let placed = session.place_with(&q5, &ExecConfig::new(Placement::GpuOnly)).unwrap();
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::DeviceAudit
+            && matches!(k, DiagnosticKind::BroadcastOverCapacity { required, capacity, .. }
+                if required > capacity)),
+        "{ks:?}"
+    );
+    // The runtime verdict agrees.
+    assert!(session.execute_with(&q5, &ExecConfig::new(Placement::GpuOnly)).is_err());
+}
+
+/// Rebuild Q5's stream stage as a co-process stage with the given shape.
+fn coprocessed(mut placed: PlacedPlan, ht: &str, gpus: Vec<DeviceId>) -> PlacedPlan {
+    let PlacedStage::Stream { pipeline, router, segments } = placed.stages.pop().unwrap()
+    else {
+        panic!("Q5's last stage is the stream")
+    };
+    placed.stages.push(PlacedStage::CoProcess {
+        pipeline,
+        ht: ht.to_string(),
+        router,
+        segments,
+        gpus,
+    });
+    placed
+}
+
+#[test]
+fn mutation_coprocess_without_gpu_lanes() {
+    let session = tpch_session();
+    let (lowered, placed) = q5_placed(&session, Placement::CpuOnly);
+    let placed = coprocessed(placed, "Q5.supplier", Vec::new());
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter()
+            .any(|(p, k)| *p == Pass::DeviceAudit && *k == DiagnosticKind::CoProcessNoGpuLane),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_coprocess_lane_on_absent_gpu() {
+    let session = tpch_session();
+    let (lowered, placed) = q5_placed(&session, Placement::CpuOnly);
+    let placed = coprocessed(placed, "Q5.supplier", vec![DeviceId::Gpu(9)]);
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::DeviceAudit
+            && matches!(k, DiagnosticKind::DeviceNotPresent { device: DeviceId::Gpu(9) })),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_coprocess_table_is_not_the_final_probe() {
+    let session = tpch_session();
+    let (lowered, placed) = q5_placed(&session, Placement::CpuOnly);
+    let placed = coprocessed(placed, "Q5.orders", vec![DeviceId::Gpu(0)]);
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::DeviceAudit
+            && matches!(k, DiagnosticKind::CoProcessFinalProbeMismatch { ht } if ht == "Q5.orders")),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_coprocess_prefix_with_gpu_segment() {
+    let session = tpch_session();
+    let (lowered, placed) = q5_placed(&session, Placement::Hybrid);
+    let placed = coprocessed(placed, "Q5.supplier", vec![DeviceId::Gpu(0)]);
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::DeviceAudit
+            && matches!(k, DiagnosticKind::CoProcessGpuSegment { .. })),
+        "{ks:?}"
+    );
+}
+
+// ================= pass 4: determinism contracts =================
+
+fn behavioral_session() -> Session {
+    let mut session = Session::new(Server::paper_testbed());
+    session.register(generate_events(2_000, 7171));
+    session
+}
+
+fn behavioral_placed(session: &Session, idx: usize) -> (LoweredQuery, PlacedPlan) {
+    let q = &behavioral_queries()[idx];
+    let lowered = session.lower(q).unwrap();
+    let placed = session.place(q).unwrap();
+    assert!(
+        check_placed(&placed, &lowered.catalog, &session.engine().server).is_empty(),
+        "behavioral seed plan must verify clean before mutation"
+    );
+    (lowered, placed)
+}
+
+fn stateful_op(placed: &mut PlacedPlan) -> &mut StatefulAgg {
+    for stage in &mut placed.stages {
+        if let PlacedStage::Stream { pipeline, .. } = stage {
+            for op in &mut pipeline.ops {
+                if let PipeOp::Stateful(agg) = op {
+                    return agg;
+                }
+            }
+        }
+    }
+    panic!("behavioral plan has a stateful op")
+}
+
+#[test]
+fn mutation_stateful_after_a_reshaping_projection() {
+    let session = behavioral_session();
+    let (lowered, mut placed) = behavioral_placed(&session, 0);
+    for stage in &mut placed.stages {
+        if let PlacedStage::Stream { pipeline, .. } = stage {
+            let at = pipeline
+                .ops
+                .iter()
+                .position(|op| matches!(op, PipeOp::Stateful(_)))
+                .expect("stateful op");
+            let width = lowered.catalog.get(&pipeline.source).unwrap().schema.fields.len();
+            pipeline.ops.insert(at, PipeOp::Project((0..width).map(Expr::col).collect()));
+        }
+    }
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter()
+            .any(|(p, k)| *p == Pass::SchemaDataflow
+                && *k == DiagnosticKind::StatefulAfterReshape),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_stateful_event_column_mistyped() {
+    let session = behavioral_session();
+    // B2 is the funnel: the only suite query with an event column.
+    let (lowered, mut placed) = behavioral_placed(&session, 1);
+    {
+        let StatefulAgg::WindowFunnel { ts_col, event_col, .. } = stateful_op(&mut placed)
+        else {
+            panic!("B2 is a window funnel")
+        };
+        *event_col = *ts_col; // integer-typed, not a dictionary string
+    }
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::SchemaDataflow
+            && matches!(k, DiagnosticKind::StatefulColumnType { role: "event", .. })),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_stateful_alignment_column_outside_source() {
+    let session = behavioral_session();
+    let (lowered, mut placed) = behavioral_placed(&session, 0);
+    {
+        let StatefulAgg::Sessionize { user_col, .. } = stateful_op(&mut placed) else {
+            panic!("B1 sessionizes")
+        };
+        *user_col = 99; // breaks the user-aligned packetization contract
+    }
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::Determinism
+            && matches!(k, DiagnosticKind::StatefulAlignmentInvalid { user_col: 99, .. })),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_router_barrier_undercoverage() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    let (_, router, _) = stream_parts(&mut placed);
+    let Some(Exchange::Router { to_dop, .. }) = router else { panic!("stream routes") };
+    *to_dop -= 1; // one routed worker would escape the stage barrier
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter().any(|(p, k)| *p == Pass::Determinism
+            && matches!(k, DiagnosticKind::BarrierCoverage { .. })),
+        "{ks:?}"
+    );
+}
+
+#[test]
+fn mutation_zero_packet_rows() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::CpuOnly);
+    placed.packet_rows = Some(0);
+    let ks = kinds(&session, &lowered, &placed);
+    assert!(
+        ks.iter()
+            .any(|(p, k)| *p == Pass::Determinism && *k == DiagnosticKind::InvalidPacketRows),
+        "{ks:?}"
+    );
+}
+
+// ===================== rendering contracts =====================
+
+#[test]
+fn diagnostics_carry_locations_and_pass_tags() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::Hybrid);
+    let (_, _, segments) = stream_parts(&mut placed);
+    gpu_segment(segments).exchanges.clear();
+    let rendered = diags(&session, &lowered, &placed);
+    assert!(!rendered.is_empty());
+    // Each line locates the finding and names the pass, explain-style.
+    assert!(
+        rendered.iter().any(|d| d.starts_with("stage 5 segment gpu")
+            && d.contains("[trait-coherence]")
+            && d.contains("missing exchange")),
+        "{rendered:?}"
+    );
+}
+
+#[test]
+fn explain_footer_renders_diagnostics_on_a_broken_plan() {
+    let session = tpch_session();
+    let (lowered, mut placed) = q5_placed(&session, Placement::Hybrid);
+    placed.packet_rows = Some(0);
+    let footer = explain_footer(&placed, &lowered.catalog, &session.engine().server);
+    assert!(footer.starts_with("verified: 6 stages, 1 diagnostic\n"), "{footer}");
+    assert!(
+        footer.contains("  plan: [determinism] packet_rows = 0 cannot make progress"),
+        "{footer}"
+    );
+}
+
+#[test]
+fn verify_error_display_lists_every_finding() {
+    let session = tpch_session();
+    let q5 = q5_query(JoinAlgo::NonPartitioned);
+    let lowered = session.lower(&q5).unwrap();
+    let mut placed = session.place_with(&q5, &ExecConfig::new(Placement::Hybrid)).unwrap();
+    let (_, _, segments) = stream_parts(&mut placed);
+    gpu_segment(segments).exchanges.clear();
+    let err =
+        hape::core::verify::verify_placed(&placed, &lowered.catalog, &session.engine().server)
+            .unwrap_err();
+    let text = err.to_string();
+    assert!(text.starts_with("verify Q5: "), "{text}");
+    assert_eq!(
+        text.lines().count(),
+        1 + err.diagnostics.len(),
+        "one header plus one line per finding:\n{text}"
+    );
+}
+
+// ================= positive property sweep =================
+
+#[test]
+fn every_query_placement_and_thread_combo_verifies_clean() {
+    let session = tpch_session();
+    let queries: Vec<Query> = vec![
+        q1_query(),
+        q5_query(JoinAlgo::NonPartitioned),
+        q5_query(JoinAlgo::Partitioned),
+        q6_query(),
+    ];
+    let placements =
+        [Placement::CpuOnly, Placement::GpuOnly, Placement::Hybrid, Placement::Auto];
+    for query in &queries {
+        for placement in placements {
+            for threads in [None, Some(1), Some(4)] {
+                let cfg = ExecConfig { threads, ..ExecConfig::new(placement) };
+                session.verify_with(query, &cfg).unwrap_or_else(|e| {
+                    panic!("{}/{placement:?}/threads {threads:?}: {e}", query.name)
+                });
+            }
+        }
+    }
+    let behavioral = behavioral_session();
+    for query in &behavioral_queries() {
+        for placement in placements {
+            let cfg = ExecConfig::new(placement);
+            behavioral
+                .verify_with(query, &cfg)
+                .unwrap_or_else(|e| panic!("{}/{placement:?}: {e}", query.name));
+        }
+    }
+}
