@@ -39,6 +39,14 @@
 //! placement on every query and writing `BENCH_behavioral.json` (`--out`
 //! overrides; `--threads` pins the data-plane pool with its first value).
 //!
+//! `--chaos` runs the fault-injection sweep instead: every benchmark
+//! query × placement executed clean and under the canonical seeded fault
+//! plan (`--seed` varies the schedule), recording fired faults, priced
+//! retries/replans and the degraded/clean makespan ratio per cell, and
+//! asserting the answers survive recovery — the process exits non-zero
+//! when any cell's rows diverge. Written to `CHAOS_tpch.json` (`--out`
+//! overrides); CI smoke runs it and uploads the artifact.
+//!
 //! `--trace <path>` runs the TPC-H workload under the cost-based
 //! optimizer with the execution tracing plane attached and writes the
 //! Chrome trace JSON (sim-time and wall-time lanes, workers as threads —
@@ -51,6 +59,7 @@
 //! figures.
 
 use hape_bench::behavioral::{bench_behavioral, print_behavioral};
+use hape_bench::chaos::{chaos_tpch, print_chaos};
 use hape_bench::figures::{fig5, fig6, fig7, fig8_opts, fig9, print_figure};
 use hape_bench::serve::{bench_serve, print_serve};
 use hape_bench::trace::{trace_tpch, write_chrome_trace};
@@ -59,16 +68,33 @@ use hape_bench::wall::{bench_tpch, print_wall, write_json};
 use hape_core::Placement;
 
 /// Flags that take a value.
-const VALUE_FLAGS: [&str; 7] =
-    ["--sf", "--placements", "--packet-rows", "--threads", "--out", "--users", "--trace"];
+const VALUE_FLAGS: [&str; 8] = [
+    "--sf",
+    "--placements",
+    "--packet-rows",
+    "--threads",
+    "--out",
+    "--users",
+    "--trace",
+    "--seed",
+];
 /// Flags that stand alone.
-const BOOL_FLAGS: [&str; 7] =
-    ["--full", "--smoke", "--wall", "--serve", "--behavioral", "--profile", "--verify"];
+const BOOL_FLAGS: [&str; 8] = [
+    "--full",
+    "--smoke",
+    "--wall",
+    "--serve",
+    "--behavioral",
+    "--profile",
+    "--verify",
+    "--chaos",
+];
 
 const USAGE: &str = "usage: figures [fig5|fig6|fig7|fig8|fig9|all] [--full] [--smoke] \
                      [--sf <f64>] [--placements <p,p,...>] [--packet-rows <n>] \
                      [--threads <n,n,...>] [--wall] [--serve] [--behavioral [--users <n>]] \
-                     [--verify] [--out <path>] [--trace <path>] [--profile]";
+                     [--verify] [--chaos [--seed <n>]] [--out <path>] [--trace <path>] \
+                     [--profile]";
 
 /// A rejected command line — typed, so a typo aborts with the usage
 /// synopsis instead of silently running without the intended flag.
@@ -216,6 +242,26 @@ fn main() {
         println!("wrote {out}");
         if !sweep.clean() {
             eprintln!("static and runtime verdicts disagree — see {out}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    if args.iter().any(|a| a == "--chaos") {
+        let out = flag_value(&args, "--out").map(String::as_str).unwrap_or("CHAOS_tpch.json");
+        let users = flag_value(&args, "--users")
+            .map(|v| v.parse::<usize>().unwrap_or_else(|_| panic!("--users expects a count")))
+            .unwrap_or(if smoke { 2_000 } else { 20_000 });
+        let seed = flag_value(&args, "--seed")
+            .map(|v| v.parse::<u64>().unwrap_or_else(|_| panic!("--seed expects a u64")))
+            .unwrap_or(42);
+        let sweep = chaos_tpch(sf, users, seed);
+        print_chaos(&sweep);
+        hape_bench::chaos::write_json(&sweep, out)
+            .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+        println!("wrote {out}");
+        if !sweep.rows_identical() {
+            eprintln!("a fault schedule changed an answer — see {out}");
             std::process::exit(1);
         }
         return;

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod behavioral;
+pub mod chaos;
 pub mod figures;
 pub mod serve;
 pub mod trace;
@@ -16,6 +17,7 @@ pub mod verify;
 pub mod wall;
 
 pub use behavioral::{bench_behavioral, print_behavioral, BehavioralBench, BehavioralPoint};
+pub use chaos::{chaos_tpch, print_chaos, ChaosPoint, ChaosSweep};
 pub use figures::{
     fig5, fig6, fig7, fig8, fig9, print_figure, Figure, Series, FIG6_DEFAULT_SIZES,
     FIG7_DEFAULT_SIZES,
@@ -28,6 +30,7 @@ pub use wall::{bench_tpch, print_wall, write_json, WallPoint};
 /// Commonly used items.
 pub mod prelude {
     pub use crate::behavioral::{bench_behavioral, print_behavioral};
+    pub use crate::chaos::{chaos_tpch, print_chaos};
     pub use crate::figures::{fig5, fig6, fig7, fig8, fig9, print_figure};
     pub use crate::serve::{bench_serve, print_serve};
     pub use crate::trace::{trace_tpch, write_chrome_trace};

@@ -18,6 +18,7 @@
 //! The interpreter never branches on [`Placement`]: placement decisions
 //! are made once by [`crate::place::place`] and read back from the IR.
 
+use std::borrow::Cow;
 use std::collections::HashSet;
 use std::sync::Arc;
 
@@ -32,7 +33,8 @@ use hape_join::{coprocess_join_on, BuildProbeVariant, CoprocessConfig, JoinInput
 use crate::catalog::Catalog;
 use crate::error::PlanError;
 use crate::exchange::{CandidateLoad, Exchange, Router, RoutingPolicy};
-use crate::place::{place, PlacedPlan, PlacedStage, Segment};
+use crate::fault::{FaultPlan, FaultSession, HealthRegistry, PacketFault};
+use crate::place::{participants, place, place_on, PlacedPlan, PlacedStage, Segment};
 use crate::plan::{JoinTable, PipeOp, Pipeline, QueryPlan};
 use crate::provider::{
     gather_matches, run_ops, CostClass, CpuWorker, DeviceProvider, GpuWorker, PacketWork,
@@ -131,6 +133,12 @@ pub struct ExecConfig {
     /// and packet spans plus counters into it — a pure observer: results
     /// and simulated makespans stay bit-identical to untraced runs.
     pub trace: TraceRecorder,
+    /// The fault-injection plane's schedule (off by default, zero-cost
+    /// when disabled — the tracer's discipline). When armed
+    /// ([`ExecConfig::with_faults`]), runs fire the plan's deterministic
+    /// faults and recover through priced retries and mid-query
+    /// re-placement on the surviving fleet (see [`crate::fault`]).
+    pub faults: FaultPlan,
 }
 
 impl ExecConfig {
@@ -142,6 +150,7 @@ impl ExecConfig {
             packet_rows: None,
             threads: None,
             trace: TraceRecorder::off(),
+            faults: FaultPlan::off(),
         }
     }
 
@@ -162,6 +171,17 @@ impl ExecConfig {
     /// handing it over to snapshot the trace afterwards.
     pub fn with_trace(mut self, trace: TraceRecorder) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Arm the fault-injection plane: queries run under this config fire
+    /// `faults`' deterministic schedule and recover through the
+    /// [`crate::fault`] machinery (priced retries, re-placement on the
+    /// surviving fleet). Triggers are simulated-time/packet-ordinal
+    /// conditions, so a fixed plan stays bit-identical across thread
+    /// counts.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
         self
     }
 
@@ -202,6 +222,12 @@ pub struct QueryReport {
     /// cache instead of executing (always 0 for solo [`Engine::run`] /
     /// [`Engine::run_placed`] runs, which start cold).
     pub builds_cached: usize,
+    /// Transient transfer retries priced into the makespan (0 unless the
+    /// fault plane fired a `TransferError`).
+    pub retries: usize,
+    /// Mid-query re-placements on the surviving fleet (0 unless the fault
+    /// plane fired a permanent loss / OOM the query recovered from).
+    pub replans: usize,
 }
 
 /// The engine.
@@ -255,7 +281,8 @@ impl Engine {
             Placement::Auto => crate::optimize::optimize(plan, catalog, cfg, &self.server)?,
             _ => place(plan, cfg, &self.server)?,
         };
-        let mut exec = self.begin(catalog, &placed).with_trace(&cfg.trace);
+        let mut exec =
+            self.begin(catalog, &placed)?.with_trace(&cfg.trace).with_faults(&cfg.faults);
         while !exec.is_done() {
             exec.step()?;
         }
@@ -271,7 +298,7 @@ impl Engine {
         catalog: &Catalog,
         placed: &PlacedPlan,
     ) -> Result<QueryReport, EngineError> {
-        let mut exec = self.begin(catalog, placed);
+        let mut exec = self.begin(catalog, placed)?;
         while !exec.is_done() {
             exec.step()?;
         }
@@ -287,7 +314,15 @@ impl Engine {
     /// calibrated estimates) are instantiated per stage inside the step —
     /// so one engine (one simulated fleet) serves any number of
     /// interleaved `QueryExec`s re-entrantly.
-    pub fn begin<'a>(&'a self, catalog: &'a Catalog, placed: &'a PlacedPlan) -> QueryExec<'a> {
+    ///
+    /// Fallible since the fault-plane work: a set-but-invalid
+    /// `HAPE_THREADS` surfaces as [`EngineError::InvalidConfig`] here
+    /// instead of silently falling back.
+    pub fn begin<'a>(
+        &'a self,
+        catalog: &'a Catalog,
+        placed: &'a PlacedPlan,
+    ) -> Result<QueryExec<'a>, EngineError> {
         // Debug builds run the static verifier on every plan the engine
         // begins and abort on *structural* diagnostics — IR the pass
         // pipeline must never emit. Conditions the interpreter rejects
@@ -295,11 +330,11 @@ impl Engine {
         // capacity) are left to it. See `crate::verify`.
         #[cfg(debug_assertions)]
         crate::verify::debug_check_placed(placed, catalog, &self.server);
-        QueryExec {
+        Ok(QueryExec {
             engine: self,
             catalog,
-            placed,
-            threads: runtime::resolve_threads(placed.threads),
+            placed: Cow::Borrowed(placed),
+            threads: runtime::resolve_threads(placed.threads)?,
             tables: TableStore::new(),
             resident: HashSet::new(),
             clock: SimTime::ZERO,
@@ -313,7 +348,8 @@ impl Engine {
             next_stage: 0,
             trace: TraceRecorder::off(),
             wall_start_ns: 0,
-        }
+            faults: FaultSession::disabled(),
+        })
     }
 
     /// Materialise a (non-aggregating) pipeline on the CPU workers against
@@ -348,7 +384,8 @@ impl Engine {
             &HashSet::new(),
             start,
             None,
-            runtime::resolve_threads(None),
+            runtime::resolve_threads(None)?,
+            &FaultSession::disabled(),
             &TraceCtx::disabled(),
         )?;
         Ok((concat_outputs(out.outputs), out.end, out.cpu_busy))
@@ -387,11 +424,18 @@ impl Engine {
     /// are already in device memory (the serving layer's cross-query
     /// cache installed them): GPU workers still account their footprint
     /// but skip the broadcast transfer and partition prep.
+    ///
+    /// The fault plane hooks in here: a segment targeting a quarantined
+    /// GPU is the typed [`EngineError::DeviceFailed`] (which the stepper
+    /// recovers from by re-placing on the surviving fleet), and a GPU
+    /// under an active `DeviceSlow` fault gets its PCIe link bandwidth
+    /// derated before the worker prices anything.
     fn workers_for(
         &self,
         segments: &[Segment],
         agg: Option<&AggSpec>,
         resident: &HashSet<String>,
+        faults: &FaultSession,
     ) -> Result<Vec<Box<dyn DeviceProvider>>, EngineError> {
         let mut workers: Vec<Box<dyn DeviceProvider>> = Vec::new();
         for seg in segments {
@@ -411,10 +455,22 @@ impl Engine {
                     }
                 }
                 DeviceId::Gpu(idx) => {
+                    if faults.is_active() && faults.is_excluded(idx) {
+                        return Err(EngineError::DeviceFailed { device: format!("gpu{idx}") });
+                    }
                     let (spec, link) =
                         self.server.gpus.get(idx).zip(self.server.pcie.get(idx)).ok_or_else(
                             || EngineError::DeviceNotPresent { device: format!("gpu{idx}") },
                         )?;
+                    let mut link = link.clone();
+                    if faults.is_active() {
+                        if let Some(f) = faults.health().slow_factor(idx) {
+                            // A degraded link: every transfer this stage
+                            // prices — broadcasts, packets, build pulls —
+                            // pays the derated bandwidth.
+                            link.bw /= f;
+                        }
+                    }
                     // The segment's broadcast mem-move exchanges are the
                     // authoritative list of tables the worker installs.
                     let broadcast: Vec<String> = seg
@@ -428,7 +484,7 @@ impl Engine {
                         GpuWorker::new(
                             idx,
                             spec.clone(),
-                            link.clone(),
+                            link,
                             self.fidelity,
                             agg.map(|a| AggState::new(a.clone())),
                             broadcast,
@@ -456,9 +512,10 @@ impl Engine {
         start: SimTime,
         packet_rows: Option<usize>,
         threads: usize,
+        faults: &FaultSession,
         ctx: &TraceCtx,
     ) -> Result<StageOutcome, EngineError> {
-        let mut workers = self.workers_for(segments, agg, resident)?;
+        let mut workers = self.workers_for(segments, agg, resident, faults)?;
         self.run_workers(
             catalog,
             pipeline,
@@ -468,6 +525,7 @@ impl Engine {
             start,
             packet_rows,
             threads,
+            faults,
             ctx,
         )
     }
@@ -503,8 +561,20 @@ impl Engine {
         agg_spec: &AggSpec,
         packet_rows: Option<usize>,
         threads: usize,
+        faults: &FaultSession,
         ctx: &TraceCtx,
     ) -> Result<(AggRows, StageOutcome), EngineError> {
+        // The co-processed join drives its GPU lanes outside the generic
+        // packet loop, so quarantined lanes are checked up front.
+        if faults.is_active() {
+            for d in gpus {
+                if let DeviceId::Gpu(g) = d {
+                    if faults.is_excluded(*g) {
+                        return Err(EngineError::DeviceFailed { device: format!("gpu{g}") });
+                    }
+                }
+            }
+        }
         // ---- Split the pipeline at its final probe.
         let probe_idx = match pipeline.last_probe() {
             Some((idx, probe_ht)) if probe_ht == ht => idx,
@@ -536,6 +606,7 @@ impl Engine {
             start,
             packet_rows,
             threads,
+            faults,
             ctx,
         )?;
         let inter = concat_outputs(pre.outputs);
@@ -675,7 +746,7 @@ impl Engine {
                 ops: suffix_ops.to_vec(),
                 agg: pipeline.agg.clone(),
             };
-            let mut workers = self.workers_for(segments, Some(agg_spec), resident)?;
+            let mut workers = self.workers_for(segments, Some(agg_spec), resident, faults)?;
             let shares: usize = workers.iter().map(|w| w.packet_share()).sum();
             let packets = if joined.rows() > 0 {
                 joined.split(ExecConfig::auto_packet_rows(joined.rows(), shares, packet_rows))
@@ -690,6 +761,7 @@ impl Engine {
                 tables,
                 fold_start,
                 threads,
+                faults,
                 ctx,
             )?;
             let mut merged = AggState::new(agg_spec.clone());
@@ -757,6 +829,7 @@ impl Engine {
         start: SimTime,
         packet_rows: Option<usize>,
         threads: usize,
+        faults: &FaultSession,
         ctx: &TraceCtx,
     ) -> Result<StageOutcome, EngineError> {
         let table = catalog.lookup(&pipeline.source)?;
@@ -778,7 +851,9 @@ impl Engine {
             ),
             None => table.data.split(rows_per_packet),
         };
-        self.packet_loop(&packets, pipeline, workers, policy, tables, start, threads, ctx)
+        self.packet_loop(
+            &packets, pipeline, workers, policy, tables, start, threads, faults, ctx,
+        )
     }
 
     /// The packet loop proper, over pre-split packets — also driven
@@ -811,6 +886,7 @@ impl Engine {
         tables: &TableStore,
         start: SimTime,
         threads: usize,
+        faults: &FaultSession,
         ctx: &TraceCtx,
     ) -> Result<StageOutcome, EngineError> {
         if workers.is_empty() {
@@ -820,8 +896,27 @@ impl Engine {
 
         // ---- Broadcast the probed hash tables along each worker's input
         // exchanges (a no-op for host-local workers) and check capacities.
+        // An armed `BroadcastOom` fault fires here: the allocation for the
+        // broadcast copy fails, the device is quarantined, and the typed
+        // `DeviceFailed` hands recovery to the stepper's re-placement
+        // loop.
         let mut h2d_bytes = 0u64;
         for w in workers.iter_mut() {
+            if faults.is_active() {
+                if let Some(g) = w.gpu_index() {
+                    if faults.oom_at_install(g) {
+                        if traced {
+                            ctx.record(Span::new(
+                                SpanKind::Fault,
+                                format!("broadcast OOM on gpu{g}"),
+                                "",
+                            ));
+                            ctx.add("fault.injected", 1);
+                        }
+                        return Err(EngineError::DeviceFailed { device: format!("gpu{g}") });
+                    }
+                }
+            }
             h2d_bytes += w.install_tables(pipeline, tables, start)?;
         }
         if traced && h2d_bytes > 0 {
@@ -895,6 +990,60 @@ impl Engine {
                 .collect();
             let pick = router.pick(&packets[i], &candidates);
             let sim_ready = candidates[pick].ready_at;
+            // ---- Fault plane: triggers keyed on the routed GPU's
+            // control-plane packet ordinal, checked here on the
+            // sequential control plane — injection points are therefore
+            // identical at any thread count. A `TransferError` prices its
+            // retries (backoff + the re-sent transfer) onto the worker's
+            // compute resource before the commit; a `GpuFailed` aborts
+            // the stage with the recoverable `DeviceFailed`.
+            if faults.is_active() {
+                if let Some(g) = workers[pick].gpu_index() {
+                    match faults.on_gpu_packet(g) {
+                        Some(PacketFault::Fail) => {
+                            if traced {
+                                ctx.record(Span::new(
+                                    SpanKind::Fault,
+                                    format!("gpu{g} failed at packet {i}"),
+                                    "",
+                                ));
+                                ctx.add("fault.injected", 1);
+                            }
+                            return Err(EngineError::DeviceFailed {
+                                device: format!("gpu{g}"),
+                            });
+                        }
+                        Some(PacketFault::Transfer { failures }) => {
+                            let policy = faults.retry_policy();
+                            if failures > policy.max_retries {
+                                return Err(EngineError::TransferRetriesExhausted {
+                                    device: format!("gpu{g}"),
+                                    attempts: policy.max_retries,
+                                });
+                            }
+                            let mut delay = SimTime::ZERO;
+                            for attempt in 1..=failures {
+                                delay += policy.backoff(attempt)
+                                    + workers[pick].transfer_duration(bytes);
+                            }
+                            workers[pick].charge_fault_delay(start, delay);
+                            faults.add_retries(failures as usize);
+                            if traced {
+                                ctx.record(Span::new(
+                                    SpanKind::Fault,
+                                    format!(
+                                        "transfer to gpu{g} retried {failures}x at packet {i}"
+                                    ),
+                                    "",
+                                ));
+                                ctx.add("fault.injected", 1);
+                                ctx.add("fault.retries", failures as u64);
+                            }
+                        }
+                        None => {}
+                    }
+                }
+            }
             let outcome = workers[pick].commit_packet(work, costs[class_of[pick]], start);
             end = end.max(outcome.done);
             h2d_bytes += outcome.h2d_bytes;
@@ -997,7 +1146,9 @@ impl Engine {
 pub struct QueryExec<'a> {
     engine: &'a Engine,
     catalog: &'a Catalog,
-    placed: &'a PlacedPlan,
+    // Borrowed for the common fault-free run; re-placement on the
+    // surviving fleet swaps in an owned degraded plan mid-query.
+    placed: Cow<'a, PlacedPlan>,
     threads: usize,
     tables: TableStore,
     resident: HashSet<String>,
@@ -1012,6 +1163,7 @@ pub struct QueryExec<'a> {
     next_stage: usize,
     trace: TraceRecorder,
     wall_start_ns: u64,
+    faults: FaultSession,
 }
 
 impl<'a> QueryExec<'a> {
@@ -1027,6 +1179,26 @@ impl<'a> QueryExec<'a> {
         self
     }
 
+    /// Arm the fault plane for this execution with a private health
+    /// registry (solo runs — each query sees its own fleet health).
+    pub fn with_faults(self, plan: &FaultPlan) -> Self {
+        self.with_fault_health(plan, HealthRegistry::new())
+    }
+
+    /// Arm the fault plane with a *shared* health registry — the serving
+    /// layer's: a device a query loses permanently stays quarantined for
+    /// every later admission on the same [`crate::serve::SessionServer`].
+    pub fn with_fault_health(mut self, plan: &FaultPlan, health: HealthRegistry) -> Self {
+        self.faults = FaultSession::new(plan.clone(), health);
+        self
+    }
+
+    /// The query's private simulated clock (sim time elapsed so far) —
+    /// what the serving layer's per-query deadline checks against.
+    pub fn sim_time(&self) -> SimTime {
+        self.clock
+    }
+
     /// True once every placed stage has run (or been served from cache).
     pub fn is_done(&self) -> bool {
         self.next_stage >= self.placed.stages.len()
@@ -1037,9 +1209,10 @@ impl<'a> QueryExec<'a> {
         self.next_stage
     }
 
-    /// The placed plan this execution interprets.
-    pub fn placed(&self) -> &'a PlacedPlan {
-        self.placed
+    /// The placed plan this execution interprets — the degraded
+    /// re-placement once mid-query recovery has swapped one in.
+    pub fn placed(&self) -> &PlacedPlan {
+        &self.placed
     }
 
     /// Pre-install a built hash table under `name`, as the serving
@@ -1074,12 +1247,52 @@ impl<'a> QueryExec<'a> {
     /// [`QueryExec::is_done`]; errors leave the execution positioned
     /// after the failed stage (per-query failure isolation: other
     /// in-flight queries are unaffected).
+    ///
+    /// With the fault plane armed, the stage-barrier faults fire first
+    /// and a stage lost to a (recoverable) [`EngineError::DeviceFailed`]
+    /// is re-placed on the surviving fleet and re-run from this barrier —
+    /// bounded by [`crate::fault::RetryPolicy::max_replans`], after which the typed
+    /// [`EngineError::RecoveryFailed`] surfaces. Aborted attempts leave
+    /// no trace in the query's clock or counters: all accumulation
+    /// happens after the stage result is `Ok`.
     pub fn step(&mut self) -> Result<(), EngineError> {
-        let Some(stage) = self.placed.stages.get(self.next_stage) else {
+        if self.next_stage >= self.placed.stages.len() {
             return Ok(());
-        };
+        }
         let idx = self.next_stage;
         self.next_stage += 1;
+        if !self.faults.is_active() {
+            return self.run_stage_at(idx);
+        }
+        self.fire_barrier_faults(idx);
+        loop {
+            match self.run_stage_at(idx) {
+                Err(EngineError::DeviceFailed { device }) => {
+                    let policy = self.faults.retry_policy();
+                    if self.faults.replans() >= policy.max_replans as usize {
+                        return Err(EngineError::RecoveryFailed {
+                            reason: format!(
+                                "replan budget ({}) exhausted after losing {device}",
+                                policy.max_replans
+                            ),
+                        });
+                    }
+                    self.replan_surviving(idx, &device)?;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Interpret one placed stage by index — the body of the fault-free
+    /// fast path, and the retried unit of the recovery loop. Clones the
+    /// stage up front: the plan may be `Cow::Owned` after a re-placement
+    /// and the interpretation mutates `self` throughout.
+    fn run_stage_at(&mut self, idx: usize) -> Result<(), EngineError> {
+        let Some(stage) = self.placed.stages.get(idx).cloned() else {
+            return Ok(());
+        };
+        let stage = &stage;
         let engine = self.engine;
         let catalog = self.catalog;
         let ctx = TraceCtx::new(&self.trace, &self.placed.name, idx);
@@ -1119,6 +1332,7 @@ impl<'a> QueryExec<'a> {
                     self.clock,
                     None,
                     self.threads,
+                    &self.faults,
                     &ctx,
                 )?;
                 self.clock = out.end;
@@ -1137,8 +1351,12 @@ impl<'a> QueryExec<'a> {
                         name: pipeline.source.clone(),
                     })
                 })?;
-                let mut workers =
-                    engine.workers_for(segments, Some(agg_spec), &self.resident)?;
+                let mut workers = engine.workers_for(
+                    segments,
+                    Some(agg_spec),
+                    &self.resident,
+                    &self.faults,
+                )?;
                 let out = engine.run_workers(
                     catalog,
                     pipeline,
@@ -1148,6 +1366,7 @@ impl<'a> QueryExec<'a> {
                     self.clock,
                     self.placed.packet_rows,
                     self.threads,
+                    &self.faults,
                     &ctx,
                 )?;
                 self.clock = out.end;
@@ -1187,6 +1406,7 @@ impl<'a> QueryExec<'a> {
                     agg_spec,
                     self.placed.packet_rows,
                     self.threads,
+                    &self.faults,
                     &ctx,
                 )?;
                 self.clock = out.end;
@@ -1216,6 +1436,107 @@ impl<'a> QueryExec<'a> {
         Ok(())
     }
 
+    /// Fire the fault plan's stage-/time-triggered faults at this stage
+    /// barrier (before any of the stage's workers exist): permanent
+    /// losses land in the health registry, slow-downs derate links, OOMs
+    /// arm for the next broadcast install.
+    fn fire_barrier_faults(&self, idx: usize) {
+        let fired = self.faults.begin_stage(idx, self.clock);
+        if fired.is_empty() || !self.trace.is_enabled() {
+            return;
+        }
+        let ctx = TraceCtx::new(&self.trace, &self.placed.name, idx);
+        for spec in &fired {
+            ctx.record(Span::new(
+                SpanKind::Fault,
+                format!("injected {:?} on gpu{} at stage {idx} barrier", spec.kind, spec.gpu),
+                "",
+            ));
+            ctx.add("fault.injected", 1);
+        }
+    }
+
+    /// Mid-query re-placement after losing `lost`: re-derive the logical
+    /// plan, route it around the quarantined devices through the ordinary
+    /// placement passes, gate the result on the static verifier's
+    /// *structural* diagnostics, price one backoff onto the sim clock and
+    /// swap the degraded plan in. The stage at `idx` then re-runs from
+    /// its barrier; completed builds replay as cache hits from their host
+    /// copies (device-resident copies on the old fleet are dropped).
+    fn replan_surviving(&mut self, idx: usize, lost: &str) -> Result<(), EngineError> {
+        let excluded = self.faults.excluded();
+        let server = &self.engine.server;
+        let survives = |d: &DeviceId| match d {
+            DeviceId::Gpu(g) => !excluded.contains(g),
+            DeviceId::Cpu(_) => true,
+        };
+        let logical = self.placed.logical();
+        let mut cfg = ExecConfig::new(Placement::Auto);
+        cfg.policy =
+            self.placed.stages.get(idx).map_or(RoutingPolicy::LoadAware, |s| s.policy());
+        cfg.packet_rows = self.placed.packet_rows;
+        cfg.threads = self.placed.threads;
+        let replaced = if self.placed.costs.is_some() {
+            // The optimizer placed this plan: re-optimize every stage
+            // against the surviving pool.
+            let pool: Vec<DeviceId> =
+                participants(Placement::Auto, server).into_iter().filter(survives).collect();
+            crate::optimize::optimize_on(&logical, self.catalog, &cfg, server, &pool)
+        } else {
+            // Manual placement: keep each stage's device set minus the
+            // quarantined GPUs; a stage left empty falls back to the
+            // surviving CPUs.
+            let cpu_survivors = participants(Placement::CpuOnly, server);
+            let subsets: Vec<Vec<DeviceId>> = self
+                .placed
+                .stage_devices()
+                .into_iter()
+                .map(|devs| {
+                    let kept: Vec<DeviceId> =
+                        devs.into_iter().filter(|d| survives(d)).collect();
+                    if kept.is_empty() {
+                        cpu_survivors.clone()
+                    } else {
+                        kept
+                    }
+                })
+                .collect();
+            place_on(&logical, &cfg, server, &subsets)
+        };
+        let new_placed = replaced.map_err(|e| EngineError::RecoveryFailed {
+            reason: format!("lost {lost}; re-placement refused: {e}"),
+        })?;
+        // Gate resumption on the static verifier, but only refuse on
+        // *structural* diagnostics — capacity diagnostics stay with the
+        // interpreter so a degraded plan that genuinely cannot fit fails
+        // with the same typed error a fault-free run would produce.
+        if let Err(e) = crate::verify::verify_placed(&new_placed, self.catalog, server) {
+            if e.structural().is_some() {
+                return Err(EngineError::RecoveryFailed {
+                    reason: format!("lost {lost}; degraded plan failed verification: {e}"),
+                });
+            }
+        }
+        self.resident.clear();
+        // Recovery is priced: one backoff per replan attempt lands on the
+        // query's simulated clock (see the cost-formula table).
+        let policy = self.faults.retry_policy();
+        let attempt = self.faults.replans() as u32 + 1;
+        self.clock += policy.backoff(attempt);
+        self.faults.note_replan();
+        if self.trace.is_enabled() {
+            let ctx = TraceCtx::new(&self.trace, &self.placed.name, idx);
+            ctx.record(Span::new(
+                SpanKind::Fault,
+                format!("replanned stage {idx} on surviving fleet after losing {lost}"),
+                "",
+            ));
+            ctx.add("fault.replans", 1);
+        }
+        self.placed = Cow::Owned(new_placed);
+        Ok(())
+    }
+
     /// Consume the execution into its final report.
     pub fn finish(self) -> QueryReport {
         if self.trace.is_enabled() {
@@ -1235,6 +1556,8 @@ impl<'a> QueryExec<'a> {
             packets_cpu: self.packets_cpu,
             packets_gpu: self.packets_gpu,
             builds_cached: self.builds_cached,
+            retries: self.faults.retries(),
+            replans: self.faults.replans(),
         }
     }
 }

@@ -218,6 +218,33 @@ pub enum EngineError {
         /// The hash table the stage was supposed to co-process.
         table: String,
     },
+    /// A runtime configuration knob (e.g. the `HAPE_THREADS` environment
+    /// variable) holds a value the engine refuses to guess around.
+    InvalidConfig {
+        /// What is wrong, and with which knob.
+        what: String,
+    },
+    /// A device the plan depends on was lost permanently (injected
+    /// `GpuFailed` or quarantined by the fleet health registry) and the
+    /// stage cannot run on it.
+    DeviceFailed {
+        /// The lost device (`gpu<n>`).
+        device: String,
+    },
+    /// A transient transfer fault outlived the
+    /// [`crate::fault::RetryPolicy`]'s bounded retry budget.
+    TransferRetriesExhausted {
+        /// The device whose link kept faulting.
+        device: String,
+        /// Retry attempts the policy allowed (all priced and spent).
+        attempts: u32,
+    },
+    /// Mid-query re-placement on the surviving fleet failed: no valid
+    /// degraded plan exists (or the replan budget ran out).
+    RecoveryFailed {
+        /// Why the degraded topology admits no plan.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -259,6 +286,18 @@ impl std::fmt::Display for EngineError {
             ),
             EngineError::InvalidCoProcessStage { table } => {
                 write!(f, "co-processing stage must end in a probe of hash table {table:?}")
+            }
+            EngineError::InvalidConfig { what } => {
+                write!(f, "invalid runtime configuration: {what}")
+            }
+            EngineError::DeviceFailed { device } => {
+                write!(f, "device {device} failed permanently and was quarantined")
+            }
+            EngineError::TransferRetriesExhausted { device, attempts } => {
+                write!(f, "transfer to {device} still failing after {attempts} priced retries")
+            }
+            EngineError::RecoveryFailed { reason } => {
+                write!(f, "degraded re-placement failed: {reason}")
             }
         }
     }
@@ -372,5 +411,14 @@ mod tests {
         assert!(e.to_string().contains("never built"));
         let e = EngineError::DeviceNotPresent { device: "gpu7".into() };
         assert!(e.to_string().contains("gpu7"));
+        let e = EngineError::InvalidConfig { what: "HAPE_THREADS=0".into() };
+        assert!(e.to_string().contains("HAPE_THREADS=0"));
+        let e = EngineError::DeviceFailed { device: "gpu1".into() };
+        assert!(e.to_string().contains("gpu1"));
+        assert!(e.to_string().contains("quarantined"));
+        let e = EngineError::TransferRetriesExhausted { device: "gpu0".into(), attempts: 3 };
+        assert!(e.to_string().contains("3 priced retries"));
+        let e = EngineError::RecoveryFailed { reason: "no surviving workers".into() };
+        assert!(e.to_string().contains("no surviving workers"));
     }
 }

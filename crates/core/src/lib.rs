@@ -202,6 +202,7 @@ pub mod cost;
 pub mod engine;
 pub mod error;
 pub mod exchange;
+pub mod fault;
 pub mod optimize;
 pub mod place;
 pub mod plan;
@@ -219,14 +220,16 @@ pub use cost::{CoprocessCost, CostModel, PlanCost, StageCost};
 pub use engine::{Engine, ExecConfig, ParsePlacementError, Placement, QueryExec, QueryReport};
 pub use error::{EngineError, HapeError, PlanError};
 pub use exchange::{Exchange, RoutingPolicy, WorkerId};
-pub use optimize::optimize;
+pub use fault::{FaultKind, FaultPlan, FaultSpec, HealthRegistry, RetryPolicy, Trigger};
+pub use optimize::{optimize, optimize_on};
 pub use place::{place, place_on, PlacedPlan, PlacedStage, Segment};
 pub use plan::{JoinAlgo, PipeOp, Pipeline, ProbeExec, QueryPlan, Stage};
 pub use provider::DeviceProvider;
 pub use query::{LoweredMaterialize, LoweredQuery, Query};
 pub use runtime::resolve_threads;
 pub use serve::{
-    BuildCache, CacheStats, QueryHandle, QueryOutcome, ServeMetrics, ServeReport, SessionServer,
+    BuildCache, CacheStats, CancelToken, Outcome, QueryHandle, QueryOutcome, ServeMetrics,
+    ServeReport, SessionServer,
 };
 pub use session::Session;
 pub use trace::{Span, SpanKind, Trace, TraceCtx, TraceRecorder};
@@ -240,6 +243,7 @@ pub mod prelude {
     pub use crate::engine::{Engine, ExecConfig, Placement, QueryReport};
     pub use crate::error::{EngineError, HapeError, PlanError};
     pub use crate::exchange::{Exchange, RoutingPolicy};
+    pub use crate::fault::{FaultKind, FaultPlan, FaultSpec, RetryPolicy, Trigger};
     pub use crate::optimize::optimize;
     pub use crate::place::{place, PlacedPlan, PlacedStage, Segment};
     pub use crate::plan::{JoinAlgo, PipeOp, Pipeline, QueryPlan, Stage};

@@ -92,12 +92,27 @@ pub fn optimize(
     cfg: &ExecConfig,
     server: &Server,
 ) -> Result<PlacedPlan, EngineError> {
-    plan.validate().map_err(EngineError::InvalidPlan)?;
     let pool = participants(Placement::Auto, server);
+    optimize_on(plan, catalog, cfg, server, &pool)
+}
+
+/// [`optimize`] against an explicit device pool — the degraded-topology
+/// entry point. The fault plane's mid-query recovery calls this with the
+/// surviving fleet (the full pool minus failed/quarantined devices), so a
+/// degraded topology is just another input to the same pass, never a
+/// special case.
+pub fn optimize_on(
+    plan: &QueryPlan,
+    catalog: &Catalog,
+    cfg: &ExecConfig,
+    server: &Server,
+    pool: &[DeviceId],
+) -> Result<PlacedPlan, EngineError> {
+    plan.validate().map_err(EngineError::InvalidPlan)?;
     if pool.is_empty() {
         return Err(EngineError::NoWorkers { placement: "Auto (empty server)".to_string() });
     }
-    let candidates = candidate_subsets(&pool);
+    let candidates = candidate_subsets(pool);
     let model = CostModel::new(server, catalog);
     let mut hts = HtEstimates::new();
     let mut subsets: Vec<Vec<DeviceId>> = Vec::with_capacity(plan.stages.len());
@@ -327,6 +342,26 @@ mod tests {
         let err =
             optimize(&plan, &catalog, &ExecConfig::new(Placement::Auto), &server).unwrap_err();
         assert!(matches!(err, EngineError::GpuMemoryExceeded { .. }), "{err}");
+    }
+
+    #[test]
+    fn degraded_pool_routes_around_excluded_gpus() {
+        let (catalog, plan) = setup();
+        let server = Server::paper_testbed();
+        // The surviving fleet after losing gpu1: the optimizer must place
+        // every stage without it, through the ordinary pass.
+        let pool: Vec<DeviceId> =
+            server.devices().into_iter().filter(|d| *d != DeviceId::Gpu(1)).collect();
+        let placed =
+            optimize_on(&plan, &catalog, &ExecConfig::new(Placement::Auto), &server, &pool)
+                .unwrap();
+        for stage in &placed.stages {
+            assert!(
+                stage.segments().iter().all(|s| s.target != DeviceId::Gpu(1)),
+                "excluded device must not be placed on"
+            );
+        }
+        assert!(placed.costs.is_some(), "degraded plans are costed like any other");
     }
 
     #[test]

@@ -392,6 +392,55 @@ pub fn place_on(
 }
 
 impl PlacedPlan {
+    /// Reconstruct the logical [`QueryPlan`] this placed plan realises —
+    /// the input the `optimize`/`place_on` passes need to re-place the
+    /// query on a *degraded* topology after permanent device loss.
+    /// Co-processing stages collapse back to the stream stage they were
+    /// rewritten from (`into_coprocess_stage` keeps the probe in the
+    /// pipeline, so the reconstruction is lossless).
+    pub fn logical(&self) -> QueryPlan {
+        QueryPlan {
+            name: self.name.clone(),
+            stages: self
+                .stages
+                .iter()
+                .map(|s| match s {
+                    PlacedStage::Build { name, key_col, pipeline, .. } => Stage::Build {
+                        name: name.clone(),
+                        key_col: *key_col,
+                        pipeline: pipeline.clone(),
+                    },
+                    PlacedStage::Stream { pipeline, .. }
+                    | PlacedStage::CoProcess { pipeline, .. } => {
+                        Stage::Stream { pipeline: pipeline.clone() }
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// The devices each stage runs on, in stage order: segment targets
+    /// plus, for co-processing stages, the GPU lanes. This is the seed the
+    /// fault plane filters against a degraded fleet before handing
+    /// [`place_on`] its per-stage subsets.
+    pub fn stage_devices(&self) -> Vec<Vec<DeviceId>> {
+        self.stages
+            .iter()
+            .map(|s| {
+                let mut devices: Vec<DeviceId> =
+                    s.segments().iter().map(|seg| seg.target).collect();
+                if let PlacedStage::CoProcess { gpus, .. } = s {
+                    for g in gpus {
+                        if !devices.contains(g) {
+                            devices.push(*g);
+                        }
+                    }
+                }
+                devices
+            })
+            .collect()
+    }
+
     /// Render the placed plan for humans: one block per stage listing the
     /// pipeline shape, the router, and each segment with its traits and
     /// the exchanges inserted on its input edge. Optimized plans

@@ -446,6 +446,28 @@ pub trait DeviceProvider: Send + Sync {
 
     /// Total simulated busy time of the worker's compute resource.
     fn busy(&self) -> SimTime;
+
+    /// The GPU index this worker runs on, if it is a GPU lane — the
+    /// fault plane's addressing key. CPU workers return `None` and are
+    /// never fault targets.
+    fn gpu_index(&self) -> Option<usize> {
+        None
+    }
+
+    /// Pure (no-queueing) duration of one `bytes` transfer on this
+    /// worker's exchange path — what one failed transfer attempt wastes.
+    /// Workers without a transfer leg charge nothing.
+    fn transfer_duration(&self, _bytes: u64) -> SimTime {
+        SimTime::ZERO
+    }
+
+    /// Charge a fault-recovery delay (retry backoff plus wasted transfer
+    /// attempts) to this worker's simulated clock starting no earlier than
+    /// `at`, so recovery is priced into busy time and makespan. Returns
+    /// when the worker is free again. Control-plane only.
+    fn charge_fault_delay(&mut self, at: SimTime, delay: SimTime) -> SimTime {
+        at + delay
+    }
 }
 
 /// Probe `packet` against `jt`, producing the joined batch (probe columns
@@ -1088,6 +1110,21 @@ impl DeviceProvider for GpuWorker {
 
     fn busy(&self) -> SimTime {
         self.res.busy_time()
+    }
+
+    fn gpu_index(&self) -> Option<usize> {
+        Some(self.idx)
+    }
+
+    fn transfer_duration(&self, bytes: u64) -> SimTime {
+        self.link.duration(bytes)
+    }
+
+    /// Retry backoff and wasted transfer attempts occupy the device (it is
+    /// stalled waiting on its link), so the delay lands on the compute
+    /// resource: busy time and every later packet's start shift by it.
+    fn charge_fault_delay(&mut self, at: SimTime, delay: SimTime) -> SimTime {
+        self.res.acquire(at, delay).1
     }
 }
 

@@ -28,22 +28,48 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 
+use crate::error::EngineError;
+
 /// Environment variable overriding the data-plane thread count when
 /// [`crate::engine::ExecConfig::threads`] is unset. CI runs the test suite
 /// under `HAPE_THREADS=1` to keep the sequential fallback honest.
 pub const THREADS_ENV: &str = "HAPE_THREADS";
 
+/// Parse one [`THREADS_ENV`] value. `None` input (variable unset) is fine —
+/// the caller falls through to host parallelism — but a *set* variable must
+/// be a positive integer: `0` and non-numeric values used to fall back
+/// silently, which made typos (`HAPE_THREADS=eight`) indistinguishable from
+/// intent, so both are now typed [`EngineError::InvalidConfig`] refusals.
+pub fn parse_threads_env(value: Option<&str>) -> Result<Option<usize>, EngineError> {
+    let Some(raw) = value else { return Ok(None) };
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err(EngineError::InvalidConfig {
+            what: format!("{THREADS_ENV}=0: the data plane needs at least one thread"),
+        }),
+        Ok(n) => Ok(Some(n)),
+        Err(_) => Err(EngineError::InvalidConfig {
+            what: format!("{THREADS_ENV}={raw:?} is not a positive integer"),
+        }),
+    }
+}
+
 /// Resolve the effective data-plane thread count: the explicit
 /// configuration, else [`THREADS_ENV`], else the host's available
 /// parallelism. Always at least 1.
-pub fn resolve_threads(configured: Option<usize>) -> usize {
+///
+/// An explicit configuration wins without consulting the environment (and
+/// is clamped to ≥ 1, preserving the embedding API's contract); a *set but
+/// invalid* `HAPE_THREADS` is a typed [`EngineError::InvalidConfig`] error
+/// rather than a silent fallback.
+pub fn resolve_threads(configured: Option<usize>) -> Result<usize, EngineError> {
     if let Some(n) = configured {
-        return n.max(1);
+        return Ok(n.max(1));
     }
-    if let Some(n) = std::env::var(THREADS_ENV).ok().and_then(|v| v.parse::<usize>().ok()) {
-        return n.max(1);
+    let env = std::env::var(THREADS_ENV).ok();
+    if let Some(n) = parse_threads_env(env.as_deref())? {
+        return Ok(n);
     }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    Ok(std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// Run `n` independent jobs across up to `threads` pool threads and return
@@ -190,8 +216,41 @@ mod tests {
 
     #[test]
     fn resolve_threads_prefers_explicit_config() {
-        assert_eq!(resolve_threads(Some(3)), 3);
-        assert_eq!(resolve_threads(Some(0)), 1);
-        assert!(resolve_threads(None) >= 1);
+        assert_eq!(resolve_threads(Some(3)).expect("explicit count"), 3);
+        assert_eq!(resolve_threads(Some(0)).expect("explicit zero clamps"), 1);
+        // With no explicit config the result depends on the environment:
+        // either a valid count (≥ 1) or a typed refusal of a bad
+        // HAPE_THREADS — never a panic, never silently zero.
+        match resolve_threads(None) {
+            Ok(n) => assert!(n >= 1),
+            Err(e) => assert!(matches!(e, EngineError::InvalidConfig { .. })),
+        }
+    }
+
+    #[test]
+    fn zero_threads_env_is_a_typed_refusal() {
+        let err = parse_threads_env(Some("0")).expect_err("zero must not fall back");
+        match err {
+            EngineError::InvalidConfig { what } => {
+                assert!(what.contains("HAPE_THREADS=0"), "{what}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_threads_env_is_a_typed_refusal() {
+        let err = parse_threads_env(Some("eight")).expect_err("typos must not fall back");
+        match err {
+            EngineError::InvalidConfig { what } => {
+                assert!(what.contains("eight"), "{what}");
+                assert!(what.contains("not a positive integer"), "{what}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Unset and valid values still resolve.
+        assert_eq!(parse_threads_env(None).expect("unset is fine"), None);
+        assert_eq!(parse_threads_env(Some("4")).expect("valid"), Some(4));
+        assert_eq!(parse_threads_env(Some(" 2 ")).expect("whitespace ok"), Some(2));
     }
 }

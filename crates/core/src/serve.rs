@@ -45,8 +45,10 @@
 //!    [`CacheStats::evictions`] and [`ServeReport::builds_evicted`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use hape_sim::SimTime;
 use hape_storage::Table;
 
 use crate::catalog::TableRegistration;
@@ -54,6 +56,7 @@ use crate::cost::{CostModel, HtEstimates};
 use crate::engine::{ExecConfig, QueryExec, QueryReport};
 use crate::error::HapeError;
 use crate::exchange::Exchange;
+use crate::fault::{FaultPlan, HealthRegistry};
 use crate::place::{PlacedPlan, PlacedStage};
 use crate::plan::JoinTable;
 use crate::query::{LoweredQuery, Query};
@@ -69,6 +72,65 @@ impl QueryHandle {
     /// Submission index (0-based, in submission order).
     pub fn index(&self) -> usize {
         self.0
+    }
+}
+
+/// How one submitted query left the batch — the serving layer's summary
+/// on top of the per-query [`QueryOutcome::report`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Ran to completion without fault-plane intervention.
+    Completed,
+    /// Ran to completion, but only through the fault plane's recovery
+    /// machinery: priced transfer retries and/or mid-query re-placements
+    /// on the surviving fleet. Results are still bit-identical to a
+    /// fault-free run.
+    Degraded {
+        /// Priced transfer retries absorbed.
+        retries: usize,
+        /// Mid-query re-placements absorbed.
+        replans: usize,
+    },
+    /// The query's simulated time exceeded its submission budget
+    /// ([`SessionServer::submit_with_budget`]): it stops at the next
+    /// stage barrier with the partial report it had — a scheduling
+    /// outcome, not an error.
+    TimedOut {
+        /// The sim-time budget it was submitted under.
+        budget: SimTime,
+        /// Simulated time elapsed when the deadline was detected.
+        elapsed: SimTime,
+    },
+    /// Canceled via its [`CancelToken`] before finishing; stops at the
+    /// next stage barrier with the partial report it had.
+    Canceled,
+    /// Preparation or execution failed; the error is in
+    /// [`QueryOutcome::report`].
+    Failed,
+}
+
+/// Cooperative cancellation for one submission: obtained from
+/// [`SessionServer::cancel_token`], trippable from any thread (the
+/// scheduler checks it between stage steps — the serving-layer face of
+/// `QueryHandle` cancellation).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, untripped token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation: the owning query stops at its next stage
+    /// barrier and finishes as [`Outcome::Canceled`].
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once cancellation was requested.
+    pub fn is_canceled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
     }
 }
 
@@ -90,6 +152,10 @@ struct Prepared {
     handle: QueryHandle,
     name: String,
     prep: Result<PreparedPlan, HapeError>,
+    /// Per-query sim-time deadline (`None` = unbounded).
+    budget: Option<SimTime>,
+    /// Cooperative cancellation flag, shared with handed-out tokens.
+    cancel: CancelToken,
 }
 
 /// Hit/miss/invalidation counters of the [`BuildCache`].
@@ -108,6 +174,12 @@ pub struct CacheStats {
 struct CacheEntry {
     /// Catalog version the table was built under.
     version: u64,
+    /// Device health epoch ([`HealthRegistry::epoch`]) at insert time.
+    /// A broadcast-resident entry inserted before a GPU failure may name
+    /// a device copy that died with the device, so a hit under a newer
+    /// epoch downgrades the entry to host-resident (the host `Arc` copy
+    /// is always valid) and counts an invalidation.
+    epoch: u64,
     /// Whether the producing plan broadcast the table to GPU memory (a
     /// hit then also skips the broadcast: the table is device-resident).
     broadcast: bool,
@@ -142,12 +214,22 @@ impl BuildCache {
         fingerprint: &str,
         current_version: u64,
         plan_version: u64,
+        current_epoch: u64,
     ) -> Option<(Arc<JoinTable>, bool)> {
         self.tick += 1;
         match self.entries.get_mut(fingerprint) {
             Some(e) if e.version == current_version && plan_version == current_version => {
                 self.stats.hits += 1;
                 e.last_used = self.tick;
+                if e.broadcast && e.epoch != current_epoch {
+                    // The fleet lost a device since this entry was
+                    // broadcast: its device-resident copy cannot be
+                    // trusted. Serve the host copy and re-key the entry
+                    // to the current epoch.
+                    e.broadcast = false;
+                    e.epoch = current_epoch;
+                    self.stats.invalidations += 1;
+                }
                 Some((e.table.clone(), e.broadcast))
             }
             Some(e) if e.version != current_version => {
@@ -167,13 +249,14 @@ impl BuildCache {
         &mut self,
         fingerprint: String,
         version: u64,
+        epoch: u64,
         broadcast: bool,
         table: Arc<JoinTable>,
     ) {
         self.tick += 1;
         self.entries.insert(
             fingerprint,
-            CacheEntry { version, broadcast, last_used: self.tick, table },
+            CacheEntry { version, epoch, broadcast, last_used: self.tick, table },
         );
         if let Some(cap) = self.capacity {
             while self.entries.len() > cap.max(1) {
@@ -217,6 +300,9 @@ pub struct QueryOutcome {
     pub admission_wait: usize,
     /// GPU working-set bytes the admission controller reserved for it.
     pub gpu_reserved: u64,
+    /// How the query left the batch: completed cleanly, completed
+    /// degraded (fault-plane recovery), timed out, canceled, or failed.
+    pub outcome: Outcome,
     /// The query's report, bit-identical to a solo run — or its error
     /// (preparation or execution), isolated to this query.
     pub report: Result<QueryReport, HapeError>,
@@ -306,18 +392,28 @@ impl std::fmt::Display for ServeReport {
         )?;
         for o in &self.outcomes {
             match &o.report {
-                Ok(r) => writeln!(
-                    f,
-                    "  {:<12} ok     time={:<12} groups={:<6} packets={}cpu+{}gpu \
-                     waits={} cached={}",
-                    o.query,
-                    r.time.to_string(),
-                    r.rows.len(),
-                    r.packets_cpu,
-                    r.packets_gpu,
-                    o.admission_wait,
-                    r.builds_cached,
-                )?,
+                Ok(r) => {
+                    let tag = match o.outcome {
+                        Outcome::Completed => "ok",
+                        Outcome::Degraded { .. } => "degrad",
+                        Outcome::TimedOut { .. } => "t-out",
+                        Outcome::Canceled => "cancel",
+                        Outcome::Failed => "error",
+                    };
+                    writeln!(
+                        f,
+                        "  {:<12} {:<6} time={:<12} groups={:<6} packets={}cpu+{}gpu \
+                         waits={} cached={}",
+                        o.query,
+                        tag,
+                        r.time.to_string(),
+                        r.rows.len(),
+                        r.packets_cpu,
+                        r.packets_gpu,
+                        o.admission_wait,
+                        r.builds_cached,
+                    )?;
+                }
                 Err(e) => writeln!(f, "  {:<12} error  {e}", o.query)?,
             }
         }
@@ -336,6 +432,12 @@ pub struct SessionServer {
     pending: Vec<Prepared>,
     next_id: usize,
     trace: TraceRecorder,
+    /// The fault plan every served query runs under (off by default).
+    faults: FaultPlan,
+    /// Fleet-wide device health, shared across all served queries: a GPU
+    /// one query loses permanently stays quarantined for the whole
+    /// server's lifetime.
+    health: HealthRegistry,
 }
 
 impl SessionServer {
@@ -348,6 +450,8 @@ impl SessionServer {
             pending: Vec::new(),
             next_id: 0,
             trace: TraceRecorder::off(),
+            faults: FaultPlan::off(),
+            health: HealthRegistry::new(),
         }
     }
 
@@ -359,6 +463,20 @@ impl SessionServer {
     pub fn with_trace(mut self, trace: TraceRecorder) -> Self {
         self.trace = trace;
         self
+    }
+
+    /// Arm the fault-injection plane for every query this server runs
+    /// (off by default — see [`crate::fault`]). All queries share one
+    /// fleet [`HealthRegistry`]: a permanent device loss quarantines the
+    /// device for later queries and shrinks the admission budget.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The fleet's shared device-health registry.
+    pub fn health(&self) -> &HealthRegistry {
+        &self.health
     }
 
     /// Enable or disable the cross-query build cache (enabled by
@@ -394,13 +512,25 @@ impl SessionServer {
         self.cache.len()
     }
 
-    /// The admission budget: the smallest GPU device-memory capacity in
-    /// the fleet (`None` without GPUs). Summed reserved footprints of
-    /// admitted queries never exceed it unless a single query alone does
-    /// (which is then admitted solo, to fail or co-process exactly as it
-    /// would outside the server).
+    /// The admission budget: the smallest *surviving* GPU device-memory
+    /// capacity in the fleet (`None` without GPUs, or once every GPU is
+    /// quarantined). Summed reserved footprints of admitted queries never
+    /// exceed it unless a single query alone does (which is then admitted
+    /// solo, to fail or co-process exactly as it would outside the
+    /// server). Recomputed per admission round, so a device lost
+    /// mid-batch tightens (or widens, if it was the smallest) the gate
+    /// for everything still queued.
     pub fn gpu_budget(&self) -> Option<u64> {
-        self.session.engine().server.gpus.iter().map(|g| g.dram_capacity as u64).min()
+        let failed = self.health.failed();
+        self.session
+            .engine()
+            .server
+            .gpus
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !failed.contains(i))
+            .map(|(_, g)| g.dram_capacity as u64)
+            .min()
     }
 
     /// Register a table under its own name (bumps the catalog version —
@@ -434,11 +564,60 @@ impl SessionServer {
     /// Submit under an explicit per-query config (placement, packet
     /// sizing, threads).
     pub fn submit_with(&mut self, query: &Query, config: &ExecConfig) -> QueryHandle {
+        self.submit_inner(query, config, None)
+    }
+
+    /// Submit with a per-query simulated-time deadline: once the query's
+    /// sim clock exceeds `budget` it stops at the next stage barrier and
+    /// finishes as [`Outcome::TimedOut`] with the partial report it had —
+    /// a scheduling outcome, not an error.
+    pub fn submit_with_budget(
+        &mut self,
+        query: &Query,
+        config: &ExecConfig,
+        budget: SimTime,
+    ) -> QueryHandle {
+        self.submit_inner(query, config, Some(budget))
+    }
+
+    fn submit_inner(
+        &mut self,
+        query: &Query,
+        config: &ExecConfig,
+        budget: Option<SimTime>,
+    ) -> QueryHandle {
         let handle = QueryHandle(self.next_id);
         self.next_id += 1;
         let prep = self.prepare(query, config);
-        self.pending.push(Prepared { handle, name: query.name.clone(), prep });
+        self.pending.push(Prepared {
+            handle,
+            name: query.name.clone(),
+            prep,
+            budget,
+            cancel: CancelToken::new(),
+        });
         handle
+    }
+
+    /// The cancellation token of a pending submission (`None` once the
+    /// batch ran or for a foreign handle). Tokens are `Clone + Send`:
+    /// trip one from any thread while [`SessionServer::run_all`] blocks
+    /// and the query stops at its next stage barrier as
+    /// [`Outcome::Canceled`].
+    pub fn cancel_token(&self, handle: QueryHandle) -> Option<CancelToken> {
+        self.pending.iter().find(|p| p.handle == handle).map(|p| p.cancel.clone())
+    }
+
+    /// Request cancellation of a pending submission (sugar for tripping
+    /// its [`CancelToken`]). Returns false for an unknown handle.
+    pub fn cancel(&self, handle: QueryHandle) -> bool {
+        match self.cancel_token(handle) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Queries submitted and not yet run.
@@ -480,23 +659,36 @@ impl SessionServer {
         let prepared = std::mem::take(&mut self.pending);
         let evictions_before = self.cache.stats.evictions;
         let gpu_budget = self.gpu_budget();
-        let budget = gpu_budget.unwrap_or(u64::MAX);
         let cache_enabled = self.cache_enabled;
         let current_version = self.session.catalog().version();
         let engine = self.session.engine();
 
         // Split preparation failures out; the live plans are owned here so
         // the per-query executions can borrow their catalogs and plans.
+        struct Live {
+            handle: QueryHandle,
+            name: String,
+            plan: PreparedPlan,
+            budget: Option<SimTime>,
+            cancel: CancelToken,
+        }
         let mut outcomes: Vec<QueryOutcome> = Vec::with_capacity(prepared.len());
-        let mut live: Vec<(QueryHandle, String, PreparedPlan)> = Vec::new();
+        let mut live: Vec<Live> = Vec::new();
         for p in prepared {
             match p.prep {
-                Ok(plan) => live.push((p.handle, p.name, plan)),
+                Ok(plan) => live.push(Live {
+                    handle: p.handle,
+                    name: p.name,
+                    plan,
+                    budget: p.budget,
+                    cancel: p.cancel,
+                }),
                 Err(e) => outcomes.push(QueryOutcome {
                     handle: p.handle,
                     query: p.name,
                     admission_wait: 0,
                     gpu_reserved: 0,
+                    outcome: Outcome::Failed,
                     report: Err(e),
                 }),
             }
@@ -506,19 +698,25 @@ impl SessionServer {
             handle: QueryHandle,
             name: &'a str,
             plan: &'a PreparedPlan,
+            budget: Option<SimTime>,
+            cancel: &'a CancelToken,
             exec: Option<QueryExec<'a>>,
             report: Option<Result<QueryReport, HapeError>>,
+            outcome: Option<Outcome>,
             admission_wait: usize,
             reserved: u64,
         }
         let mut slots: Vec<Slot> = live
             .iter()
-            .map(|(handle, name, plan)| Slot {
-                handle: *handle,
-                name,
-                plan,
+            .map(|l| Slot {
+                handle: l.handle,
+                name: &l.name,
+                plan: &l.plan,
+                budget: l.budget,
+                cancel: &l.cancel,
                 exec: None,
                 report: None,
+                outcome: None,
                 admission_wait: 0,
                 reserved: 0,
             })
@@ -533,6 +731,11 @@ impl SessionServer {
             // the remaining budget, or unconditionally when the fleet is
             // idle (an oversized query then runs solo, failing or
             // co-processing exactly as it would outside the server).
+            //
+            // The budget is recomputed every round against the *surviving*
+            // fleet: a GPU quarantined mid-batch changes the gate for
+            // everything still queued.
+            let budget = self.gpu_budget().unwrap_or(u64::MAX);
             for slot in slots.iter_mut() {
                 if slot.report.is_some() || slot.exec.is_some() {
                     continue;
@@ -557,11 +760,22 @@ impl SessionServer {
                     );
                     self.trace.add("admission.grants", 1);
                 }
-                slot.exec = Some(
-                    engine
-                        .begin(&slot.plan.lowered.catalog, &slot.plan.placed)
-                        .with_trace(&self.trace),
-                );
+                match engine.begin(&slot.plan.lowered.catalog, &slot.plan.placed) {
+                    Ok(exec) => {
+                        slot.exec = Some(
+                            exec.with_trace(&self.trace)
+                                .with_fault_health(&self.faults, self.health.clone()),
+                        );
+                    }
+                    Err(e) => {
+                        // Admission failed at execution setup: isolate the
+                        // error into this query and release its reservation.
+                        slot.report = Some(Err(HapeError::Engine(e)));
+                        slot.outcome = Some(Outcome::Failed);
+                        reserved_total -= fp;
+                        slot.reserved = 0;
+                    }
+                }
             }
 
             // ---- One fair round: each admitted query advances one stage.
@@ -577,6 +791,18 @@ impl SessionServer {
                     continue;
                 };
                 progressed = true;
+                // ---- Cancellation: checked between stage steps. The
+                // query keeps the partial report it accumulated.
+                if slot.cancel.is_canceled() {
+                    let exec = slot.exec.take().expect("exec present");
+                    slot.report = Some(Ok(exec.finish()));
+                    slot.outcome = Some(Outcome::Canceled);
+                    reserved_total -= slot.reserved;
+                    if self.trace.is_enabled() {
+                        self.trace.add("serve.canceled", 1);
+                    }
+                    continue;
+                }
                 // ---- Serve the next stage from the cross-query cache if
                 // it is a build we already hold: a hash table built by an
                 // *earlier* query this round is visible to later ones
@@ -587,8 +813,12 @@ impl SessionServer {
                         slot.plan.placed.stages.get(exec.stage_index())
                     {
                         if let Some(fpr) = slot.plan.lowered.build_fingerprints.get(name) {
-                            let hit =
-                                self.cache.lookup(fpr, current_version, slot.plan.version);
+                            let hit = self.cache.lookup(
+                                fpr,
+                                current_version,
+                                slot.plan.version,
+                                self.health.epoch(),
+                            );
                             if self.trace.is_enabled() {
                                 let now = self.trace.now_ns();
                                 let (what, key) = if hit.is_some() {
@@ -616,6 +846,7 @@ impl SessionServer {
                 let finished = exec.is_done();
                 if let Err(e) = stepped {
                     slot.report = Some(Err(HapeError::Engine(e)));
+                    slot.outcome = Some(Outcome::Failed);
                 } else {
                     // Harvest a freshly built (not cache-served) hash
                     // table into the cache right away, so queries later in
@@ -633,6 +864,7 @@ impl SessionServer {
                                     self.cache.insert(
                                         fpr.clone(),
                                         slot.plan.version,
+                                        self.health.epoch(),
                                         plan_broadcasts(&slot.plan.placed, name),
                                         table,
                                     );
@@ -641,8 +873,32 @@ impl SessionServer {
                         }
                     }
                     if finished {
-                        slot.report =
-                            Some(Ok(slot.exec.take().expect("exec present").finish()));
+                        let report = slot.exec.take().expect("exec present").finish();
+                        slot.outcome = Some(if report.retries > 0 || report.replans > 0 {
+                            Outcome::Degraded {
+                                retries: report.retries,
+                                replans: report.replans,
+                            }
+                        } else {
+                            Outcome::Completed
+                        });
+                        slot.report = Some(Ok(report));
+                    } else if let Some(budget) = slot.budget {
+                        // ---- Per-query sim-time deadline, checked at the
+                        // stage barrier: over budget finishes with the
+                        // partial report — a scheduling outcome, not an
+                        // error.
+                        let over =
+                            slot.exec.as_ref().is_some_and(|exec| exec.sim_time() > budget);
+                        if over {
+                            let exec = slot.exec.take().expect("exec present");
+                            let elapsed = exec.sim_time();
+                            slot.report = Some(Ok(exec.finish()));
+                            slot.outcome = Some(Outcome::TimedOut { budget, elapsed });
+                            if self.trace.is_enabled() {
+                                self.trace.add("serve.timed_out", 1);
+                            }
+                        }
                     }
                 }
                 if slot.report.is_some() {
@@ -663,6 +919,7 @@ impl SessionServer {
                 query: slot.name.to_string(),
                 admission_wait: slot.admission_wait,
                 gpu_reserved: slot.reserved,
+                outcome: slot.outcome.expect("scheduler resolves every slot"),
                 report: slot.report.expect("scheduler drains every slot"),
             });
         }

@@ -209,7 +209,11 @@ impl Session {
     ) -> Result<QueryReport, HapeError> {
         let lowered = self.lower(query)?;
         let placed = self.place_lowered(&lowered, config)?;
-        let mut exec = self.engine.begin(&lowered.catalog, &placed).with_trace(&config.trace);
+        let mut exec = self
+            .engine
+            .begin(&lowered.catalog, &placed)?
+            .with_trace(&config.trace)
+            .with_faults(&config.faults);
         while !exec.is_done() {
             exec.step()?;
         }

@@ -93,6 +93,9 @@ pub enum SpanKind {
     /// The optimizer choosing a stage's device subset (carries the chosen
     /// estimate; zero simulated duration).
     Optimize,
+    /// A fault-plane event: an injection firing, a priced transfer retry,
+    /// or a mid-query re-placement on the surviving fleet.
+    Fault,
 }
 
 impl std::fmt::Display for SpanKind {
@@ -105,6 +108,7 @@ impl std::fmt::Display for SpanKind {
             SpanKind::Cache => "cache",
             SpanKind::Admission => "admission",
             SpanKind::Optimize => "optimize",
+            SpanKind::Fault => "fault",
         })
     }
 }

@@ -148,6 +148,67 @@
 //! assert_eq!(a.time, b.time);   // …and bit-identical simulated makespan
 //! ```
 //!
+//! ## Fault injection + degradation-aware recovery
+//!
+//! A seeded [`core::FaultPlan`] ([`core::ExecConfig::with_faults`], or
+//! [`core::serve::SessionServer::with_faults`] for batches — off by
+//! default, one branch per hook when disabled) schedules typed device
+//! and link faults at control-plane coordinates, so injection is as
+//! deterministic as the runtime itself: bit-identical at any thread
+//! count. Transient transfer faults retry with exponential backoff
+//! priced into the simulated clock; permanent loss re-places the
+//! remaining stages on the surviving fleet and resumes from the stage
+//! barrier. The serving layer quarantines failed devices fleet-wide
+//! (admission and the build cache follow the shared
+//! [`core::HealthRegistry`]) and reports per-query
+//! [`core::serve::Outcome`]s — `Degraded`, `TimedOut` (sim-time budgets
+//! via [`core::serve::SessionServer::submit_with_budget`]) and
+//! `Canceled` ([`core::serve::CancelToken`]) are results, not errors:
+//!
+//! ```
+//! use hape::core::{ExecConfig, FaultKind, FaultPlan, FaultSpec, JoinAlgo,
+//!                  Placement, Query, RetryPolicy, Session, Trigger};
+//! use hape::ops::{col, AggFunc};
+//! use hape::sim::topology::Server;
+//! use hape::storage::datagen::gen_key_fk_table;
+//!
+//! let mut session = Session::new(Server::paper_testbed());
+//! session.register_as("fact", gen_key_fk_table(1 << 16, 1 << 18, 42));
+//! session.register_as("dim", gen_key_fk_table(1 << 13, 1 << 13, 43));
+//! let q = session
+//!     .query("chaos")
+//!     .from_table("fact")
+//!     .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+//!     .agg(vec![(AggFunc::Count, col("k")), (AggFunc::Sum, col("v"))]);
+//! let clean = session.execute_with(&q, &ExecConfig::new(Placement::Hybrid)).unwrap();
+//!
+//! // GPU 0's link drops one transfer (retried, backoff on the sim
+//! // clock), then GPU 1 dies for good after its second committed packet
+//! // (the engine re-places the rest of the query on the survivors).
+//! let plan = FaultPlan::new(
+//!     vec![
+//!         FaultSpec {
+//!             gpu: 0,
+//!             kind: FaultKind::TransferError { failures: 1 },
+//!             trigger: Trigger::AtGpuPacket(1),
+//!         },
+//!         FaultSpec {
+//!             gpu: 1,
+//!             kind: FaultKind::GpuFailed,
+//!             trigger: Trigger::AtGpuPacket(2),
+//!         },
+//!     ],
+//!     RetryPolicy::default(),
+//! );
+//! let cfg = ExecConfig::new(Placement::Hybrid).with_faults(plan);
+//! let faulted = session.execute_with(&q, &cfg).unwrap();
+//!
+//! // Recovery is visible (priced retries, a re-placement) — and never
+//! // changes the answer.
+//! assert_eq!(faulted.rows, clean.rows);
+//! assert_eq!((faulted.retries, faulted.replans), (1, 1));
+//! ```
+//!
 //! ## Observability: the tracing + metrics plane
 //!
 //! Hand a [`core::TraceRecorder`] to any run ([`core::ExecConfig::with_trace`],

@@ -272,6 +272,58 @@ fn tiny_packet_stress_hammers_the_pool_deterministically() {
 }
 
 #[test]
+fn fault_injection_is_thread_count_invariant() {
+    // The fault plane fires off control-plane coordinates (stage barriers,
+    // committed-GPU-packet ordinals, sim time) that the router assigns
+    // sequentially, so an injected fault — and the whole recovery path it
+    // triggers (priced retries, mid-query re-placement on the survivors) —
+    // must land on the same packet and produce bit-identical reports at
+    // every data-plane thread count.
+    use hape::core::FaultPlan;
+    let mut session = Session::new(Server::paper_testbed());
+    session.register_as("fact", gen_key_fk_table(1 << 16, 1 << 18, 1));
+    session.register_as("dim", gen_key_fk_table(1 << 13, 1 << 13, 2));
+    let q = session
+        .query("faulted")
+        .from_table("fact")
+        .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+        .agg(vec![(AggFunc::Count, col("k")), (AggFunc::Sum, col("v"))]);
+    let placements = [Placement::GpuOnly, Placement::Hybrid, Placement::Auto];
+    for seed in [1u64, 7, 42] {
+        for placement in placements {
+            let mut reference: Option<Result<QueryReport, String>> = None;
+            for threads in THREADS {
+                let cfg = ExecConfig::new(placement)
+                    .with_threads(threads)
+                    .with_faults(FaultPlan::canonical(seed));
+                let outcome = session.execute_with(&q, &cfg).map_err(|e| format!("{e}"));
+                match (&reference, &outcome) {
+                    (None, _) => reference = Some(outcome),
+                    (Some(Ok(want)), Ok(got)) => {
+                        let ctx =
+                            format!("faulted seed={seed} {placement:?} threads={threads}");
+                        assert_reports_identical(got, want, &ctx);
+                        assert_eq!(got.retries, want.retries, "{ctx}: retries");
+                        assert_eq!(got.replans, want.replans, "{ctx}: replans");
+                    }
+                    (Some(Err(want)), Err(got)) => {
+                        assert_eq!(
+                            got, want,
+                            "faulted seed={seed} {placement:?}: error diverged at \
+                             threads={threads}"
+                        );
+                    }
+                    (Some(want), got) => panic!(
+                        "faulted seed={seed} {placement:?}: success/failure flipped at \
+                         threads={threads}: {want:?} vs {got:?}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn explicit_packet_rows_rides_the_config_into_the_stream_stage() {
     let mut session = Session::new(Server::paper_testbed());
     session.register_as("fact", gen_key_fk_table(1 << 16, 1 << 16, 3));

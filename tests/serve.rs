@@ -221,6 +221,57 @@ fn build_cache_hits_skip_build_and_broadcast_and_invalidates_on_replace() {
 }
 
 #[test]
+fn device_failure_downgrades_broadcast_cache_entries_to_host_resident() {
+    // A broadcast-resident cache entry is only valid for the fleet it was
+    // broadcast to. Entries are keyed by the health epoch at insert time;
+    // losing a GPU bumps the epoch, so the next hit must downgrade to a
+    // host-resident serve (re-broadcasting to the current fleet) instead
+    // of trusting a device copy that may live on the dead card.
+    let mut session = Session::new(Server::paper_testbed());
+    session.register_as("fact", gen_key_fk_table(1 << 16, 1 << 16, 41));
+    session.register_as("dim", gen_key_fk_table(1 << 12, 1 << 12, 42));
+    let q = Query::new("epoch")
+        .from_table("fact")
+        .join(Query::scan("dim"), "k", "k", JoinAlgo::NonPartitioned)
+        .agg(vec![(AggFunc::Count, col("k"))]);
+    let cfg = ExecConfig::new(Placement::Hybrid);
+
+    let mut server = SessionServer::new(session);
+    let cold = server.submit_with(&q, &cfg);
+    let warm = server.submit_with(&q, &cfg);
+    let batch = server.run_all();
+    let cold = batch.report(cold).as_ref().unwrap().clone();
+    let warm = batch.report(warm).as_ref().unwrap().clone();
+    assert_eq!(warm.builds_cached, 1);
+    assert!(warm.h2d_bytes < cold.h2d_bytes, "broadcast hit skips the h2d copy");
+
+    // A device dies between batches: the epoch moves, the entry stays.
+    assert!(server.health().fail(1), "fresh failure bumps the epoch");
+    let stale = server.submit_with(&q, &cfg);
+    let batch = server.run_all();
+    let stale = batch.report(stale).as_ref().unwrap().clone();
+    assert_eq!(stale.builds_cached, 1, "the built table itself is still valid");
+    assert_eq!(stale.rows, warm.rows, "downgraded hit serves identical rows");
+    assert!(
+        stale.h2d_bytes > warm.h2d_bytes,
+        "downgraded hit must re-broadcast to the surviving fleet: {} !> {}",
+        stale.h2d_bytes,
+        warm.h2d_bytes
+    );
+    assert_eq!(server.cache_stats().invalidations, 1, "downgrade is counted");
+
+    // The downgrade is sticky: the entry was re-keyed to the current
+    // epoch, so a further hit at the same epoch serves host-resident
+    // without counting another invalidation.
+    let again = server.submit_with(&q, &cfg);
+    let batch = server.run_all();
+    let again = batch.report(again).as_ref().unwrap().clone();
+    assert_eq!(again.builds_cached, 1);
+    assert_eq!(again.rows, warm.rows);
+    assert_eq!(server.cache_stats().invalidations, 1, "no double-count");
+}
+
+#[test]
 fn cached_builds_are_row_identical_across_the_tpch_matrix() {
     // Property: for every join query × placement, a warm (cache-hit)
     // submission returns exactly the rows of a cold one — and of solo
